@@ -1,0 +1,38 @@
+//! Micro-benchmarks: pattern transforms of the timeseries crate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dipm_timeseries::{
+    enumerate_combinations, eps_match, AccumulatedPattern, Pattern, SampledPattern,
+};
+
+fn bench_timeseries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timeseries");
+    group.sample_size(30);
+
+    let long: Pattern = (0..1_000u64).map(|i| i % 97).collect();
+    group.bench_function("accumulate_1k", |b| {
+        b.iter(|| AccumulatedPattern::from_pattern(&long).expect("no overflow"));
+    });
+
+    let acc = AccumulatedPattern::from_pattern(&long).expect("no overflow");
+    group.bench_function("sample_b12_from_1k", |b| {
+        b.iter(|| SampledPattern::from_accumulated(&acc, 12).expect("valid"));
+    });
+
+    let other: Pattern = (0..1_000u64).map(|i| i % 97 + 1).collect();
+    group.bench_function("eps_match_1k", |b| {
+        b.iter(|| eps_match(&long, &other, 2));
+    });
+
+    let locals: Vec<Pattern> = (0..10)
+        .map(|i| (0..16u64).map(|j| (i + j) % 11).collect())
+        .collect();
+    group.bench_function("combinations_e10", |b| {
+        b.iter(|| enumerate_combinations(&locals).expect("valid"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_timeseries);
+criterion_main!(benches);

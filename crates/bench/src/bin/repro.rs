@@ -1,0 +1,116 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [EXPERIMENT…] [--quick] [--users N] [--stations N] [--patterns A,B,C] [--seed S]
+//!
+//! experiments: fig1a fig1b fig3 convergence fig4 fig4a fig4b fig4c fig4d
+//!              table2 fpp ablation all   (default: all)
+//! ```
+
+use std::process::ExitCode;
+
+use dipm_bench::{experiments, Report, Scale};
+
+fn print(report: Report) {
+    println!("{report}");
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro [fig1a|fig1b|fig3|convergence|fig4|fig4a|fig4b|fig4c|fig4d|table2|fpp|ablation|all]…"
+    );
+    eprintln!("       [--quick] [--users N] [--stations N] [--patterns A,B,C] [--seed S]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::default();
+    let mut experiments_requested: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--users" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale.users = v,
+                None => return usage(),
+            },
+            "--stations" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale.stations = v,
+                None => return usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale.seed = v,
+                None => return usage(),
+            },
+            "--patterns" => {
+                let Some(list) = args.next() else { return usage() };
+                let parsed: Option<Vec<usize>> =
+                    list.split(',').map(|v| v.trim().parse().ok()).collect();
+                match parsed {
+                    Some(counts) if !counts.is_empty() => scale.pattern_counts = counts,
+                    _ => return usage(),
+                }
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            name if !name.starts_with('-') => experiments_requested.push(name.to_string()),
+            _ => return usage(),
+        }
+    }
+    if experiments_requested.is_empty() {
+        experiments_requested.push("all".to_string());
+    }
+
+    for name in &experiments_requested {
+        match name.as_str() {
+            "fig1a" => print(experiments::fig1a()),
+            "fig1b" => print(experiments::fig1b(&scale)),
+            "fig3" => print(experiments::fig3()),
+            "convergence" => print(experiments::convergence(&scale)),
+            "fig4" | "fig4a" | "fig4b" | "fig4c" | "fig4d" => {
+                eprintln!(
+                    "running figure-4 sweep: {} users, {} stations, patterns {:?}…",
+                    scale.users, scale.stations, scale.pattern_counts
+                );
+                let points = experiments::sweep(&scale);
+                match name.as_str() {
+                    "fig4a" => print(experiments::fig4a(&points)),
+                    "fig4b" => print(experiments::fig4b(&points)),
+                    "fig4c" => print(experiments::fig4c(&points)),
+                    "fig4d" => print(experiments::fig4d(&points)),
+                    _ => {
+                        print(experiments::fig4a(&points));
+                        print(experiments::fig4b(&points));
+                        print(experiments::fig4c(&points));
+                        print(experiments::fig4d(&points));
+                    }
+                }
+            }
+            "table2" => print(experiments::table2(scale.seed)),
+            "fpp" => print(experiments::fpp(scale.seed)),
+            "ablation" => print(experiments::ablation(&scale)),
+            "all" => {
+                print(experiments::fig1a());
+                print(experiments::fig1b(&scale));
+                print(experiments::fig3());
+                print(experiments::convergence(&scale));
+                eprintln!(
+                    "running figure-4 sweep: {} users, {} stations, patterns {:?}…",
+                    scale.users, scale.stations, scale.pattern_counts
+                );
+                let points = experiments::sweep(&scale);
+                print(experiments::fig4a(&points));
+                print(experiments::fig4b(&points));
+                print(experiments::fig4c(&points));
+                print(experiments::fig4d(&points));
+                print(experiments::table2(scale.seed));
+                print(experiments::fpp(scale.seed));
+                print(experiments::ablation(&scale));
+            }
+            _ => return usage(),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,15 @@
+//! One module per regenerated table or figure.
+
+mod ablation;
+mod convergence;
+mod fig1;
+mod fig4;
+mod fpp;
+mod table2;
+
+pub use ablation::ablation;
+pub use convergence::convergence;
+pub use fig1::{fig1a, fig1b, fig3};
+pub use fig4::{fig4a, fig4b, fig4c, fig4d, sweep, MethodPoint, SweepPoint};
+pub use fpp::fpp;
+pub use table2::{score_day, table2, DayScore};

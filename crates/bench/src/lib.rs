@@ -1,0 +1,27 @@
+//! Experiment harness for the DI-matching reproduction.
+//!
+//! One runner per table/figure of the paper's evaluation (Section V), each
+//! returning a printable [`Report`]:
+//!
+//! | Paper result | Runner | Regenerate with |
+//! |---|---|---|
+//! | Figure 1(a) | [`experiments::fig1a`] | `repro fig1a` |
+//! | Figure 1(b) | [`experiments::fig1b`] | `repro fig1b` |
+//! | Figure 3 | [`experiments::fig3`] | `repro fig3` |
+//! | Section V-B convergence | [`experiments::convergence`] | `repro convergence` |
+//! | Figure 4(a)–(d) | [`experiments::sweep`] + `fig4a..fig4d` | `repro fig4` |
+//! | Table II | [`experiments::table2`] | `repro table2` |
+//! | FP bound tightness | [`experiments::fpp`] | `repro fpp` |
+//! | Design ablations | [`experiments::ablation`] | `repro ablation` |
+//!
+//! Criterion micro-benchmarks live under `benches/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+mod report;
+mod scale;
+
+pub use report::Report;
+pub use scale::Scale;

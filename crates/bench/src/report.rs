@@ -1,0 +1,129 @@
+//! Plain-text experiment reports.
+//!
+//! Every experiment produces a [`Report`]: the paper's claim, a table of
+//! measured rows, and free-form notes. The `repro` binary prints them; the
+//! same structures back `EXPERIMENTS.md`.
+
+use std::fmt;
+
+/// One regenerated table or figure.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment identifier, e.g. `Figure 4(a)`.
+    pub id: String,
+    /// Short title.
+    pub title: String,
+    /// What the paper claims the result shows.
+    pub claim: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Table rows.
+    pub rows: Vec<Vec<String>>,
+    /// Additional observations.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Starts a report with identifier, title and paper claim.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        claim: impl Into<String>,
+    ) -> Report {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            claim: claim.into(),
+            ..Report::default()
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn columns<I, S>(&mut self, columns: I) -> &mut Report
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.columns = columns.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends one row.
+    pub fn row<I, S>(&mut self, row: I) -> &mut Report
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Report {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        writeln!(f, "paper: {}", self.claim)?;
+        // Column widths over header + rows.
+        let cols = self.columns.len().max(
+            self.rows.iter().map(Vec::len).max().unwrap_or(0),
+        );
+        let mut widths = vec![0usize; cols];
+        for (i, c) in self.columns.iter().enumerate() {
+            widths[i] = widths[i].max(c.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        if !self.columns.is_empty() {
+            let header: Vec<String> = self
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            writeln!(f, "  {}", header.join("  "))?;
+        }
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            writeln!(f, "  {}", cells.join("  "))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("Fig. X", "demo", "something holds");
+        r.columns(["a", "bbbb"]).row(["1", "2"]).row(["333", "4"]).note("done");
+        let text = r.to_string();
+        assert!(text.contains("Fig. X"));
+        assert!(text.contains("something holds"));
+        assert!(text.contains("333"));
+        assert!(text.contains("note: done"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = Report::new("id", "t", "c");
+        assert!(!r.to_string().is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Harness scale knobs.
+//!
+//! The paper evaluates on a 3.6 M-user city; this harness defaults to a
+//! laptop-scale slice that preserves every claimed shape and can be grown
+//! with CLI flags.
+
+/// Scale configuration shared by the sweep experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scale {
+    /// Number of simulated phones in the Dataset-1-style trace.
+    pub users: usize,
+    /// Number of base stations.
+    pub stations: u32,
+    /// Query-pattern counts for the Figure-4 sweep (the paper uses
+    /// 100..500).
+    pub pattern_counts: Vec<usize>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Scale {
+        Scale {
+            users: 3_000,
+            stations: 24,
+            pattern_counts: vec![100, 200, 300, 400, 500],
+            seed: 7,
+        }
+    }
+}
+
+impl Scale {
+    /// A reduced scale for smoke runs (`repro --quick`).
+    pub fn quick() -> Scale {
+        Scale {
+            users: 600,
+            stations: 12,
+            pattern_counts: vec![20, 40, 60],
+            seed: 7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_sweep() {
+        let s = Scale::default();
+        assert_eq!(s.pattern_counts, vec![100, 200, 300, 400, 500]);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        assert!(Scale::quick().users < Scale::default().users);
+    }
+}

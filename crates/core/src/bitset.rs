@@ -1,0 +1,331 @@
+//! A fixed-length bit array backing both filter variants.
+//!
+//! Implemented from scratch (no external bit-vector dependency) on `u64`
+//! words, with a running ones counter so fill-ratio queries are O(1).
+
+use std::fmt;
+
+use crate::error::{CoreError, Result};
+
+/// A fixed-length array of bits.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_core::BitSet;
+///
+/// let mut bits = BitSet::new(128);
+/// assert!(bits.set(7));      // newly set
+/// assert!(!bits.set(7));     // already set
+/// assert!(bits.get(7));
+/// assert_eq!(bits.count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl BitSet {
+    /// Creates a bit set of `len` bits, all zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero; filters always have at least one bit.
+    pub fn new(len: usize) -> BitSet {
+        assert!(len > 0, "bit set length must be non-zero");
+        let words = vec![0u64; len.div_ceil(64)];
+        BitSet {
+            words,
+            len,
+            ones: 0,
+        }
+    }
+
+    /// Reconstructs a bit set from raw words (used by the wire decoder).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Decode`] if the word count does not match `len`
+    /// or if bits beyond `len` are set in the final word.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Result<BitSet> {
+        if len == 0 || words.len() != len.div_ceil(64) {
+            return Err(CoreError::decode("bit set word count mismatch"));
+        }
+        let tail_bits = len % 64;
+        if tail_bits != 0 {
+            let mask = !0u64 << tail_bits;
+            if words[words.len() - 1] & mask != 0 {
+                return Err(CoreError::decode("bits set beyond declared length"));
+            }
+        }
+        let ones = words.iter().map(|w| w.count_ones() as usize).sum();
+        Ok(BitSet { words, len, ones })
+    }
+
+    /// The number of bits in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set has length zero. Always `false` for constructed sets;
+    /// provided for API completeness alongside [`BitSet::len`].
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The number of bits currently set to one.
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// The fraction of bits set to one, in `[0, 1]`.
+    pub fn fill_ratio(&self) -> f64 {
+        self.ones as f64 / self.len as f64
+    }
+
+    /// Sets the bit at `index`, returning `true` if it was previously zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn set(&mut self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range");
+        let (word, mask) = (index / 64, 1u64 << (index % 64));
+        let newly = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        if newly {
+            self.ones += 1;
+        }
+        newly
+    }
+
+    /// Reads the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range");
+        self.words[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.ones = 0;
+    }
+
+    /// Bitwise-ORs `other` into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IncompatibleFilters`] if the lengths differ.
+    pub fn union_with(&mut self, other: &BitSet) -> Result<()> {
+        if self.len != other.len {
+            return Err(CoreError::IncompatibleFilters);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        self.ones = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        Ok(())
+    }
+
+    /// Bitwise-ANDs `other` into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IncompatibleFilters`] if the lengths differ.
+    pub fn intersect_with(&mut self, other: &BitSet) -> Result<()> {
+        if self.len != other.len {
+            return Err(CoreError::IncompatibleFilters);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+        self.ones = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        Ok(())
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones {
+            bits: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The raw backing words (little-endian bit order within each word).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The number of bytes needed to transmit the raw bit payload.
+    pub fn byte_len(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BitSet")
+            .field("len", &self.len)
+            .field("ones", &self.ones)
+            .finish()
+    }
+}
+
+/// Iterator over set-bit indices, created by [`BitSet::iter_ones`].
+#[derive(Debug, Clone)]
+pub struct Ones<'a> {
+    bits: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + tz);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bits.words.len() {
+                return None;
+            }
+            self.current = self.bits.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_zero() {
+        let bits = BitSet::new(100);
+        assert_eq!(bits.len(), 100);
+        assert_eq!(bits.count_ones(), 0);
+        assert!((0..100).all(|i| !bits.get(i)));
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut bits = BitSet::new(70);
+        for i in [0, 1, 63, 64, 69] {
+            assert!(bits.set(i));
+            assert!(bits.get(i));
+        }
+        assert_eq!(bits.count_ones(), 5);
+        assert!(!bits.get(2));
+    }
+
+    #[test]
+    fn set_reports_newness_once() {
+        let mut bits = BitSet::new(8);
+        assert!(bits.set(3));
+        assert!(!bits.set(3));
+        assert_eq!(bits.count_ones(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitSet::new(8).get(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        BitSet::new(8).set(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_length_panics() {
+        BitSet::new(0);
+    }
+
+    #[test]
+    fn fill_ratio_tracks_ones() {
+        let mut bits = BitSet::new(10);
+        bits.set(0);
+        bits.set(5);
+        assert!((bits.fill_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut bits = BitSet::new(65);
+        bits.set(64);
+        bits.clear();
+        assert_eq!(bits.count_ones(), 0);
+        assert!(!bits.get(64));
+    }
+
+    #[test]
+    fn iter_ones_is_sorted_and_complete() {
+        let mut bits = BitSet::new(200);
+        let idx = [0usize, 3, 63, 64, 65, 127, 128, 199];
+        for &i in &idx {
+            bits.set(i);
+        }
+        let collected: Vec<usize> = bits.iter_ones().collect();
+        assert_eq!(collected, idx);
+    }
+
+    #[test]
+    fn union_and_intersect() {
+        let mut a = BitSet::new(16);
+        let mut b = BitSet::new(16);
+        a.set(1);
+        a.set(2);
+        b.set(2);
+        b.set(3);
+
+        let mut u = a.clone();
+        u.union_with(&b).unwrap();
+        assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![1, 2, 3]);
+
+        a.intersect_with(&b).unwrap();
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn union_length_mismatch_is_error() {
+        let mut a = BitSet::new(16);
+        let b = BitSet::new(17);
+        assert_eq!(a.union_with(&b), Err(CoreError::IncompatibleFilters));
+    }
+
+    #[test]
+    fn from_words_validates_tail() {
+        // length 65 → 2 words; bit 65 (index 1 of word 1) is out of range.
+        let bad = BitSet::from_words(vec![0, 0b10], 65);
+        assert!(bad.is_err());
+        let good = BitSet::from_words(vec![0, 0b1], 65).unwrap();
+        assert_eq!(good.count_ones(), 1);
+        assert!(good.get(64));
+    }
+
+    #[test]
+    fn from_words_rejects_wrong_count() {
+        assert!(BitSet::from_words(vec![0; 3], 65).is_err());
+        assert!(BitSet::from_words(vec![], 0).is_err());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let bits = BitSet::new(8);
+        assert!(!format!("{bits:?}").is_empty());
+    }
+}

@@ -1,0 +1,445 @@
+//! Compact binary wire encoding for filters.
+//!
+//! The data center broadcasts one encoded filter to every base station, so
+//! the encoded length *is* the query's downstream communication cost
+//! (Fig. 4c/4d use these sizes). The format is deterministic — weight entries
+//! are emitted in ascending bit order — self-describing, and versioned.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  u32  = 0x4449_504d ("DIPM")
+//! version u8  = 1
+//! kind   u8   = 0 (Bloom) | 1 (Weighted Bloom)
+//! hashes u16
+//! seed   u64
+//! bits   u64  (filter length in bits)
+//! inserted u64
+//! words  [u64]                    (bits.div_ceil(64) raw words)
+//! -- weighted only --
+//! dict_len u32
+//! dict*    { num u64, den u64 }   (distinct weights, ascending)
+//! sets_len u32
+//! set*     { len u16, ids u16×len }   (distinct weight SETS, first-seen order)
+//! per set bit, in ascending bit order:
+//!   set_id u32                    (index into the set table)
+//! ```
+//!
+//! Two levels of interning keep broadcasts small: distinct weights are few
+//! (one per combination pattern), and neighbouring band keys carry *identical*
+//! weight sets, so thousands of bits typically share a handful of set
+//! entries.
+
+use std::collections::BTreeMap;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::bitset::BitSet;
+use crate::bloom::BloomFilter;
+use crate::error::{CoreError, Result};
+use crate::hash::HashFamily;
+use crate::params::{FilterParams, MAX_HASHES};
+use crate::wbf::WeightedBloomFilter;
+use crate::weight::Weight;
+use crate::weight_set::WeightSet;
+
+const MAGIC: u32 = 0x4449_504d;
+const VERSION: u8 = 1;
+const KIND_BLOOM: u8 = 0;
+const KIND_WEIGHTED: u8 = 1;
+
+fn put_header(buf: &mut BytesMut, kind: u8, hashes: u16, seed: u64, bits: usize, inserted: u64) {
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(kind);
+    buf.put_u16_le(hashes);
+    buf.put_u64_le(seed);
+    buf.put_u64_le(bits as u64);
+    buf.put_u64_le(inserted);
+}
+
+struct Header {
+    kind: u8,
+    hashes: u16,
+    seed: u64,
+    bits: usize,
+    inserted: u64,
+}
+
+fn take_header(buf: &mut Bytes) -> Result<Header> {
+    if buf.remaining() < 4 + 1 + 1 + 2 + 8 + 8 + 8 {
+        return Err(CoreError::decode("truncated header"));
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(CoreError::decode("bad magic"));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(CoreError::decode(format!("unsupported version {version}")));
+    }
+    let kind = buf.get_u8();
+    if kind != KIND_BLOOM && kind != KIND_WEIGHTED {
+        return Err(CoreError::decode(format!("unknown filter kind {kind}")));
+    }
+    let hashes = buf.get_u16_le();
+    if hashes == 0 || hashes > MAX_HASHES {
+        return Err(CoreError::decode("hash count out of range"));
+    }
+    let seed = buf.get_u64_le();
+    let bits = buf.get_u64_le();
+    if bits == 0 || bits > u32::MAX as u64 {
+        return Err(CoreError::decode("bit length out of range"));
+    }
+    let inserted = buf.get_u64_le();
+    Ok(Header {
+        kind,
+        hashes,
+        seed,
+        bits: bits as usize,
+        inserted,
+    })
+}
+
+fn put_words(buf: &mut BytesMut, bits: &BitSet) {
+    for &word in bits.as_words() {
+        buf.put_u64_le(word);
+    }
+}
+
+fn take_bits(buf: &mut Bytes, bits: usize) -> Result<BitSet> {
+    let word_count = bits.div_ceil(64);
+    if buf.remaining() < word_count * 8 {
+        return Err(CoreError::decode("truncated bit payload"));
+    }
+    let mut words = Vec::with_capacity(word_count);
+    for _ in 0..word_count {
+        words.push(buf.get_u64_le());
+    }
+    BitSet::from_words(words, bits)
+}
+
+/// Encodes a classic Bloom filter.
+pub fn encode_bloom(filter: &BloomFilter) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_bloom_len(filter));
+    put_header(
+        &mut buf,
+        KIND_BLOOM,
+        filter.hashes(),
+        filter.seed(),
+        filter.bit_len(),
+        filter.inserted(),
+    );
+    put_words(&mut buf, filter.bits());
+    buf.freeze()
+}
+
+/// The exact byte length [`encode_bloom`] will produce.
+pub fn encoded_bloom_len(filter: &BloomFilter) -> usize {
+    32 + filter.bits().byte_len()
+}
+
+/// Decodes a classic Bloom filter.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Decode`] on any malformed input.
+pub fn decode_bloom(mut data: Bytes) -> Result<BloomFilter> {
+    let header = take_header(&mut data)?;
+    if header.kind != KIND_BLOOM {
+        return Err(CoreError::decode("expected a bloom filter"));
+    }
+    let bits = take_bits(&mut data, header.bits)?;
+    FilterParams::new(header.bits, header.hashes)?;
+    let family = HashFamily::new(header.hashes, header.seed);
+    Ok(BloomFilter::from_parts(bits, family, header.inserted))
+}
+
+/// Collects the distinct weights of a filter in ascending order — the wire
+/// dictionary. Distinct weights are few (one per combination pattern), so
+/// per-bit attachments are encoded as `u16` dictionary indices instead of
+/// repeating 16-byte rationals.
+fn weight_dictionary(filter: &WeightedBloomFilter) -> Vec<Weight> {
+    let mut dict = WeightSet::new();
+    for set in filter.weight_table().values() {
+        dict.union_with(set);
+    }
+    dict.iter().collect()
+}
+
+/// The interned representation backing the weighted wire sections: the
+/// weight dictionary, the distinct weight sets (as dictionary-id lists, in
+/// first-seen order over ascending bits) and one set id per set bit.
+struct Interned {
+    dict: Vec<Weight>,
+    sets: Vec<Vec<u16>>,
+    per_bit: Vec<u32>,
+}
+
+fn intern(filter: &WeightedBloomFilter) -> Result<Interned> {
+    let dict = weight_dictionary(filter);
+    if dict.len() > u16::MAX as usize {
+        return Err(CoreError::invalid_params(
+            "more distinct weights than the wire format supports",
+        ));
+    }
+    let mut sets: Vec<Vec<u16>> = Vec::new();
+    let mut index: std::collections::HashMap<Vec<u16>, u32> = std::collections::HashMap::new();
+    let mut per_bit = Vec::with_capacity(filter.weight_table().len());
+    for set in filter.weight_table().values() {
+        if set.len() > u16::MAX as usize {
+            return Err(CoreError::invalid_params(
+                "more weights on one bit than the wire format supports",
+            ));
+        }
+        let ids: Vec<u16> = set
+            .iter()
+            .map(|w| {
+                dict.binary_search(&w)
+                    .expect("dictionary contains every attached weight") as u16
+            })
+            .collect();
+        let id = match index.get(&ids) {
+            Some(&id) => id,
+            None => {
+                let id = sets.len() as u32;
+                index.insert(ids.clone(), id);
+                sets.push(ids);
+                id
+            }
+        };
+        per_bit.push(id);
+    }
+    Ok(Interned {
+        dict,
+        sets,
+        per_bit,
+    })
+}
+
+/// Encodes a weighted Bloom filter.
+///
+/// Per-bit weight sets are interned: the payload carries each distinct set
+/// once plus a 4-byte set id per set bit (emitted in set-bit order — the
+/// decoder already knows which bits are set from the bit array).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParams`] if the filter holds more than
+/// `u16::MAX` distinct weights or any bit carries more than `u16::MAX`
+/// weights (beyond the wire format's index width).
+pub fn encode_wbf(filter: &WeightedBloomFilter) -> Result<Bytes> {
+    let interned = intern(filter)?;
+    let mut buf = BytesMut::with_capacity(encoded_wbf_len(filter));
+    put_header(
+        &mut buf,
+        KIND_WEIGHTED,
+        filter.hashes(),
+        filter.seed(),
+        filter.bit_len(),
+        filter.inserted(),
+    );
+    put_words(&mut buf, filter.bits());
+    buf.put_u32_le(interned.dict.len() as u32);
+    for weight in &interned.dict {
+        buf.put_u64_le(weight.numerator());
+        buf.put_u64_le(weight.denominator());
+    }
+    buf.put_u32_le(interned.sets.len() as u32);
+    for set in &interned.sets {
+        buf.put_u16_le(set.len() as u16);
+        for &id in set {
+            buf.put_u16_le(id);
+        }
+    }
+    for &set_id in &interned.per_bit {
+        buf.put_u32_le(set_id);
+    }
+    Ok(buf.freeze())
+}
+
+/// The exact byte length [`encode_wbf`] will produce (for a filter the
+/// format can represent).
+pub fn encoded_wbf_len(filter: &WeightedBloomFilter) -> usize {
+    let interned = match intern(filter) {
+        Ok(i) => i,
+        Err(_) => return 0,
+    };
+    let set_bytes: usize = interned.sets.iter().map(|s| 2 + 2 * s.len()).sum();
+    32 + filter.bits().byte_len()
+        + 4
+        + interned.dict.len() * 16
+        + 4
+        + set_bytes
+        + interned.per_bit.len() * 4
+}
+
+/// Decodes a weighted Bloom filter.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Decode`] on any malformed input, including weight
+/// indices outside the dictionary.
+pub fn decode_wbf(mut data: Bytes) -> Result<WeightedBloomFilter> {
+    let header = take_header(&mut data)?;
+    if header.kind != KIND_WEIGHTED {
+        return Err(CoreError::decode("expected a weighted bloom filter"));
+    }
+    let bits = take_bits(&mut data, header.bits)?;
+    FilterParams::new(header.bits, header.hashes)?;
+    if data.remaining() < 4 {
+        return Err(CoreError::decode("truncated weight dictionary length"));
+    }
+    let dict_len = data.get_u32_le() as usize;
+    if dict_len > u16::MAX as usize {
+        return Err(CoreError::decode("weight dictionary too large"));
+    }
+    if data.remaining() < dict_len * 16 {
+        return Err(CoreError::decode("truncated weight dictionary"));
+    }
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        let num = data.get_u64_le();
+        let den = data.get_u64_le();
+        let weight =
+            Weight::new(num, den).map_err(|_| CoreError::decode("zero weight denominator"))?;
+        dict.push(weight);
+    }
+    if data.remaining() < 4 {
+        return Err(CoreError::decode("truncated weight set table length"));
+    }
+    let sets_len = data.get_u32_le() as usize;
+    let mut sets: Vec<WeightSet> = Vec::with_capacity(sets_len);
+    for _ in 0..sets_len {
+        if data.remaining() < 2 {
+            return Err(CoreError::decode("truncated weight set header"));
+        }
+        let len = data.get_u16_le() as usize;
+        if len == 0 {
+            return Err(CoreError::decode("empty weight set entry"));
+        }
+        if data.remaining() < len * 2 {
+            return Err(CoreError::decode("truncated weight set indices"));
+        }
+        let mut set = WeightSet::new();
+        for _ in 0..len {
+            let idx = data.get_u16_le() as usize;
+            let weight = dict
+                .get(idx)
+                .copied()
+                .ok_or_else(|| CoreError::decode("weight index outside dictionary"))?;
+            set.insert(weight);
+        }
+        sets.push(set);
+    }
+    let mut table = BTreeMap::new();
+    for bit in bits.iter_ones() {
+        if data.remaining() < 4 {
+            return Err(CoreError::decode("truncated per-bit set id"));
+        }
+        let set_id = data.get_u32_le() as usize;
+        let set = sets
+            .get(set_id)
+            .cloned()
+            .ok_or_else(|| CoreError::decode("set id outside set table"))?;
+        table.insert(bit as u32, set);
+    }
+    let family = HashFamily::new(header.hashes, header.seed);
+    WeightedBloomFilter::from_parts(bits, table, family, header.inserted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_wbf() -> WeightedBloomFilter {
+        let params = FilterParams::new(4096, 3).unwrap();
+        let mut wbf = WeightedBloomFilter::new(params, 77);
+        for (i, v) in [10u64, 20, 30, 40, 50].iter().enumerate() {
+            wbf.insert(*v, Weight::new(i as u64 + 1, 10).unwrap());
+        }
+        wbf
+    }
+
+    #[test]
+    fn bloom_roundtrip() {
+        let params = FilterParams::new(2048, 5).unwrap();
+        let mut bf = BloomFilter::new(params, 13);
+        for v in 0..100u64 {
+            bf.insert(v * 3);
+        }
+        let encoded = encode_bloom(&bf);
+        assert_eq!(encoded.len(), encoded_bloom_len(&bf));
+        let decoded = decode_bloom(encoded).unwrap();
+        assert_eq!(decoded, bf);
+    }
+
+    #[test]
+    fn wbf_roundtrip() {
+        let wbf = sample_wbf();
+        let encoded = encode_wbf(&wbf).unwrap();
+        assert_eq!(encoded.len(), encoded_wbf_len(&wbf));
+        let decoded = decode_wbf(encoded).unwrap();
+        assert_eq!(decoded, wbf);
+    }
+
+    #[test]
+    fn decoded_wbf_answers_queries_identically() {
+        let wbf = sample_wbf();
+        let decoded = decode_wbf(encode_wbf(&wbf).unwrap()).unwrap();
+        for v in [10u64, 20, 30, 999] {
+            assert_eq!(wbf.query(v), decoded.query(v));
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let wbf = sample_wbf();
+        assert!(decode_bloom(encode_wbf(&wbf).unwrap()).is_err());
+        let bf = BloomFilter::new(FilterParams::new(64, 1).unwrap(), 0);
+        assert!(decode_wbf(encode_bloom(&bf)).is_err());
+    }
+
+    #[test]
+    fn truncation_anywhere_is_rejected() {
+        let encoded = encode_wbf(&sample_wbf()).unwrap();
+        for cut in [0, 3, 5, 20, 31, encoded.len() - 1] {
+            let slice = encoded.slice(0..cut);
+            assert!(decode_wbf(slice).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut raw = encode_wbf(&sample_wbf()).unwrap().to_vec();
+        raw[0] ^= 0xff;
+        assert!(decode_wbf(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut raw = encode_wbf(&sample_wbf()).unwrap().to_vec();
+        raw[4] = 99;
+        assert!(decode_wbf(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn wbf_is_larger_than_bloom_of_same_geometry() {
+        // Fig. 4d: the weight table is the storage premium WBF pays.
+        let wbf = sample_wbf();
+        let params = FilterParams::new(4096, 3).unwrap();
+        let mut bf = BloomFilter::new(params, 77);
+        for v in [10u64, 20, 30, 40, 50] {
+            bf.insert(v);
+        }
+        assert!(encoded_wbf_len(&wbf) > encoded_bloom_len(&bf));
+    }
+
+    #[test]
+    fn empty_filters_roundtrip() {
+        let params = FilterParams::new(64, 2).unwrap();
+        let bf = BloomFilter::new(params, 1);
+        assert_eq!(decode_bloom(encode_bloom(&bf)).unwrap(), bf);
+        let wbf = WeightedBloomFilter::new(params, 1);
+        assert_eq!(decode_wbf(encode_wbf(&wbf).unwrap()).unwrap(), wbf);
+    }
+}

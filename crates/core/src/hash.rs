@@ -1,0 +1,228 @@
+//! Deterministic k-hash family for filter probing.
+//!
+//! The paper hashes each sampled value with `k` independent hash functions.
+//! We implement the standard Kirsch–Mitzenmacher construction: two 64-bit
+//! hashes `h1`, `h2` are derived from the key with a SplitMix64-style finalizer
+//! and the `i`-th probe is `(h1 + i·h2) mod m`, which preserves the
+//! false-positive analysis of truly independent functions. `h2` is forced odd
+//! so consecutive probes never collapse onto a short cycle.
+//!
+//! Everything is seeded and fully deterministic: the data center and every
+//! base station must derive identical probe sequences from the broadcast
+//! filter header.
+
+/// SplitMix64 finalizer: a fast, well-mixed 64→64-bit permutation.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Combines a small tag (e.g. a sample position) with a value into a single
+/// hash key, for the position-tagged probing ablation.
+#[inline]
+pub fn tagged_key(tag: u32, value: u64) -> u64 {
+    // Mix the tag through the finalizer first so tag=0 is not the identity.
+    mix64((tag as u64).wrapping_mul(0xd6e8_feb8_6659_fd93)) ^ value.rotate_left(17)
+}
+
+/// A seeded family of `k` hash functions over `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_core::HashFamily;
+///
+/// let family = HashFamily::new(4, 42);
+/// let probes: Vec<usize> = family.probes(12345, 1024).collect();
+/// assert_eq!(probes.len(), 4);
+/// assert!(probes.iter().all(|&p| p < 1024));
+/// // Deterministic across instances with the same seed.
+/// let again: Vec<usize> = HashFamily::new(4, 42).probes(12345, 1024).collect();
+/// assert_eq!(probes, again);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HashFamily {
+    hashes: u16,
+    seed: u64,
+}
+
+impl HashFamily {
+    /// Creates a family of `hashes` functions derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hashes` is zero.
+    pub fn new(hashes: u16, seed: u64) -> HashFamily {
+        assert!(hashes > 0, "hash family must contain at least one function");
+        HashFamily { hashes, seed }
+    }
+
+    /// The number of hash functions `k`.
+    pub fn hashes(&self) -> u16 {
+        self.hashes
+    }
+
+    /// The seed all functions are derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    #[inline]
+    fn base_hashes(&self, key: u64) -> (u64, u64) {
+        let h1 = mix64(key ^ self.seed);
+        // Independent stream: re-mix with a rotated seed; force odd so the
+        // probe stride is invertible modulo any m.
+        let h2 = mix64(key.wrapping_add(0x9e37_79b9_7f4a_7c15) ^ self.seed.rotate_left(31)) | 1;
+        (h1, h2)
+    }
+
+    /// The `i`-th probe index for `key` in a table of `m` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `i >= k`.
+    #[inline]
+    pub fn probe(&self, key: u64, i: u16, m: usize) -> usize {
+        assert!(m > 0, "table size must be non-zero");
+        assert!(i < self.hashes, "probe index out of range");
+        let (h1, h2) = self.base_hashes(key);
+        (h1.wrapping_add((i as u64).wrapping_mul(h2)) % m as u64) as usize
+    }
+
+    /// Iterates over all `k` probe indices for `key` in a table of `m` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn probes(&self, key: u64, m: usize) -> Probes {
+        assert!(m > 0, "table size must be non-zero");
+        let (h1, h2) = self.base_hashes(key);
+        Probes {
+            h1,
+            h2,
+            m: m as u64,
+            next: 0,
+            total: self.hashes,
+        }
+    }
+}
+
+/// Iterator over probe indices, created by [`HashFamily::probes`].
+#[derive(Debug, Clone)]
+pub struct Probes {
+    h1: u64,
+    h2: u64,
+    m: u64,
+    next: u16,
+    total: u16,
+}
+
+impl Iterator for Probes {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.next >= self.total {
+            return None;
+        }
+        let i = self.next as u64;
+        self.next += 1;
+        Some((self.h1.wrapping_add(i.wrapping_mul(self.h2)) % self.m) as usize)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.total - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Probes {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_not_identity_and_spreads_zero() {
+        assert_ne!(mix64(0), 0);
+        assert_ne!(mix64(1), mix64(2));
+    }
+
+    #[test]
+    fn probes_match_probe() {
+        let family = HashFamily::new(7, 99);
+        let via_iter: Vec<usize> = family.probes(555, 300).collect();
+        let via_index: Vec<usize> = (0..7).map(|i| family.probe(555, i, 300)).collect();
+        assert_eq!(via_iter, via_index);
+    }
+
+    #[test]
+    fn different_seeds_give_different_probes() {
+        let a: Vec<usize> = HashFamily::new(4, 1).probes(77, 1 << 20).collect();
+        let b: Vec<usize> = HashFamily::new(4, 2).probes(77, 1 << 20).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_keys_give_different_probes() {
+        let family = HashFamily::new(4, 7);
+        let a: Vec<usize> = family.probes(1, 1 << 20).collect();
+        let b: Vec<usize> = family.probes(2, 1 << 20).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn probes_are_in_range_for_odd_sizes() {
+        let family = HashFamily::new(16, 3);
+        for key in 0..200u64 {
+            for p in family.probes(key, 101) {
+                assert!(p < 101);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_size_iterator_contract() {
+        let family = HashFamily::new(5, 0);
+        let mut it = family.probes(9, 64);
+        assert_eq!(it.len(), 5);
+        it.next();
+        assert_eq!(it.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_hashes_panics() {
+        HashFamily::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_table_panics() {
+        HashFamily::new(1, 1).probes(0, 0);
+    }
+
+    #[test]
+    fn tagged_key_distinguishes_positions() {
+        assert_ne!(tagged_key(0, 42), tagged_key(1, 42));
+        assert_ne!(tagged_key(0, 42), 42);
+    }
+
+    #[test]
+    fn probe_distribution_is_roughly_uniform() {
+        // With 64k probes over 64 slots each slot should see ~1000; allow wide
+        // tolerance — this guards against gross bias, not statistical purity.
+        let family = HashFamily::new(1, 1234);
+        let mut counts = [0usize; 64];
+        for key in 0..65536u64 {
+            counts[family.probe(key, 0, 64)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700 && c < 1300, "slot count {c} badly skewed");
+        }
+    }
+}

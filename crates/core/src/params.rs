@@ -1,0 +1,185 @@
+//! Filter geometry and false-positive math.
+//!
+//! The classic Bloom analysis (Section II-B of the paper; Bloom 1970): after
+//! inserting `n` keys into `m` bits with `k` hash functions, the probability
+//! that a specific bit is still zero is `p = (1 − 1/m)^{kn} ≈ e^{−kn/m}` and
+//! the false-positive probability is `q = (1 − p)^k`. The optimum is
+//! `k = (m/n)·ln 2`, giving `m = −n·ln q / (ln 2)²`.
+
+use crate::error::{CoreError, Result};
+
+/// Maximum number of bits supported by the wire format (bit indices are
+/// encoded as `u32`).
+pub const MAX_BITS: usize = u32::MAX as usize;
+
+/// Maximum number of hash functions; beyond this there is no practical gain.
+pub const MAX_HASHES: u16 = 64;
+
+/// Geometry of a Bloom or weighted Bloom filter.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_core::FilterParams;
+///
+/// # fn main() -> Result<(), dipm_core::CoreError> {
+/// // Size a filter for 10_000 expected keys at a 1% false-positive target.
+/// let params = FilterParams::optimal(10_000, 0.01)?;
+/// assert!(params.bits() >= 90_000);
+/// assert_eq!(params.hashes(), 7);
+/// assert!(params.false_positive_rate(10_000) <= 0.011);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FilterParams {
+    bits: usize,
+    hashes: u16,
+}
+
+impl FilterParams {
+    /// Creates explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] if `bits` is zero or exceeds
+    /// [`MAX_BITS`], or if `hashes` is zero or exceeds [`MAX_HASHES`].
+    pub fn new(bits: usize, hashes: u16) -> Result<FilterParams> {
+        if bits == 0 {
+            return Err(CoreError::invalid_params("bits must be non-zero"));
+        }
+        if bits > MAX_BITS {
+            return Err(CoreError::invalid_params(
+                "bits exceed the u32 wire-format limit",
+            ));
+        }
+        if hashes == 0 {
+            return Err(CoreError::invalid_params("hash count must be non-zero"));
+        }
+        if hashes > MAX_HASHES {
+            return Err(CoreError::invalid_params("hash count exceeds 64"));
+        }
+        Ok(FilterParams { bits, hashes })
+    }
+
+    /// Derives the smallest geometry meeting `target_fpp` for
+    /// `expected_items` insertions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] if `expected_items` is zero,
+    /// `target_fpp` is outside `(0, 1)`, or the derived size exceeds
+    /// [`MAX_BITS`].
+    pub fn optimal(expected_items: usize, target_fpp: f64) -> Result<FilterParams> {
+        if expected_items == 0 {
+            return Err(CoreError::invalid_params("expected item count must be non-zero"));
+        }
+        if !(target_fpp > 0.0 && target_fpp < 1.0) {
+            return Err(CoreError::invalid_params(
+                "target false-positive probability must lie in (0, 1)",
+            ));
+        }
+        let ln2 = std::f64::consts::LN_2;
+        let bits_f = -(expected_items as f64) * target_fpp.ln() / (ln2 * ln2);
+        let bits = bits_f.ceil() as usize;
+        let bits = bits.max(8);
+        if bits > MAX_BITS {
+            return Err(CoreError::invalid_params(
+                "derived size exceeds the u32 wire-format limit",
+            ));
+        }
+        let k = ((bits as f64 / expected_items as f64) * ln2).round() as i64;
+        let hashes = k.clamp(1, MAX_HASHES as i64) as u16;
+        Ok(FilterParams { bits, hashes })
+    }
+
+    /// The filter length `m` in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The number of hash functions `k`.
+    pub fn hashes(&self) -> u16 {
+        self.hashes
+    }
+
+    /// Theoretical probability that a specific bit is still zero after
+    /// `inserted` keys (`p` in the paper's notation).
+    pub fn zero_bit_probability(&self, inserted: usize) -> f64 {
+        let exponent = -((self.hashes as f64) * inserted as f64) / self.bits as f64;
+        exponent.exp()
+    }
+
+    /// Theoretical false-positive probability after `inserted` keys
+    /// (`q = (1 − p)^k`, the upper bound the paper's Section V validates).
+    pub fn false_positive_rate(&self, inserted: usize) -> f64 {
+        (1.0 - self.zero_bit_probability(inserted)).powi(self.hashes as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_one_percent_is_classic_geometry() {
+        // Textbook: 1% fpp needs ~9.59 bits/key and k = 7.
+        let p = FilterParams::optimal(1000, 0.01).unwrap();
+        assert!((9.0..10.1).contains(&(p.bits() as f64 / 1000.0)));
+        assert_eq!(p.hashes(), 7);
+    }
+
+    #[test]
+    fn optimal_rejects_degenerate_inputs() {
+        assert!(FilterParams::optimal(0, 0.01).is_err());
+        assert!(FilterParams::optimal(10, 0.0).is_err());
+        assert!(FilterParams::optimal(10, 1.0).is_err());
+        assert!(FilterParams::optimal(10, -0.5).is_err());
+        assert!(FilterParams::optimal(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn new_validates_bounds() {
+        assert!(FilterParams::new(0, 1).is_err());
+        assert!(FilterParams::new(8, 0).is_err());
+        assert!(FilterParams::new(8, 65).is_err());
+        assert!(FilterParams::new(8, 64).is_ok());
+    }
+
+    #[test]
+    fn fpp_monotone_in_inserted_count() {
+        let p = FilterParams::new(1 << 14, 5).unwrap();
+        let few = p.false_positive_rate(100);
+        let many = p.false_positive_rate(5000);
+        assert!(few < many);
+        assert!(few >= 0.0 && many <= 1.0);
+    }
+
+    #[test]
+    fn empty_filter_has_zero_fpp() {
+        let p = FilterParams::new(1024, 3).unwrap();
+        assert_eq!(p.false_positive_rate(0), 0.0);
+        assert_eq!(p.zero_bit_probability(0), 1.0);
+    }
+
+    #[test]
+    fn target_fpp_is_met_at_capacity() {
+        for &(n, q) in &[(100usize, 0.05f64), (10_000, 0.01), (50_000, 0.001)] {
+            let p = FilterParams::optimal(n, q).unwrap();
+            // Rounding k can cost a little; allow 15% slack on the target.
+            assert!(
+                p.false_positive_rate(n) <= q * 1.15,
+                "n={n} q={q} got {}",
+                p.false_positive_rate(n)
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_filters_get_floor_size() {
+        let p = FilterParams::optimal(1, 0.5).unwrap();
+        assert!(p.bits() >= 8);
+        assert!(p.hashes() >= 1);
+    }
+}

@@ -1,0 +1,401 @@
+//! The Weighted Bloom Filter — the paper's central data structure.
+//!
+//! A WBF extends a Bloom filter so that "each bit with 1 … has a pointer
+//! pointing to the weight of corresponding hashed values" (Section II-B).
+//! Insertion attaches the inserting pattern's weight to every probed bit;
+//! lookup succeeds only if all probed bits are set *and* their weight sets
+//! share at least one common weight. Sharing a weight across all `b` sampled
+//! points of a candidate pattern is the paper's mechanism for (a) telling
+//! global-pattern matches (weight 1) from local-pattern matches (weight < 1)
+//! and (b) rejecting Bloom false positives whose probed bits were set by
+//! *different* patterns — e.g. `{1,4,5}` probing a filter holding `{1,2,3}`
+//! and `{2,4,5}` hits only set bits but no consistent weight.
+
+use std::collections::BTreeMap;
+
+use crate::bitset::BitSet;
+use crate::error::{CoreError, Result};
+use crate::hash::HashFamily;
+use crate::params::FilterParams;
+use crate::weight::Weight;
+use crate::weight_set::WeightSet;
+
+/// A weighted Bloom filter over `u64` keys.
+///
+/// # Examples
+///
+/// Distinguishing a stitched-together false positive, per Section IV-B:
+///
+/// ```
+/// use dipm_core::{FilterParams, Weight, WeightedBloomFilter};
+///
+/// # fn main() -> Result<(), dipm_core::CoreError> {
+/// let params = FilterParams::new(1 << 12, 4)?;
+/// let mut wbf = WeightedBloomFilter::new(params, 99);
+///
+/// let w1 = Weight::new(1, 3)?;
+/// let w2 = Weight::new(2, 3)?;
+/// for v in [1u64, 2, 3] {
+///     wbf.insert(v, w1);
+/// }
+/// for v in [2u64, 4, 5] {
+///     wbf.insert(v, w2);
+/// }
+///
+/// // {1,4,5} hits only set bits, so a plain Bloom filter accepts it…
+/// assert!([1u64, 4, 5].iter().all(|&v| wbf.contains(v)));
+/// // …but no single weight is shared by all three values, so the WBF
+/// // rejects it: the intersection of the points' weight sets is empty.
+/// let stitched = wbf.query_sequence([1u64, 4, 5]).expect("bits are set");
+/// assert!(stitched.is_empty());
+/// // A genuine pattern still reports its weight.
+/// assert_eq!(wbf.query_sequence([1u64, 2, 3]).map(|ws| ws.max()), Some(Some(w1)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WeightedBloomFilter {
+    bits: BitSet,
+    // Sparse per-bit weight sets; a BTreeMap keeps the wire encoding and
+    // Debug output deterministic.
+    weights: BTreeMap<u32, WeightSet>,
+    family: HashFamily,
+    inserted: u64,
+}
+
+impl WeightedBloomFilter {
+    /// Creates an empty weighted filter with the given geometry and seed.
+    pub fn new(params: FilterParams, seed: u64) -> WeightedBloomFilter {
+        WeightedBloomFilter {
+            bits: BitSet::new(params.bits()),
+            weights: BTreeMap::new(),
+            family: HashFamily::new(params.hashes(), seed),
+            inserted: 0,
+        }
+    }
+
+    pub(crate) fn from_parts(
+        bits: BitSet,
+        weights: BTreeMap<u32, WeightSet>,
+        family: HashFamily,
+        inserted: u64,
+    ) -> Result<WeightedBloomFilter> {
+        for (&idx, set) in &weights {
+            if idx as usize >= bits.len() {
+                return Err(CoreError::decode("weight entry beyond filter length"));
+            }
+            if !bits.get(idx as usize) {
+                return Err(CoreError::decode("weight entry on an unset bit"));
+            }
+            if set.is_empty() {
+                return Err(CoreError::decode("empty weight set entry"));
+            }
+        }
+        Ok(WeightedBloomFilter {
+            bits,
+            weights,
+            family,
+            inserted,
+        })
+    }
+
+    /// Inserts `key` carrying `weight`: sets all `k` probed bits and attaches
+    /// the weight to each.
+    pub fn insert(&mut self, key: u64, weight: Weight) {
+        let m = self.bits.len();
+        for idx in self.family.probes(key, m) {
+            self.bits.set(idx);
+            self.weights
+                .entry(idx as u32)
+                .or_default()
+                .insert(weight);
+        }
+        self.inserted += 1;
+    }
+
+    /// Pure membership test (ignores weights): whether all probed bits are
+    /// set. Matches classic Bloom semantics — no false negatives.
+    pub fn contains(&self, key: u64) -> bool {
+        let m = self.bits.len();
+        self.family.probes(key, m).all(|idx| self.bits.get(idx))
+    }
+
+    /// Queries a single key: `None` if any probed bit is unset, otherwise the
+    /// intersection of the probed bits' weight sets (Algorithm 2, lines 4–9).
+    ///
+    /// An empty returned set means the bits were set but by values of
+    /// inconsistent weights — the candidate is rejected.
+    pub fn query(&self, key: u64) -> Option<WeightSet> {
+        let m = self.bits.len();
+        let mut acc: Option<WeightSet> = None;
+        for idx in self.family.probes(key, m) {
+            if !self.bits.get(idx) {
+                return None;
+            }
+            let set = self
+                .weights
+                .get(&(idx as u32))
+                .expect("set bit always has a weight entry");
+            match &mut acc {
+                None => acc = Some(set.clone()),
+                Some(current) => {
+                    current.intersect_with(set);
+                    if current.is_empty() {
+                        // Keep scanning bits for membership correctness is
+                        // unnecessary: an empty intersection can never grow.
+                        return Some(WeightSet::new());
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// Queries a sequence of keys (the `b` sampled points of one candidate
+    /// pattern) and returns the weights common to *every* point, or `None`
+    /// if any point misses entirely (Algorithm 2, lines 3–15).
+    ///
+    /// The caller accepts the candidate iff the result is `Some` of a
+    /// non-empty set; [`WeightSet::max`] is then the reported weight.
+    pub fn query_sequence<I>(&self, keys: I) -> Option<WeightSet>
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let mut acc: Option<WeightSet> = None;
+        let mut saw_any = false;
+        for key in keys {
+            saw_any = true;
+            let point = self.query(key)?;
+            if point.is_empty() {
+                return Some(WeightSet::new());
+            }
+            match &mut acc {
+                None => acc = Some(point),
+                Some(current) => {
+                    current.intersect_with(&point);
+                    if current.is_empty() {
+                        return Some(WeightSet::new());
+                    }
+                }
+            }
+        }
+        if saw_any {
+            acc
+        } else {
+            None
+        }
+    }
+
+    /// The number of insert operations performed.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// The filter length in bits.
+    pub fn bit_len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The number of hash functions.
+    pub fn hashes(&self) -> u16 {
+        self.family.hashes()
+    }
+
+    /// The hash seed shared between data center and base stations.
+    pub fn seed(&self) -> u64 {
+        self.family.seed()
+    }
+
+    /// The fraction of set bits.
+    pub fn fill_ratio(&self) -> f64 {
+        self.bits.fill_ratio()
+    }
+
+    /// The total number of stored `(bit, weight)` attachments — the extra
+    /// storage a WBF pays over a plain Bloom filter (Fig. 4d).
+    pub fn weight_entries(&self) -> usize {
+        self.weights.values().map(WeightSet::len).sum()
+    }
+
+    /// The number of distinct weights across all bits.
+    pub fn distinct_weights(&self) -> usize {
+        let mut all = WeightSet::new();
+        for set in self.weights.values() {
+            all.union_with(set);
+        }
+        all.len()
+    }
+
+    /// Theoretical false-positive probability of the *membership* layer at
+    /// the current fill; weight consistency only lowers the real rate.
+    pub fn estimated_membership_fpp(&self) -> f64 {
+        self.bits.fill_ratio().powi(self.family.hashes() as i32)
+    }
+
+    /// Merges another WBF built with identical geometry and seed, unioning
+    /// bits and per-bit weight sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IncompatibleFilters`] if geometry or seed differ.
+    pub fn union_with(&mut self, other: &WeightedBloomFilter) -> Result<()> {
+        if self.family != other.family {
+            return Err(CoreError::IncompatibleFilters);
+        }
+        self.bits.union_with(&other.bits)?;
+        for (&idx, set) in &other.weights {
+            self.weights.entry(idx).or_default().union_with(set);
+        }
+        self.inserted += other.inserted;
+        Ok(())
+    }
+
+    /// Borrows the underlying bit set.
+    pub fn bits(&self) -> &BitSet {
+        &self.bits
+    }
+
+    pub(crate) fn weight_table(&self) -> &BTreeMap<u32, WeightSet> {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> FilterParams {
+        FilterParams::new(1 << 12, 4).unwrap()
+    }
+
+    fn w(n: u64, d: u64) -> Weight {
+        Weight::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn insert_then_query_returns_weight() {
+        let mut wbf = WeightedBloomFilter::new(params(), 1);
+        wbf.insert(42, w(1, 3));
+        let set = wbf.query(42).unwrap();
+        assert!(set.contains(w(1, 3)));
+    }
+
+    #[test]
+    fn query_missing_key_is_none() {
+        let wbf = WeightedBloomFilter::new(params(), 1);
+        assert!(wbf.query(42).is_none());
+        assert!(wbf.query_sequence([1u64, 2]).is_none());
+    }
+
+    #[test]
+    fn query_sequence_of_nothing_is_none() {
+        let mut wbf = WeightedBloomFilter::new(params(), 1);
+        wbf.insert(1, Weight::ONE);
+        assert!(wbf.query_sequence(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn same_key_two_weights_keeps_both() {
+        let mut wbf = WeightedBloomFilter::new(params(), 1);
+        wbf.insert(7, w(1, 3));
+        wbf.insert(7, w(2, 3));
+        let set = wbf.query(7).unwrap();
+        assert!(set.contains(w(1, 3)) && set.contains(w(2, 3)));
+    }
+
+    #[test]
+    fn paper_section_iv_false_positive_rejection() {
+        // Patterns {1,2,3} (weight a) and {2,4,5} (weight b) are inserted;
+        // the stitched pattern {1,4,5} must be rejected by weight
+        // inconsistency even though its bits are all set.
+        let mut wbf = WeightedBloomFilter::new(params(), 5);
+        for v in [1u64, 2, 3] {
+            wbf.insert(v, w(1, 2));
+        }
+        for v in [2u64, 4, 5] {
+            wbf.insert(v, w(1, 4));
+        }
+        let res = wbf.query_sequence([1u64, 4, 5]);
+        assert_eq!(res, Some(WeightSet::new()));
+        // Both originals still match with their own weight.
+        assert_eq!(wbf.query_sequence([1u64, 2, 3]).unwrap().max(), Some(w(1, 2)));
+        assert_eq!(wbf.query_sequence([2u64, 4, 5]).unwrap().max(), Some(w(1, 4)));
+    }
+
+    #[test]
+    fn no_false_negatives_for_inserted_sequences() {
+        let mut wbf = WeightedBloomFilter::new(params(), 9);
+        let seqs: Vec<Vec<u64>> = (0..50)
+            .map(|i| (0..8).map(|j| (i * 1009 + j * 97) as u64).collect())
+            .collect();
+        for (i, seq) in seqs.iter().enumerate() {
+            let weight = w(i as u64 + 1, 100);
+            for &v in seq {
+                wbf.insert(v, weight);
+            }
+        }
+        for (i, seq) in seqs.iter().enumerate() {
+            let weight = w(i as u64 + 1, 100);
+            let res = wbf.query_sequence(seq.iter().copied()).unwrap();
+            assert!(res.contains(weight), "sequence {i} lost its weight");
+        }
+    }
+
+    #[test]
+    fn weight_entries_counts_attachments() {
+        let mut wbf = WeightedBloomFilter::new(params(), 1);
+        assert_eq!(wbf.weight_entries(), 0);
+        wbf.insert(1, Weight::ONE);
+        // k = 4 probes, possibly fewer distinct bits on collision.
+        assert!(wbf.weight_entries() >= 1 && wbf.weight_entries() <= 4);
+    }
+
+    #[test]
+    fn distinct_weights_across_bits() {
+        let mut wbf = WeightedBloomFilter::new(params(), 1);
+        wbf.insert(1, w(1, 3));
+        wbf.insert(2, w(2, 3));
+        wbf.insert(3, w(1, 3));
+        assert_eq!(wbf.distinct_weights(), 2);
+    }
+
+    #[test]
+    fn union_merges_weights() {
+        let mut a = WeightedBloomFilter::new(params(), 1);
+        let mut b = WeightedBloomFilter::new(params(), 1);
+        a.insert(1, w(1, 2));
+        b.insert(1, w(1, 4));
+        b.insert(9, Weight::ONE);
+        a.union_with(&b).unwrap();
+        let set = a.query(1).unwrap();
+        assert!(set.contains(w(1, 2)) && set.contains(w(1, 4)));
+        assert!(a.query(9).unwrap().contains(Weight::ONE));
+    }
+
+    #[test]
+    fn union_rejects_mismatched_seed() {
+        let mut a = WeightedBloomFilter::new(params(), 1);
+        let b = WeightedBloomFilter::new(params(), 2);
+        assert_eq!(a.union_with(&b), Err(CoreError::IncompatibleFilters));
+    }
+
+    #[test]
+    fn contains_matches_bloom_semantics() {
+        let mut wbf = WeightedBloomFilter::new(params(), 1);
+        wbf.insert(10, Weight::ONE);
+        assert!(wbf.contains(10));
+        assert!(!wbf.contains(11) || wbf.query(11).is_some());
+    }
+
+    #[test]
+    fn from_parts_validates_consistency() {
+        let wbf = WeightedBloomFilter::new(params(), 1);
+        let bits = wbf.bits().clone();
+        let mut weights = BTreeMap::new();
+        weights.insert(3u32, WeightSet::singleton(Weight::ONE));
+        // Bit 3 is not set → invalid.
+        let family = HashFamily::new(4, 1);
+        assert!(WeightedBloomFilter::from_parts(bits, weights, family, 0).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Small ordered sets of weights attached to filter bits.
+//!
+//! Every set bit of a [`WeightedBloomFilter`](crate::WeightedBloomFilter)
+//! carries the weights of the values that set it (the paper's "pointer to a
+//! queue of weights"). Matching intersects these sets across all probed bits;
+//! a candidate survives only if a single common weight remains.
+
+use std::fmt;
+
+use crate::weight::Weight;
+
+/// An ordered, duplicate-free set of [`Weight`]s.
+///
+/// Backed by a sorted `Vec`: the sets are tiny in practice (one entry per
+/// distinct pattern weight that touched a bit), so a flat vector beats tree
+/// or hash structures on both memory and intersection speed.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_core::{Weight, WeightSet};
+///
+/// # fn main() -> Result<(), dipm_core::CoreError> {
+/// let mut a = WeightSet::new();
+/// a.insert(Weight::new(1, 3)?);
+/// a.insert(Weight::ONE);
+///
+/// let mut b = WeightSet::new();
+/// b.insert(Weight::new(1, 3)?);
+///
+/// let common = a.intersection(&b);
+/// assert_eq!(common.len(), 1);
+/// assert_eq!(common.max(), Some(Weight::new(1, 3)?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WeightSet {
+    sorted: Vec<Weight>,
+}
+
+impl WeightSet {
+    /// Creates an empty set.
+    pub fn new() -> WeightSet {
+        WeightSet { sorted: Vec::new() }
+    }
+
+    /// Creates a set holding a single weight.
+    pub fn singleton(weight: Weight) -> WeightSet {
+        WeightSet {
+            sorted: vec![weight],
+        }
+    }
+
+    /// The number of distinct weights in the set.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the set holds no weights.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Inserts `weight`, returning `true` if it was not already present.
+    pub fn insert(&mut self, weight: Weight) -> bool {
+        match self.sorted.binary_search(&weight) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.sorted.insert(pos, weight);
+                true
+            }
+        }
+    }
+
+    /// Whether `weight` is present.
+    pub fn contains(&self, weight: Weight) -> bool {
+        self.sorted.binary_search(&weight).is_ok()
+    }
+
+    /// The largest weight, i.e. the most-complete pattern match, if any.
+    pub fn max(&self) -> Option<Weight> {
+        self.sorted.last().copied()
+    }
+
+    /// The smallest weight, if any. Base stations report this one when the
+    /// intersection is ambiguous: tolerance bands of nested combinations
+    /// overlap, and under-reporting only lowers a true candidate's rank,
+    /// whereas over-reporting inflates its weight sum past 1 and gets it
+    /// wrongly deleted by Algorithm 3.
+    pub fn min(&self) -> Option<Weight> {
+        self.sorted.first().copied()
+    }
+
+    /// The weights common to `self` and `other`, as a new set.
+    pub fn intersection(&self, other: &WeightSet) -> WeightSet {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.sorted.len() && j < other.sorted.len() {
+            match self.sorted[i].cmp(&other.sorted[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.sorted[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        WeightSet { sorted: out }
+    }
+
+    /// Retains only weights also present in `other` (in-place intersection).
+    pub fn intersect_with(&mut self, other: &WeightSet) {
+        *self = self.intersection(other);
+    }
+
+    /// Adds every weight of `other` into `self`.
+    pub fn union_with(&mut self, other: &WeightSet) {
+        for &w in &other.sorted {
+            self.insert(w);
+        }
+    }
+
+    /// Iterates over the weights in ascending order.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Weight>> {
+        self.sorted.iter().copied()
+    }
+
+    /// Borrows the sorted backing slice.
+    pub fn as_slice(&self) -> &[Weight] {
+        &self.sorted
+    }
+}
+
+impl FromIterator<Weight> for WeightSet {
+    fn from_iter<I: IntoIterator<Item = Weight>>(iter: I) -> WeightSet {
+        let mut set = WeightSet::new();
+        for w in iter {
+            set.insert(w);
+        }
+        set
+    }
+}
+
+impl Extend<Weight> for WeightSet {
+    fn extend<I: IntoIterator<Item = Weight>>(&mut self, iter: I) {
+        for w in iter {
+            self.insert(w);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a WeightSet {
+    type Item = Weight;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Weight>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl fmt::Display for WeightSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, w) in self.sorted.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{w}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(n: u64, d: u64) -> Weight {
+        Weight::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn insert_keeps_sorted_and_deduplicates() {
+        let mut set = WeightSet::new();
+        assert!(set.insert(w(2, 3)));
+        assert!(set.insert(w(1, 3)));
+        assert!(!set.insert(w(2, 6))); // equals 1/3 after reduction
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.as_slice(), &[w(1, 3), w(2, 3)]);
+    }
+
+    #[test]
+    fn contains_and_max() {
+        let set: WeightSet = [w(1, 4), w(3, 4), w(1, 2)].into_iter().collect();
+        assert!(set.contains(w(2, 4)));
+        assert!(!set.contains(Weight::ONE));
+        assert_eq!(set.max(), Some(w(3, 4)));
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let set = WeightSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.max(), None);
+        assert_eq!(set.intersection(&WeightSet::singleton(Weight::ONE)).len(), 0);
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_correct() {
+        let a: WeightSet = [w(1, 4), w(1, 2), Weight::ONE].into_iter().collect();
+        let b: WeightSet = [w(1, 2), Weight::ONE, w(3, 4)].into_iter().collect();
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.as_slice(), &[w(1, 2), Weight::ONE]);
+    }
+
+    #[test]
+    fn intersect_with_mutates_in_place() {
+        let mut a: WeightSet = [w(1, 4), w(1, 2)].into_iter().collect();
+        let b = WeightSet::singleton(w(1, 2));
+        a.intersect_with(&b);
+        assert_eq!(a.as_slice(), &[w(1, 2)]);
+    }
+
+    #[test]
+    fn union_with_merges() {
+        let mut a = WeightSet::singleton(w(1, 4));
+        let b: WeightSet = [w(1, 4), w(1, 2)].into_iter().collect();
+        a.union_with(&b);
+        assert_eq!(a.as_slice(), &[w(1, 4), w(1, 2)]);
+    }
+
+    #[test]
+    fn display_lists_weights() {
+        let set: WeightSet = [w(1, 2), Weight::ONE].into_iter().collect();
+        assert_eq!(set.to_string(), "{1/2, 1}");
+    }
+
+    #[test]
+    fn extend_and_ref_into_iter() {
+        let mut set = WeightSet::new();
+        set.extend([w(1, 3), w(2, 3)]);
+        let collected: Vec<Weight> = (&set).into_iter().collect();
+        assert_eq!(collected, vec![w(1, 3), w(2, 3)]);
+    }
+}

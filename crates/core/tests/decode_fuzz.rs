@@ -1,0 +1,75 @@
+//! Robustness: decoders must never panic on malformed input — every mutated
+//! or truncated buffer either fails cleanly or yields a structurally valid
+//! filter.
+
+use bytes::Bytes;
+use dipm_core::{encode, BloomFilter, FilterParams, Weight, WeightedBloomFilter};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn sample_wbf() -> WeightedBloomFilter {
+    let params = FilterParams::new(2048, 3).expect("valid");
+    let mut wbf = WeightedBloomFilter::new(params, 11);
+    for i in 0..40u64 {
+        wbf.insert(i * 131, Weight::new(i % 9 + 1, 10).expect("valid"));
+    }
+    wbf
+}
+
+fn sample_bloom() -> BloomFilter {
+    let params = FilterParams::new(2048, 3).expect("valid");
+    let mut bf = BloomFilter::new(params, 11);
+    for i in 0..40u64 {
+        bf.insert(i * 131);
+    }
+    bf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mutated_wbf_payload_never_panics(
+        flips in vec((any::<prop::sample::Index>(), any::<u8>()), 1..8)
+    ) {
+        let mut raw = encode::encode_wbf(&sample_wbf()).expect("encodable").to_vec();
+        for (index, value) in flips {
+            let i = index.index(raw.len());
+            raw[i] ^= value;
+        }
+        // Must not panic; any Ok result is a structurally valid filter that
+        // can answer queries.
+        if let Ok(filter) = encode::decode_wbf(Bytes::from(raw)) {
+            let _ = filter.query(12345);
+        }
+    }
+
+    #[test]
+    fn truncated_wbf_payload_never_panics(cut in any::<prop::sample::Index>()) {
+        let raw = encode::encode_wbf(&sample_wbf()).expect("encodable");
+        let cut = cut.index(raw.len());
+        prop_assume!(cut < raw.len());
+        prop_assert!(encode::decode_wbf(raw.slice(0..cut)).is_err());
+    }
+
+    #[test]
+    fn mutated_bloom_payload_never_panics(
+        flips in vec((any::<prop::sample::Index>(), any::<u8>()), 1..8)
+    ) {
+        let mut raw = encode::encode_bloom(&sample_bloom()).to_vec();
+        for (index, value) in flips {
+            let i = index.index(raw.len());
+            raw[i] ^= value;
+        }
+        if let Ok(filter) = encode::decode_bloom(Bytes::from(raw)) {
+            let _ = filter.contains(12345);
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_decode_to_panic(raw in vec(any::<u8>(), 0..300)) {
+        let bytes = Bytes::from(raw);
+        let _ = encode::decode_wbf(bytes.clone());
+        let _ = encode::decode_bloom(bytes);
+    }
+}

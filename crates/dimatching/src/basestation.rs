@@ -1,0 +1,253 @@
+//! Base-station-side matching (Algorithm 2).
+//!
+//! Each station receives the broadcast filter and probes every locally
+//! stored pattern: accumulate, sample the same `b` points the data center
+//! sampled, hash each point, and accept only when all probed bits are set
+//! *and* one weight is common to every point. Only `(ID, weight)` pairs
+//! travel back to the center.
+
+use std::collections::BTreeMap;
+
+use dipm_core::{BloomFilter, Weight, WeightedBloomFilter};
+use dipm_distsim::CostMeter;
+use dipm_mobilenet::UserId;
+use dipm_timeseries::{AccumulatedPattern, Pattern, SampledPattern};
+
+use crate::config::DiMatchingConfig;
+use crate::error::Result;
+
+/// One station's candidate report: a user and the weight their pattern
+/// matched with.
+pub type WeightReport = (UserId, Weight);
+
+fn sample_keys(
+    pattern: &Pattern,
+    config: &DiMatchingConfig,
+) -> Result<(Vec<u64>, u64)> {
+    let acc = AccumulatedPattern::from_pattern(pattern)?;
+    let sampled = SampledPattern::from_accumulated(&acc, config.samples)?;
+    let keys = sampled
+        .points()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| config.hash_scheme.key(i, p.value))
+        .collect();
+    Ok((keys, sampled.max_value()))
+}
+
+/// Picks the weight to report when several survive the intersection.
+///
+/// Tolerance bands of nested combinations overlap, so ambiguity is common.
+/// The station knows its candidate's total volume and each query's global
+/// volume (broadcast with the filter), so it can reconstruct every surviving
+/// weight's *implied combination volume* `w·T_query`. A weight is
+/// **plausible** if that implied volume lies within `slack = ε·len` of the
+/// observed volume — exactly the drift a genuinely ε-similar pattern can
+/// exhibit, so a true candidate's own weight is always plausible. Among
+/// plausible weights the smallest is reported: under-reporting only lowers a
+/// true candidate's rank, whereas over-reporting inflates its sum past 1 and
+/// gets it wrongly deleted by Algorithm 3. With no plausible weight the
+/// candidate is dropped. Without broadcast volumes every weight is treated
+/// as plausible (pure-filter fallback).
+fn select_weight(
+    set: &dipm_core::WeightSet,
+    query_totals: &[u64],
+    local_total: u64,
+    slack: u64,
+) -> Option<Weight> {
+    let plausible = |w: Weight| -> bool {
+        if query_totals.is_empty() {
+            return true;
+        }
+        query_totals.iter().any(|&t| {
+            let implied = w.numerator() as u128 * t as u128;
+            let observed = local_total as u128 * w.denominator() as u128;
+            implied.abs_diff(observed) <= slack as u128 * w.denominator() as u128
+        })
+    };
+    // Sorted ascending: the first plausible weight is the smallest one.
+    set.iter().find(|&w| !w.is_zero() && plausible(w))
+}
+
+/// Algorithm 2 over one station's stored patterns: returns `(user, weight)`
+/// for every pattern the filter accepts with a consistent weight.
+///
+/// `meter`, when given, records the hash and comparison work performed.
+///
+/// # Errors
+///
+/// Propagates pattern-transformation errors (overflow, zero samples).
+pub fn scan_station(
+    filter: &WeightedBloomFilter,
+    query_totals: &[u64],
+    patterns: &BTreeMap<UserId, Pattern>,
+    config: &DiMatchingConfig,
+    meter: Option<&CostMeter>,
+) -> Result<Vec<WeightReport>> {
+    let mut reports = Vec::new();
+    for (&user, pattern) in patterns {
+        let (keys, local_total) = sample_keys(pattern, config)?;
+        let slack = config.eps.saturating_mul(pattern.len() as u64);
+        if let Some(m) = meter {
+            m.record_hash_ops(keys.len() as u64 * filter.hashes() as u64);
+        }
+        if let Some(set) = filter.query_sequence(keys.iter().copied()) {
+            if let Some(m) = meter {
+                m.record_comparisons(set.len() as u64 + 1);
+            }
+            if let Some(weight) = select_weight(&set, query_totals, local_total, slack) {
+                reports.push((user, weight));
+            }
+        }
+    }
+    Ok(reports)
+}
+
+/// The Bloom-baseline analogue of [`scan_station`]: membership only, no
+/// weights — every user whose sampled points are all contained is reported.
+///
+/// # Errors
+///
+/// Propagates pattern-transformation errors.
+pub fn scan_station_bloom(
+    filter: &BloomFilter,
+    patterns: &BTreeMap<UserId, Pattern>,
+    config: &DiMatchingConfig,
+    meter: Option<&CostMeter>,
+) -> Result<Vec<UserId>> {
+    let mut reports = Vec::new();
+    for (&user, pattern) in patterns {
+        let (keys, _) = sample_keys(pattern, config)?;
+        if let Some(m) = meter {
+            m.record_hash_ops(keys.len() as u64 * filter.hashes() as u64);
+        }
+        if keys.iter().all(|&k| filter.contains(k)) {
+            reports.push(user);
+        }
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datacenter::build_wbf;
+    use crate::query::PatternQuery;
+    use dipm_core::FilterParams;
+
+    fn station(patterns: Vec<(u64, Pattern)>) -> BTreeMap<UserId, Pattern> {
+        patterns
+            .into_iter()
+            .map(|(id, p)| (UserId(id), p))
+            .collect()
+    }
+
+    // Fragments chosen so no combination's tolerance band contains another
+    // combination's samples at every position: weights are unambiguous.
+    fn demo_query() -> PatternQuery {
+        PatternQuery::from_locals(vec![
+            Pattern::from([10u64, 0, 0, 5, 0, 0, 8, 0]),
+            Pattern::from([0u64, 20, 0, 0, 15, 0, 0, 10]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn station_finds_global_match_with_weight_one() {
+        let query = demo_query();
+        let config = DiMatchingConfig::default();
+        let built = build_wbf(&[query.clone()], &config).unwrap();
+        let patterns = station(vec![(42, query.global().clone())]);
+        let reports = scan_station(&built.filter, &built.query_totals, &patterns, &config, None).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].0, UserId(42));
+        assert!(reports[0].1.is_one());
+    }
+
+    #[test]
+    fn station_finds_local_match_with_fractional_weight() {
+        let query = demo_query();
+        let config = DiMatchingConfig::default();
+        let built = build_wbf(&[query.clone()], &config).unwrap();
+        let local = query.locals()[0].clone();
+        let expect = Weight::ratio(
+            local.total().unwrap(),
+            query.global().total().unwrap(),
+        )
+        .unwrap();
+        let patterns = station(vec![(7, local)]);
+        let reports = scan_station(&built.filter, &built.query_totals, &patterns, &config, None).unwrap();
+        assert_eq!(reports, vec![(UserId(7), expect)]);
+    }
+
+    #[test]
+    fn station_accepts_eps_similar_pattern() {
+        let query = demo_query();
+        let config = DiMatchingConfig::default(); // eps = 2
+        let built = build_wbf(&[query.clone()], &config).unwrap();
+        // Perturb the global by +1/-1 per interval: still within ε.
+        let perturbed: Pattern = query
+            .global()
+            .iter()
+            .enumerate()
+            .map(|(i, v)| if i % 2 == 0 { v + 1 } else { v.saturating_sub(1) })
+            .collect();
+        let patterns = station(vec![(1, perturbed)]);
+        let reports = scan_station(&built.filter, &built.query_totals, &patterns, &config, None).unwrap();
+        assert_eq!(reports.len(), 1, "ε-similar pattern must match");
+    }
+
+    #[test]
+    fn station_rejects_distant_pattern() {
+        let query = demo_query();
+        let config = DiMatchingConfig::default();
+        let built = build_wbf(&[query.clone()], &config).unwrap();
+        let far: Pattern = query.global().iter().map(|v| v + 50).collect();
+        let patterns = station(vec![(1, far)]);
+        let reports = scan_station(&built.filter, &built.query_totals, &patterns, &config, None).unwrap();
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn meter_records_station_work() {
+        let query = demo_query();
+        let config = DiMatchingConfig::default();
+        let built = build_wbf(&[query.clone()], &config).unwrap();
+        let meter = CostMeter::new();
+        let patterns = station(vec![(1, query.global().clone())]);
+        scan_station(&built.filter, &built.query_totals, &patterns, &config, Some(&meter)).unwrap();
+        let report = meter.report();
+        assert!(report.hash_ops > 0);
+        assert!(report.comparisons > 0);
+    }
+
+    #[test]
+    fn bloom_scan_reports_ids_only() {
+        let query = demo_query();
+        let config = DiMatchingConfig::default();
+        // Build a plain BF over the same keys the WBF would hold.
+        let built = build_wbf(&[query.clone()], &config).unwrap();
+        let mut bf = BloomFilter::new(
+            FilterParams::new(built.filter.bit_len(), built.filter.hashes()).unwrap(),
+            config.seed,
+        );
+        // Re-insert the global's exact sampled keys.
+        let (keys, _) = sample_keys(query.global(), &config).unwrap();
+        for k in keys {
+            bf.insert(k);
+        }
+        let patterns = station(vec![(5, query.global().clone())]);
+        let ids = scan_station_bloom(&bf, &patterns, &config, None).unwrap();
+        assert_eq!(ids, vec![UserId(5)]);
+    }
+
+    #[test]
+    fn empty_station_produces_no_reports() {
+        let query = demo_query();
+        let config = DiMatchingConfig::default();
+        let built = build_wbf(&[query], &config).unwrap();
+        let reports =
+            scan_station(&built.filter, &built.query_totals, &BTreeMap::new(), &config, None).unwrap();
+        assert!(reports.is_empty());
+    }
+}

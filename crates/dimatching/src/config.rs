@@ -1,0 +1,150 @@
+//! Protocol configuration.
+
+use dipm_core::tagged_key;
+use dipm_timeseries::ToleranceMode;
+
+use crate::error::{ProtocolError, Result};
+
+/// What the hash functions see for each sampled point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum HashScheme {
+    /// Hash the accumulated value alone — the paper's design: the
+    /// accumulation transform already encodes time order (default).
+    #[default]
+    ValueOnly,
+    /// Hash `(sample position, accumulated value)` pairs — an ablation that
+    /// strictly reduces cross-position false positives, quantifying how much
+    /// of the ordering information accumulation alone recovers.
+    PositionTagged,
+}
+
+impl HashScheme {
+    /// The probe key for a sampled point.
+    #[inline]
+    pub fn key(self, sample_index: usize, value: u64) -> u64 {
+        match self {
+            HashScheme::ValueOnly => value,
+            HashScheme::PositionTagged => tagged_key(sample_index as u32, value),
+        }
+    }
+}
+
+/// Configuration of one DI-matching run.
+///
+/// A passive parameter block: fields are public and a [`Default`] matching
+/// the paper's settings is provided (`b = 12` samples per Section V-B,
+/// `ε = 2`, 1 % target false-positive rate). Call
+/// [`DiMatchingConfig::validate`] before use; the pipeline does so on entry.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_protocol::DiMatchingConfig;
+///
+/// let mut config = DiMatchingConfig::default();
+/// config.eps = 3;
+/// assert!(config.validate().is_ok());
+/// assert_eq!(config.samples, 12); // the paper's converged b
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DiMatchingConfig {
+    /// Number of sampled points per pattern (`b`); the paper converges at 12.
+    pub samples: usize,
+    /// Per-interval similarity tolerance (`ε` of Eq. 2).
+    pub eps: u64,
+    /// Target false-positive probability used to size the filter.
+    pub target_fpp: f64,
+    /// Lower bound on the filter size in bits (keeps tiny queries sane).
+    pub min_bits: usize,
+    /// What the hash functions see per sampled point.
+    pub hash_scheme: HashScheme,
+    /// How ε expands into bands over accumulated samples.
+    pub tolerance: ToleranceMode,
+    /// Seed for the filter's hash family; broadcast in the filter header.
+    pub seed: u64,
+}
+
+impl Default for DiMatchingConfig {
+    fn default() -> Self {
+        DiMatchingConfig {
+            samples: 12,
+            eps: 2,
+            target_fpp: 0.01,
+            min_bits: 1 << 10,
+            hash_scheme: HashScheme::ValueOnly,
+            tolerance: ToleranceMode::Accumulated,
+            seed: 0xD1_4A7C,
+        }
+    }
+}
+
+impl DiMatchingConfig {
+    /// Checks the configuration for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if `samples` is zero,
+    /// `target_fpp` is outside `(0, 1)` or `min_bits` is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.samples == 0 {
+            return Err(ProtocolError::invalid_config("samples must be non-zero"));
+        }
+        if !(self.target_fpp > 0.0 && self.target_fpp < 1.0) {
+            return Err(ProtocolError::invalid_config(
+                "target false-positive probability must lie in (0, 1)",
+            ));
+        }
+        if self.min_bits == 0 {
+            return Err(ProtocolError::invalid_config("min_bits must be non-zero"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = DiMatchingConfig::default();
+        assert_eq!(c.samples, 12);
+        assert_eq!(c.hash_scheme, HashScheme::ValueOnly);
+        assert_eq!(c.tolerance, ToleranceMode::Accumulated);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut c = DiMatchingConfig::default();
+        c.samples = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = DiMatchingConfig::default();
+        c.target_fpp = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = DiMatchingConfig::default();
+        c.target_fpp = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = DiMatchingConfig::default();
+        c.min_bits = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn value_only_keys_ignore_position() {
+        assert_eq!(HashScheme::ValueOnly.key(0, 42), HashScheme::ValueOnly.key(5, 42));
+    }
+
+    #[test]
+    fn position_tagged_keys_distinguish_position() {
+        assert_ne!(
+            HashScheme::PositionTagged.key(0, 42),
+            HashScheme::PositionTagged.key(1, 42)
+        );
+    }
+}

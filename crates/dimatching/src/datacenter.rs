@@ -1,0 +1,444 @@
+//! Data-center-side algorithms: WBF construction (Algorithm 1) and
+//! similarity ranking (Algorithm 3).
+
+use std::collections::BTreeMap;
+
+use dipm_core::{FilterParams, Weight, WeightedBloomFilter};
+use dipm_mobilenet::UserId;
+use dipm_timeseries::{
+    enumerate_combinations, AccumulatedPattern, SampledPattern,
+};
+
+use crate::config::DiMatchingConfig;
+use crate::error::Result;
+use crate::query::PatternQuery;
+
+/// Construction statistics reported alongside a built filter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Number of query patterns (`a` of Eq. 4, summed over queries).
+    pub combinations: usize,
+    /// Number of `(key, weight)` insertions, tolerance bands included.
+    pub inserted_values: u64,
+    /// The filter length in bits.
+    pub bits: usize,
+    /// The number of hash functions.
+    pub hashes: u16,
+}
+
+/// A filter built by Algorithm 1, ready for broadcast.
+#[derive(Debug, Clone)]
+pub struct BuiltFilter {
+    /// The weighted Bloom filter encoding every combination pattern.
+    pub filter: WeightedBloomFilter,
+    /// Each query's global volume (the sampled accumulated maximum), in
+    /// query order. Broadcast with the filter so stations can pick, among
+    /// ambiguous surviving weights, the one whose implied combination volume
+    /// matches the candidate's observed volume.
+    pub query_totals: Vec<u64>,
+    /// Construction statistics.
+    pub stats: BuildStats,
+}
+
+/// One combination pattern prepared for insertion: its sampled accumulated
+/// points and its weight.
+struct PreparedPattern {
+    sampled: SampledPattern,
+    weight: Weight,
+}
+
+fn prepare_queries(
+    queries: &[PatternQuery],
+    config: &DiMatchingConfig,
+) -> Result<(Vec<PreparedPattern>, Vec<u64>)> {
+    let mut prepared = Vec::new();
+    let mut query_totals = Vec::with_capacity(queries.len());
+    for query in queries {
+        let combos = enumerate_combinations(query.locals())?;
+        // The final combination is the full set — the global pattern — whose
+        // sampled maximum is the weight denominator v_ab of Algorithm 1.
+        let global_acc = AccumulatedPattern::from_pattern(
+            &combos.last().expect("at least one combination").pattern,
+        )?;
+        let global_sampled = SampledPattern::from_accumulated(&global_acc, config.samples)?;
+        let global_total = global_sampled.max_value();
+        query_totals.push(global_total);
+        for combo in &combos {
+            let acc = AccumulatedPattern::from_pattern(&combo.pattern)?;
+            let sampled = SampledPattern::from_accumulated(&acc, config.samples)?;
+            let total = sampled.max_value();
+            if total == 0 {
+                // A zero-volume combination carries no information and its
+                // weight-0 entries would spuriously match idle users.
+                continue;
+            }
+            let weight = Weight::ratio(total, global_total)?;
+            prepared.push(PreparedPattern { sampled, weight });
+        }
+    }
+    Ok((prepared, query_totals))
+}
+
+/// Algorithm 1: builds one weighted Bloom filter over every subset-sum
+/// combination of every query's local patterns, with ε-tolerance bands.
+///
+/// # Errors
+///
+/// Propagates configuration, pattern and filter errors; see
+/// [`DiMatchingConfig::validate`] and [`PatternQuery::from_locals`].
+///
+/// # Examples
+///
+/// ```
+/// use dipm_protocol::{build_wbf, DiMatchingConfig, PatternQuery};
+/// use dipm_timeseries::Pattern;
+///
+/// # fn main() -> Result<(), dipm_protocol::ProtocolError> {
+/// let query = PatternQuery::from_locals(vec![
+///     Pattern::from([1u64, 2, 3]),
+///     Pattern::from([2u64, 2, 2]),
+/// ])?;
+/// let built = build_wbf(&[query], &DiMatchingConfig::default())?;
+/// assert_eq!(built.stats.combinations, 3); // 2^2 − 1
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_wbf(queries: &[PatternQuery], config: &DiMatchingConfig) -> Result<BuiltFilter> {
+    config.validate()?;
+    let (prepared, query_totals) = prepare_queries(queries, config)?;
+
+    // Similar queries produce heavily overlapping tolerance bands, so first
+    // collect the *distinct* (key, weight) pairs; the filter is then sized by
+    // distinct keys, not raw insertions — identical pairs set identical bits.
+    let mut pairs: std::collections::BTreeSet<(u64, Weight)> = std::collections::BTreeSet::new();
+    for p in &prepared {
+        for (index, point) in p.sampled.points().iter().enumerate() {
+            for value in config.tolerance.band_values(config.eps, *point) {
+                pairs.insert((config.hash_scheme.key(index, value), p.weight));
+            }
+        }
+    }
+    let mut distinct_keys = 0usize;
+    let mut prev_key = None;
+    for &(key, _) in &pairs {
+        if prev_key != Some(key) {
+            distinct_keys += 1;
+            prev_key = Some(key);
+        }
+    }
+
+    let params = FilterParams::optimal(distinct_keys.max(1), config.target_fpp)?;
+    let params = if params.bits() < config.min_bits {
+        FilterParams::new(config.min_bits, params.hashes())?
+    } else {
+        params
+    };
+
+    let mut filter = WeightedBloomFilter::new(params, config.seed);
+    for &(key, weight) in &pairs {
+        filter.insert(key, weight);
+    }
+    let stats = BuildStats {
+        combinations: prepared.len(),
+        inserted_values: pairs.len() as u64,
+        bits: filter.bit_len(),
+        hashes: filter.hashes(),
+    };
+    Ok(BuiltFilter {
+        filter,
+        query_totals,
+        stats,
+    })
+}
+
+/// A plain Bloom filter built over the same keys Algorithm 1 would insert —
+/// the paper's `BF` comparison method (DI-matching with the weight layer
+/// removed).
+#[derive(Debug, Clone)]
+pub struct BuiltBloom {
+    /// The unweighted filter.
+    pub filter: dipm_core::BloomFilter,
+    /// Construction statistics.
+    pub stats: BuildStats,
+}
+
+/// Builds the Bloom-baseline filter: identical representation, sampling and
+/// ε-banding to [`build_wbf`], but membership only — no weights.
+///
+/// # Errors
+///
+/// Same as [`build_wbf`].
+pub fn build_bloom(queries: &[PatternQuery], config: &DiMatchingConfig) -> Result<BuiltBloom> {
+    config.validate()?;
+    let (prepared, _query_totals) = prepare_queries(queries, config)?;
+    let mut keys: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for p in &prepared {
+        for (index, point) in p.sampled.points().iter().enumerate() {
+            for value in config.tolerance.band_values(config.eps, *point) {
+                keys.insert(config.hash_scheme.key(index, value));
+            }
+        }
+    }
+    let params = FilterParams::optimal(keys.len().max(1), config.target_fpp)?;
+    let params = if params.bits() < config.min_bits {
+        FilterParams::new(config.min_bits, params.hashes())?
+    } else {
+        params
+    };
+    let mut filter = dipm_core::BloomFilter::new(params, config.seed);
+    for &key in &keys {
+        filter.insert(key);
+    }
+    let stats = BuildStats {
+        combinations: prepared.len(),
+        inserted_values: keys.len() as u64,
+        bits: filter.bit_len(),
+        hashes: filter.hashes(),
+    };
+    Ok(BuiltBloom { filter, stats })
+}
+
+/// A ranked answer entry: a user and their aggregated weight sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankedUser {
+    /// The matched user.
+    pub user: UserId,
+    /// The exact aggregated weight (1 for a perfectly reconstructed global
+    /// match).
+    pub weight_sum: Weight,
+    /// How many stations reported this user — the ranking tie-breaker: a
+    /// user matching at more stations reconstructed the query decomposition
+    /// more faithfully than one reaching the same sum in fewer pieces.
+    pub reports: u32,
+}
+
+/// Algorithm 3: aggregates per-station `(user, weight)` reports, discards
+/// users whose weight sum exceeds 1 (they matched both the global pattern
+/// and some local pattern, so their true global differs), ranks the rest by
+/// descending weight sum (ties by ascending user id) and returns the top-K.
+///
+/// `top_k = None` returns every surviving user in rank order.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_core::Weight;
+/// use dipm_mobilenet::UserId;
+/// use dipm_protocol::aggregate_and_rank;
+///
+/// # fn main() -> Result<(), dipm_core::CoreError> {
+/// let reports = vec![
+///     (UserId(1), Weight::new(1, 3)?),
+///     (UserId(1), Weight::new(2, 3)?), // sums to exactly 1
+///     (UserId(2), Weight::new(1, 2)?),
+///     (UserId(3), Weight::ONE),
+///     (UserId(3), Weight::new(1, 3)?), // sums above 1 → discarded
+/// ];
+/// let ranked = aggregate_and_rank(reports, None);
+/// let ids: Vec<u64> = ranked.iter().map(|r| r.user.0).collect();
+/// assert_eq!(ids, vec![1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn aggregate_and_rank(
+    reports: Vec<(UserId, Weight)>,
+    top_k: Option<usize>,
+) -> Vec<RankedUser> {
+    let mut sums: BTreeMap<UserId, (Option<Weight>, u32)> = BTreeMap::new();
+    for (user, weight) in reports {
+        let entry = sums.entry(user).or_insert((Some(Weight::ZERO), 0));
+        // `None` marks arithmetic overflow; an overflowed sum is certainly
+        // above 1, so the user is discarded below either way.
+        entry.0 = entry.0.and_then(|current| current.checked_add(weight));
+        entry.1 += 1;
+    }
+    let mut ranked: Vec<RankedUser> = sums
+        .into_iter()
+        .filter_map(|(user, (sum, reports))| {
+            let weight_sum = sum?;
+            if weight_sum.cmp_one() == std::cmp::Ordering::Greater || weight_sum.is_zero() {
+                None
+            } else {
+                Some(RankedUser {
+                    user,
+                    weight_sum,
+                    reports,
+                })
+            }
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.weight_sum
+            .cmp(&a.weight_sum)
+            .then_with(|| b.reports.cmp(&a.reports))
+            .then_with(|| a.user.cmp(&b.user))
+    });
+    if let Some(k) = top_k {
+        ranked.truncate(k);
+    }
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HashScheme;
+    use dipm_timeseries::Pattern;
+
+    fn w(n: u64, d: u64) -> Weight {
+        Weight::new(n, d).unwrap()
+    }
+
+    fn demo_query() -> PatternQuery {
+        PatternQuery::from_locals(vec![
+            Pattern::from([1u64, 2, 3, 1, 0, 2, 4, 1]),
+            Pattern::from([2u64, 2, 2, 0, 1, 3, 0, 2]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn build_produces_expected_combination_count() {
+        let built = build_wbf(&[demo_query()], &DiMatchingConfig::default()).unwrap();
+        assert_eq!(built.stats.combinations, 3);
+        assert!(built.stats.inserted_values > 0);
+        assert_eq!(built.filter.inserted(), built.stats.inserted_values);
+    }
+
+    #[test]
+    fn global_pattern_gets_weight_one() {
+        let query = demo_query();
+        let config = DiMatchingConfig::default();
+        let built = build_wbf(&[query.clone()], &config).unwrap();
+        // Probe the global pattern's sampled points: weight 1 must survive.
+        let acc = AccumulatedPattern::from_pattern(query.global()).unwrap();
+        let sampled = SampledPattern::from_accumulated(&acc, config.samples).unwrap();
+        let keys = sampled
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| config.hash_scheme.key(i, p.value));
+        let set = built.filter.query_sequence(keys).expect("bits set");
+        assert!(set.contains(Weight::ONE));
+    }
+
+    #[test]
+    fn local_pattern_gets_fractional_weight() {
+        let query = demo_query();
+        let config = DiMatchingConfig::default();
+        let built = build_wbf(&[query.clone()], &config).unwrap();
+        let local = &query.locals()[0];
+        let acc = AccumulatedPattern::from_pattern(local).unwrap();
+        let sampled = SampledPattern::from_accumulated(&acc, config.samples).unwrap();
+        let keys = sampled
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| config.hash_scheme.key(i, p.value));
+        let set = built.filter.query_sequence(keys).expect("bits set");
+        let expect = Weight::ratio(
+            local.total().unwrap(),
+            query.global().total().unwrap(),
+        )
+        .unwrap();
+        assert!(set.contains(expect));
+    }
+
+    #[test]
+    fn zero_volume_combinations_are_skipped() {
+        let query = PatternQuery::from_locals(vec![
+            Pattern::from([0u64, 0, 0, 0]),
+            Pattern::from([1u64, 2, 0, 1]),
+        ])
+        .unwrap();
+        let built = build_wbf(&[query], &DiMatchingConfig::default()).unwrap();
+        // Combinations {zero}, {nonzero}, {both}: the zero one is skipped.
+        assert_eq!(built.stats.combinations, 2);
+    }
+
+    #[test]
+    fn multiple_queries_share_one_filter() {
+        let q1 = demo_query();
+        let q2 = PatternQuery::from_global(Pattern::from([9u64, 9, 9, 9, 9, 9, 9, 9])).unwrap();
+        let built = build_wbf(&[q1, q2], &DiMatchingConfig::default()).unwrap();
+        assert_eq!(built.stats.combinations, 4); // 3 + 1
+    }
+
+    #[test]
+    fn min_bits_floor_applies() {
+        let mut config = DiMatchingConfig::default();
+        config.min_bits = 1 << 16;
+        let built = build_wbf(&[demo_query()], &config).unwrap();
+        assert!(built.stats.bits >= 1 << 16);
+    }
+
+    #[test]
+    fn position_tagged_scheme_builds() {
+        let mut config = DiMatchingConfig::default();
+        config.hash_scheme = HashScheme::PositionTagged;
+        let built = build_wbf(&[demo_query()], &config).unwrap();
+        assert!(built.stats.inserted_values > 0);
+    }
+
+    #[test]
+    fn aggregate_exact_decomposition_sums_to_one() {
+        let ranked = aggregate_and_rank(
+            vec![(UserId(7), w(1, 4)), (UserId(7), w(3, 4))],
+            None,
+        );
+        assert_eq!(ranked.len(), 1);
+        assert!(ranked[0].weight_sum.is_one());
+    }
+
+    #[test]
+    fn aggregate_discards_over_one() {
+        // Section IV-B: matching the global at one station and a local at
+        // another means the true aggregated global differs — delete.
+        let ranked = aggregate_and_rank(
+            vec![(UserId(1), Weight::ONE), (UserId(1), w(1, 3))],
+            None,
+        );
+        assert!(ranked.is_empty());
+    }
+
+    #[test]
+    fn aggregate_ranks_descending_with_id_ties() {
+        let ranked = aggregate_and_rank(
+            vec![
+                (UserId(5), w(1, 2)),
+                (UserId(2), Weight::ONE),
+                (UserId(9), w(1, 2)),
+            ],
+            None,
+        );
+        let ids: Vec<u64> = ranked.iter().map(|r| r.user.0).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn aggregate_top_k_truncates() {
+        let ranked = aggregate_and_rank(
+            vec![
+                (UserId(1), Weight::ONE),
+                (UserId(2), w(2, 3)),
+                (UserId(3), w(1, 3)),
+            ],
+            Some(2),
+        );
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].user, UserId(1));
+    }
+
+    #[test]
+    fn aggregate_zero_weight_users_dropped() {
+        let ranked = aggregate_and_rank(vec![(UserId(1), Weight::ZERO)], None);
+        assert!(ranked.is_empty());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut config = DiMatchingConfig::default();
+        config.samples = 0;
+        assert!(build_wbf(&[demo_query()], &config).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Error types for the DI-matching protocol.
+
+use std::error::Error;
+use std::fmt;
+
+use dipm_core::CoreError;
+use dipm_distsim::DistSimError;
+use dipm_timeseries::TimeSeriesError;
+
+/// A convenient result alias used throughout [`dipm-protocol`](crate).
+pub type Result<T, E = ProtocolError> = std::result::Result<T, E>;
+
+/// Errors produced by query construction and protocol execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// An underlying filter/weight error.
+    Core(CoreError),
+    /// An underlying pattern/series error.
+    TimeSeries(TimeSeriesError),
+    /// An underlying simulated-network error.
+    DistSim(DistSimError),
+    /// A query carried no local patterns.
+    EmptyQuery,
+    /// A query's global pattern has zero total volume, so no weights can be
+    /// assigned (every weight would be 0/0).
+    ZeroQueryVolume,
+    /// The protocol configuration was rejected.
+    InvalidConfig {
+        /// Human-readable reason for the rejection.
+        reason: String,
+    },
+    /// A station report could not be decoded at the data center.
+    MalformedReport {
+        /// Human-readable reason the payload was rejected.
+        reason: String,
+    },
+}
+
+impl ProtocolError {
+    pub(crate) fn invalid_config(reason: impl Into<String>) -> Self {
+        ProtocolError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn malformed_report(reason: impl Into<String>) -> Self {
+        ProtocolError::MalformedReport {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Core(e) => write!(f, "filter error: {e}"),
+            ProtocolError::TimeSeries(e) => write!(f, "pattern error: {e}"),
+            ProtocolError::DistSim(e) => write!(f, "network error: {e}"),
+            ProtocolError::EmptyQuery => write!(f, "query must contain at least one local pattern"),
+            ProtocolError::ZeroQueryVolume => {
+                write!(f, "query global pattern has zero total volume")
+            }
+            ProtocolError::InvalidConfig { reason } => {
+                write!(f, "invalid protocol configuration: {reason}")
+            }
+            ProtocolError::MalformedReport { reason } => {
+                write!(f, "malformed station report: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProtocolError::Core(e) => Some(e),
+            ProtocolError::TimeSeries(e) => Some(e),
+            ProtocolError::DistSim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ProtocolError {
+    fn from(e: CoreError) -> Self {
+        ProtocolError::Core(e)
+    }
+}
+
+impl From<TimeSeriesError> for ProtocolError {
+    fn from(e: TimeSeriesError) -> Self {
+        ProtocolError::TimeSeries(e)
+    }
+}
+
+impl From<DistSimError> for ProtocolError {
+    fn from(e: DistSimError) -> Self {
+        ProtocolError::DistSim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_are_chained() {
+        let err = ProtocolError::from(CoreError::ZeroDenominator);
+        assert!(err.source().is_some());
+        assert!(ProtocolError::EmptyQuery.source().is_none());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ProtocolError::ZeroQueryVolume.to_string().contains("zero"));
+        let err = ProtocolError::invalid_config("b must be non-zero");
+        assert!(err.to_string().contains("b must be non-zero"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Retrieval-effectiveness metrics (Section V of the paper).
+//!
+//! Precision = TP/(TP+FP), recall = TP/(TP+FN) and F1 — the numbers behind
+//! Fig. 4(a) and Table II.
+
+use std::collections::BTreeSet;
+
+use dipm_mobilenet::UserId;
+
+/// Precision/recall of one retrieval against a ground-truth relevant set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Effectiveness {
+    /// Fraction of retrieved users that are relevant.
+    pub precision: f64,
+    /// Fraction of relevant users that were retrieved.
+    pub recall: f64,
+}
+
+impl Effectiveness {
+    /// The F-measure `2PR/(P+R)`; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+}
+
+/// Scores a retrieved ranking against the relevant set.
+///
+/// Edge conventions: with nothing retrieved, precision is 1 if nothing was
+/// relevant (vacuously correct) and 0 otherwise; with nothing relevant,
+/// recall is 1.
+pub fn evaluate<I>(retrieved: I, relevant: &BTreeSet<UserId>) -> Effectiveness
+where
+    I: IntoIterator<Item = UserId>,
+{
+    let retrieved: BTreeSet<UserId> = retrieved.into_iter().collect();
+    let true_positives = retrieved.intersection(relevant).count() as f64;
+    let precision = if retrieved.is_empty() {
+        if relevant.is_empty() {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        true_positives / retrieved.len() as f64
+    };
+    let recall = if relevant.is_empty() {
+        1.0
+    } else {
+        true_positives / relevant.len() as f64
+    };
+    Effectiveness { precision, recall }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u64]) -> BTreeSet<UserId> {
+        raw.iter().copied().map(UserId).collect()
+    }
+
+    #[test]
+    fn perfect_retrieval() {
+        let relevant = ids(&[1, 2, 3]);
+        let e = evaluate(relevant.iter().copied(), &relevant);
+        assert_eq!(e.precision, 1.0);
+        assert_eq!(e.recall, 1.0);
+        assert_eq!(e.f1(), 1.0);
+    }
+
+    #[test]
+    fn partial_retrieval() {
+        let relevant = ids(&[1, 2, 3, 4]);
+        let e = evaluate(ids(&[1, 2, 9, 10]), &relevant);
+        assert_eq!(e.precision, 0.5);
+        assert_eq!(e.recall, 0.5);
+        assert!((e.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_in_retrieval_count_once() {
+        let relevant = ids(&[1]);
+        let e = evaluate(vec![UserId(1), UserId(1), UserId(2)], &relevant);
+        assert_eq!(e.precision, 0.5);
+        assert_eq!(e.recall, 1.0);
+    }
+
+    #[test]
+    fn empty_edges() {
+        let empty = BTreeSet::new();
+        let e = evaluate(std::iter::empty(), &empty);
+        assert_eq!((e.precision, e.recall), (1.0, 1.0));
+
+        let e = evaluate(std::iter::empty(), &ids(&[1]));
+        assert_eq!((e.precision, e.recall), (0.0, 0.0));
+        assert_eq!(e.f1(), 0.0);
+
+        let e = evaluate(ids(&[1]), &empty);
+        assert_eq!((e.precision, e.recall), (0.0, 1.0));
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let e = Effectiveness {
+            precision: 0.98,
+            recall: 0.99,
+        };
+        let expect = 2.0 * 0.98 * 0.99 / (0.98 + 0.99);
+        assert!((e.f1() - expect).abs() < 1e-12);
+    }
+}

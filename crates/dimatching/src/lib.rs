@@ -1,0 +1,71 @@
+//! The **DI-matching** framework (ICDCS 2012 reproduction): distributed
+//! incomplete pattern matching via a weighted Bloom filter.
+//!
+//! DI-matching answers top-K pattern queries over data that exists only as
+//! per-station fragments, in three steps (Section IV of the paper):
+//!
+//! 1. **Data center, [`build_wbf`]** (Algorithm 1) — accumulate the query's
+//!    local patterns, enumerate all `2^e − 1` subset-sum combinations,
+//!    sample `b` points of each, weight each combination by its share of the
+//!    global volume, and hash every sampled value (with its ε-tolerance
+//!    band) into one [`WeightedBloomFilter`](dipm_core::WeightedBloomFilter)
+//!    that is broadcast to every base station.
+//! 2. **Base stations, [`scan_station`]** (Algorithm 2) — probe every local
+//!    pattern; report `(ID, weight)` only when all probed bits are set and
+//!    one weight is common to every sampled point.
+//! 3. **Data center, [`aggregate_and_rank`]** (Algorithm 3) — sum weights
+//!    per ID, discard sums above 1, rank descending, return the top-K.
+//!
+//! [`run_wbf`] wires the three steps over the simulated deployment of
+//! [`dipm_distsim`]; [`run_bloom`] and [`run_naive`] are the paper's
+//! comparison methods, and [`evaluate`] scores any of them against ground
+//! truth.
+//!
+//! # Example
+//!
+//! ```
+//! use dipm_distsim::ExecutionMode;
+//! use dipm_mobilenet::{ground_truth, Dataset};
+//! use dipm_protocol::{evaluate, run_wbf, DiMatchingConfig, PatternQuery};
+//!
+//! # fn main() -> Result<(), dipm_protocol::ProtocolError> {
+//! let dataset = Dataset::small(1);
+//! let probe = dataset.users()[0];
+//! let query = PatternQuery::from_fragments(dataset.fragments(probe.id).unwrap())?;
+//!
+//! let config = DiMatchingConfig::default();
+//! let outcome = run_wbf(&dataset, &[query.clone()], &config, ExecutionMode::Threaded, None)?;
+//!
+//! let relevant = ground_truth::eps_similar_users(&dataset, query.global(), config.eps);
+//! let score = evaluate(outcome.retrieved(), &relevant);
+//! assert!(score.recall > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod basestation;
+mod config;
+mod datacenter;
+mod error;
+mod eval;
+mod naive;
+mod pipeline;
+mod query;
+mod result;
+pub mod wire;
+
+pub use basestation::{scan_station, scan_station_bloom, WeightReport};
+pub use config::{DiMatchingConfig, HashScheme};
+pub use datacenter::{
+    aggregate_and_rank, build_bloom, build_wbf, BuildStats, BuiltBloom, BuiltFilter, RankedUser,
+};
+pub use error::{ProtocolError, Result};
+pub use eval::{evaluate, Effectiveness};
+pub use naive::run_naive;
+pub use pipeline::{run_bloom, run_wbf};
+pub use query::PatternQuery;
+pub use result::{Method, MethodDetails, QueryOutcome};

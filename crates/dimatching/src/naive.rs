@@ -1,0 +1,181 @@
+//! The naive baseline (Approach 1 of Section III-C): ship every station's
+//! raw data to the center and match there.
+//!
+//! This is the accuracy gold standard — the center sees true global patterns
+//! — but pays for it by moving the entire distributed corpus over the
+//! network and storing it centrally.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use dipm_distsim::{
+    run_stations, ExecutionMode, Network, NodeId, TrafficClass, DATA_CENTER,
+};
+use dipm_mobilenet::{Dataset, StationId, UserId};
+use dipm_timeseries::{chebyshev_distance, Pattern};
+
+use crate::error::Result;
+use crate::query::PatternQuery;
+use crate::result::{Method, MethodDetails, QueryOutcome};
+use crate::wire;
+
+/// Runs the naive method: every station ships all `(user, local pattern)`
+/// data to the center, which aggregates per-user globals and retrieves the
+/// users within `eps` of any query global, ranked by ascending Chebyshev
+/// distance (exact matches first).
+///
+/// # Errors
+///
+/// Propagates pattern and network errors.
+pub fn run_naive(
+    dataset: &Dataset,
+    queries: &[PatternQuery],
+    eps: u64,
+    mode: ExecutionMode,
+    top_k: Option<usize>,
+) -> Result<QueryOutcome> {
+    let start = Instant::now();
+    let network = Network::new();
+    let center = network.register(DATA_CENTER)?;
+    let stations: Vec<(StationId, NodeId)> = dataset
+        .stations()
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, NodeId::base_station(i as u32)))
+        .collect();
+    for &(_, node) in &stations {
+        network.register(node)?;
+    }
+
+    // Every station ships its whole local store.
+    let results = run_stations(mode, &stations, |_, &(station, node)| {
+        let payload = match dataset.station_locals(station) {
+            Some(patterns) => {
+                wire::encode_station_data(patterns.iter().map(|(&u, p)| (u, p)))
+            }
+            None => wire::encode_station_data(std::iter::empty()),
+        };
+        network.send(node, DATA_CENTER, TrafficClass::Data, payload)
+    });
+    for r in results {
+        r?;
+    }
+
+    // The center aggregates global patterns from the shipped fragments…
+    let mut globals: BTreeMap<UserId, Pattern> = BTreeMap::new();
+    let mut received_bytes = 0u64;
+    for envelope in center.drain() {
+        received_bytes += envelope.payload.len() as u64;
+        for (user, fragment) in wire::decode_station_data(envelope.payload)? {
+            match globals.remove(&user) {
+                Some(existing) => {
+                    globals.insert(user, existing.checked_add(&fragment)?);
+                }
+                None => {
+                    globals.insert(user, fragment);
+                }
+            }
+        }
+    }
+    // …and stores everything it received.
+    network.meter().record_storage(received_bytes);
+
+    // Centralized matching: every query global against every user global.
+    let mut best: BTreeMap<UserId, u64> = BTreeMap::new();
+    for query in queries {
+        for (&user, global) in &globals {
+            network.meter().record_comparisons(1);
+            if let Some(d) = chebyshev_distance(global, query.global()) {
+                if d <= eps {
+                    best.entry(user)
+                        .and_modify(|cur| *cur = (*cur).min(d))
+                        .or_insert(d);
+                }
+            }
+        }
+    }
+    let mut distances: Vec<(UserId, u64)> = best.into_iter().collect();
+    distances.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    if let Some(k) = top_k {
+        distances.truncate(k);
+    }
+
+    Ok(QueryOutcome {
+        method: Method::Naive,
+        ranked: distances.iter().map(|&(u, _)| u).collect(),
+        details: MethodDetails::Naive { distances },
+        cost: network.meter().report(),
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dipm_mobilenet::ground_truth;
+
+    fn probe_query(dataset: &Dataset, user_index: usize) -> PatternQuery {
+        let user = dataset.users()[user_index];
+        PatternQuery::from_fragments(dataset.fragments(user.id).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn naive_retrieves_exactly_the_ground_truth() {
+        let dataset = Dataset::small(31);
+        let query = probe_query(&dataset, 0);
+        let eps = 3;
+        let outcome = run_naive(&dataset, &[query.clone()], eps, ExecutionMode::Sequential, None)
+            .unwrap();
+        let relevant = ground_truth::eps_similar_users(&dataset, query.global(), eps);
+        let retrieved: std::collections::BTreeSet<UserId> =
+            outcome.ranked.iter().copied().collect();
+        assert_eq!(retrieved, relevant, "naive must be exact");
+    }
+
+    #[test]
+    fn naive_ranks_exact_match_first() {
+        let dataset = Dataset::small(32);
+        let query = probe_query(&dataset, 0);
+        let outcome =
+            run_naive(&dataset, &[query], 4, ExecutionMode::Sequential, None).unwrap();
+        let MethodDetails::Naive { distances } = &outcome.details else {
+            panic!("wrong detail variant");
+        };
+        assert!(distances.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(distances[0].1, 0, "probe user matches exactly");
+    }
+
+    #[test]
+    fn naive_ships_the_whole_corpus() {
+        let dataset = Dataset::small(33);
+        let query = probe_query(&dataset, 0);
+        let outcome =
+            run_naive(&dataset, &[query], 2, ExecutionMode::Sequential, None).unwrap();
+        // Data traffic dominates and equals stored bytes at the center.
+        assert!(outcome.cost.data_bytes > 0);
+        assert_eq!(outcome.cost.data_bytes, outcome.cost.storage_bytes);
+        assert_eq!(outcome.cost.query_bytes, 0);
+        // Shipment is at least the raw corpus size (headers add a little).
+        assert!(outcome.cost.data_bytes >= dataset.raw_data_bytes());
+    }
+
+    #[test]
+    fn naive_threaded_matches_sequential() {
+        let dataset = Dataset::small(34);
+        let query = probe_query(&dataset, 2);
+        let seq = run_naive(&dataset, &[query.clone()], 3, ExecutionMode::Sequential, None)
+            .unwrap();
+        let thr =
+            run_naive(&dataset, &[query], 3, ExecutionMode::Threaded, None).unwrap();
+        assert_eq!(seq.ranked, thr.ranked);
+    }
+
+    #[test]
+    fn naive_top_k() {
+        let dataset = Dataset::small(35);
+        let query = probe_query(&dataset, 0);
+        let outcome =
+            run_naive(&dataset, &[query], 10, ExecutionMode::Sequential, Some(3)).unwrap();
+        assert!(outcome.ranked.len() <= 3);
+    }
+}

@@ -1,0 +1,388 @@
+//! End-to-end DI-matching runs over the simulated deployment.
+//!
+//! Each run wires up a [`Network`], registers the data center and one node
+//! per base station, broadcasts the encoded filter, executes Algorithm 2 at
+//! every station (sequentially or one thread per station), ships the
+//! `(ID, weight)` reports back and ranks them with Algorithm 3 — metering
+//! every byte and operation along the way.
+
+use std::time::Instant;
+
+use dipm_core::encode;
+use dipm_distsim::{
+    run_stations, ExecutionMode, Network, NodeId, TrafficClass, DATA_CENTER,
+};
+use dipm_mobilenet::{Dataset, StationId};
+
+use crate::basestation::{scan_station, scan_station_bloom};
+use crate::config::DiMatchingConfig;
+use crate::datacenter::{aggregate_and_rank, build_bloom, build_wbf};
+use crate::error::Result;
+use crate::query::PatternQuery;
+use crate::result::{Method, MethodDetails, QueryOutcome};
+use crate::wire;
+
+/// Bytes of aggregation state the center keeps per surviving candidate.
+const CENTER_ENTRY_BYTES: u64 = 24;
+
+fn station_nodes(dataset: &Dataset) -> Vec<(usize, StationId, NodeId)> {
+    dataset
+        .stations()
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (i, s, NodeId::base_station(i as u32)))
+        .collect()
+}
+
+/// Runs full DI-matching with the weighted Bloom filter.
+///
+/// `top_k = None` returns every surviving candidate in rank order.
+///
+/// # Errors
+///
+/// Propagates configuration, pattern, filter and network errors.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_mobilenet::Dataset;
+/// use dipm_protocol::{run_wbf, DiMatchingConfig, PatternQuery};
+/// use dipm_distsim::ExecutionMode;
+///
+/// # fn main() -> Result<(), dipm_protocol::ProtocolError> {
+/// let dataset = Dataset::small(7);
+/// let probe = dataset.users()[0];
+/// let query = PatternQuery::from_fragments(dataset.fragments(probe.id).unwrap())?;
+/// let outcome = run_wbf(
+///     &dataset,
+///     &[query],
+///     &DiMatchingConfig::default(),
+///     ExecutionMode::Sequential,
+///     Some(10),
+/// )?;
+/// assert!(outcome.ranked.contains(&probe.id));
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_wbf(
+    dataset: &Dataset,
+    queries: &[PatternQuery],
+    config: &DiMatchingConfig,
+    mode: ExecutionMode,
+    top_k: Option<usize>,
+) -> Result<QueryOutcome> {
+    let start = Instant::now();
+    let network = Network::new();
+    let center = network.register(DATA_CENTER)?;
+    let stations = station_nodes(dataset);
+    let mailboxes = stations
+        .iter()
+        .map(|&(_, _, node)| network.register(node))
+        .collect::<dipm_distsim::Result<Vec<_>>>()?;
+
+    // Algorithm 1 at the data center.
+    let built = build_wbf(queries, config)?;
+    let filter_bytes =
+        encode::encode_wbf(&built.filter).map_err(crate::error::ProtocolError::Core)?;
+    let encoded = wire::encode_filter_broadcast(&built.query_totals, filter_bytes);
+    network.broadcast(
+        DATA_CENTER,
+        stations.iter().map(|&(_, _, node)| node),
+        TrafficClass::Query,
+        &encoded,
+    )?;
+    // Each station holds a copy of the filter while the query is live.
+    network
+        .meter()
+        .record_storage(encoded.len() as u64 * stations.len() as u64);
+
+    // Algorithm 2, one worker per station.
+    let items: Vec<(StationId, &dipm_distsim::Mailbox)> = stations
+        .iter()
+        .zip(&mailboxes)
+        .map(|(&(_, station, _), mailbox)| (station, mailbox))
+        .collect();
+    let results = run_stations(mode, &items, |i, (station, mailbox)| {
+        let envelope = mailbox.recv()?;
+        let (query_totals, filter_bytes) = wire::decode_filter_broadcast(envelope.payload)?;
+        let filter = encode::decode_wbf(filter_bytes)?;
+        let reports = match dataset.station_locals(*station) {
+            Some(patterns) => scan_station(
+                &filter,
+                &query_totals,
+                patterns,
+                config,
+                Some(network.meter()),
+            )?,
+            None => Vec::new(),
+        };
+        let payload = wire::encode_weight_reports(&reports);
+        network.send(
+            NodeId::base_station(i as u32),
+            DATA_CENTER,
+            TrafficClass::Report,
+            payload,
+        )?;
+        Ok::<(), crate::error::ProtocolError>(())
+    });
+    for r in results {
+        r?;
+    }
+
+    // Algorithm 3 at the data center.
+    let mut all_reports = Vec::new();
+    for envelope in center.drain() {
+        all_reports.extend(wire::decode_weight_reports(envelope.payload)?);
+    }
+    network
+        .meter()
+        .record_storage(all_reports.len() as u64 * CENTER_ENTRY_BYTES);
+    let ranked_users = aggregate_and_rank(all_reports, top_k);
+
+    Ok(QueryOutcome {
+        method: Method::Wbf,
+        ranked: ranked_users.iter().map(|r| r.user).collect(),
+        details: MethodDetails::Wbf {
+            weights: ranked_users,
+            build: built.stats,
+        },
+        cost: network.meter().report(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Runs DI-matching with the plain Bloom filter (the paper's `BF` method):
+/// same representation and sampling, membership-only matching, bare-ID
+/// reports, ranking by the number of reporting stations.
+///
+/// # Errors
+///
+/// Propagates configuration, pattern, filter and network errors.
+pub fn run_bloom(
+    dataset: &Dataset,
+    queries: &[PatternQuery],
+    config: &DiMatchingConfig,
+    mode: ExecutionMode,
+    top_k: Option<usize>,
+) -> Result<QueryOutcome> {
+    let start = Instant::now();
+    let network = Network::new();
+    let center = network.register(DATA_CENTER)?;
+    let stations = station_nodes(dataset);
+    let mailboxes = stations
+        .iter()
+        .map(|&(_, _, node)| network.register(node))
+        .collect::<dipm_distsim::Result<Vec<_>>>()?;
+
+    let built = build_bloom(queries, config)?;
+    let encoded = encode::encode_bloom(&built.filter);
+    network.broadcast(
+        DATA_CENTER,
+        stations.iter().map(|&(_, _, node)| node),
+        TrafficClass::Query,
+        &encoded,
+    )?;
+    network
+        .meter()
+        .record_storage(encoded.len() as u64 * stations.len() as u64);
+
+    let items: Vec<(StationId, &dipm_distsim::Mailbox)> = stations
+        .iter()
+        .zip(&mailboxes)
+        .map(|(&(_, station, _), mailbox)| (station, mailbox))
+        .collect();
+    let results = run_stations(mode, &items, |i, (station, mailbox)| {
+        let envelope = mailbox.recv()?;
+        let filter = encode::decode_bloom(envelope.payload)?;
+        let ids = match dataset.station_locals(*station) {
+            Some(patterns) => {
+                scan_station_bloom(&filter, patterns, config, Some(network.meter()))?
+            }
+            None => Vec::new(),
+        };
+        let payload = wire::encode_id_reports(&ids);
+        network.send(
+            NodeId::base_station(i as u32),
+            DATA_CENTER,
+            TrafficClass::Report,
+            payload,
+        )?;
+        Ok::<(), crate::error::ProtocolError>(())
+    });
+    for r in results {
+        r?;
+    }
+
+    // Without weights the center can only count reporting stations.
+    let mut counts: std::collections::BTreeMap<dipm_mobilenet::UserId, u32> =
+        std::collections::BTreeMap::new();
+    for envelope in center.drain() {
+        for id in wire::decode_id_reports(envelope.payload)? {
+            *counts.entry(id).or_insert(0) += 1;
+        }
+    }
+    network
+        .meter()
+        .record_storage(counts.len() as u64 * CENTER_ENTRY_BYTES);
+    let mut station_counts: Vec<(dipm_mobilenet::UserId, u32)> = counts.into_iter().collect();
+    station_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    if let Some(k) = top_k {
+        station_counts.truncate(k);
+    }
+
+    Ok(QueryOutcome {
+        method: Method::Bloom,
+        ranked: station_counts.iter().map(|&(u, _)| u).collect(),
+        details: MethodDetails::Bloom {
+            station_counts,
+            build: built.stats,
+        },
+        cost: network.meter().report(),
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dipm_core::Weight;
+
+    fn probe_query(dataset: &Dataset, user_index: usize) -> PatternQuery {
+        let user = dataset.users()[user_index];
+        PatternQuery::from_fragments(dataset.fragments(user.id).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn wbf_retrieves_probe_user() {
+        let dataset = Dataset::small(21);
+        let query = probe_query(&dataset, 0);
+        let outcome = run_wbf(
+            &dataset,
+            &[query],
+            &DiMatchingConfig::default(),
+            ExecutionMode::Sequential,
+            None,
+        )
+        .unwrap();
+        let probe = dataset.users()[0].id;
+        assert!(outcome.ranked.contains(&probe));
+        let MethodDetails::Wbf { weights, .. } = &outcome.details else {
+            panic!("wrong detail variant");
+        };
+        let entry = weights.iter().find(|r| r.user == probe).unwrap();
+        // Ambiguous band overlaps can under-report fragment weights, so the
+        // probe's sum is at most 1, and never deleted.
+        assert!(entry.weight_sum <= Weight::ONE);
+        assert!(!entry.weight_sum.is_zero());
+    }
+
+    #[test]
+    fn clean_decomposition_aggregates_to_exactly_one() {
+        // With ε = 0 and well-separated fragments there is no band overlap:
+        // every station reports its exact combination weight and the probe's
+        // weights sum to exactly 1 (Section IV-B's headline property).
+        use dipm_mobilenet::TraceConfig;
+        let dataset = TraceConfig::new(30, 6)
+            .noise(0)
+            .seed(77)
+            .generate()
+            .unwrap();
+        let probe = dataset.users()[0];
+        let query =
+            PatternQuery::from_fragments(dataset.fragments(probe.id).unwrap()).unwrap();
+        let mut config = DiMatchingConfig::default();
+        config.eps = 0;
+        let outcome =
+            run_wbf(&dataset, &[query], &config, ExecutionMode::Sequential, None).unwrap();
+        let MethodDetails::Wbf { weights, .. } = &outcome.details else {
+            panic!("wrong detail variant");
+        };
+        let entry = weights.iter().find(|r| r.user == probe.id).unwrap();
+        assert_eq!(entry.weight_sum, Weight::ONE);
+    }
+
+    #[test]
+    fn sequential_and_threaded_agree() {
+        let dataset = Dataset::small(22);
+        let query = probe_query(&dataset, 3);
+        let config = DiMatchingConfig::default();
+        let seq = run_wbf(&dataset, &[query.clone()], &config, ExecutionMode::Sequential, None)
+            .unwrap();
+        let thr = run_wbf(&dataset, &[query], &config, ExecutionMode::Threaded, None).unwrap();
+        assert_eq!(seq.ranked, thr.ranked);
+        // Communication costs are identical; only wall time may differ.
+        assert_eq!(seq.cost.query_bytes, thr.cost.query_bytes);
+        assert_eq!(seq.cost.report_bytes, thr.cost.report_bytes);
+    }
+
+    #[test]
+    fn top_k_truncates_ranking() {
+        let dataset = Dataset::small(23);
+        let query = probe_query(&dataset, 0);
+        let config = DiMatchingConfig::default();
+        let full = run_wbf(&dataset, &[query.clone()], &config, ExecutionMode::Sequential, None)
+            .unwrap();
+        let k = 1.min(full.ranked.len());
+        let cut = run_wbf(&dataset, &[query], &config, ExecutionMode::Sequential, Some(k))
+            .unwrap();
+        assert_eq!(cut.ranked.len(), k);
+        assert_eq!(cut.ranked[..], full.ranked[..k]);
+    }
+
+    #[test]
+    fn wbf_meters_all_cost_classes() {
+        let dataset = Dataset::small(24);
+        let query = probe_query(&dataset, 0);
+        let outcome = run_wbf(
+            &dataset,
+            &[query],
+            &DiMatchingConfig::default(),
+            ExecutionMode::Sequential,
+            None,
+        )
+        .unwrap();
+        assert!(outcome.cost.query_bytes > 0, "filter broadcast not metered");
+        assert!(outcome.cost.report_bytes > 0, "reports not metered");
+        assert_eq!(outcome.cost.data_bytes, 0, "wbf ships no raw data");
+        assert!(outcome.cost.storage_bytes > 0);
+        assert!(outcome.cost.hash_ops > 0);
+        assert_eq!(
+            outcome.cost.messages as usize,
+            dataset.stations().len() * 2
+        );
+    }
+
+    #[test]
+    fn bloom_baseline_runs_and_retrieves_probe() {
+        let dataset = Dataset::small(25);
+        let query = probe_query(&dataset, 0);
+        let outcome = run_bloom(
+            &dataset,
+            &[query],
+            &DiMatchingConfig::default(),
+            ExecutionMode::Sequential,
+            None,
+        )
+        .unwrap();
+        assert!(outcome.ranked.contains(&dataset.users()[0].id));
+        assert!(matches!(outcome.details, MethodDetails::Bloom { .. }));
+    }
+
+    #[test]
+    fn bloom_reports_at_least_wbf_candidates() {
+        // Weight consistency only ever removes candidates.
+        let dataset = Dataset::small(26);
+        let query = probe_query(&dataset, 0);
+        let config = DiMatchingConfig::default();
+        let wbf = run_wbf(&dataset, &[query.clone()], &config, ExecutionMode::Sequential, None)
+            .unwrap();
+        let bf = run_bloom(&dataset, &[query], &config, ExecutionMode::Sequential, None)
+            .unwrap();
+        let bf_set: std::collections::BTreeSet<_> = bf.ranked.iter().collect();
+        // Every WBF candidate that survived aggregation was reported by some
+        // station under BF too (same bits are set in both filters).
+        for user in &wbf.ranked {
+            assert!(bf_set.contains(user), "{user:?} in WBF but not BF");
+        }
+    }
+}

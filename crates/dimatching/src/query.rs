@@ -1,0 +1,157 @@
+//! Pattern queries: the inputs a service provider submits.
+//!
+//! A query is the decomposition of one target person's communication — a set
+//! of local patterns whose element-wise sum is the global pattern of
+//! interest. The data center receives one or more such queries and answers
+//! with the top-K users whose (never materialized) global patterns match.
+
+use dipm_mobilenet::StationId;
+use dipm_timeseries::Pattern;
+
+use crate::error::{ProtocolError, Result};
+
+/// One pattern query: a global pattern given as its local fragments.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_protocol::PatternQuery;
+/// use dipm_timeseries::Pattern;
+///
+/// # fn main() -> Result<(), dipm_protocol::ProtocolError> {
+/// let query = PatternQuery::from_locals(vec![
+///     Pattern::from([1u64, 2, 3]),
+///     Pattern::from([2u64, 2, 2]),
+/// ])?;
+/// assert_eq!(query.global(), &Pattern::from([3u64, 4, 5]));
+/// assert_eq!(query.locals().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternQuery {
+    locals: Vec<Pattern>,
+    global: Pattern,
+}
+
+impl PatternQuery {
+    /// Builds a query from local fragments; their element-wise sum is the
+    /// global pattern.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolError::EmptyQuery`] — no fragments given.
+    /// * [`ProtocolError::TimeSeries`] — fragments of unequal length or an
+    ///   overflowing sum.
+    /// * [`ProtocolError::ZeroQueryVolume`] — the global pattern sums to 0,
+    ///   leaving no volume to assign weights from.
+    pub fn from_locals(locals: Vec<Pattern>) -> Result<PatternQuery> {
+        if locals.is_empty() {
+            return Err(ProtocolError::EmptyQuery);
+        }
+        let global = Pattern::sum(locals.iter())?;
+        match global.total() {
+            None => return Err(ProtocolError::TimeSeries(
+                dipm_timeseries::TimeSeriesError::Overflow,
+            )),
+            Some(0) => return Err(ProtocolError::ZeroQueryVolume),
+            Some(_) => {}
+        }
+        Ok(PatternQuery { locals, global })
+    }
+
+    /// Builds a query directly from a known global pattern with no
+    /// decomposition (a single-fragment query).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PatternQuery::from_locals`].
+    pub fn from_global(global: Pattern) -> Result<PatternQuery> {
+        PatternQuery::from_locals(vec![global])
+    }
+
+    /// Builds a query from a dataset user's `(station, fragment)` pairs —
+    /// the "given a preferred customer's pattern" scenario of the paper's
+    /// introduction.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PatternQuery::from_locals`].
+    pub fn from_fragments(fragments: &[(StationId, Pattern)]) -> Result<PatternQuery> {
+        PatternQuery::from_locals(fragments.iter().map(|(_, p)| p.clone()).collect())
+    }
+
+    /// The local fragments.
+    pub fn locals(&self) -> &[Pattern] {
+        &self.locals
+    }
+
+    /// The global pattern (element-wise sum of the fragments).
+    pub fn global(&self) -> &Pattern {
+        &self.global
+    }
+
+    /// The number of time intervals each pattern spans.
+    pub fn intervals(&self) -> usize {
+        self.global.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_locals_sums_global() {
+        let q = PatternQuery::from_locals(vec![
+            Pattern::from([1u64, 1, 1]),
+            Pattern::from([2u64, 2, 0]),
+            Pattern::from([0u64, 1, 4]),
+        ])
+        .unwrap();
+        assert_eq!(q.global(), &Pattern::from([3u64, 4, 5]));
+        assert_eq!(q.intervals(), 3);
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        assert_eq!(
+            PatternQuery::from_locals(vec![]).unwrap_err(),
+            ProtocolError::EmptyQuery
+        );
+    }
+
+    #[test]
+    fn zero_volume_rejected() {
+        assert_eq!(
+            PatternQuery::from_locals(vec![Pattern::zeros(4)]).unwrap_err(),
+            ProtocolError::ZeroQueryVolume
+        );
+    }
+
+    #[test]
+    fn mismatched_fragments_rejected() {
+        let err = PatternQuery::from_locals(vec![
+            Pattern::from([1u64, 2]),
+            Pattern::from([1u64]),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, ProtocolError::TimeSeries(_)));
+    }
+
+    #[test]
+    fn from_global_is_single_fragment() {
+        let q = PatternQuery::from_global(Pattern::from([5u64, 5])).unwrap();
+        assert_eq!(q.locals().len(), 1);
+    }
+
+    #[test]
+    fn from_fragments_strips_stations() {
+        let frags = vec![
+            (StationId(3), Pattern::from([1u64, 0])),
+            (StationId(9), Pattern::from([0u64, 2])),
+        ];
+        let q = PatternQuery::from_fragments(&frags).unwrap();
+        assert_eq!(q.global(), &Pattern::from([1u64, 2]));
+    }
+}

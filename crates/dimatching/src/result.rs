@@ -1,0 +1,87 @@
+//! Query outcomes: rankings plus the costs incurred producing them.
+
+use std::time::Duration;
+
+use dipm_distsim::CostReport;
+use dipm_mobilenet::UserId;
+
+use crate::datacenter::{BuildStats, RankedUser};
+
+/// Which retrieval method produced an outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Ship everything to the center, match there (Approach 1).
+    Naive,
+    /// DI-matching with a plain Bloom filter.
+    Bloom,
+    /// DI-matching with the weighted Bloom filter.
+    Wbf,
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Method::Naive => "naive",
+            Method::Bloom => "bf",
+            Method::Wbf => "wbf",
+        })
+    }
+}
+
+/// Method-specific detail attached to an outcome.
+#[derive(Debug, Clone)]
+pub enum MethodDetails {
+    /// WBF: the exact aggregated weights and filter build statistics.
+    Wbf {
+        /// Per-user aggregated weights in rank order.
+        weights: Vec<RankedUser>,
+        /// Filter construction statistics.
+        build: BuildStats,
+    },
+    /// Bloom baseline: per-user count of reporting stations.
+    Bloom {
+        /// `(user, reporting-station count)` in rank order.
+        station_counts: Vec<(UserId, u32)>,
+        /// Filter construction statistics.
+        build: BuildStats,
+    },
+    /// Naive baseline: per-user best Chebyshev distance to any query global.
+    Naive {
+        /// `(user, distance)` in rank order.
+        distances: Vec<(UserId, u64)>,
+    },
+}
+
+/// The result of running one method over one dataset and query set.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Which method ran.
+    pub method: Method,
+    /// Retrieved users in rank order (already truncated to top-K if asked).
+    pub ranked: Vec<UserId>,
+    /// Method-specific ranking detail.
+    pub details: MethodDetails,
+    /// Metered communication/storage/operation costs.
+    pub cost: CostReport,
+    /// Wall-clock time of the full run.
+    pub elapsed: Duration,
+}
+
+impl QueryOutcome {
+    /// The retrieved users as an iterator (rank order).
+    pub fn retrieved(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.ranked.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_display() {
+        assert_eq!(Method::Naive.to_string(), "naive");
+        assert_eq!(Method::Bloom.to_string(), "bf");
+        assert_eq!(Method::Wbf.to_string(), "wbf");
+    }
+}

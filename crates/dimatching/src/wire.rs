@@ -1,0 +1,245 @@
+//! Wire encodings for protocol messages.
+//!
+//! Station reports and raw-data shipments are encoded into real byte buffers
+//! so the metered communication costs (Fig. 4c) reflect honest message
+//! sizes, and the center does honest decode work.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dipm_core::Weight;
+use dipm_mobilenet::UserId;
+use dipm_timeseries::Pattern;
+
+use crate::error::{ProtocolError, Result};
+
+/// Frames a filter broadcast: the per-query global volumes followed by the
+/// encoded filter (`u32` count, `u64`×count totals, filter bytes).
+pub fn encode_filter_broadcast(query_totals: &[u64], filter: Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + query_totals.len() * 8 + filter.len());
+    buf.put_u32_le(query_totals.len() as u32);
+    for &t in query_totals {
+        buf.put_u64_le(t);
+    }
+    buf.extend_from_slice(&filter);
+    buf.freeze()
+}
+
+/// Splits a filter-broadcast frame back into query volumes and filter bytes.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedReport`] on truncation.
+pub fn decode_filter_broadcast(mut data: Bytes) -> Result<(Vec<u64>, Bytes)> {
+    if data.remaining() < 4 {
+        return Err(ProtocolError::malformed_report("truncated broadcast header"));
+    }
+    let count = data.get_u32_le() as usize;
+    if data.remaining() < count * 8 {
+        return Err(ProtocolError::malformed_report("truncated query volumes"));
+    }
+    let totals = (0..count).map(|_| data.get_u64_le()).collect();
+    Ok((totals, data))
+}
+
+/// Encodes `(user, weight)` reports: `u32` count then
+/// `{id u64, num u64, den u64}` per entry (24 bytes/candidate — the
+/// communication saving DI-matching claims over shipping patterns).
+pub fn encode_weight_reports(reports: &[(UserId, Weight)]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + reports.len() * 24);
+    buf.put_u32_le(reports.len() as u32);
+    for (user, weight) in reports {
+        buf.put_u64_le(user.0);
+        buf.put_u64_le(weight.numerator());
+        buf.put_u64_le(weight.denominator());
+    }
+    buf.freeze()
+}
+
+/// Decodes a weight-report payload.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedReport`] on truncation or a zero
+/// denominator.
+pub fn decode_weight_reports(mut data: Bytes) -> Result<Vec<(UserId, Weight)>> {
+    if data.remaining() < 4 {
+        return Err(ProtocolError::malformed_report("truncated report count"));
+    }
+    let count = data.get_u32_le() as usize;
+    if data.remaining() < count * 24 {
+        return Err(ProtocolError::malformed_report("truncated report entries"));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let user = UserId(data.get_u64_le());
+        let num = data.get_u64_le();
+        let den = data.get_u64_le();
+        let weight = Weight::new(num, den)
+            .map_err(|_| ProtocolError::malformed_report("zero weight denominator"))?;
+        out.push((user, weight));
+    }
+    Ok(out)
+}
+
+/// Encodes bare candidate IDs (the Bloom baseline's reports): `u32` count
+/// then `u64` per id.
+pub fn encode_id_reports(ids: &[UserId]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + ids.len() * 8);
+    buf.put_u32_le(ids.len() as u32);
+    for id in ids {
+        buf.put_u64_le(id.0);
+    }
+    buf.freeze()
+}
+
+/// Decodes a bare-ID payload.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedReport`] on truncation.
+pub fn decode_id_reports(mut data: Bytes) -> Result<Vec<UserId>> {
+    if data.remaining() < 4 {
+        return Err(ProtocolError::malformed_report("truncated id count"));
+    }
+    let count = data.get_u32_le() as usize;
+    if data.remaining() < count * 8 {
+        return Err(ProtocolError::malformed_report("truncated id entries"));
+    }
+    Ok((0..count).map(|_| UserId(data.get_u64_le())).collect())
+}
+
+/// Encodes a station's full local data (the naive method's shipment):
+/// `u32` user count, then per user `{id u64, len u32, values u64×len}`.
+pub fn encode_station_data<'a, I>(entries: I) -> Bytes
+where
+    I: IntoIterator<Item = (UserId, &'a Pattern)>,
+{
+    let mut buf = BytesMut::new();
+    let mut count = 0u32;
+    let mut body = BytesMut::new();
+    for (user, pattern) in entries {
+        body.put_u64_le(user.0);
+        body.put_u32_le(pattern.len() as u32);
+        for v in pattern.iter() {
+            body.put_u64_le(v);
+        }
+        count += 1;
+    }
+    buf.put_u32_le(count);
+    buf.extend_from_slice(&body);
+    buf.freeze()
+}
+
+/// Decodes a naive-method data shipment.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedReport`] on truncation.
+pub fn decode_station_data(mut data: Bytes) -> Result<Vec<(UserId, Pattern)>> {
+    if data.remaining() < 4 {
+        return Err(ProtocolError::malformed_report("truncated user count"));
+    }
+    let count = data.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if data.remaining() < 12 {
+            return Err(ProtocolError::malformed_report("truncated user header"));
+        }
+        let user = UserId(data.get_u64_le());
+        let len = data.get_u32_le() as usize;
+        if data.remaining() < len * 8 {
+            return Err(ProtocolError::malformed_report("truncated pattern values"));
+        }
+        let values: Vec<u64> = (0..len).map(|_| data.get_u64_le()).collect();
+        out.push((user, Pattern::new(values)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(n: u64, d: u64) -> Weight {
+        Weight::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn weight_reports_roundtrip() {
+        let reports = vec![
+            (UserId(1), w(1, 3)),
+            (UserId(999), Weight::ONE),
+            (UserId(42), w(7, 9)),
+        ];
+        let encoded = encode_weight_reports(&reports);
+        assert_eq!(encoded.len(), 4 + 3 * 24);
+        assert_eq!(decode_weight_reports(encoded).unwrap(), reports);
+    }
+
+    #[test]
+    fn empty_reports_roundtrip() {
+        assert!(decode_weight_reports(encode_weight_reports(&[]))
+            .unwrap()
+            .is_empty());
+        assert!(decode_id_reports(encode_id_reports(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn id_reports_roundtrip() {
+        let ids = vec![UserId(3), UserId(1), UserId(4)];
+        let encoded = encode_id_reports(&ids);
+        assert_eq!(encoded.len(), 4 + 3 * 8);
+        assert_eq!(decode_id_reports(encoded).unwrap(), ids);
+    }
+
+    #[test]
+    fn station_data_roundtrip() {
+        let p1 = Pattern::from([1u64, 2, 3]);
+        let p2 = Pattern::from([0u64; 5]);
+        let encoded = encode_station_data(vec![(UserId(1), &p1), (UserId(2), &p2)]);
+        let decoded = decode_station_data(encoded).unwrap();
+        assert_eq!(decoded, vec![(UserId(1), p1), (UserId(2), p2)]);
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let reports = vec![(UserId(1), w(1, 2))];
+        let encoded = encode_weight_reports(&reports);
+        for cut in [0, 3, 10, encoded.len() - 1] {
+            assert!(decode_weight_reports(encoded.slice(0..cut)).is_err());
+        }
+        let p = Pattern::from([1u64, 2]);
+        let data = encode_station_data(vec![(UserId(1), &p)]);
+        for cut in [0, 3, 10, data.len() - 1] {
+            assert!(decode_station_data(data.slice(0..cut)).is_err());
+        }
+    }
+
+    #[test]
+    fn zero_denominator_rejected() {
+        let mut raw = encode_weight_reports(&[(UserId(1), w(1, 2))]).to_vec();
+        // Denominator is the last 8 bytes; zero it.
+        let n = raw.len();
+        raw[n - 8..].fill(0);
+        assert!(decode_weight_reports(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn filter_broadcast_roundtrip() {
+        let filter_bytes = Bytes::from_static(b"FILTERPAYLOAD");
+        let framed = encode_filter_broadcast(&[100, 250], filter_bytes.clone());
+        let (totals, rest) = decode_filter_broadcast(framed).unwrap();
+        assert_eq!(totals, vec![100, 250]);
+        assert_eq!(rest, filter_bytes);
+        assert!(decode_filter_broadcast(Bytes::from_static(b"\x01")).is_err());
+    }
+
+    #[test]
+    fn weight_report_is_much_smaller_than_pattern_shipment() {
+        // The core communication claim: 24 bytes per candidate vs a full
+        // pattern (8 bytes × intervals) per user.
+        let long = Pattern::from(vec![5u64; 336]); // one week at 30-min slots
+        let shipment = encode_station_data(vec![(UserId(1), &long)]);
+        let report = encode_weight_reports(&[(UserId(1), Weight::ONE)]);
+        assert!(report.len() * 50 < shipment.len());
+    }
+}

@@ -1,0 +1,33 @@
+//! Robustness: the data center must survive arbitrary bytes arriving as
+//! station reports or broadcasts — decode cleanly or reject, never panic.
+
+use bytes::Bytes;
+use dipm_protocol::wire;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_bytes_never_panic_any_decoder(raw in vec(any::<u8>(), 0..400)) {
+        let bytes = Bytes::from(raw);
+        let _ = wire::decode_weight_reports(bytes.clone());
+        let _ = wire::decode_id_reports(bytes.clone());
+        let _ = wire::decode_station_data(bytes.clone());
+        let _ = wire::decode_filter_broadcast(bytes);
+    }
+
+    #[test]
+    fn huge_declared_counts_are_rejected_not_allocated(count in 1_000u32..u32::MAX) {
+        // A malicious station declares a huge entry count with a tiny body;
+        // the decoders must reject on length, not trust the count.
+        let mut raw = count.to_le_bytes().to_vec();
+        raw.extend_from_slice(&[0u8; 16]);
+        let bytes = Bytes::from(raw);
+        prop_assert!(wire::decode_weight_reports(bytes.clone()).is_err());
+        prop_assert!(wire::decode_id_reports(bytes.clone()).is_err());
+        // Station data validates per-entry, so it errors once the body runs dry.
+        prop_assert!(wire::decode_station_data(bytes).is_err());
+    }
+}

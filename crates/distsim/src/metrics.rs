@@ -1,0 +1,189 @@
+//! Cost accounting: the quantities behind the paper's Figure 4.
+//!
+//! The evaluation compares methods on four axes — precision, time,
+//! communication and storage. [`CostMeter`] collects the machine-independent
+//! ones (bytes moved per traffic class, bytes stored, operation counts) with
+//! lock-free atomics so the thread-per-station runtime can record
+//! concurrently; wall time is measured by the harness around the run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Traffic classes, so communication cost can be broken down by purpose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Query dissemination: the data center broadcasting a filter.
+    Query,
+    /// Station→center candidate reports (IDs and weights).
+    Report,
+    /// Bulk raw-data shipping (the naive method).
+    Data,
+    /// Protocol control traffic.
+    Control,
+}
+
+impl TrafficClass {
+    /// All classes, in a stable order.
+    pub const ALL: [TrafficClass; 4] = [
+        TrafficClass::Query,
+        TrafficClass::Report,
+        TrafficClass::Data,
+        TrafficClass::Control,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            TrafficClass::Query => 0,
+            TrafficClass::Report => 1,
+            TrafficClass::Data => 2,
+            TrafficClass::Control => 3,
+        }
+    }
+}
+
+/// Thread-safe accumulator for communication, storage and computation costs.
+#[derive(Debug, Default)]
+pub struct CostMeter {
+    messages: AtomicU64,
+    bytes: [AtomicU64; 4],
+    storage_bytes: AtomicU64,
+    hash_ops: AtomicU64,
+    comparisons: AtomicU64,
+}
+
+impl CostMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> CostMeter {
+        CostMeter::default()
+    }
+
+    /// Records one message of `bytes` payload bytes in `class`.
+    pub fn record_message(&self, class: TrafficClass, bytes: u64) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes[class.index()].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` of data held at some node.
+    pub fn record_storage(&self, bytes: u64) {
+        self.storage_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `count` hash evaluations.
+    pub fn record_hash_ops(&self, count: u64) {
+        self.hash_ops.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Records `count` pattern/value comparisons.
+    pub fn record_comparisons(&self, count: u64) {
+        self.comparisons.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting (individual counters
+    /// are exact; cross-counter skew is possible while threads still run).
+    pub fn report(&self) -> CostReport {
+        CostReport {
+            messages: self.messages.load(Ordering::Relaxed),
+            query_bytes: self.bytes[0].load(Ordering::Relaxed),
+            report_bytes: self.bytes[1].load(Ordering::Relaxed),
+            data_bytes: self.bytes[2].load(Ordering::Relaxed),
+            control_bytes: self.bytes[3].load(Ordering::Relaxed),
+            storage_bytes: self.storage_bytes.load(Ordering::Relaxed),
+            hash_ops: self.hash_ops.load(Ordering::Relaxed),
+            comparisons: self.comparisons.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.messages.store(0, Ordering::Relaxed);
+        for b in &self.bytes {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.storage_bytes.store(0, Ordering::Relaxed);
+        self.hash_ops.store(0, Ordering::Relaxed);
+        self.comparisons.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A snapshot of a [`CostMeter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostReport {
+    /// Total messages sent.
+    pub messages: u64,
+    /// Bytes of query (filter broadcast) traffic.
+    pub query_bytes: u64,
+    /// Bytes of station→center report traffic.
+    pub report_bytes: u64,
+    /// Bytes of bulk raw-data traffic.
+    pub data_bytes: u64,
+    /// Bytes of control traffic.
+    pub control_bytes: u64,
+    /// Bytes stored across nodes.
+    pub storage_bytes: u64,
+    /// Hash function evaluations.
+    pub hash_ops: u64,
+    /// Pattern/value comparisons.
+    pub comparisons: u64,
+}
+
+impl CostReport {
+    /// Total communication bytes across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.query_bytes + self.report_bytes + self.data_bytes + self.control_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_by_class() {
+        let meter = CostMeter::new();
+        meter.record_message(TrafficClass::Query, 100);
+        meter.record_message(TrafficClass::Query, 50);
+        meter.record_message(TrafficClass::Report, 8);
+        let report = meter.report();
+        assert_eq!(report.messages, 3);
+        assert_eq!(report.query_bytes, 150);
+        assert_eq!(report.report_bytes, 8);
+        assert_eq!(report.total_bytes(), 158);
+    }
+
+    #[test]
+    fn storage_and_ops() {
+        let meter = CostMeter::new();
+        meter.record_storage(4096);
+        meter.record_hash_ops(12);
+        meter.record_comparisons(3);
+        let report = meter.report();
+        assert_eq!(report.storage_bytes, 4096);
+        assert_eq!(report.hash_ops, 12);
+        assert_eq!(report.comparisons, 3);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let meter = CostMeter::new();
+        meter.record_message(TrafficClass::Data, 1);
+        meter.record_storage(1);
+        meter.reset();
+        assert_eq!(meter.report(), CostReport::default());
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let meter = CostMeter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        meter.record_message(TrafficClass::Report, 2);
+                    }
+                });
+            }
+        });
+        let report = meter.report();
+        assert_eq!(report.messages, 8000);
+        assert_eq!(report.report_bytes, 16_000);
+    }
+}

@@ -1,0 +1,290 @@
+//! An in-memory, byte-accounted message-passing network.
+//!
+//! Mirrors the paper's experiment environment: all "nodes" live in one
+//! process (one thread per base station, Section V-A) and exchange real
+//! messages whose payload sizes are metered — the numbers behind the
+//! communication-cost comparison in Figure 4(c).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::error::{DistSimError, Result};
+use crate::metrics::{CostMeter, TrafficClass};
+use crate::node::NodeId;
+
+/// One delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Traffic class, for cost breakdown.
+    pub class: TrafficClass,
+    /// Opaque payload; its length is the metered communication cost.
+    pub payload: Bytes,
+}
+
+struct NetworkInner {
+    meter: CostMeter,
+    mailboxes: Mutex<HashMap<NodeId, Sender<Envelope>>>,
+}
+
+/// A shared in-memory network with per-message byte accounting.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use dipm_distsim::{Network, NodeId, TrafficClass, DATA_CENTER};
+///
+/// # fn main() -> Result<(), dipm_distsim::DistSimError> {
+/// let network = Network::new();
+/// let center = network.register(DATA_CENTER)?;
+/// let station = NodeId::base_station(0);
+/// network.register(station)?; // station mailbox unused in this example
+///
+/// network.send(station, DATA_CENTER, TrafficClass::Report, Bytes::from_static(b"id+w"))?;
+/// let env = center.try_recv().expect("delivered");
+/// assert_eq!(env.from, station);
+/// assert_eq!(network.meter().report().report_bytes, 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<NetworkInner>,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network::new()
+    }
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Network {
+        Network {
+            inner: Arc::new(NetworkInner {
+                meter: CostMeter::new(),
+                mailboxes: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// The shared cost meter.
+    pub fn meter(&self) -> &CostMeter {
+        &self.inner.meter
+    }
+
+    /// Registers `node`, returning its mailbox.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistSimError::DuplicateNode`] if `node` already registered.
+    pub fn register(&self, node: NodeId) -> Result<Mailbox> {
+        let mut boxes = self.inner.mailboxes.lock();
+        if boxes.contains_key(&node) {
+            return Err(DistSimError::DuplicateNode(node));
+        }
+        let (tx, rx) = unbounded();
+        boxes.insert(node, tx);
+        Ok(Mailbox { node, rx })
+    }
+
+    /// Sends one metered message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistSimError::UnknownNode`] if `to` never registered and
+    /// [`DistSimError::Disconnected`] if its mailbox was dropped.
+    pub fn send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        class: TrafficClass,
+        payload: Bytes,
+    ) -> Result<()> {
+        let sender = {
+            let boxes = self.inner.mailboxes.lock();
+            boxes
+                .get(&to)
+                .cloned()
+                .ok_or(DistSimError::UnknownNode(to))?
+        };
+        self.inner.meter.record_message(class, payload.len() as u64);
+        sender
+            .send(Envelope {
+                from,
+                to,
+                class,
+                payload,
+            })
+            .map_err(|_| DistSimError::Disconnected(to))
+    }
+
+    /// Broadcasts the same payload to every given node, metering each copy
+    /// separately (the data center pays per-station dissemination cost).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first unknown or disconnected target.
+    pub fn broadcast<I>(
+        &self,
+        from: NodeId,
+        targets: I,
+        class: TrafficClass,
+        payload: &Bytes,
+    ) -> Result<usize>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let mut delivered = 0;
+        for node in targets {
+            self.send(from, node, class, payload.clone())?;
+            delivered += 1;
+        }
+        Ok(delivered)
+    }
+
+    /// The number of registered mailboxes.
+    pub fn node_count(&self) -> usize {
+        self.inner.mailboxes.lock().len()
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.node_count())
+            .finish()
+    }
+}
+
+/// The receiving end of one node's message queue.
+#[derive(Debug)]
+pub struct Mailbox {
+    node: NodeId,
+    rx: Receiver<Envelope>,
+}
+
+impl Mailbox {
+    /// The node this mailbox belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Receives the next message without blocking.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Receives, blocking until a message arrives or every sender is gone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistSimError::Disconnected`] when the network was dropped.
+    pub fn recv(&self) -> Result<Envelope> {
+        self.rx
+            .recv()
+            .map_err(|_| DistSimError::Disconnected(self.node))
+    }
+
+    /// Drains all currently queued messages.
+    pub fn drain(&self) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        while let Some(env) = self.try_recv() {
+            out.push(env);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::DATA_CENTER;
+
+    #[test]
+    fn register_send_receive() {
+        let net = Network::new();
+        let center = net.register(DATA_CENTER).unwrap();
+        net.register(NodeId(1)).unwrap();
+        net.send(NodeId(1), DATA_CENTER, TrafficClass::Report, Bytes::from_static(b"abc"))
+            .unwrap();
+        let env = center.recv().unwrap();
+        assert_eq!(env.payload.as_ref(), b"abc");
+        assert_eq!(env.from, NodeId(1));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let net = Network::new();
+        net.register(NodeId(1)).unwrap();
+        assert_eq!(
+            net.register(NodeId(1)).unwrap_err(),
+            DistSimError::DuplicateNode(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn unknown_target_rejected() {
+        let net = Network::new();
+        let err = net
+            .send(NodeId(1), NodeId(9), TrafficClass::Control, Bytes::new())
+            .unwrap_err();
+        assert_eq!(err, DistSimError::UnknownNode(NodeId(9)));
+    }
+
+    #[test]
+    fn broadcast_meters_each_copy() {
+        let net = Network::new();
+        let mut boxes = Vec::new();
+        for i in 0..4 {
+            boxes.push(net.register(NodeId::base_station(i)).unwrap());
+        }
+        let payload = Bytes::from(vec![0u8; 100]);
+        let delivered = net
+            .broadcast(
+                DATA_CENTER,
+                (0..4).map(NodeId::base_station),
+                TrafficClass::Query,
+                &payload,
+            )
+            .unwrap();
+        assert_eq!(delivered, 4);
+        assert_eq!(net.meter().report().query_bytes, 400);
+        for mailbox in &boxes {
+            assert_eq!(mailbox.drain().len(), 1);
+        }
+    }
+
+    #[test]
+    fn drain_empties_queue() {
+        let net = Network::new();
+        let mailbox = net.register(NodeId(1)).unwrap();
+        for _ in 0..3 {
+            net.send(DATA_CENTER, NodeId(1), TrafficClass::Control, Bytes::new())
+                .unwrap();
+        }
+        assert_eq!(mailbox.drain().len(), 3);
+        assert!(mailbox.try_recv().is_none());
+    }
+
+    #[test]
+    fn network_clones_share_state() {
+        let net = Network::new();
+        let clone = net.clone();
+        let _mailbox = net.register(NodeId(1)).unwrap();
+        clone
+            .send(DATA_CENTER, NodeId(1), TrafficClass::Data, Bytes::from_static(b"xy"))
+            .unwrap();
+        assert_eq!(net.meter().report().data_bytes, 2);
+        assert_eq!(clone.node_count(), 1);
+    }
+}

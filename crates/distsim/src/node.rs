@@ -1,0 +1,58 @@
+//! Node identities in the simulated deployment.
+
+use std::fmt;
+
+/// A node in the distributed deployment: the data center or a base station.
+///
+/// By the paper's convention (Section III-B) node 0 is the data center `N0`
+/// and nodes `1..=l` are the base stations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// The data center node `N0`.
+pub const DATA_CENTER: NodeId = NodeId(0);
+
+impl NodeId {
+    /// Whether this node is the data center.
+    pub fn is_data_center(self) -> bool {
+        self == DATA_CENTER
+    }
+
+    /// The node id for the `i`-th base station (zero-based).
+    pub fn base_station(index: u32) -> NodeId {
+        NodeId(index + 1)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_data_center() {
+            write!(f, "N0(center)")
+        } else {
+            write!(f, "N{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_center_is_node_zero() {
+        assert!(DATA_CENTER.is_data_center());
+        assert!(!NodeId(1).is_data_center());
+    }
+
+    #[test]
+    fn base_station_indexing_skips_center() {
+        assert_eq!(NodeId::base_station(0), NodeId(1));
+        assert_eq!(NodeId::base_station(9), NodeId(10));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DATA_CENTER.to_string(), "N0(center)");
+        assert_eq!(NodeId(3).to_string(), "N3");
+    }
+}

@@ -1,0 +1,114 @@
+//! Station execution runtimes.
+//!
+//! The paper's experiment environment runs "one thread as a base station"
+//! (Section V-A). [`ExecutionMode::Threaded`] reproduces that: one OS thread
+//! per station via crossbeam's scoped threads. [`ExecutionMode::Sequential`]
+//! runs the same closures in station order on the calling thread, which is
+//! deterministic and convenient for tests; both modes must produce identical
+//! results (property-tested in the protocol crate).
+
+use crossbeam::thread;
+
+/// How per-station work is executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ExecutionMode {
+    /// Run stations one after another on the calling thread.
+    #[default]
+    Sequential,
+    /// Run one scoped OS thread per station (the paper's setup).
+    Threaded,
+}
+
+/// Runs `work` once per station, returning outputs in station order
+/// regardless of execution mode.
+///
+/// `work` receives the station's index and the station item itself.
+///
+/// # Panics
+///
+/// Propagates panics from `work` (in threaded mode, after all threads have
+/// been joined).
+///
+/// # Examples
+///
+/// ```
+/// use dipm_distsim::{run_stations, ExecutionMode};
+///
+/// let stations = vec![10u64, 20, 30];
+/// let out = run_stations(ExecutionMode::Threaded, &stations, |i, s| s + i as u64);
+/// assert_eq!(out, vec![10, 21, 32]);
+/// ```
+pub fn run_stations<S, T, F>(mode: ExecutionMode, stations: &[S], work: F) -> Vec<T>
+where
+    S: Sync,
+    T: Send,
+    F: Fn(usize, &S) -> T + Sync,
+{
+    match mode {
+        ExecutionMode::Sequential => stations
+            .iter()
+            .enumerate()
+            .map(|(i, s)| work(i, s))
+            .collect(),
+        ExecutionMode::Threaded => thread::scope(|scope| {
+            let handles: Vec<_> = stations
+                .iter()
+                .enumerate()
+                .map(|(i, s)| scope.spawn({
+                    let work = &work;
+                    move |_| work(i, s)
+                }))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("station thread panicked"))
+                .collect()
+        })
+        .expect("station scope panicked"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn sequential_preserves_order() {
+        let stations = vec!["a", "b", "c"];
+        let out = run_stations(ExecutionMode::Sequential, &stations, |i, s| format!("{i}{s}"));
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let stations: Vec<u64> = (0..32).collect();
+        let seq = run_stations(ExecutionMode::Sequential, &stations, |i, s| s * 3 + i as u64);
+        let thr = run_stations(ExecutionMode::Threaded, &stations, |i, s| s * 3 + i as u64);
+        assert_eq!(seq, thr);
+    }
+
+    #[test]
+    fn threaded_actually_runs_every_station() {
+        let counter = AtomicU64::new(0);
+        let stations = vec![(); 16];
+        run_stations(ExecutionMode::Threaded, &stations, |_, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn empty_station_list() {
+        let out: Vec<u32> = run_stations(ExecutionMode::Threaded, &[] as &[u32], |_, s| *s);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "station thread panicked")]
+    fn threaded_propagates_panics() {
+        run_stations(ExecutionMode::Threaded, &[1u32], |_, _| -> u32 {
+            panic!("boom");
+        });
+    }
+}

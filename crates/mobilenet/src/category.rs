@@ -1,0 +1,391 @@
+//! Population categories and their daily communication profiles.
+//!
+//! The paper classifies its 310 surveyed persons into six occupation-based
+//! categories whose members "have the similar communication patterns"
+//! (Section V-A), and observes that category curves are daily-periodic and
+//! divisible (Observation 1, Figures 1(a) and 3). This module defines six
+//! synthetic stand-ins with distinct hourly curves and mobility habits,
+//! calibrated to reproduce those statistical properties.
+
+use std::fmt;
+
+use dipm_timeseries::Pattern;
+
+use crate::ids::StationId;
+
+/// The six population categories of the paper's Dataset 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Category {
+    /// Daytime office commuter: morning/evening call peaks, work-hour plateau.
+    OfficeWorker,
+    /// University student: late-morning start, evening-heavy traffic.
+    Student,
+    /// Night-shift worker: inverted day, peaks around midnight.
+    NightShift,
+    /// Retiree: mild mid-morning and late-afternoon activity near home.
+    Retiree,
+    /// Field salesperson: heavy all-day traffic from changing locations.
+    Salesperson,
+    /// Shop/service worker: steady daytime traffic at one work location.
+    ServiceWorker,
+}
+
+impl Category {
+    /// All six categories, in a stable order.
+    pub const ALL: [Category; 6] = [
+        Category::OfficeWorker,
+        Category::Student,
+        Category::NightShift,
+        Category::Retiree,
+        Category::Salesperson,
+        Category::ServiceWorker,
+    ];
+
+    /// A stable small integer index (0..6).
+    pub fn index(self) -> usize {
+        Category::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("category present in ALL")
+    }
+
+    /// The category's communication and mobility profile.
+    pub fn profile(self) -> &'static CategoryProfile {
+        &PROFILES[self.index()]
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Category::OfficeWorker => "office-worker",
+            Category::Student => "student",
+            Category::NightShift => "night-shift",
+            Category::Retiree => "retiree",
+            Category::Salesperson => "salesperson",
+            Category::ServiceWorker => "service-worker",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Where a user is (and therefore which base station records their traffic)
+/// during a given hour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum StationRole {
+    /// The user's residential cell.
+    Home,
+    /// The user's workplace cell.
+    Work,
+    /// A third frequented cell (shopping, commute hub, campus…).
+    Other,
+}
+
+impl StationRole {
+    /// Resolves the role to a concrete station for one user.
+    pub fn station(self, home: StationId, work: StationId, other: StationId) -> StationId {
+        match self {
+            StationRole::Home => home,
+            StationRole::Work => work,
+            StationRole::Other => other,
+        }
+    }
+}
+
+/// Expected communication attributes within one hour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HourlyRates {
+    /// Expected number of calls.
+    pub calls: f64,
+    /// Expected total call duration, in minutes.
+    pub duration_mins: f64,
+    /// Expected number of distinct partners.
+    pub partners: f64,
+}
+
+/// A category's daily behaviour: hourly attribute rates and hourly location.
+#[derive(Debug, Clone)]
+pub struct CategoryProfile {
+    /// Base intensity multiplier applied to the hourly shape, per attribute.
+    calls_scale: f64,
+    duration_scale: f64,
+    partners_scale: f64,
+    /// 24 relative intensities, one per hour of day.
+    shape: [f64; 24],
+    /// 24 locations, one per hour of day.
+    location: [StationRole; 24],
+}
+
+impl CategoryProfile {
+    /// Expected attribute rates in the given hour of day (0..24).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn rates(&self, hour: usize) -> HourlyRates {
+        assert!(hour < 24, "hour of day out of range");
+        let intensity = self.shape[hour];
+        HourlyRates {
+            calls: self.calls_scale * intensity,
+            duration_mins: self.duration_scale * intensity,
+            partners: self.partners_scale * intensity,
+        }
+    }
+
+    /// Where a member of this category is during the given hour of day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn location(&self, hour: usize) -> StationRole {
+        assert!(hour < 24, "hour of day out of range");
+        self.location[hour]
+    }
+
+    /// The deterministic (noise-free) expected pattern over `days` days at
+    /// `intervals_per_day` resolution — the curves plotted in Figures 1(a)
+    /// and 3.
+    pub fn expected_pattern(&self, days: usize, intervals_per_day: usize) -> Pattern {
+        (0..days * intervals_per_day)
+            .map(|g| self.expected_interval_value(g % intervals_per_day, intervals_per_day))
+            .collect()
+    }
+
+    /// The expected Definition-1 pattern value for one interval of the day.
+    pub fn expected_interval_value(&self, interval_of_day: usize, intervals_per_day: usize) -> u64 {
+        let r = self.expected_interval_rates(interval_of_day, intervals_per_day);
+        ((r.calls + r.duration_mins + r.partners) / 3.0).round() as u64
+    }
+
+    /// The expected attribute totals over one interval of the day, obtained
+    /// by integrating the hourly rates across the interval's hour span.
+    pub fn expected_interval_rates(
+        &self,
+        interval_of_day: usize,
+        intervals_per_day: usize,
+    ) -> HourlyRates {
+        let start = interval_of_day as f64 * 24.0 / intervals_per_day as f64;
+        let end = (interval_of_day + 1) as f64 * 24.0 / intervals_per_day as f64;
+        let mut total = HourlyRates {
+            calls: 0.0,
+            duration_mins: 0.0,
+            partners: 0.0,
+        };
+        let mut hour = start;
+        while hour < end - 1e-9 {
+            let idx = (hour.floor() as usize) % 24;
+            let span = (hour.floor() + 1.0).min(end) - hour;
+            let r = self.rates(idx);
+            total.calls += r.calls * span;
+            total.duration_mins += r.duration_mins * span;
+            total.partners += r.partners * span;
+            hour = hour.floor() + 1.0;
+        }
+        total
+    }
+
+    /// Where a member of this category spends the given interval of the day
+    /// (the location at the interval's starting hour; the trace generator
+    /// books the whole interval's traffic to one station).
+    pub fn interval_role(&self, interval_of_day: usize, intervals_per_day: usize) -> StationRole {
+        let start_hour = (interval_of_day * 24 / intervals_per_day) % 24;
+        self.location(start_hour)
+    }
+}
+
+const H: StationRole = StationRole::Home;
+const W: StationRole = StationRole::Work;
+const O: StationRole = StationRole::Other;
+
+static PROFILES: [CategoryProfile; 6] = [
+    // OfficeWorker: commute spikes at 8 and 18, plateau at work.
+    CategoryProfile {
+        calls_scale: 15.0,
+        duration_scale: 45.0,
+        partners_scale: 11.25,
+        shape: [
+            0.1, 0.05, 0.05, 0.05, 0.05, 0.1, 0.3, 0.8, 1.4, 1.0, 0.9, 1.0, //
+            1.2, 1.0, 0.9, 0.9, 1.0, 1.3, 1.5, 1.0, 0.8, 0.6, 0.4, 0.2,
+        ],
+        location: [
+            H, H, H, H, H, H, H, O, W, W, W, W, //
+            W, W, W, W, W, W, O, H, H, H, H, H,
+        ],
+    },
+    // Student: slow morning, strong evening.
+    CategoryProfile {
+        calls_scale: 19.5,
+        duration_scale: 30.0,
+        partners_scale: 16.5,
+        shape: [
+            0.3, 0.15, 0.1, 0.05, 0.05, 0.05, 0.1, 0.3, 0.6, 0.8, 0.9, 1.0, //
+            1.1, 1.0, 0.9, 1.0, 1.1, 1.2, 1.3, 1.5, 1.7, 1.6, 1.2, 0.7,
+        ],
+        location: [
+            H, H, H, H, H, H, H, H, W, W, W, W, //
+            O, W, W, W, W, O, O, H, H, H, H, H,
+        ],
+    },
+    // NightShift: inverted day.
+    CategoryProfile {
+        calls_scale: 13.5,
+        duration_scale: 37.5,
+        partners_scale: 9.0,
+        shape: [
+            1.3, 1.2, 1.1, 1.0, 0.9, 0.7, 0.5, 0.3, 0.2, 0.1, 0.1, 0.1, //
+            0.2, 0.3, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 1.0, 1.1, 1.2, 1.3,
+        ],
+        location: [
+            W, W, W, W, W, W, O, H, H, H, H, H, //
+            H, H, H, H, O, O, H, H, O, W, W, W,
+        ],
+    },
+    // Retiree: gentle bimodal day, mostly home.
+    CategoryProfile {
+        calls_scale: 9.0,
+        duration_scale: 52.5,
+        partners_scale: 6.0,
+        shape: [
+            0.05, 0.05, 0.05, 0.05, 0.05, 0.1, 0.3, 0.6, 0.9, 1.1, 1.2, 1.0, //
+            0.8, 0.7, 0.8, 1.0, 1.2, 1.1, 0.9, 0.7, 0.5, 0.3, 0.15, 0.1,
+        ],
+        location: [
+            H, H, H, H, H, H, H, H, H, O, O, H, //
+            H, H, H, O, O, H, H, H, H, H, H, H,
+        ],
+    },
+    // Salesperson: heavy, flat daytime traffic, frequent movement.
+    CategoryProfile {
+        calls_scale: 30.0,
+        duration_scale: 60.0,
+        partners_scale: 26.25,
+        shape: [
+            0.1, 0.05, 0.05, 0.05, 0.05, 0.1, 0.4, 0.9, 1.2, 1.3, 1.3, 1.3, //
+            1.2, 1.3, 1.3, 1.3, 1.3, 1.2, 1.1, 0.9, 0.7, 0.5, 0.3, 0.2,
+        ],
+        location: [
+            H, H, H, H, H, H, H, O, W, O, W, O, //
+            W, O, W, O, W, O, O, H, H, H, H, H,
+        ],
+    },
+    // ServiceWorker: steady at shop from 10 to 20.
+    CategoryProfile {
+        calls_scale: 11.25,
+        duration_scale: 26.25,
+        partners_scale: 7.5,
+        shape: [
+            0.1, 0.05, 0.05, 0.05, 0.05, 0.05, 0.2, 0.4, 0.7, 0.9, 1.0, 1.0, //
+            1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.9, 0.7, 0.5, 0.3, 0.2,
+        ],
+        location: [
+            H, H, H, H, H, H, H, H, O, W, W, W, //
+            W, W, W, W, W, W, W, W, O, H, H, H,
+        ],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dipm_timeseries::stats::{normalize_to_mean, periodicity_score};
+
+    #[test]
+    fn six_categories_with_stable_indices() {
+        assert_eq!(Category::ALL.len(), 6);
+        for (i, c) in Category::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_names_are_distinct() {
+        let names: std::collections::HashSet<String> =
+            Category::ALL.iter().map(|c| c.to_string()).collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn rates_are_nonnegative_every_hour() {
+        for c in Category::ALL {
+            for hour in 0..24 {
+                let r = c.profile().rates(hour);
+                assert!(r.calls >= 0.0 && r.duration_mins >= 0.0 && r.partners >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hour_out_of_range_panics() {
+        Category::OfficeWorker.profile().rates(24);
+    }
+
+    #[test]
+    fn expected_patterns_are_daily_periodic() {
+        // Observation 1 / Figure 1(a): at 6-hour resolution over 2 days the
+        // normalized curves repeat daily.
+        for c in Category::ALL {
+            let p = c.profile().expected_pattern(2, 4);
+            assert_eq!(p.len(), 8);
+            let norm = normalize_to_mean(&p);
+            let score = periodicity_score(&norm, 4).unwrap();
+            assert!(score > 0.99, "{c}: periodicity {score}");
+        }
+    }
+
+    #[test]
+    fn categories_are_divisible_after_accumulation() {
+        // Figure 3: weekly accumulated curves of different categories
+        // separate. Check the totals are pairwise distinct by a margin.
+        let totals: Vec<u64> = Category::ALL
+            .iter()
+            .map(|c| c.profile().expected_pattern(7, 4).total().unwrap())
+            .collect();
+        for i in 0..totals.len() {
+            for j in (i + 1)..totals.len() {
+                let (a, b) = (totals[i] as f64, totals[j] as f64);
+                let rel = (a - b).abs() / a.max(b);
+                assert!(rel > 0.02, "categories {i} and {j} too close: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_category_uses_home_and_work() {
+        for c in Category::ALL {
+            let profile = c.profile();
+            let roles: std::collections::HashSet<_> =
+                (0..24).map(|h| profile.location(h)).collect();
+            assert!(roles.contains(&StationRole::Home), "{c} never home");
+            assert!(roles.len() >= 2, "{c} never moves");
+        }
+    }
+
+    #[test]
+    fn station_role_resolution() {
+        let (h, w, o) = (StationId(1), StationId(2), StationId(3));
+        assert_eq!(StationRole::Home.station(h, w, o), h);
+        assert_eq!(StationRole::Work.station(h, w, o), w);
+        assert_eq!(StationRole::Other.station(h, w, o), o);
+    }
+
+    #[test]
+    fn interval_value_integrates_hours() {
+        // At 4 intervals/day each interval spans 6 hours; the value must be
+        // the mean-of-attributes integral over those hours.
+        let p = Category::OfficeWorker.profile();
+        let v = p.expected_interval_value(2, 4); // hours 12..18
+        let mut calls = 0.0;
+        let mut dur = 0.0;
+        let mut par = 0.0;
+        for h in 12..18 {
+            let r = p.rates(h);
+            calls += r.calls;
+            dur += r.duration_mins;
+            par += r.partners;
+        }
+        assert_eq!(v, ((calls + dur + par) / 3.0).round() as u64);
+    }
+}

@@ -1,0 +1,143 @@
+//! Call Detail Records and Cell Detail List entries.
+//!
+//! The paper's raw inputs (Section V-A): CDR rows carry the caller, callee,
+//! call type, start moment and duration, recorded at the serving base
+//! station; CDL rows map stations to physical locations. The trace generator
+//! can emit these raw rows, and [`records_to_series`] folds them into the
+//! per-interval [`AttributeSeries`] that Definition 1 consumes.
+
+use std::collections::{BTreeSet, HashMap};
+
+use dipm_timeseries::AttributeSeries;
+
+use crate::ids::{StationId, UserId};
+
+/// The call direction recorded in a CDR row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CallType {
+    /// The recorded phone originated the call.
+    Outgoing,
+    /// The recorded phone received the call.
+    Incoming,
+}
+
+/// One Call Detail Record row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CdrRecord {
+    /// The phone whose traffic this row records.
+    pub phone: UserId,
+    /// The direction of the call.
+    pub call_type: CallType,
+    /// The opposite party.
+    pub peer: UserId,
+    /// The serving base station.
+    pub station: StationId,
+    /// Zero-based time interval in which the call started.
+    pub interval: u32,
+    /// Call duration in seconds.
+    pub duration_secs: u32,
+}
+
+/// One Cell Detail List row: a station and its planar location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CdlRecord {
+    /// The station this row describes.
+    pub station: StationId,
+    /// Easting coordinate, km.
+    pub x: f64,
+    /// Northing coordinate, km.
+    pub y: f64,
+}
+
+/// Folds raw CDR rows into one [`AttributeSeries`] per `(user, station)`
+/// pair, counting calls, total duration and *distinct* partners per interval
+/// — exactly the three attributes of Definition 1.
+///
+/// `intervals` fixes the series length; rows whose interval falls outside
+/// `0..intervals` are ignored.
+pub fn records_to_series(
+    records: &[CdrRecord],
+    intervals: usize,
+) -> HashMap<(UserId, StationId), AttributeSeries> {
+    let mut partners: HashMap<(UserId, StationId), Vec<BTreeSet<UserId>>> = HashMap::new();
+    let mut series: HashMap<(UserId, StationId), AttributeSeries> = HashMap::new();
+    for record in records {
+        let interval = record.interval as usize;
+        if interval >= intervals {
+            continue;
+        }
+        let key = (record.phone, record.station);
+        let entry = series
+            .entry(key)
+            .or_insert_with(|| AttributeSeries::zeros(intervals));
+        let slot = entry
+            .record_mut(interval)
+            .expect("interval bounded by series length");
+        slot.calls += 1;
+        slot.duration_secs = slot.duration_secs.saturating_add(record.duration_secs);
+        let partner_sets = partners
+            .entry(key)
+            .or_insert_with(|| vec![BTreeSet::new(); intervals]);
+        if partner_sets[interval].insert(record.peer) {
+            slot.partners += 1;
+        }
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(phone: u64, peer: u64, station: u32, interval: u32, secs: u32) -> CdrRecord {
+        CdrRecord {
+            phone: UserId(phone),
+            call_type: CallType::Outgoing,
+            peer: UserId(peer),
+            station: StationId(station),
+            interval,
+            duration_secs: secs,
+        }
+    }
+
+    #[test]
+    fn counts_calls_duration_and_distinct_partners() {
+        let rows = vec![
+            row(1, 100, 5, 0, 60),
+            row(1, 100, 5, 0, 30), // same partner, same interval
+            row(1, 200, 5, 0, 10), // second distinct partner
+            row(1, 100, 5, 1, 20), // next interval: partner counts anew
+        ];
+        let series = records_to_series(&rows, 4);
+        let s = &series[&(UserId(1), StationId(5))];
+        let r0 = s.records()[0];
+        assert_eq!(r0.calls, 3);
+        assert_eq!(r0.duration_secs, 100);
+        assert_eq!(r0.partners, 2);
+        let r1 = s.records()[1];
+        assert_eq!(r1.calls, 1);
+        assert_eq!(r1.partners, 1);
+    }
+
+    #[test]
+    fn splits_by_user_and_station() {
+        let rows = vec![row(1, 9, 5, 0, 60), row(1, 9, 6, 0, 60), row(2, 9, 5, 0, 60)];
+        let series = records_to_series(&rows, 1);
+        assert_eq!(series.len(), 3);
+    }
+
+    #[test]
+    fn out_of_range_intervals_ignored() {
+        let rows = vec![row(1, 9, 5, 10, 60)];
+        let series = records_to_series(&rows, 4);
+        assert!(series.is_empty());
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(records_to_series(&[], 8).is_empty());
+    }
+}

@@ -1,0 +1,268 @@
+//! Materialized synthetic datasets.
+//!
+//! A [`Dataset`] is the ground-truth world the experiments run against: the
+//! per-station local patterns (what each base station stores), the per-user
+//! global patterns (which exist nowhere in the real system — only the
+//! simulator can see them), and the category labels used as Dataset-2-style
+//! ground truth.
+
+use std::collections::BTreeMap;
+
+use dipm_timeseries::{AttributeSeries, AttributeWeights, Pattern};
+
+use crate::category::Category;
+use crate::error::Result;
+use crate::generator::TraceConfig;
+use crate::ids::{StationId, UserId};
+use crate::user::UserSpec;
+
+/// A fully materialized synthetic trace.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    users: Vec<UserSpec>,
+    user_index: BTreeMap<UserId, usize>,
+    stations: Vec<StationId>,
+    locals: BTreeMap<StationId, BTreeMap<UserId, Pattern>>,
+    fragments: BTreeMap<UserId, Vec<(StationId, Pattern)>>,
+    globals: BTreeMap<UserId, Pattern>,
+    intervals: usize,
+    intervals_per_day: usize,
+}
+
+impl Dataset {
+    pub(crate) fn from_parts(
+        users: Vec<UserSpec>,
+        stations: Vec<StationId>,
+        series: BTreeMap<StationId, BTreeMap<UserId, AttributeSeries>>,
+        intervals: usize,
+        intervals_per_day: usize,
+    ) -> Dataset {
+        let weights = AttributeWeights::default();
+        let mut locals: BTreeMap<StationId, BTreeMap<UserId, Pattern>> = BTreeMap::new();
+        let mut fragments: BTreeMap<UserId, Vec<(StationId, Pattern)>> = BTreeMap::new();
+        for (station, per_user) in &series {
+            for (user, attr_series) in per_user {
+                let pattern = attr_series.to_pattern(&weights);
+                locals
+                    .entry(*station)
+                    .or_default()
+                    .insert(*user, pattern.clone());
+                fragments.entry(*user).or_default().push((*station, pattern));
+            }
+        }
+        let globals = fragments
+            .iter()
+            .map(|(user, frags)| {
+                let sum = Pattern::sum(frags.iter().map(|(_, p)| p))
+                    .expect("every user generates at least one fragment");
+                (*user, sum)
+            })
+            .collect();
+        let user_index = users.iter().enumerate().map(|(i, u)| (u.id, i)).collect();
+        Dataset {
+            users,
+            user_index,
+            stations,
+            locals,
+            fragments,
+            globals,
+            intervals,
+            intervals_per_day,
+        }
+    }
+
+    /// All users, in id order.
+    pub fn users(&self) -> &[UserSpec] {
+        &self.users
+    }
+
+    /// Looks up one user's specification.
+    pub fn user(&self, id: UserId) -> Option<&UserSpec> {
+        self.user_index.get(&id).map(|&i| &self.users[i])
+    }
+
+    /// The user's category label (Dataset-2 ground truth).
+    pub fn category_of(&self, id: UserId) -> Option<Category> {
+        self.user(id).map(|u| u.category)
+    }
+
+    /// All base stations.
+    pub fn stations(&self) -> &[StationId] {
+        &self.stations
+    }
+
+    /// The number of time intervals each pattern spans.
+    pub fn intervals(&self) -> usize {
+        self.intervals
+    }
+
+    /// The number of intervals per simulated day.
+    pub fn intervals_per_day(&self) -> usize {
+        self.intervals_per_day
+    }
+
+    /// The local patterns stored at one base station (user → pattern).
+    /// Stations that never served any traffic return `None`.
+    pub fn station_locals(&self, station: StationId) -> Option<&BTreeMap<UserId, Pattern>> {
+        self.locals.get(&station)
+    }
+
+    /// One user's global pattern — `Σj Vi,j`, materialized only inside the
+    /// simulator.
+    pub fn global(&self, id: UserId) -> Option<&Pattern> {
+        self.globals.get(&id)
+    }
+
+    /// One user's local fragments as `(station, pattern)` pairs in station
+    /// order — the decomposition a query built from this user carries.
+    pub fn fragments(&self, id: UserId) -> Option<&[(StationId, Pattern)]> {
+        self.fragments.get(&id).map(Vec::as_slice)
+    }
+
+    /// Iterates over every `(station, user, local pattern)` triple.
+    pub fn iter_locals(
+        &self,
+    ) -> impl Iterator<Item = (StationId, UserId, &Pattern)> + '_ {
+        self.locals.iter().flat_map(|(station, per_user)| {
+            per_user
+                .iter()
+                .map(move |(user, pattern)| (*station, *user, pattern))
+        })
+    }
+
+    /// The raw size of all station-resident data in bytes (8 bytes per
+    /// interval value plus an 8-byte user id per fragment) — the baseline
+    /// storage cost the naive method ships to the center (Fig. 4c/4d).
+    pub fn raw_data_bytes(&self) -> u64 {
+        self.locals
+            .values()
+            .flat_map(|per_user| per_user.values())
+            .map(|p| 8 + 8 * p.len() as u64)
+            .sum()
+    }
+
+    /// The Dataset-2 stand-in: 310 surveyed persons across the six
+    /// categories, one day at 3-hour resolution, mild noise (Section V-A of
+    /// the paper; Table II evaluates one such trace per survey day).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the preset configuration is statically valid.
+    pub fn survey_310(seed: u64) -> Dataset {
+        TraceConfig::new(310, 24)
+            .days(1)
+            .intervals_per_day(8)
+            .noise(1)
+            .seed(seed)
+            .generate()
+            .expect("preset configuration is valid")
+    }
+
+    /// A small, fast preset used by tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the preset configuration is statically valid.
+    pub fn small(seed: u64) -> Dataset {
+        TraceConfig::new(60, 8)
+            .days(1)
+            .intervals_per_day(8)
+            .noise(1)
+            .seed(seed)
+            .generate()
+            .expect("preset configuration is valid")
+    }
+
+    /// A Dataset-1-style city slice: `users` phones over `stations` cells,
+    /// two days at 3-hour resolution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TraceConfig::generate`] validation errors.
+    pub fn city_slice(users: usize, stations: u32, seed: u64) -> Result<Dataset> {
+        TraceConfig::new(users, stations)
+            .days(2)
+            .intervals_per_day(8)
+            .noise(1)
+            .seed(seed)
+            .generate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_preset_has_310_users_in_six_categories() {
+        let d = Dataset::survey_310(1);
+        assert_eq!(d.users().len(), 310);
+        let categories: std::collections::HashSet<Category> =
+            d.users().iter().map(|u| u.category).collect();
+        assert_eq!(categories.len(), 6);
+        assert_eq!(d.intervals(), 8);
+    }
+
+    #[test]
+    fn lookup_accessors_agree() {
+        let d = Dataset::small(5);
+        let first = d.users()[0];
+        assert_eq!(d.user(first.id), Some(&first));
+        assert_eq!(d.category_of(first.id), Some(first.category));
+        assert!(d.global(first.id).is_some());
+        assert!(d.user(UserId(9999)).is_none());
+        assert!(d.global(UserId(9999)).is_none());
+    }
+
+    #[test]
+    fn station_locals_cover_all_fragments() {
+        let d = Dataset::small(5);
+        let mut count = 0usize;
+        for station in d.stations() {
+            if let Some(per_user) = d.station_locals(*station) {
+                count += per_user.len();
+            }
+        }
+        let via_fragments: usize = d
+            .users()
+            .iter()
+            .map(|u| d.fragments(u.id).map(|f| f.len()).unwrap_or(0))
+            .sum();
+        assert_eq!(count, via_fragments);
+    }
+
+    #[test]
+    fn iter_locals_matches_station_maps() {
+        let d = Dataset::small(9);
+        let total = d.iter_locals().count();
+        let by_station: usize = d
+            .stations()
+            .iter()
+            .filter_map(|s| d.station_locals(*s))
+            .map(BTreeMap::len)
+            .sum();
+        assert_eq!(total, by_station);
+    }
+
+    #[test]
+    fn raw_data_bytes_counts_every_value() {
+        let d = Dataset::small(2);
+        let expect: u64 = d
+            .iter_locals()
+            .map(|(_, _, p)| 8 + 8 * p.len() as u64)
+            .sum();
+        assert_eq!(d.raw_data_bytes(), expect);
+        assert!(d.raw_data_bytes() > 0);
+    }
+
+    #[test]
+    fn patterns_span_dataset_intervals() {
+        let d = Dataset::small(3);
+        for (_, _, p) in d.iter_locals() {
+            assert_eq!(p.len(), d.intervals());
+        }
+        for u in d.users() {
+            assert_eq!(d.global(u.id).unwrap().len(), d.intervals());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Error types for trace generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// A convenient result alias used throughout [`dipm-mobilenet`](crate).
+pub type Result<T, E = MobileNetError> = std::result::Result<T, E>;
+
+/// Errors produced by trace configuration and generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MobileNetError {
+    /// The trace configuration was rejected.
+    InvalidConfig {
+        /// Human-readable reason for the rejection.
+        reason: String,
+    },
+    /// A lookup referenced a user or station absent from the dataset.
+    UnknownId {
+        /// Description of the missing identifier.
+        what: String,
+    },
+}
+
+impl MobileNetError {
+    pub(crate) fn invalid_config(reason: impl Into<String>) -> Self {
+        MobileNetError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for MobileNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MobileNetError::InvalidConfig { reason } => {
+                write!(f, "invalid trace configuration: {reason}")
+            }
+            MobileNetError::UnknownId { what } => write!(f, "unknown identifier: {what}"),
+        }
+    }
+}
+
+impl Error for MobileNetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = MobileNetError::invalid_config("need at least 3 stations");
+        assert!(err.to_string().contains("3 stations"));
+    }
+}

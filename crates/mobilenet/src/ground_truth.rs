@@ -1,0 +1,135 @@
+//! Ground-truth oracles for evaluation.
+//!
+//! Only the simulator can see global patterns, so only it can answer "which
+//! users *really* match the query" — the relevant sets behind the paper's
+//! precision/recall numbers (Fig. 4a, Table II) and the Observation-2
+//! statistics (Fig. 1b).
+
+use std::collections::BTreeSet;
+
+use dipm_timeseries::{eps_match, Pattern};
+
+use crate::category::Category;
+use crate::dataset::Dataset;
+use crate::ids::UserId;
+
+/// Users whose **global** pattern ε-matches `query` (Eq. 2) — the relevant
+/// set for precision/recall against a pattern query.
+pub fn eps_similar_users(dataset: &Dataset, query: &Pattern, eps: u64) -> BTreeSet<UserId> {
+    dataset
+        .users()
+        .iter()
+        .filter(|u| {
+            dataset
+                .global(u.id)
+                .is_some_and(|g| eps_match(g, query, eps))
+        })
+        .map(|u| u.id)
+        .collect()
+}
+
+/// Members of one category — the relevant set for Dataset-2-style
+/// effectiveness evaluation (Table II).
+pub fn category_members(dataset: &Dataset, category: Category) -> BTreeSet<UserId> {
+    dataset
+        .users()
+        .iter()
+        .filter(|u| u.category == category)
+        .map(|u| u.id)
+        .collect()
+}
+
+/// How many of `b`'s local fragments ε-match at least one of `a`'s local
+/// fragments — the quantity whose CDF the paper plots in Figure 1(b).
+pub fn similar_local_count(dataset: &Dataset, a: UserId, b: UserId, eps: u64) -> usize {
+    let (Some(fa), Some(fb)) = (dataset.fragments(a), dataset.fragments(b)) else {
+        return 0;
+    };
+    fb.iter()
+        .filter(|(_, pb)| fa.iter().any(|(_, pa)| eps_match(pa, pb, eps)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eps_similar_includes_self() {
+        let d = Dataset::small(11);
+        let probe = d.users()[0];
+        let similar = eps_similar_users(&d, d.global(probe.id).unwrap(), 0);
+        assert!(similar.contains(&probe.id));
+    }
+
+    #[test]
+    fn eps_similar_grows_with_eps() {
+        let d = Dataset::small(11);
+        let probe = d.users()[0];
+        let tight = eps_similar_users(&d, d.global(probe.id).unwrap(), 0);
+        let loose = eps_similar_users(&d, d.global(probe.id).unwrap(), 10);
+        assert!(tight.is_subset(&loose));
+        assert!(loose.len() >= tight.len());
+    }
+
+    #[test]
+    fn same_category_users_are_similar_at_moderate_eps() {
+        let d = Dataset::small(11);
+        let probe = d.users()[0];
+        let similar = eps_similar_users(&d, d.global(probe.id).unwrap(), 4);
+        let members = category_members(&d, probe.category);
+        assert!(
+            members.is_subset(&similar),
+            "category members missing from the ε=4 relevant set"
+        );
+    }
+
+    #[test]
+    fn category_members_partition_users() {
+        let d = Dataset::small(4);
+        let total: usize = Category::ALL
+            .iter()
+            .map(|&c| category_members(&d, c).len())
+            .sum();
+        assert_eq!(total, d.users().len());
+    }
+
+    #[test]
+    fn similar_local_count_self_is_full() {
+        let d = Dataset::small(8);
+        for u in d.users().iter().take(6) {
+            let n = d.fragments(u.id).unwrap().len();
+            assert_eq!(similar_local_count(&d, u.id, u.id, 0), n);
+        }
+    }
+
+    #[test]
+    fn observation_2_holds_within_categories() {
+        // Similar globals share at least one similar local in > 90 % of
+        // pairs (Fig. 1b) — with category-driven routines it holds for
+        // essentially all same-category pairs.
+        let d = Dataset::small(13);
+        let users = d.users();
+        let mut pairs = 0usize;
+        let mut with_similar_local = 0usize;
+        for a in users {
+            for b in users {
+                if a.id != b.id && a.category == b.category {
+                    pairs += 1;
+                    if similar_local_count(&d, a.id, b.id, 4) >= 1 {
+                        with_similar_local += 1;
+                    }
+                }
+            }
+        }
+        assert!(pairs > 0);
+        let fraction = with_similar_local as f64 / pairs as f64;
+        assert!(fraction > 0.9, "observation 2 fraction {fraction}");
+    }
+
+    #[test]
+    fn unknown_users_have_zero_similar_locals() {
+        let d = Dataset::small(8);
+        assert_eq!(similar_local_count(&d, UserId(0), UserId(99_999), 5), 0);
+    }
+}

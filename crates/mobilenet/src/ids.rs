@@ -1,0 +1,61 @@
+//! Identifier newtypes for the simulated mobile network.
+
+use std::fmt;
+
+/// A mobile phone / person identifier (the paper uses the terms
+/// interchangeably).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UserId(pub u64);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "user:{}", self.0)
+    }
+}
+
+impl From<u64> for UserId {
+    fn from(raw: u64) -> UserId {
+        UserId(raw)
+    }
+}
+
+/// A base station (cell) identifier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StationId(pub u32);
+
+impl fmt::Display for StationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "station:{}", self.0)
+    }
+}
+
+impl From<u32> for StationId {
+    fn from(raw: u32) -> StationId {
+        StationId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(UserId(7).to_string(), "user:7");
+        assert_eq!(StationId(3).to_string(), "station:3");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(UserId(1) < UserId(2));
+        assert!(StationId(1) < StationId(2));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(UserId::from(9u64), UserId(9));
+        assert_eq!(StationId::from(4u32), StationId(4));
+    }
+}

@@ -1,0 +1,71 @@
+//! User (mobile phone) specifications.
+
+use crate::category::Category;
+use crate::ids::{StationId, UserId};
+
+/// One simulated mobile phone user: a category plus the three base stations
+/// their daily routine visits.
+///
+/// The paper's Observation 2 — that people with similar global patterns also
+/// share at least one similar *local* pattern — emerges from this structure:
+/// two users of the same category follow the same hourly routine, so their
+/// per-station fragments have the same shape even when the concrete stations
+/// differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UserSpec {
+    /// The user's identifier.
+    pub id: UserId,
+    /// The user's population category.
+    pub category: Category,
+    /// The residential cell.
+    pub home: StationId,
+    /// The workplace cell.
+    pub work: StationId,
+    /// The third frequented cell.
+    pub other: StationId,
+}
+
+impl UserSpec {
+    /// The stations this user's routine can touch, deduplicated, in
+    /// role order (home, work, other).
+    pub fn stations(&self) -> Vec<StationId> {
+        let mut out = vec![self.home];
+        if self.work != self.home {
+            out.push(self.work);
+        }
+        if self.other != self.home && self.other != self.work {
+            out.push(self.other);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stations_deduplicates() {
+        let u = UserSpec {
+            id: UserId(1),
+            category: Category::Student,
+            home: StationId(1),
+            work: StationId(2),
+            other: StationId(1),
+        };
+        assert_eq!(u.stations(), vec![StationId(1), StationId(2)]);
+    }
+
+    #[test]
+    fn stations_distinct_keeps_three() {
+        let u = UserSpec {
+            id: UserId(1),
+            category: Category::Retiree,
+            home: StationId(1),
+            work: StationId(2),
+            other: StationId(3),
+        };
+        assert_eq!(u.stations().len(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! The accumulation transform (Eq. 3 of the paper).
+//!
+//! `f(g) = f(g−1) + V(g)` turns a pattern into its prefix-sum form. The paper
+//! motivates three merits (Section IV-A): the form is monotone (so patterns
+//! with the same value multiset but different *order* become distinguishable,
+//! e.g. `{1,2,3} → {1,3,6}` vs `{3,2,1} → {3,5,6}`), differences between
+//! patterns grow along the series, and the final value equals the pattern's
+//! total volume, which drives the weight assignment.
+
+use std::fmt;
+
+use crate::error::{Result, TimeSeriesError};
+use crate::pattern::Pattern;
+
+/// A pattern in accumulated (prefix-sum) form; monotone non-decreasing by
+/// construction.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_timeseries::{AccumulatedPattern, Pattern};
+///
+/// # fn main() -> Result<(), dipm_timeseries::TimeSeriesError> {
+/// let acc = AccumulatedPattern::from_pattern(&Pattern::from([1u64, 2, 3]))?;
+/// assert_eq!(acc.values(), &[1, 3, 6]);
+/// assert_eq!(acc.deaccumulate(), Pattern::from([1u64, 2, 3]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AccumulatedPattern {
+    values: Vec<u64>,
+}
+
+impl AccumulatedPattern {
+    /// Applies Eq. 3 to a raw pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::Overflow`] if the running sum overflows.
+    pub fn from_pattern(pattern: &Pattern) -> Result<AccumulatedPattern> {
+        let mut values = Vec::with_capacity(pattern.len());
+        let mut acc = 0u64;
+        for v in pattern.iter() {
+            acc = acc.checked_add(v).ok_or(TimeSeriesError::Overflow)?;
+            values.push(acc);
+        }
+        Ok(AccumulatedPattern { values })
+    }
+
+    /// Reconstructs an accumulated pattern from already-accumulated values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::NotMonotone`] if the values ever decrease.
+    pub fn from_values(values: Vec<u64>) -> Result<AccumulatedPattern> {
+        for (i, pair) in values.windows(2).enumerate() {
+            if pair[1] < pair[0] {
+                return Err(TimeSeriesError::NotMonotone { index: i + 1 });
+            }
+        }
+        Ok(AccumulatedPattern { values })
+    }
+
+    /// Inverts Eq. 3, recovering the original per-interval values.
+    pub fn deaccumulate(&self) -> Pattern {
+        let mut prev = 0u64;
+        self.values
+            .iter()
+            .map(|&v| {
+                let original = v - prev;
+                prev = v;
+                original
+            })
+            .collect()
+    }
+
+    /// The number of time intervals.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the pattern has no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The accumulated values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// The value at `interval`, if in range.
+    pub fn get(&self, interval: usize) -> Option<u64> {
+        self.values.get(interval).copied()
+    }
+
+    /// The maximum accumulated value. Because the series is monotone this is
+    /// the final point — the pattern's total volume, used as the weight
+    /// numerator/denominator in Algorithm 1.
+    pub fn max_value(&self) -> Option<u64> {
+        self.values.last().copied()
+    }
+
+    /// Iterates over accumulated values.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, u64>> {
+        self.values.iter().copied()
+    }
+}
+
+impl fmt::Display for AccumulatedPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_accumulation() {
+        // Section IV-A: {1,2,3} → {1,3,6} and {3,2,1} → {3,5,6}.
+        let a = AccumulatedPattern::from_pattern(&Pattern::from([1u64, 2, 3])).unwrap();
+        assert_eq!(a.values(), &[1, 3, 6]);
+        let b = AccumulatedPattern::from_pattern(&Pattern::from([3u64, 2, 1])).unwrap();
+        assert_eq!(b.values(), &[3, 5, 6]);
+        // Same multiset, distinguishable after accumulation.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deaccumulate_is_inverse() {
+        let original = Pattern::from([0u64, 5, 0, 2, 7]);
+        let acc = AccumulatedPattern::from_pattern(&original).unwrap();
+        assert_eq!(acc.deaccumulate(), original);
+    }
+
+    #[test]
+    fn accumulated_is_monotone() {
+        let acc = AccumulatedPattern::from_pattern(&Pattern::from([4u64, 0, 1])).unwrap();
+        let vals = acc.values();
+        assert!(vals.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn max_is_last_and_total() {
+        let p = Pattern::from([4u64, 3, 2]);
+        let acc = AccumulatedPattern::from_pattern(&p).unwrap();
+        assert_eq!(acc.max_value(), Some(9));
+        assert_eq!(acc.max_value(), p.total());
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let p = Pattern::from([u64::MAX, 1]);
+        assert_eq!(
+            AccumulatedPattern::from_pattern(&p),
+            Err(TimeSeriesError::Overflow)
+        );
+    }
+
+    #[test]
+    fn from_values_validates_monotonicity() {
+        assert!(AccumulatedPattern::from_values(vec![1, 3, 6]).is_ok());
+        assert_eq!(
+            AccumulatedPattern::from_values(vec![1, 3, 2]),
+            Err(TimeSeriesError::NotMonotone { index: 2 })
+        );
+    }
+
+    #[test]
+    fn empty_pattern_accumulates_to_empty() {
+        let acc = AccumulatedPattern::from_pattern(&Pattern::default()).unwrap();
+        assert!(acc.is_empty());
+        assert_eq!(acc.max_value(), None);
+        assert_eq!(acc.deaccumulate(), Pattern::default());
+    }
+
+    #[test]
+    fn accumulation_preserves_length() {
+        let p = Pattern::from([1u64; 100]);
+        let acc = AccumulatedPattern::from_pattern(&p).unwrap();
+        assert_eq!(acc.len(), 100);
+        assert_eq!(acc.get(99), Some(100));
+    }
+}

@@ -1,0 +1,258 @@
+//! Communication attributes and Definition 1 of the paper.
+//!
+//! A person's raw communication data within one time interval has three
+//! attributes: the number of calls, the total call duration and the number of
+//! distinct partners. Definition 1 combines them into a single pattern value
+//! as the weighted mean `(1/m) Σ w_f · s_f` with `m = 3`.
+
+use crate::error::{Result, TimeSeriesError};
+use crate::pattern::Pattern;
+
+/// Raw communication attributes within one time interval (from CDR records).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AttributeRecord {
+    /// Number of calls started in the interval.
+    pub calls: u32,
+    /// Total call duration in the interval, in seconds.
+    pub duration_secs: u32,
+    /// Number of distinct communication partners in the interval.
+    pub partners: u32,
+}
+
+impl AttributeRecord {
+    /// Creates a record from its three attributes.
+    pub fn new(calls: u32, duration_secs: u32, partners: u32) -> AttributeRecord {
+        AttributeRecord {
+            calls,
+            duration_secs,
+            partners,
+        }
+    }
+
+    /// Merges two records for the same interval observed at different base
+    /// stations (calls and duration add; partners add as an upper-bound
+    /// approximation since partner sets at distinct stations rarely overlap
+    /// within one interval).
+    pub fn merge(self, other: AttributeRecord) -> AttributeRecord {
+        AttributeRecord {
+            calls: self.calls.saturating_add(other.calls),
+            duration_secs: self.duration_secs.saturating_add(other.duration_secs),
+            partners: self.partners.saturating_add(other.partners),
+        }
+    }
+}
+
+/// Attribute weights `w_f` of Definition 1.
+///
+/// The paper's experiments take the plain mean of the three attributes
+/// ([`AttributeWeights::default`] sets every weight to 1); operators can bias
+/// the pattern toward any attribute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AttributeWeights {
+    calls: f64,
+    duration: f64,
+    partners: f64,
+}
+
+impl Default for AttributeWeights {
+    fn default() -> Self {
+        AttributeWeights {
+            calls: 1.0,
+            duration: 1.0,
+            partners: 1.0,
+        }
+    }
+}
+
+impl AttributeWeights {
+    /// Creates explicit weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::Empty`] if any weight is negative or
+    /// non-finite, or if all are zero (the pattern would be identically 0).
+    pub fn new(calls: f64, duration: f64, partners: f64) -> Result<AttributeWeights> {
+        let ok = |w: f64| w.is_finite() && w >= 0.0;
+        if !(ok(calls) && ok(duration) && ok(partners)) || calls + duration + partners == 0.0 {
+            return Err(TimeSeriesError::Empty);
+        }
+        Ok(AttributeWeights {
+            calls,
+            duration,
+            partners,
+        })
+    }
+
+    /// Applies Definition 1 to one record: `⌊(w_c·c + w_d·d + w_p·p)/3⌉`,
+    /// rounded to the nearest integer (the paper works on integer patterns).
+    pub fn combine(&self, record: AttributeRecord) -> u64 {
+        let raw = (self.calls * record.calls as f64
+            + self.duration * record.duration_secs as f64
+            + self.partners * record.partners as f64)
+            / 3.0;
+        raw.round() as u64
+    }
+}
+
+/// A per-interval attribute series, convertible to a [`Pattern`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AttributeSeries {
+    records: Vec<AttributeRecord>,
+}
+
+impl AttributeSeries {
+    /// Creates a series from per-interval records.
+    pub fn new(records: Vec<AttributeRecord>) -> AttributeSeries {
+        AttributeSeries { records }
+    }
+
+    /// Creates a series of `len` empty intervals.
+    pub fn zeros(len: usize) -> AttributeSeries {
+        AttributeSeries {
+            records: vec![AttributeRecord::default(); len],
+        }
+    }
+
+    /// The number of intervals.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the series has no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The per-interval records.
+    pub fn records(&self) -> &[AttributeRecord] {
+        &self.records
+    }
+
+    /// Mutable access to one interval's record (used by trace generators).
+    pub fn record_mut(&mut self, interval: usize) -> Option<&mut AttributeRecord> {
+        self.records.get_mut(interval)
+    }
+
+    /// Element-wise merge of two series of equal length (combining station
+    /// fragments of the same person).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::LengthMismatch`] if lengths differ.
+    pub fn merge(&self, other: &AttributeSeries) -> Result<AttributeSeries> {
+        if self.len() != other.len() {
+            return Err(TimeSeriesError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        Ok(AttributeSeries {
+            records: self
+                .records
+                .iter()
+                .zip(&other.records)
+                .map(|(&a, &b)| a.merge(b))
+                .collect(),
+        })
+    }
+
+    /// Applies Definition 1 interval-by-interval, yielding the communication
+    /// pattern time series.
+    pub fn to_pattern(&self, weights: &AttributeWeights) -> Pattern {
+        self.records
+            .iter()
+            .map(|&r| weights.combine(r))
+            .collect()
+    }
+}
+
+impl FromIterator<AttributeRecord> for AttributeSeries {
+    fn from_iter<I: IntoIterator<Item = AttributeRecord>>(iter: I) -> AttributeSeries {
+        AttributeSeries::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weights_take_plain_mean() {
+        let w = AttributeWeights::default();
+        let r = AttributeRecord::new(2, 10, 3);
+        assert_eq!(w.combine(r), 5); // (2 + 10 + 3) / 3 = 5
+    }
+
+    #[test]
+    fn rounding_to_nearest() {
+        let w = AttributeWeights::default();
+        assert_eq!(w.combine(AttributeRecord::new(1, 1, 2)), 1); // 4/3 → 1
+        assert_eq!(w.combine(AttributeRecord::new(1, 2, 2)), 2); // 5/3 → 2
+    }
+
+    #[test]
+    fn custom_weights_bias_attributes() {
+        let w = AttributeWeights::new(3.0, 0.0, 0.0).unwrap();
+        assert_eq!(w.combine(AttributeRecord::new(7, 1000, 50)), 7);
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        assert!(AttributeWeights::new(-1.0, 1.0, 1.0).is_err());
+        assert!(AttributeWeights::new(f64::NAN, 1.0, 1.0).is_err());
+        assert!(AttributeWeights::new(0.0, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn series_to_pattern() {
+        let series = AttributeSeries::new(vec![
+            AttributeRecord::new(3, 3, 3),
+            AttributeRecord::new(0, 0, 0),
+            AttributeRecord::new(6, 3, 0),
+        ]);
+        let p = series.to_pattern(&AttributeWeights::default());
+        assert_eq!(p, Pattern::from([3u64, 0, 3]));
+    }
+
+    #[test]
+    fn merge_adds_fragments() {
+        let a = AttributeSeries::new(vec![AttributeRecord::new(1, 10, 1)]);
+        let b = AttributeSeries::new(vec![AttributeRecord::new(2, 20, 2)]);
+        let merged = a.merge(&b).unwrap();
+        assert_eq!(merged.records()[0], AttributeRecord::new(3, 30, 3));
+    }
+
+    #[test]
+    fn merge_length_mismatch() {
+        let a = AttributeSeries::zeros(2);
+        let b = AttributeSeries::zeros(3);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn merged_pattern_close_to_summed_patterns() {
+        // Definition 1 is linear up to rounding: merging attribute series
+        // then converting matches converting then summing, within ±1 per
+        // interval from independent rounding.
+        let w = AttributeWeights::default();
+        let a = AttributeSeries::new(vec![AttributeRecord::new(1, 4, 2)]);
+        let b = AttributeSeries::new(vec![AttributeRecord::new(2, 3, 1)]);
+        let merged_first = a.merge(&b).unwrap().to_pattern(&w);
+        let summed_after = a.to_pattern(&w).checked_add(&b.to_pattern(&w)).unwrap();
+        let diff = merged_first.values()[0].abs_diff(summed_after.values()[0]);
+        assert!(diff <= 1);
+    }
+
+    #[test]
+    fn zeros_series() {
+        let s = AttributeSeries::zeros(4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(
+            s.to_pattern(&AttributeWeights::default()),
+            Pattern::zeros(4)
+        );
+    }
+}

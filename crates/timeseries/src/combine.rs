@@ -1,0 +1,209 @@
+//! Combination enumeration over local patterns (Eq. 4 of the paper).
+//!
+//! A person whose traffic is split over fewer stations than the query's
+//! decomposition will hold, at a single station, the element-wise *sum* of
+//! several query fragments. Algorithm 1 therefore hashes every non-empty
+//! subset-sum of the `e` given local patterns — `Ψ = Σⱼ C(e, j) = 2^e − 1`
+//! combined patterns — so that any regrouping of the query decomposition is
+//! matchable at a station.
+
+use crate::error::{Result, TimeSeriesError};
+use crate::pattern::Pattern;
+
+/// The largest supported number of local patterns; the combination set grows
+/// as `2^e − 1`, so `e` is capped to keep construction tractable.
+pub const MAX_LOCAL_PATTERNS: usize = 20;
+
+/// A subset-sum of the query's local patterns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CombinedPattern {
+    /// Bitmask over the input local patterns: bit `i` set means local `i`
+    /// participates in this combination.
+    pub mask: u32,
+    /// The element-wise sum of the selected local patterns.
+    pub pattern: Pattern,
+}
+
+impl CombinedPattern {
+    /// The number of local patterns merged into this combination.
+    pub fn cardinality(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// Whether this combination is the full set — i.e. the global pattern.
+    pub fn is_global(&self, local_count: usize) -> bool {
+        self.mask == full_mask(local_count)
+    }
+}
+
+fn full_mask(local_count: usize) -> u32 {
+    if local_count >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << local_count) - 1
+    }
+}
+
+/// The number of combinations Eq. 4 produces for `e` local patterns.
+pub fn combination_count(local_count: usize) -> u64 {
+    if local_count >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << local_count) - 1
+    }
+}
+
+/// Enumerates all `2^e − 1` non-empty subset-sums of `locals`, in ascending
+/// mask order (so the final element is always the global pattern).
+///
+/// # Errors
+///
+/// * [`TimeSeriesError::Empty`] — `locals` is empty.
+/// * [`TimeSeriesError::TooManyLocals`] — more than [`MAX_LOCAL_PATTERNS`].
+/// * [`TimeSeriesError::LengthMismatch`] — the locals differ in length.
+/// * [`TimeSeriesError::Overflow`] — a subset-sum overflows `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_timeseries::{enumerate_combinations, Pattern};
+///
+/// # fn main() -> Result<(), dipm_timeseries::TimeSeriesError> {
+/// let locals = vec![Pattern::from([1u64, 2, 3]), Pattern::from([2u64, 2, 2])];
+/// let combos = enumerate_combinations(&locals)?;
+/// assert_eq!(combos.len(), 3); // 2^2 − 1
+/// assert_eq!(combos[2].pattern, Pattern::from([3u64, 4, 5])); // the global
+/// # Ok(())
+/// # }
+/// ```
+pub fn enumerate_combinations(locals: &[Pattern]) -> Result<Vec<CombinedPattern>> {
+    if locals.is_empty() {
+        return Err(TimeSeriesError::Empty);
+    }
+    if locals.len() > MAX_LOCAL_PATTERNS {
+        return Err(TimeSeriesError::TooManyLocals {
+            count: locals.len(),
+            max: MAX_LOCAL_PATTERNS,
+        });
+    }
+    let len = locals[0].len();
+    for p in locals {
+        if p.len() != len {
+            return Err(TimeSeriesError::LengthMismatch {
+                left: len,
+                right: p.len(),
+            });
+        }
+    }
+    let total = combination_count(locals.len());
+    let mut out = Vec::with_capacity(total as usize);
+    for mask in 1u32..=full_mask(locals.len()) {
+        // Reuse the previously computed subset: mask with its lowest bit
+        // cleared has already been produced (masks are visited in order).
+        let low = mask.trailing_zeros() as usize;
+        let rest = mask & (mask - 1);
+        let pattern = if rest == 0 {
+            locals[low].clone()
+        } else {
+            let prev = &out[rest as usize - 1] as &CombinedPattern;
+            prev.pattern.checked_add(&locals[low])?
+        };
+        out.push(CombinedPattern { mask, pattern });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn locals() -> Vec<Pattern> {
+        vec![
+            Pattern::from([1u64, 1, 1]),
+            Pattern::from([2u64, 2, 0]),
+            Pattern::from([0u64, 1, 4]),
+        ]
+    }
+
+    #[test]
+    fn count_matches_eq4() {
+        // Ψ = Σ C(l, j) = 2^l − 1.
+        assert_eq!(combination_count(1), 1);
+        assert_eq!(combination_count(3), 7);
+        assert_eq!(combination_count(10), 1023);
+        let combos = enumerate_combinations(&locals()).unwrap();
+        assert_eq!(combos.len() as u64, combination_count(3));
+    }
+
+    #[test]
+    fn every_combination_is_correct_subset_sum() {
+        let ls = locals();
+        let combos = enumerate_combinations(&ls).unwrap();
+        for combo in &combos {
+            let members: Vec<&Pattern> = (0..3)
+                .filter(|i| combo.mask & (1 << i) != 0)
+                .map(|i| &ls[i])
+                .collect();
+            let expect = Pattern::sum(members.into_iter()).unwrap();
+            assert_eq!(combo.pattern, expect, "mask {:#b}", combo.mask);
+        }
+    }
+
+    #[test]
+    fn last_combination_is_global() {
+        let ls = locals();
+        let combos = enumerate_combinations(&ls).unwrap();
+        let last = combos.last().unwrap();
+        assert!(last.is_global(3));
+        assert_eq!(last.pattern, Pattern::from([3u64, 4, 5]));
+        assert_eq!(last.cardinality(), 3);
+    }
+
+    #[test]
+    fn masks_are_unique_and_complete() {
+        let combos = enumerate_combinations(&locals()).unwrap();
+        let masks: Vec<u32> = combos.iter().map(|c| c.mask).collect();
+        assert_eq!(masks, (1..=7).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn singleton_input() {
+        let single = vec![Pattern::from([5u64, 5])];
+        let combos = enumerate_combinations(&single).unwrap();
+        assert_eq!(combos.len(), 1);
+        assert!(combos[0].is_global(1));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(enumerate_combinations(&[]), Err(TimeSeriesError::Empty));
+    }
+
+    #[test]
+    fn too_many_locals_is_error() {
+        let many = vec![Pattern::from([1u64]); MAX_LOCAL_PATTERNS + 1];
+        assert!(matches!(
+            enumerate_combinations(&many),
+            Err(TimeSeriesError::TooManyLocals { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_lengths_is_error() {
+        let bad = vec![Pattern::from([1u64, 2]), Pattern::from([1u64])];
+        assert!(matches!(
+            enumerate_combinations(&bad),
+            Err(TimeSeriesError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn overflow_is_error() {
+        let bad = vec![Pattern::from([u64::MAX]), Pattern::from([1u64])];
+        assert_eq!(
+            enumerate_combinations(&bad),
+            Err(TimeSeriesError::Overflow)
+        );
+    }
+}

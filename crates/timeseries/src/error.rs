@@ -1,0 +1,81 @@
+//! Error types for pattern construction and transformation.
+
+use std::error::Error;
+use std::fmt;
+
+/// A convenient result alias used throughout [`dipm-timeseries`](crate).
+pub type Result<T, E = TimeSeriesError> = std::result::Result<T, E>;
+
+/// Errors produced by pattern construction and transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimeSeriesError {
+    /// An operation combined two series of different lengths.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// A pattern was empty where at least one interval is required.
+    Empty,
+    /// Accumulation or element-wise addition overflowed `u64`.
+    Overflow,
+    /// More local patterns were supplied than combination enumeration
+    /// supports (the set grows as `2^e − 1`).
+    TooManyLocals {
+        /// Number of local patterns supplied.
+        count: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// A value sequence claimed to be accumulated was not monotone
+    /// non-decreasing.
+    NotMonotone {
+        /// Index of the first violation.
+        index: usize,
+    },
+    /// A sampling request asked for zero points.
+    ZeroSamples,
+}
+
+impl fmt::Display for TimeSeriesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeSeriesError::LengthMismatch { left, right } => {
+                write!(f, "series lengths differ: {left} vs {right}")
+            }
+            TimeSeriesError::Empty => write!(f, "pattern must contain at least one interval"),
+            TimeSeriesError::Overflow => write!(f, "series arithmetic overflowed 64 bits"),
+            TimeSeriesError::TooManyLocals { count, max } => write!(
+                f,
+                "combination enumeration over {count} local patterns exceeds the maximum of {max}"
+            ),
+            TimeSeriesError::NotMonotone { index } => {
+                write!(f, "accumulated series decreases at index {index}")
+            }
+            TimeSeriesError::ZeroSamples => write!(f, "sample count must be non-zero"),
+        }
+    }
+}
+
+impl Error for TimeSeriesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = TimeSeriesError::LengthMismatch { left: 3, right: 5 };
+        assert!(err.to_string().contains('3'));
+        assert!(err.to_string().contains('5'));
+        assert!(TimeSeriesError::Overflow.to_string().contains("overflow"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TimeSeriesError>();
+    }
+}

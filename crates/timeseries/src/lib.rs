@@ -1,0 +1,68 @@
+//! Time-series pattern model for **DI-matching** (ICDCS 2012 reproduction).
+//!
+//! This crate implements everything the paper defines over communication
+//! pattern time series, independent of filters and networking:
+//!
+//! * [`Pattern`] — integer per-interval series, with the element-wise
+//!   aggregation `Vi = Σj Vi,j` that relates local fragments to a global
+//!   pattern, and [`AttributeSeries`] / [`AttributeWeights`] implementing
+//!   Definition 1 (weighted mean of calls, duration, partners).
+//! * [`AccumulatedPattern`] — the Eq. 3 prefix-sum transform that makes
+//!   same-multiset patterns distinguishable and whose final value is the
+//!   pattern's total volume.
+//! * [`SampledPattern`] / [`sample_positions`] — deterministic uniform
+//!   b-point sampling shared by the data center and every base station.
+//! * [`eps_match`] — the Eq. 2 per-interval L∞ similarity test, plus
+//!   [`chebyshev_distance`] and [`l1_distance`].
+//! * [`enumerate_combinations`] — the Eq. 4 subset-sum enumeration of local
+//!   patterns.
+//! * [`ToleranceMode`] — how the per-interval ε expands into bands over
+//!   accumulated samples when populating a filter.
+//! * [`stats`] — normalization, Pearson/periodicity scores and CDFs used by
+//!   the paper's Figures 1 and 3.
+//!
+//! # Example
+//!
+//! ```
+//! use dipm_timeseries::{
+//!     enumerate_combinations, eps_match, AccumulatedPattern, Pattern,
+//! };
+//!
+//! # fn main() -> Result<(), dipm_timeseries::TimeSeriesError> {
+//! // The paper's running decomposition: locals sum to the global {3,4,5}.
+//! let locals = vec![Pattern::from([1u64, 2, 3]), Pattern::from([2u64, 2, 2])];
+//! let combos = enumerate_combinations(&locals)?;
+//! let global = &combos.last().unwrap().pattern;
+//! assert!(eps_match(global, &Pattern::from([3u64, 4, 5]), 0));
+//!
+//! // Accumulation distinguishes {1,2,3} from {3,2,1}.
+//! let acc = AccumulatedPattern::from_pattern(&locals[0])?;
+//! assert_eq!(acc.values(), &[1, 3, 6]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod accumulate;
+mod attributes;
+mod combine;
+mod error;
+mod pattern;
+mod sample;
+mod similarity;
+pub mod stats;
+mod tolerance;
+
+pub use accumulate::AccumulatedPattern;
+pub use attributes::{AttributeRecord, AttributeSeries, AttributeWeights};
+pub use combine::{
+    combination_count, enumerate_combinations, CombinedPattern, MAX_LOCAL_PATTERNS,
+};
+pub use error::{Result, TimeSeriesError};
+pub use pattern::Pattern;
+pub use sample::{sample_positions, SamplePoint, SampledPattern};
+pub use similarity::{chebyshev_distance, eps_match, l1_distance};
+pub use tolerance::{BandValues, ToleranceMode};

@@ -1,0 +1,277 @@
+//! Integer time-series patterns (Definition 1 of the paper).
+//!
+//! A pattern is one value per time interval: the weighted mean of a person's
+//! communication attributes within that interval. All evaluation in the paper
+//! uses integer values; decimals are explicitly left as future work, so the
+//! model here is `u64` per interval.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::error::{Result, TimeSeriesError};
+
+/// An integer time series: one value per time interval.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_timeseries::Pattern;
+///
+/// let p = Pattern::from(vec![1u64, 2, 3]);
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(p.total(), Some(6));
+/// assert_eq!(p.max_value(), Some(3));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Pattern {
+    values: Vec<u64>,
+}
+
+impl Pattern {
+    /// Creates a pattern from per-interval values.
+    pub fn new(values: Vec<u64>) -> Pattern {
+        Pattern { values }
+    }
+
+    /// Creates a pattern of `len` zero intervals.
+    pub fn zeros(len: usize) -> Pattern {
+        Pattern {
+            values: vec![0; len],
+        }
+    }
+
+    /// The number of time intervals.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the pattern has no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The per-interval values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// The value at `interval`, if in range.
+    pub fn get(&self, interval: usize) -> Option<u64> {
+        self.values.get(interval).copied()
+    }
+
+    /// The largest per-interval value, or `None` for an empty pattern.
+    pub fn max_value(&self) -> Option<u64> {
+        self.values.iter().copied().max()
+    }
+
+    /// The sum of all values — a pattern's "total volume", which determines
+    /// its weight relative to a global pattern. `None` on overflow.
+    pub fn total(&self) -> Option<u64> {
+        self.values.iter().try_fold(0u64, |acc, &v| acc.checked_add(v))
+    }
+
+    /// Element-wise sum with `other` — how local fragments at different base
+    /// stations aggregate into a global pattern (`Vi = Σj Vi,j`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::LengthMismatch`] if lengths differ and
+    /// [`TimeSeriesError::Overflow`] if any interval overflows.
+    pub fn checked_add(&self, other: &Pattern) -> Result<Pattern> {
+        if self.len() != other.len() {
+            return Err(TimeSeriesError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        let values = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(&a, &b)| a.checked_add(b).ok_or(TimeSeriesError::Overflow))
+            .collect::<Result<Vec<u64>>>()?;
+        Ok(Pattern { values })
+    }
+
+    /// Sums a non-empty collection of equal-length patterns element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::Empty`] for an empty collection, and
+    /// propagates [`Pattern::checked_add`] errors.
+    pub fn sum<'a, I>(patterns: I) -> Result<Pattern>
+    where
+        I: IntoIterator<Item = &'a Pattern>,
+    {
+        let mut iter = patterns.into_iter();
+        let first = iter.next().ok_or(TimeSeriesError::Empty)?;
+        let mut acc = first.clone();
+        for p in iter {
+            acc = acc.checked_add(p)?;
+        }
+        Ok(acc)
+    }
+
+    /// Iterates over per-interval values.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, u64>> {
+        self.values.iter().copied()
+    }
+
+    /// Consumes the pattern, returning its values.
+    pub fn into_values(self) -> Vec<u64> {
+        self.values
+    }
+}
+
+impl From<Vec<u64>> for Pattern {
+    fn from(values: Vec<u64>) -> Pattern {
+        Pattern::new(values)
+    }
+}
+
+impl From<&[u64]> for Pattern {
+    fn from(values: &[u64]) -> Pattern {
+        Pattern::new(values.to_vec())
+    }
+}
+
+impl<const N: usize> From<[u64; N]> for Pattern {
+    fn from(values: [u64; N]) -> Pattern {
+        Pattern::new(values.to_vec())
+    }
+}
+
+impl FromIterator<u64> for Pattern {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Pattern {
+        Pattern::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<u64> for Pattern {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+impl Index<usize> for Pattern {
+    type Output = u64;
+
+    fn index(&self, interval: usize) -> &u64 {
+        &self.values[interval]
+    }
+}
+
+impl<'a> IntoIterator for &'a Pattern {
+    type Item = u64;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, u64>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = Pattern::from([3u64, 4, 5]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.get(1), Some(4));
+        assert_eq!(p.get(3), None);
+        assert_eq!(p[2], 5);
+        assert_eq!(p.max_value(), Some(5));
+        assert_eq!(p.total(), Some(12));
+    }
+
+    #[test]
+    fn empty_pattern_behaviour() {
+        let p = Pattern::default();
+        assert!(p.is_empty());
+        assert_eq!(p.max_value(), None);
+        assert_eq!(p.total(), Some(0));
+    }
+
+    #[test]
+    fn paper_running_example_aggregation() {
+        // Section III-C: locals {1,1,1}, {2,2,0}, {0,1,4} aggregate to the
+        // query global {3,4,5}.
+        let locals = [
+            Pattern::from([1u64, 1, 1]),
+            Pattern::from([2u64, 2, 0]),
+            Pattern::from([0u64, 1, 4]),
+        ];
+        let global = Pattern::sum(&locals).unwrap();
+        assert_eq!(global, Pattern::from([3u64, 4, 5]));
+    }
+
+    #[test]
+    fn paper_counter_example_aggregation() {
+        // Section III-C: three stations each holding {3,4,5} aggregate to
+        // {9,12,15}, which is *not* the query pattern {3,4,5}.
+        let locals = vec![Pattern::from([3u64, 4, 5]); 3];
+        let global = Pattern::sum(&locals).unwrap();
+        assert_eq!(global, Pattern::from([9u64, 12, 15]));
+        assert_ne!(global, Pattern::from([3u64, 4, 5]));
+    }
+
+    #[test]
+    fn checked_add_length_mismatch() {
+        let a = Pattern::from([1u64, 2]);
+        let b = Pattern::from([1u64, 2, 3]);
+        assert_eq!(
+            a.checked_add(&b),
+            Err(TimeSeriesError::LengthMismatch { left: 2, right: 3 })
+        );
+    }
+
+    #[test]
+    fn checked_add_overflow() {
+        let a = Pattern::from([u64::MAX]);
+        let b = Pattern::from([1u64]);
+        assert_eq!(a.checked_add(&b), Err(TimeSeriesError::Overflow));
+    }
+
+    #[test]
+    fn total_overflow_is_none() {
+        let p = Pattern::from([u64::MAX, 1]);
+        assert_eq!(p.total(), None);
+    }
+
+    #[test]
+    fn sum_of_empty_collection_is_error() {
+        let empty: Vec<Pattern> = vec![];
+        assert_eq!(Pattern::sum(&empty), Err(TimeSeriesError::Empty));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Pattern::from([1u64, 2, 3]).to_string(), "{1, 2, 3}");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut p: Pattern = (1u64..=3).collect();
+        p.extend([4u64]);
+        assert_eq!(p.values(), &[1, 2, 3, 4]);
+        let doubled: Vec<u64> = (&p).into_iter().map(|v| v * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Uniform b-point sampling of accumulated patterns (Algorithm 1, line 6).
+//!
+//! Both sides of the protocol — the data center when building the WBF and
+//! every base station when probing it — must sample the *same* positions, so
+//! sampling is a deterministic function of the series length and the sample
+//! count `b`. The final point is always included: on an accumulated series it
+//! is the maximum, which Algorithm 1 uses for the weight assignment
+//! (`w = v_ib / v_ab`).
+
+use crate::accumulate::AccumulatedPattern;
+use crate::error::{Result, TimeSeriesError};
+
+/// One sampled point: its interval index in the original series and the
+/// accumulated value there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SamplePoint {
+    /// Zero-based interval index within the accumulated series.
+    pub position: usize,
+    /// Accumulated value at that interval.
+    pub value: u64,
+}
+
+/// The deterministic sample positions for a series of `len` intervals.
+///
+/// Positions are evenly spaced and always include the final interval; when
+/// `b >= len` every interval is returned. Returned positions are strictly
+/// increasing.
+///
+/// # Errors
+///
+/// Returns [`TimeSeriesError::ZeroSamples`] if `b == 0` and
+/// [`TimeSeriesError::Empty`] if `len == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_timeseries::sample_positions;
+///
+/// # fn main() -> Result<(), dipm_timeseries::TimeSeriesError> {
+/// let positions = sample_positions(28, 4)?;
+/// assert_eq!(positions, vec![6, 13, 20, 27]);
+/// assert_eq!(*positions.last().unwrap(), 27); // final point always sampled
+/// # Ok(())
+/// # }
+/// ```
+pub fn sample_positions(len: usize, b: usize) -> Result<Vec<usize>> {
+    if b == 0 {
+        return Err(TimeSeriesError::ZeroSamples);
+    }
+    if len == 0 {
+        return Err(TimeSeriesError::Empty);
+    }
+    if b >= len {
+        return Ok((0..len).collect());
+    }
+    // Position of the i-th sample (1-based): ceil(i·len/b) − 1. Evenly
+    // spaced, strictly increasing for b < len, and the b-th sample lands on
+    // len − 1.
+    Ok((1..=b).map(|i| (i * len).div_ceil(b) - 1).collect())
+}
+
+/// An accumulated pattern reduced to its `b` sampled points.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_timeseries::{AccumulatedPattern, Pattern, SampledPattern};
+///
+/// # fn main() -> Result<(), dipm_timeseries::TimeSeriesError> {
+/// let acc = AccumulatedPattern::from_pattern(&Pattern::from([1u64, 2, 3, 4]))?;
+/// let sampled = SampledPattern::from_accumulated(&acc, 2)?;
+/// assert_eq!(sampled.len(), 2);
+/// assert_eq!(sampled.max_value(), 10); // total volume, always sampled
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SampledPattern {
+    points: Vec<SamplePoint>,
+}
+
+impl SampledPattern {
+    /// Samples `b` points from an accumulated pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::ZeroSamples`] if `b == 0` and
+    /// [`TimeSeriesError::Empty`] if the pattern is empty.
+    pub fn from_accumulated(acc: &AccumulatedPattern, b: usize) -> Result<SampledPattern> {
+        let positions = sample_positions(acc.len(), b)?;
+        let points = positions
+            .into_iter()
+            .map(|position| SamplePoint {
+                position,
+                value: acc.get(position).expect("position within length"),
+            })
+            .collect();
+        Ok(SampledPattern { points })
+    }
+
+    /// The number of sampled points (`min(b, len)`).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no points were sampled. Never true for constructed values.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The sampled points in increasing position order.
+    pub fn points(&self) -> &[SamplePoint] {
+        &self.points
+    }
+
+    /// The value of the final sampled point — the accumulated maximum,
+    /// i.e. the pattern's total volume.
+    pub fn max_value(&self) -> u64 {
+        self.points.last().map(|p| p.value).unwrap_or(0)
+    }
+
+    /// Iterates over sampled values only.
+    pub fn values(&self) -> impl Iterator<Item = u64> + '_ {
+        self.points.iter().map(|p| p.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+
+    fn acc(values: &[u64]) -> AccumulatedPattern {
+        AccumulatedPattern::from_pattern(&Pattern::from(values)).unwrap()
+    }
+
+    #[test]
+    fn positions_include_last_and_are_increasing() {
+        for len in 1..60 {
+            for b in 1..20 {
+                let pos = sample_positions(len, b).unwrap();
+                assert_eq!(*pos.last().unwrap(), len - 1, "len={len} b={b}");
+                assert!(pos.windows(2).all(|w| w[1] > w[0]), "len={len} b={b}");
+                assert_eq!(pos.len(), b.min(len));
+            }
+        }
+    }
+
+    #[test]
+    fn oversampling_returns_every_position() {
+        assert_eq!(sample_positions(3, 12).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        assert_eq!(sample_positions(5, 0), Err(TimeSeriesError::ZeroSamples));
+    }
+
+    #[test]
+    fn empty_series_rejected() {
+        assert_eq!(sample_positions(0, 3), Err(TimeSeriesError::Empty));
+    }
+
+    #[test]
+    fn sampled_pattern_reads_values_at_positions() {
+        let a = acc(&[1, 2, 3, 4]); // accumulated: 1,3,6,10
+        let s = SampledPattern::from_accumulated(&a, 2).unwrap();
+        assert_eq!(
+            s.points(),
+            &[
+                SamplePoint {
+                    position: 1,
+                    value: 3
+                },
+                SamplePoint {
+                    position: 3,
+                    value: 10
+                }
+            ]
+        );
+        assert_eq!(s.max_value(), 10);
+        assert_eq!(s.values().collect::<Vec<_>>(), vec![3, 10]);
+    }
+
+    #[test]
+    fn max_value_equals_pattern_total() {
+        let p = Pattern::from([5u64, 0, 7, 2, 9]);
+        let a = AccumulatedPattern::from_pattern(&p).unwrap();
+        for b in 1..8 {
+            let s = SampledPattern::from_accumulated(&a, b).unwrap();
+            assert_eq!(Some(s.max_value()), p.total());
+        }
+    }
+
+    #[test]
+    fn paper_default_b12_on_weekly_series() {
+        // Section V-B fixes b = 12; a one-week series at 6-hour intervals has
+        // 28 points.
+        let pos = sample_positions(28, 12).unwrap();
+        assert_eq!(pos.len(), 12);
+        assert_eq!(*pos.last().unwrap(), 27);
+    }
+}

@@ -1,0 +1,125 @@
+//! Pattern similarity (Eq. 2 of the paper).
+//!
+//! Two patterns match when they have the same length and every per-interval
+//! difference is at most `ε` — the L∞ (Chebyshev) test. The paper argues for
+//! this metric because mobile communication data is computed per interval and
+//! two people are similar only if they are similar in *each* interval.
+
+use crate::pattern::Pattern;
+
+/// Whether `a` and `b` satisfy Eq. 2: equal length and `|aᵗ − bᵗ| ≤ ε` for
+/// every interval `t`. With `ε = 0` this is exact equality.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_timeseries::{eps_match, Pattern};
+///
+/// let a = Pattern::from([3u64, 4, 5]);
+/// let b = Pattern::from([4u64, 3, 5]);
+/// assert!(eps_match(&a, &b, 1));
+/// assert!(!eps_match(&a, &b, 0));
+/// ```
+pub fn eps_match(a: &Pattern, b: &Pattern, eps: u64) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.abs_diff(y) <= eps)
+}
+
+/// The Chebyshev (L∞) distance: the largest per-interval difference, or
+/// `None` when the lengths differ.
+pub fn chebyshev_distance(a: &Pattern, b: &Pattern) -> Option<u64> {
+    if a.len() != b.len() {
+        return None;
+    }
+    Some(
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.abs_diff(y))
+            .max()
+            .unwrap_or(0),
+    )
+}
+
+/// The L1 (Manhattan) distance: the summed per-interval differences, or
+/// `None` when the lengths differ or the sum overflows. Provided for the
+/// paper's "more distance functions" future-work extension.
+pub fn l1_distance(a: &Pattern, b: &Pattern) -> Option<u64> {
+    if a.len() != b.len() {
+        return None;
+    }
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| x.abs_diff(y))
+        .try_fold(0u64, |acc, d| acc.checked_add(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eps_zero_is_equality() {
+        let a = Pattern::from([1u64, 2, 3]);
+        assert!(eps_match(&a, &a, 0));
+        assert!(!eps_match(&a, &Pattern::from([1u64, 2, 4]), 0));
+    }
+
+    #[test]
+    fn eps_match_is_symmetric() {
+        let a = Pattern::from([10u64, 0, 5]);
+        let b = Pattern::from([8u64, 2, 6]);
+        assert_eq!(eps_match(&a, &b, 2), eps_match(&b, &a, 2));
+        assert!(eps_match(&a, &b, 2));
+    }
+
+    #[test]
+    fn eps_match_requires_every_interval() {
+        let a = Pattern::from([0u64, 0, 0]);
+        let b = Pattern::from([1u64, 1, 5]);
+        assert!(!eps_match(&a, &b, 1)); // last interval differs by 5
+        assert!(eps_match(&a, &b, 5));
+    }
+
+    #[test]
+    fn length_mismatch_never_matches() {
+        let a = Pattern::from([1u64, 2]);
+        let b = Pattern::from([1u64, 2, 3]);
+        assert!(!eps_match(&a, &b, u64::MAX));
+        assert_eq!(chebyshev_distance(&a, &b), None);
+        assert_eq!(l1_distance(&a, &b), None);
+    }
+
+    #[test]
+    fn chebyshev_is_max_difference() {
+        let a = Pattern::from([3u64, 10, 7]);
+        let b = Pattern::from([5u64, 4, 7]);
+        assert_eq!(chebyshev_distance(&a, &b), Some(6));
+    }
+
+    #[test]
+    fn chebyshev_consistent_with_eps_match() {
+        let a = Pattern::from([3u64, 10, 7]);
+        let b = Pattern::from([5u64, 4, 7]);
+        let d = chebyshev_distance(&a, &b).unwrap();
+        assert!(eps_match(&a, &b, d));
+        assert!(!eps_match(&a, &b, d - 1));
+    }
+
+    #[test]
+    fn l1_sums_differences() {
+        let a = Pattern::from([1u64, 2, 3]);
+        let b = Pattern::from([3u64, 2, 1]);
+        assert_eq!(l1_distance(&a, &b), Some(4));
+    }
+
+    #[test]
+    fn empty_patterns_match_trivially() {
+        assert!(eps_match(&Pattern::default(), &Pattern::default(), 0));
+        assert_eq!(
+            chebyshev_distance(&Pattern::default(), &Pattern::default()),
+            Some(0)
+        );
+    }
+}

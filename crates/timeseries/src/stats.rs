@@ -1,0 +1,219 @@
+//! Statistics used by the paper's data analysis (Figures 1 and 3).
+//!
+//! Figure 1(a) plots category patterns normalized to their mean and observes
+//! daily periodicity; Figure 1(b) plots a CDF of local-pattern similarity;
+//! Figure 3 shows that accumulation makes category curves divisible. The
+//! helpers here compute those normalizations and summary statistics.
+
+use crate::pattern::Pattern;
+
+/// Normalizes a pattern to its mean value: `v_t / mean(v)`, the
+/// normalization used in Figure 1(a). Returns an empty vector for an empty
+/// or all-zero pattern.
+pub fn normalize_to_mean(pattern: &Pattern) -> Vec<f64> {
+    if pattern.is_empty() {
+        return Vec::new();
+    }
+    let total: u64 = match pattern.total() {
+        Some(t) if t > 0 => t,
+        _ => return Vec::new(),
+    };
+    let mean = total as f64 / pattern.len() as f64;
+    pattern.iter().map(|v| v as f64 / mean).collect()
+}
+
+/// Pearson correlation between two equal-length slices; `None` when the
+/// lengths differ, are < 2, or either side has zero variance.
+pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let n = a.len() as f64;
+    let (ma, mb) = (
+        a.iter().sum::<f64>() / n,
+        b.iter().sum::<f64>() / n,
+    );
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some(cov / (va * vb).sqrt())
+}
+
+/// Mean Pearson correlation between consecutive windows of length `period`:
+/// the paper's Observation 1 ("in each day, the pattern shapes are similar")
+/// corresponds to a score near 1 at the daily period.
+pub fn periodicity_score(series: &[f64], period: usize) -> Option<f64> {
+    if period < 2 || series.len() < 2 * period {
+        return None;
+    }
+    let windows: Vec<&[f64]> = series.chunks_exact(period).collect();
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for pair in windows.windows(2) {
+        if let Some(r) = pearson(pair[0], pair[1]) {
+            total += r;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(total / count as f64)
+    }
+}
+
+/// An empirical cumulative distribution function over integer observations
+/// (Figure 1(b) plots one over "number of similar local patterns").
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Cdf {
+    observations: Vec<u64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw observations.
+    pub fn from_observations(mut observations: Vec<u64>) -> Cdf {
+        observations.sort_unstable();
+        Cdf { observations }
+    }
+
+    /// The number of observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether the CDF holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// `P(X ≤ x)`; 0 for an empty CDF.
+    pub fn at(&self, x: u64) -> f64 {
+        if self.observations.is_empty() {
+            return 0.0;
+        }
+        let count = self.observations.partition_point(|&v| v <= x);
+        count as f64 / self.observations.len() as f64
+    }
+
+    /// `P(X ≥ x)`; 0 for an empty CDF.
+    pub fn at_least(&self, x: u64) -> f64 {
+        if self.observations.is_empty() {
+            return 0.0;
+        }
+        let below = self.observations.partition_point(|&v| v < x);
+        1.0 - below as f64 / self.observations.len() as f64
+    }
+
+    /// The distinct observed values with their cumulative fractions, for
+    /// plotting.
+    pub fn points(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        for &v in &self.observations {
+            if out.last().map(|&(x, _)| x) != Some(v) {
+                out.push((v, self.at(v)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_to_mean_has_unit_mean() {
+        let p = Pattern::from([1u64, 2, 3, 6]);
+        let norm = normalize_to_mean(&p);
+        let mean: f64 = norm.iter().sum::<f64>() / norm.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_degenerate_patterns() {
+        assert!(normalize_to_mean(&Pattern::default()).is_empty());
+        assert!(normalize_to_mean(&Pattern::zeros(5)).is_empty());
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c = [3.0, 2.0, 1.0];
+        assert!((pearson(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_rejects_degenerate_inputs() {
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn periodic_series_scores_high() {
+        let day = [0.2, 1.5, 2.0, 0.4];
+        let series: Vec<f64> = day.iter().copied().cycle().take(16).collect();
+        let score = periodicity_score(&series, 4).unwrap();
+        assert!(score > 0.99, "score {score}");
+    }
+
+    #[test]
+    fn aperiodic_series_scores_low() {
+        let series: Vec<f64> = (0..16).map(|i| ((i * 7919) % 13) as f64).collect();
+        let score = periodicity_score(&series, 4).unwrap();
+        assert!(score < 0.9, "score {score}");
+    }
+
+    #[test]
+    fn periodicity_needs_two_windows() {
+        assert_eq!(periodicity_score(&[1.0; 7], 4), None);
+        assert_eq!(periodicity_score(&[1.0; 8], 1), None);
+    }
+
+    #[test]
+    fn cdf_basic_properties() {
+        let cdf = Cdf::from_observations(vec![0, 1, 1, 2, 4]);
+        assert_eq!(cdf.len(), 5);
+        assert!((cdf.at(0) - 0.2).abs() < 1e-12);
+        assert!((cdf.at(1) - 0.6).abs() < 1e-12);
+        assert!((cdf.at(4) - 1.0).abs() < 1e-12);
+        assert!((cdf.at(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_at_least_is_complement() {
+        let cdf = Cdf::from_observations(vec![0, 1, 1, 2, 4]);
+        // P(X ≥ 1) = 1 − P(X ≤ 0) = 0.8 — the paper's ">90% have at least
+        // one similar local pattern" reads off this accessor.
+        assert!((cdf.at_least(1) - 0.8).abs() < 1e-12);
+        assert!((cdf.at_least(0) - 1.0).abs() < 1e-12);
+        assert!((cdf.at_least(5) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone() {
+        let cdf = Cdf::from_observations(vec![3, 1, 4, 1, 5, 9, 2, 6]);
+        let points = cdf.points();
+        assert!(points.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Cdf::from_observations(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.at(3), 0.0);
+        assert_eq!(cdf.at_least(3), 0.0);
+        assert!(cdf.points().is_empty());
+    }
+}

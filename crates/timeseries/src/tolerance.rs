@@ -1,0 +1,184 @@
+//! ε-tolerance bands on accumulated samples.
+//!
+//! Algorithm 1 "hash[es] all the possible approximate values into WBF" so
+//! that the data center's filter accepts any pattern within ε of a query
+//! pattern. The paper does not spell out how the per-interval tolerance ε
+//! translates to *accumulated* values; this module implements the two natural
+//! readings:
+//!
+//! * [`ToleranceMode::Accumulated`] — a pattern within ε per interval drifts
+//!   by at most `(g+1)·ε` in the accumulated value at zero-based interval
+//!   `g`, so the band at a sampled point widens with its position. This mode
+//!   provably admits every truly ε-similar pattern (no false negatives) and
+//!   is the default.
+//! * [`ToleranceMode::Uniform`] — a constant `±ε` band at every sample.
+//!   Cheaper (fewer hashed values, smaller filter) but can miss genuinely
+//!   similar patterns whose early deviations compound; provided as an
+//!   ablation.
+
+use crate::sample::SamplePoint;
+
+/// How a per-interval tolerance ε expands into bands on accumulated samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ToleranceMode {
+    /// Exact band `±(position+1)·ε`: no false negatives (default).
+    #[default]
+    Accumulated,
+    /// Constant band `±ε`: smaller filter, possible false negatives.
+    Uniform,
+}
+
+impl ToleranceMode {
+    /// The half-width of the band at a zero-based sample `position`.
+    pub fn band_radius(self, eps: u64, position: usize) -> u64 {
+        match self {
+            ToleranceMode::Accumulated => eps.saturating_mul(position as u64 + 1),
+            ToleranceMode::Uniform => eps,
+        }
+    }
+
+    /// All accumulated values admitted at `point` for per-interval tolerance
+    /// `eps` (inclusive band, clamped at zero).
+    pub fn band_values(self, eps: u64, point: SamplePoint) -> BandValues {
+        let radius = self.band_radius(eps, point.position);
+        let lo = point.value.saturating_sub(radius);
+        let hi = point.value.saturating_add(radius);
+        BandValues { next: lo, hi, done: false }
+    }
+
+    /// The number of values [`ToleranceMode::band_values`] yields at
+    /// `position` (band width `2·radius + 1`, ignoring clamping at zero).
+    pub fn band_len(self, eps: u64, position: usize) -> u64 {
+        2 * self.band_radius(eps, position) + 1
+    }
+}
+
+/// Iterator over the admitted accumulated values of one tolerance band,
+/// created by [`ToleranceMode::band_values`].
+#[derive(Debug, Clone)]
+pub struct BandValues {
+    next: u64,
+    hi: u64,
+    done: bool,
+}
+
+impl Iterator for BandValues {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.done {
+            return None;
+        }
+        let value = self.next;
+        if self.next == self.hi {
+            self.done = true;
+        } else {
+            self.next += 1;
+        }
+        Some(value)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            (0, Some(0))
+        } else {
+            let rem = (self.hi - self.next + 1) as usize;
+            (rem, Some(rem))
+        }
+    }
+}
+
+impl ExactSizeIterator for BandValues {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(position: usize, value: u64) -> SamplePoint {
+        SamplePoint { position, value }
+    }
+
+    #[test]
+    fn accumulated_band_widens_with_position() {
+        let mode = ToleranceMode::Accumulated;
+        assert_eq!(mode.band_radius(2, 0), 2);
+        assert_eq!(mode.band_radius(2, 3), 8);
+        assert_eq!(mode.band_len(2, 3), 17);
+    }
+
+    #[test]
+    fn uniform_band_is_constant() {
+        let mode = ToleranceMode::Uniform;
+        assert_eq!(mode.band_radius(2, 0), 2);
+        assert_eq!(mode.band_radius(2, 100), 2);
+    }
+
+    #[test]
+    fn band_values_enumerate_inclusive_range() {
+        let vals: Vec<u64> = ToleranceMode::Uniform
+            .band_values(1, point(5, 10))
+            .collect();
+        assert_eq!(vals, vec![9, 10, 11]);
+    }
+
+    #[test]
+    fn band_clamps_at_zero() {
+        let vals: Vec<u64> = ToleranceMode::Uniform
+            .band_values(4, point(0, 2))
+            .collect();
+        assert_eq!(vals, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn zero_eps_band_is_exact_value() {
+        let vals: Vec<u64> = ToleranceMode::Accumulated
+            .band_values(0, point(7, 42))
+            .collect();
+        assert_eq!(vals, vec![42]);
+    }
+
+    #[test]
+    fn accumulated_band_admits_worst_case_drift() {
+        // A pattern differing by exactly ε at every interval drifts by
+        // (g+1)·ε at accumulated index g; the band must contain it.
+        let eps = 3u64;
+        let base = [10u64, 10, 10, 10];
+        let drifted: Vec<u64> = base.iter().map(|v| v + eps).collect();
+        let acc = |xs: &[u64]| {
+            xs.iter()
+                .scan(0u64, |s, &v| {
+                    *s += v;
+                    Some(*s)
+                })
+                .collect::<Vec<u64>>()
+        };
+        let (acc_base, acc_drift) = (acc(&base), acc(&drifted));
+        for g in 0..4 {
+            let band: Vec<u64> = ToleranceMode::Accumulated
+                .band_values(eps, point(g, acc_base[g]))
+                .collect();
+            assert!(
+                band.contains(&acc_drift[g]),
+                "interval {g}: drifted value {} outside band",
+                acc_drift[g]
+            );
+        }
+    }
+
+    #[test]
+    fn exact_size_iterator_contract() {
+        let mut it = ToleranceMode::Uniform.band_values(2, point(0, 10));
+        assert_eq!(it.len(), 5);
+        it.next();
+        assert_eq!(it.len(), 4);
+    }
+
+    #[test]
+    fn saturating_band_near_u64_max() {
+        let vals: Vec<u64> = ToleranceMode::Uniform
+            .band_values(2, point(0, u64::MAX - 1))
+            .collect();
+        assert_eq!(vals, vec![u64::MAX - 3, u64::MAX - 2, u64::MAX - 1, u64::MAX]);
+    }
+}

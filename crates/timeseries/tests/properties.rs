@@ -1,0 +1,162 @@
+//! Property-based tests for the time-series pattern model.
+
+use dipm_timeseries::{
+    chebyshev_distance, enumerate_combinations, eps_match, sample_positions,
+    AccumulatedPattern, Pattern, SamplePoint, SampledPattern, ToleranceMode,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_pattern(max_len: usize) -> impl Strategy<Value = Pattern> {
+    vec(0u64..10_000, 1..=max_len).prop_map(Pattern::new)
+}
+
+proptest! {
+    // ---------- accumulation ----------
+
+    #[test]
+    fn accumulate_then_deaccumulate_is_identity(p in arb_pattern(64)) {
+        let acc = AccumulatedPattern::from_pattern(&p).unwrap();
+        prop_assert_eq!(acc.deaccumulate(), p);
+    }
+
+    #[test]
+    fn accumulated_is_monotone(p in arb_pattern(64)) {
+        let acc = AccumulatedPattern::from_pattern(&p).unwrap();
+        prop_assert!(acc.values().windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn accumulated_max_is_total(p in arb_pattern(64)) {
+        let acc = AccumulatedPattern::from_pattern(&p).unwrap();
+        prop_assert_eq!(acc.max_value(), p.total());
+    }
+
+    #[test]
+    fn accumulation_is_injective(a in arb_pattern(16), b in arb_pattern(16)) {
+        let acc_a = AccumulatedPattern::from_pattern(&a).unwrap();
+        let acc_b = AccumulatedPattern::from_pattern(&b).unwrap();
+        prop_assert_eq!(a == b, acc_a == acc_b);
+    }
+
+    // ---------- similarity ----------
+
+    #[test]
+    fn eps_match_reflexive(p in arb_pattern(32), eps in 0u64..100) {
+        prop_assert!(eps_match(&p, &p, eps));
+    }
+
+    #[test]
+    fn eps_match_symmetric(a in arb_pattern(16), b in arb_pattern(16), eps in 0u64..100) {
+        prop_assert_eq!(eps_match(&a, &b, eps), eps_match(&b, &a, eps));
+    }
+
+    #[test]
+    fn eps_match_iff_chebyshev_within(a in arb_pattern(16), b in arb_pattern(16), eps in 0u64..10_000) {
+        if a.len() == b.len() {
+            let d = chebyshev_distance(&a, &b).unwrap();
+            prop_assert_eq!(eps_match(&a, &b, eps), d <= eps);
+        } else {
+            prop_assert!(!eps_match(&a, &b, eps));
+        }
+    }
+
+    #[test]
+    fn eps_match_monotone_in_eps(a in arb_pattern(16), b in arb_pattern(16), eps in 0u64..5_000) {
+        if eps_match(&a, &b, eps) {
+            prop_assert!(eps_match(&a, &b, eps + 1));
+        }
+    }
+
+    // ---------- sampling ----------
+
+    #[test]
+    fn sample_positions_contract(len in 1usize..500, b in 1usize..40) {
+        let pos = sample_positions(len, b).unwrap();
+        prop_assert_eq!(pos.len(), b.min(len));
+        prop_assert_eq!(*pos.last().unwrap(), len - 1);
+        prop_assert!(pos.windows(2).all(|w| w[1] > w[0]));
+        prop_assert!(pos.iter().all(|&p| p < len));
+    }
+
+    #[test]
+    fn sampled_values_come_from_series(p in arb_pattern(64), b in 1usize..20) {
+        let acc = AccumulatedPattern::from_pattern(&p).unwrap();
+        let s = SampledPattern::from_accumulated(&acc, b).unwrap();
+        for SamplePoint { position, value } in s.points().iter().copied() {
+            prop_assert_eq!(acc.get(position), Some(value));
+        }
+        prop_assert_eq!(Some(s.max_value()), p.total());
+    }
+
+    // ---------- combinations ----------
+
+    #[test]
+    fn combination_enumeration_contract(
+        locals in vec(vec(0u64..1000, 4usize..5), 1..8)
+    ) {
+        let locals: Vec<Pattern> = locals.into_iter().map(Pattern::new).collect();
+        let combos = enumerate_combinations(&locals).unwrap();
+        prop_assert_eq!(combos.len(), (1usize << locals.len()) - 1);
+        // Masks unique.
+        let mut masks: Vec<u32> = combos.iter().map(|c| c.mask).collect();
+        masks.sort_unstable();
+        masks.dedup();
+        prop_assert_eq!(masks.len(), combos.len());
+        // Every combination is the element-wise subset sum it claims.
+        for combo in &combos {
+            let members: Vec<&Pattern> = (0..locals.len())
+                .filter(|&i| combo.mask & (1 << i) != 0)
+                .map(|i| &locals[i])
+                .collect();
+            let expect = Pattern::sum(members.into_iter()).unwrap();
+            prop_assert_eq!(&combo.pattern, &expect);
+        }
+        // The last combination is the global pattern.
+        let global = Pattern::sum(locals.iter()).unwrap();
+        prop_assert_eq!(&combos.last().unwrap().pattern, &global);
+    }
+
+    // ---------- tolerance ----------
+
+    #[test]
+    fn accumulated_band_admits_every_eps_similar_pattern(
+        base in vec(0u64..500, 2usize..24),
+        deltas in vec(-3i64..=3, 24usize..25),
+        b in 1usize..12,
+    ) {
+        let eps = 3u64;
+        let p = Pattern::new(base.clone());
+        let q: Pattern = base
+            .iter()
+            .zip(&deltas)
+            .map(|(&v, &d)| v.saturating_add_signed(d))
+            .collect();
+        prop_assume!(eps_match(&p, &q, eps));
+
+        let acc_p = AccumulatedPattern::from_pattern(&p).unwrap();
+        let acc_q = AccumulatedPattern::from_pattern(&q).unwrap();
+        let sp = SampledPattern::from_accumulated(&acc_p, b).unwrap();
+        let sq = SampledPattern::from_accumulated(&acc_q, b).unwrap();
+        // Same positions, and every sampled q value lies inside p's band.
+        for (pp, qq) in sp.points().iter().zip(sq.points()) {
+            prop_assert_eq!(pp.position, qq.position);
+            let band: Vec<u64> = ToleranceMode::Accumulated
+                .band_values(eps, *pp)
+                .collect();
+            prop_assert!(band.contains(&qq.value));
+        }
+    }
+
+    #[test]
+    fn band_values_match_band_len(
+        eps in 0u64..6,
+        position in 0usize..30,
+        value in 1000u64..2000,
+    ) {
+        let mode = ToleranceMode::Accumulated;
+        let point = SamplePoint { position, value };
+        let count = mode.band_values(eps, point).count() as u64;
+        prop_assert_eq!(count, mode.band_len(eps, position));
+    }
+}

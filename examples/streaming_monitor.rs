@@ -1,0 +1,77 @@
+//! Continuous monitoring (Section III-A's running example): the searching
+//! query runs against *evolving* data — each day brings new traffic, and the
+//! service provider wants near-real-time feedback without re-shipping the
+//! corpus. Here we replay four consecutive days, rebuild nothing at the
+//! stations (they only re-scan their local stores against the same broadcast
+//! filter), and watch the audience drift.
+//!
+//! Run with: `cargo run --example streaming_monitor`
+
+use std::collections::BTreeSet;
+
+use dipm::mobilenet::ground_truth;
+use dipm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Day 0 defines the query: a known night-shift worker's decomposition.
+    let day0 = TraceConfig::new(400, 12)
+        .days(1)
+        .intervals_per_day(8)
+        .seed(100)
+        .generate()?;
+    let target = day0
+        .users()
+        .iter()
+        .find(|u| u.category == Category::NightShift)
+        .copied()
+        .expect("night-shift users exist");
+    let query = PatternQuery::from_fragments(day0.fragments(target.id).unwrap())?;
+    println!("monitoring for patterns like {} ({})\n", target.id, target.category);
+
+    let config = DiMatchingConfig::default();
+    println!("{:<6} {:>8} {:>10} {:>10} {:>8}", "day", "matches", "precision", "recall", "KB");
+
+    let mut yesterday: BTreeSet<UserId> = BTreeSet::new();
+    for day in 0..4u64 {
+        // Each day the stations' stores hold that day's fresh traffic
+        // (same population and routines, new jitter — the paper's
+        // "dynamic evolving data" characteristic).
+        let snapshot = TraceConfig::new(400, 12)
+            .days(1)
+            .intervals_per_day(8)
+            .seed(100 + day)
+            .generate()?;
+
+        let relevant =
+            ground_truth::eps_similar_users(&snapshot, query.global(), config.eps);
+        let outcome = run_wbf(
+            &snapshot,
+            &[query.clone()],
+            &config,
+            ExecutionMode::Threaded,
+            Some(relevant.len()), // top-K query semantics
+        )?;
+        let score = evaluate(outcome.retrieved(), &relevant);
+
+        let today: BTreeSet<UserId> = outcome.ranked.iter().copied().collect();
+        let churn_in = today.difference(&yesterday).count();
+        let churn_out = yesterday.difference(&today).count();
+
+        println!(
+            "{:<6} {:>8} {:>10.3} {:>10.3} {:>8}",
+            day,
+            outcome.ranked.len(),
+            score.precision,
+            score.recall,
+            outcome.cost.total_bytes() / 1024,
+        );
+        if day > 0 {
+            println!("       audience churn: +{churn_in} / -{churn_out}");
+        }
+        yesterday = today;
+    }
+
+    println!("\nthe filter is built once; each day's scan reuses the broadcast,");
+    println!("so daily monitoring costs only the station scans plus tiny reports.");
+    Ok(())
+}
