@@ -43,7 +43,9 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--patterns" => {
-                let Some(list) = args.next() else { return usage() };
+                let Some(list) = args.next() else {
+                    return usage();
+                };
                 let parsed: Option<Vec<usize>> =
                     list.split(',').map(|v| v.trim().parse().ok()).collect();
                 match parsed {

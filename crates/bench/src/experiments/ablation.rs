@@ -9,9 +9,7 @@
 
 use dipm_distsim::ExecutionMode;
 use dipm_mobilenet::{ground_truth, Dataset};
-use dipm_protocol::{
-    evaluate, run_wbf, DiMatchingConfig, HashScheme, MethodDetails, PatternQuery,
-};
+use dipm_protocol::{evaluate, run_wbf, DiMatchingConfig, HashScheme, MethodDetails, PatternQuery};
 use dipm_timeseries::ToleranceMode;
 
 use crate::report::Report;
@@ -127,7 +125,10 @@ mod tests {
                 .clone()
         };
         let base_recall: f64 = find("value-only")[2].parse().unwrap();
-        assert!(base_recall > 0.9, "paper configuration recall {base_recall}");
+        assert!(
+            base_recall > 0.9,
+            "paper configuration recall {base_recall}"
+        );
         // Uniform bands produce a smaller filter.
         let base_bits: usize = find("value-only")[3].parse().unwrap();
         let uniform_bits: usize = find("uniform")[3].parse().unwrap();

@@ -14,19 +14,19 @@ use crate::scale::Scale;
 /// Mean R-precision of WBF retrieval over several probe queries at sample
 /// count `b`.
 fn accuracy_at(dataset: &Dataset, b: usize, probes: usize) -> f64 {
-    let mut config = DiMatchingConfig::default();
-    config.samples = b;
+    let config = DiMatchingConfig {
+        samples: b,
+        ..Default::default()
+    };
     let step = (dataset.users().len() / probes).max(1);
     let mut total = 0.0;
     let mut count = 0usize;
     for i in (0..dataset.users().len()).step_by(step).take(probes) {
         let user = dataset.users()[i];
-        let query = PatternQuery::from_fragments(
-            dataset.fragments(user.id).expect("user has traffic"),
-        )
-        .expect("valid query");
-        let relevant =
-            ground_truth::eps_similar_users(dataset, query.global(), config.eps);
+        let query =
+            PatternQuery::from_fragments(dataset.fragments(user.id).expect("user has traffic"))
+                .expect("valid query");
+        let relevant = ground_truth::eps_similar_users(dataset, query.global(), config.eps);
         let outcome = run_wbf(
             dataset,
             &[query],
@@ -78,7 +78,8 @@ pub fn convergence(scale: &Scale) -> Report {
         row.push(format!("{:.3}", sum / groups as f64));
         report.row(row);
     }
-    report.note("accuracy = mean R-precision over probe queries; b capped at the series length (16)");
+    report
+        .note("accuracy = mean R-precision over probe queries; b capped at the series length (16)");
     report
 }
 

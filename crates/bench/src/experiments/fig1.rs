@@ -27,17 +27,16 @@ pub fn fig1a() -> Report {
     report.columns(columns);
 
     for category in Category::ALL {
-        let pattern = category
-            .profile()
-            .expected_pattern(days, intervals_per_day);
+        let pattern = category.profile().expected_pattern(days, intervals_per_day);
         let normalized = normalize_to_mean(&pattern);
-        let score =
-            periodicity_score(&normalized, intervals_per_day).unwrap_or(f64::NAN);
+        let score = periodicity_score(&normalized, intervals_per_day).unwrap_or(f64::NAN);
         let mut row = vec![category.to_string(), format!("{score:.3}")];
         row.extend(normalized.iter().map(|v| format!("{v:.2}")));
         report.row(row);
     }
-    report.note("periodicity = mean Pearson correlation between consecutive days (1.0 = exact repeat)");
+    report.note(
+        "periodicity = mean Pearson correlation between consecutive days (1.0 = exact repeat)",
+    );
     report
 }
 
@@ -100,9 +99,7 @@ pub fn fig3() -> Report {
 
     let mut totals = Vec::new();
     for category in Category::ALL {
-        let pattern = category
-            .profile()
-            .expected_pattern(days, intervals_per_day);
+        let pattern = category.profile().expected_pattern(days, intervals_per_day);
         let acc = dipm_timeseries::AccumulatedPattern::from_pattern(&pattern)
             .expect("no overflow at this scale");
         // Sample the accumulated value at each day boundary.
@@ -118,11 +115,7 @@ pub fn fig3() -> Report {
     }
     let mut sorted = totals.clone();
     sorted.sort_unstable();
-    let min_gap = sorted
-        .windows(2)
-        .map(|w| w[1] - w[0])
-        .min()
-        .unwrap_or(0);
+    let min_gap = sorted.windows(2).map(|w| w[1] - w[0]).min().unwrap_or(0);
     report.note(format!(
         "minimum pairwise weekly-total separation: {min_gap} (divisibility margin)"
     ));

@@ -9,9 +9,7 @@ use std::time::Duration;
 
 use dipm_distsim::ExecutionMode;
 use dipm_mobilenet::{ground_truth, Category, Dataset, UserId};
-use dipm_protocol::{
-    evaluate, run_bloom, run_naive, run_wbf, DiMatchingConfig, PatternQuery,
-};
+use dipm_protocol::{evaluate, run_bloom, run_naive, run_wbf, DiMatchingConfig, PatternQuery};
 
 use crate::report::Report;
 use crate::scale::Scale;
@@ -48,8 +46,8 @@ pub struct SweepPoint {
 
 /// Runs the Figure-4 sweep once; the four table builders below format it.
 pub fn sweep(scale: &Scale) -> Vec<SweepPoint> {
-    let dataset = Dataset::city_slice(scale.users, scale.stations, scale.seed)
-        .expect("valid preset");
+    let dataset =
+        Dataset::city_slice(scale.users, scale.stations, scale.seed).expect("valid preset");
     let config = DiMatchingConfig::default();
 
     // Queries come from two target segments so the relevant set stays a
@@ -66,10 +64,8 @@ pub fn sweep(scale: &Scale) -> Vec<SweepPoint> {
         let queries: Vec<PatternQuery> = (0..a)
             .map(|i| {
                 let user = probes[i % probes.len()];
-                PatternQuery::from_fragments(
-                    dataset.fragments(user).expect("user has traffic"),
-                )
-                .expect("valid query")
+                PatternQuery::from_fragments(dataset.fragments(user).expect("user has traffic"))
+                    .expect("valid query")
             })
             .collect();
         let mut relevant: BTreeSet<UserId> = BTreeSet::new();
@@ -97,12 +93,10 @@ pub fn sweep(scale: &Scale) -> Vec<SweepPoint> {
                 .expect("naive runs"),
         );
         let bloom = run(
-            run_bloom(&dataset, &queries, &config, ExecutionMode::Threaded, k)
-                .expect("bloom runs"),
+            run_bloom(&dataset, &queries, &config, ExecutionMode::Threaded, k).expect("bloom runs"),
         );
         let wbf = run(
-            run_wbf(&dataset, &queries, &config, ExecutionMode::Threaded, k)
-                .expect("wbf runs"),
+            run_wbf(&dataset, &queries, &config, ExecutionMode::Threaded, k).expect("wbf runs"),
         );
         points.push(SweepPoint {
             patterns: a,
@@ -238,7 +232,12 @@ mod tests {
     #[test]
     fn tables_render_one_row_per_point() {
         let points = tiny_points();
-        for report in [fig4a(&points), fig4b(&points), fig4c(&points), fig4d(&points)] {
+        for report in [
+            fig4a(&points),
+            fig4b(&points),
+            fig4c(&points),
+            fig4d(&points),
+        ] {
             assert_eq!(report.rows.len(), points.len());
         }
     }

@@ -35,10 +35,9 @@ pub fn score_day(seed: u64) -> DayScore {
             .iter()
             .find(|u| u.category == category)
             .expect("every category is populated");
-        let query = PatternQuery::from_fragments(
-            dataset.fragments(probe.id).expect("probe has traffic"),
-        )
-        .expect("valid query");
+        let query =
+            PatternQuery::from_fragments(dataset.fragments(probe.id).expect("probe has traffic"))
+                .expect("valid query");
         let relevant = ground_truth::category_members(&dataset, category);
         let outcome = run_wbf(
             &dataset,

@@ -70,9 +70,10 @@ impl fmt::Display for Report {
         writeln!(f, "== {} — {} ==", self.id, self.title)?;
         writeln!(f, "paper: {}", self.claim)?;
         // Column widths over header + rows.
-        let cols = self.columns.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let cols = self
+            .columns
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, c) in self.columns.iter().enumerate() {
             widths[i] = widths[i].max(c.chars().count());
@@ -113,7 +114,10 @@ mod tests {
     #[test]
     fn renders_aligned_table() {
         let mut r = Report::new("Fig. X", "demo", "something holds");
-        r.columns(["a", "bbbb"]).row(["1", "2"]).row(["333", "4"]).note("done");
+        r.columns(["a", "bbbb"])
+            .row(["1", "2"])
+            .row(["333", "4"])
+            .note("done");
         let text = r.to_string();
         assert!(text.contains("Fig. X"));
         assert!(text.contains("something holds"));

@@ -73,7 +73,9 @@ impl FilterParams {
     /// [`MAX_BITS`].
     pub fn optimal(expected_items: usize, target_fpp: f64) -> Result<FilterParams> {
         if expected_items == 0 {
-            return Err(CoreError::invalid_params("expected item count must be non-zero"));
+            return Err(CoreError::invalid_params(
+                "expected item count must be non-zero",
+            ));
         }
         if !(target_fpp > 0.0 && target_fpp < 1.0) {
             return Err(CoreError::invalid_params(

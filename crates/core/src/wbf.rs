@@ -106,10 +106,7 @@ impl WeightedBloomFilter {
         let m = self.bits.len();
         for idx in self.family.probes(key, m) {
             self.bits.set(idx);
-            self.weights
-                .entry(idx as u32)
-                .or_default()
-                .insert(weight);
+            self.weights.entry(idx as u32).or_default().insert(weight);
         }
         self.inserted += 1;
     }
@@ -319,8 +316,14 @@ mod tests {
         let res = wbf.query_sequence([1u64, 4, 5]);
         assert_eq!(res, Some(WeightSet::new()));
         // Both originals still match with their own weight.
-        assert_eq!(wbf.query_sequence([1u64, 2, 3]).unwrap().max(), Some(w(1, 2)));
-        assert_eq!(wbf.query_sequence([2u64, 4, 5]).unwrap().max(), Some(w(1, 4)));
+        assert_eq!(
+            wbf.query_sequence([1u64, 2, 3]).unwrap().max(),
+            Some(w(1, 2))
+        );
+        assert_eq!(
+            wbf.query_sequence([2u64, 4, 5]).unwrap().max(),
+            Some(w(1, 4))
+        );
     }
 
     #[test]

@@ -110,7 +110,8 @@ impl Weight {
     /// no longer fits in `u64/u64`.
     #[must_use = "checked arithmetic returns a new value"]
     pub fn checked_add(self, other: Weight) -> Option<Weight> {
-        let num = (self.num as u128) * (other.den as u128) + (other.num as u128) * (self.den as u128);
+        let num =
+            (self.num as u128) * (other.den as u128) + (other.num as u128) * (self.den as u128);
         let den = (self.den as u128) * (other.den as u128);
         let g = gcd_u128(num, den);
         let (num, den) = (num / g, den / g);

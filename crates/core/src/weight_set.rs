@@ -205,7 +205,10 @@ mod tests {
         let set = WeightSet::new();
         assert!(set.is_empty());
         assert_eq!(set.max(), None);
-        assert_eq!(set.intersection(&WeightSet::singleton(Weight::ONE)).len(), 0);
+        assert_eq!(
+            set.intersection(&WeightSet::singleton(Weight::ONE)).len(),
+            0
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property-based tests for the core filter data structures.
 
 use dipm_core::{
-    encode, sum_weights, BitSet, BloomFilter, FilterParams, HashFamily, Weight,
-    WeightSet, WeightedBloomFilter,
+    encode, sum_weights, BitSet, BloomFilter, FilterParams, HashFamily, Weight, WeightSet,
+    WeightedBloomFilter,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;

@@ -20,10 +20,7 @@ use crate::error::Result;
 /// matched with.
 pub type WeightReport = (UserId, Weight);
 
-fn sample_keys(
-    pattern: &Pattern,
-    config: &DiMatchingConfig,
-) -> Result<(Vec<u64>, u64)> {
+fn sample_keys(pattern: &Pattern, config: &DiMatchingConfig) -> Result<(Vec<u64>, u64)> {
     let acc = AccumulatedPattern::from_pattern(pattern)?;
     let sampled = SampledPattern::from_accumulated(&acc, config.samples)?;
     let keys = sampled
@@ -156,9 +153,10 @@ mod tests {
     fn station_finds_global_match_with_weight_one() {
         let query = demo_query();
         let config = DiMatchingConfig::default();
-        let built = build_wbf(&[query.clone()], &config).unwrap();
+        let built = build_wbf(std::slice::from_ref(&query), &config).unwrap();
         let patterns = station(vec![(42, query.global().clone())]);
-        let reports = scan_station(&built.filter, &built.query_totals, &patterns, &config, None).unwrap();
+        let reports =
+            scan_station(&built.filter, &built.query_totals, &patterns, &config, None).unwrap();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].0, UserId(42));
         assert!(reports[0].1.is_one());
@@ -168,15 +166,13 @@ mod tests {
     fn station_finds_local_match_with_fractional_weight() {
         let query = demo_query();
         let config = DiMatchingConfig::default();
-        let built = build_wbf(&[query.clone()], &config).unwrap();
+        let built = build_wbf(std::slice::from_ref(&query), &config).unwrap();
         let local = query.locals()[0].clone();
-        let expect = Weight::ratio(
-            local.total().unwrap(),
-            query.global().total().unwrap(),
-        )
-        .unwrap();
+        let expect =
+            Weight::ratio(local.total().unwrap(), query.global().total().unwrap()).unwrap();
         let patterns = station(vec![(7, local)]);
-        let reports = scan_station(&built.filter, &built.query_totals, &patterns, &config, None).unwrap();
+        let reports =
+            scan_station(&built.filter, &built.query_totals, &patterns, &config, None).unwrap();
         assert_eq!(reports, vec![(UserId(7), expect)]);
     }
 
@@ -184,16 +180,23 @@ mod tests {
     fn station_accepts_eps_similar_pattern() {
         let query = demo_query();
         let config = DiMatchingConfig::default(); // eps = 2
-        let built = build_wbf(&[query.clone()], &config).unwrap();
+        let built = build_wbf(std::slice::from_ref(&query), &config).unwrap();
         // Perturb the global by +1/-1 per interval: still within ε.
         let perturbed: Pattern = query
             .global()
             .iter()
             .enumerate()
-            .map(|(i, v)| if i % 2 == 0 { v + 1 } else { v.saturating_sub(1) })
+            .map(|(i, v)| {
+                if i % 2 == 0 {
+                    v + 1
+                } else {
+                    v.saturating_sub(1)
+                }
+            })
             .collect();
         let patterns = station(vec![(1, perturbed)]);
-        let reports = scan_station(&built.filter, &built.query_totals, &patterns, &config, None).unwrap();
+        let reports =
+            scan_station(&built.filter, &built.query_totals, &patterns, &config, None).unwrap();
         assert_eq!(reports.len(), 1, "ε-similar pattern must match");
     }
 
@@ -201,10 +204,11 @@ mod tests {
     fn station_rejects_distant_pattern() {
         let query = demo_query();
         let config = DiMatchingConfig::default();
-        let built = build_wbf(&[query.clone()], &config).unwrap();
+        let built = build_wbf(std::slice::from_ref(&query), &config).unwrap();
         let far: Pattern = query.global().iter().map(|v| v + 50).collect();
         let patterns = station(vec![(1, far)]);
-        let reports = scan_station(&built.filter, &built.query_totals, &patterns, &config, None).unwrap();
+        let reports =
+            scan_station(&built.filter, &built.query_totals, &patterns, &config, None).unwrap();
         assert!(reports.is_empty());
     }
 
@@ -212,10 +216,17 @@ mod tests {
     fn meter_records_station_work() {
         let query = demo_query();
         let config = DiMatchingConfig::default();
-        let built = build_wbf(&[query.clone()], &config).unwrap();
+        let built = build_wbf(std::slice::from_ref(&query), &config).unwrap();
         let meter = CostMeter::new();
         let patterns = station(vec![(1, query.global().clone())]);
-        scan_station(&built.filter, &built.query_totals, &patterns, &config, Some(&meter)).unwrap();
+        scan_station(
+            &built.filter,
+            &built.query_totals,
+            &patterns,
+            &config,
+            Some(&meter),
+        )
+        .unwrap();
         let report = meter.report();
         assert!(report.hash_ops > 0);
         assert!(report.comparisons > 0);
@@ -226,7 +237,7 @@ mod tests {
         let query = demo_query();
         let config = DiMatchingConfig::default();
         // Build a plain BF over the same keys the WBF would hold.
-        let built = build_wbf(&[query.clone()], &config).unwrap();
+        let built = build_wbf(std::slice::from_ref(&query), &config).unwrap();
         let mut bf = BloomFilter::new(
             FilterParams::new(built.filter.bit_len(), built.filter.hashes()).unwrap(),
             config.seed,
@@ -246,8 +257,14 @@ mod tests {
         let query = demo_query();
         let config = DiMatchingConfig::default();
         let built = build_wbf(&[query], &config).unwrap();
-        let reports =
-            scan_station(&built.filter, &built.query_totals, &BTreeMap::new(), &config, None).unwrap();
+        let reports = scan_station(
+            &built.filter,
+            &built.query_totals,
+            &BTreeMap::new(),
+            &config,
+            None,
+        )
+        .unwrap();
         assert!(reports.is_empty());
     }
 }

@@ -118,26 +118,37 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut c = DiMatchingConfig::default();
-        c.samples = 0;
+        let c = DiMatchingConfig {
+            samples: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = DiMatchingConfig::default();
-        c.target_fpp = 0.0;
+        let c = DiMatchingConfig {
+            target_fpp: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = DiMatchingConfig::default();
-        c.target_fpp = 1.5;
+        let c = DiMatchingConfig {
+            target_fpp: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = DiMatchingConfig::default();
-        c.min_bits = 0;
+        let c = DiMatchingConfig {
+            min_bits: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn value_only_keys_ignore_position() {
-        assert_eq!(HashScheme::ValueOnly.key(0, 42), HashScheme::ValueOnly.key(5, 42));
+        assert_eq!(
+            HashScheme::ValueOnly.key(0, 42),
+            HashScheme::ValueOnly.key(5, 42)
+        );
     }
 
     #[test]

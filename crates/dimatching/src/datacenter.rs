@@ -5,9 +5,7 @@ use std::collections::BTreeMap;
 
 use dipm_core::{FilterParams, Weight, WeightedBloomFilter};
 use dipm_mobilenet::UserId;
-use dipm_timeseries::{
-    enumerate_combinations, AccumulatedPattern, SampledPattern,
-};
+use dipm_timeseries::{enumerate_combinations, AccumulatedPattern, SampledPattern};
 
 use crate::config::DiMatchingConfig;
 use crate::error::Result;
@@ -240,10 +238,7 @@ pub struct RankedUser {
 /// # Ok(())
 /// # }
 /// ```
-pub fn aggregate_and_rank(
-    reports: Vec<(UserId, Weight)>,
-    top_k: Option<usize>,
-) -> Vec<RankedUser> {
+pub fn aggregate_and_rank(reports: Vec<(UserId, Weight)>, top_k: Option<usize>) -> Vec<RankedUser> {
     let mut sums: BTreeMap<UserId, (Option<Weight>, u32)> = BTreeMap::new();
     for (user, weight) in reports {
         let entry = sums.entry(user).or_insert((Some(Weight::ZERO), 0));
@@ -309,7 +304,7 @@ mod tests {
     fn global_pattern_gets_weight_one() {
         let query = demo_query();
         let config = DiMatchingConfig::default();
-        let built = build_wbf(&[query.clone()], &config).unwrap();
+        let built = build_wbf(std::slice::from_ref(&query), &config).unwrap();
         // Probe the global pattern's sampled points: weight 1 must survive.
         let acc = AccumulatedPattern::from_pattern(query.global()).unwrap();
         let sampled = SampledPattern::from_accumulated(&acc, config.samples).unwrap();
@@ -326,7 +321,7 @@ mod tests {
     fn local_pattern_gets_fractional_weight() {
         let query = demo_query();
         let config = DiMatchingConfig::default();
-        let built = build_wbf(&[query.clone()], &config).unwrap();
+        let built = build_wbf(std::slice::from_ref(&query), &config).unwrap();
         let local = &query.locals()[0];
         let acc = AccumulatedPattern::from_pattern(local).unwrap();
         let sampled = SampledPattern::from_accumulated(&acc, config.samples).unwrap();
@@ -336,11 +331,8 @@ mod tests {
             .enumerate()
             .map(|(i, p)| config.hash_scheme.key(i, p.value));
         let set = built.filter.query_sequence(keys).expect("bits set");
-        let expect = Weight::ratio(
-            local.total().unwrap(),
-            query.global().total().unwrap(),
-        )
-        .unwrap();
+        let expect =
+            Weight::ratio(local.total().unwrap(), query.global().total().unwrap()).unwrap();
         assert!(set.contains(expect));
     }
 
@@ -366,26 +358,27 @@ mod tests {
 
     #[test]
     fn min_bits_floor_applies() {
-        let mut config = DiMatchingConfig::default();
-        config.min_bits = 1 << 16;
+        let config = DiMatchingConfig {
+            min_bits: 1 << 16,
+            ..Default::default()
+        };
         let built = build_wbf(&[demo_query()], &config).unwrap();
         assert!(built.stats.bits >= 1 << 16);
     }
 
     #[test]
     fn position_tagged_scheme_builds() {
-        let mut config = DiMatchingConfig::default();
-        config.hash_scheme = HashScheme::PositionTagged;
+        let config = DiMatchingConfig {
+            hash_scheme: HashScheme::PositionTagged,
+            ..Default::default()
+        };
         let built = build_wbf(&[demo_query()], &config).unwrap();
         assert!(built.stats.inserted_values > 0);
     }
 
     #[test]
     fn aggregate_exact_decomposition_sums_to_one() {
-        let ranked = aggregate_and_rank(
-            vec![(UserId(7), w(1, 4)), (UserId(7), w(3, 4))],
-            None,
-        );
+        let ranked = aggregate_and_rank(vec![(UserId(7), w(1, 4)), (UserId(7), w(3, 4))], None);
         assert_eq!(ranked.len(), 1);
         assert!(ranked[0].weight_sum.is_one());
     }
@@ -394,10 +387,7 @@ mod tests {
     fn aggregate_discards_over_one() {
         // Section IV-B: matching the global at one station and a local at
         // another means the true aggregated global differs — delete.
-        let ranked = aggregate_and_rank(
-            vec![(UserId(1), Weight::ONE), (UserId(1), w(1, 3))],
-            None,
-        );
+        let ranked = aggregate_and_rank(vec![(UserId(1), Weight::ONE), (UserId(1), w(1, 3))], None);
         assert!(ranked.is_empty());
     }
 
@@ -437,8 +427,10 @@ mod tests {
 
     #[test]
     fn invalid_config_rejected() {
-        let mut config = DiMatchingConfig::default();
-        config.samples = 0;
+        let config = DiMatchingConfig {
+            samples: 0,
+            ..Default::default()
+        };
         assert!(build_wbf(&[demo_query()], &config).is_err());
     }
 }

@@ -8,9 +8,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use dipm_distsim::{
-    run_stations, ExecutionMode, Network, NodeId, TrafficClass, DATA_CENTER,
-};
+use dipm_distsim::{run_stations, ExecutionMode, Network, NodeId, TrafficClass, DATA_CENTER};
 use dipm_mobilenet::{Dataset, StationId, UserId};
 use dipm_timeseries::{chebyshev_distance, Pattern};
 
@@ -50,9 +48,7 @@ pub fn run_naive(
     // Every station ships its whole local store.
     let results = run_stations(mode, &stations, |_, &(station, node)| {
         let payload = match dataset.station_locals(station) {
-            Some(patterns) => {
-                wire::encode_station_data(patterns.iter().map(|(&u, p)| (u, p)))
-            }
+            Some(patterns) => wire::encode_station_data(patterns.iter().map(|(&u, p)| (u, p))),
             None => wire::encode_station_data(std::iter::empty()),
         };
         network.send(node, DATA_CENTER, TrafficClass::Data, payload)
@@ -124,8 +120,14 @@ mod tests {
         let dataset = Dataset::small(31);
         let query = probe_query(&dataset, 0);
         let eps = 3;
-        let outcome = run_naive(&dataset, &[query.clone()], eps, ExecutionMode::Sequential, None)
-            .unwrap();
+        let outcome = run_naive(
+            &dataset,
+            std::slice::from_ref(&query),
+            eps,
+            ExecutionMode::Sequential,
+            None,
+        )
+        .unwrap();
         let relevant = ground_truth::eps_similar_users(&dataset, query.global(), eps);
         let retrieved: std::collections::BTreeSet<UserId> =
             outcome.ranked.iter().copied().collect();
@@ -136,8 +138,7 @@ mod tests {
     fn naive_ranks_exact_match_first() {
         let dataset = Dataset::small(32);
         let query = probe_query(&dataset, 0);
-        let outcome =
-            run_naive(&dataset, &[query], 4, ExecutionMode::Sequential, None).unwrap();
+        let outcome = run_naive(&dataset, &[query], 4, ExecutionMode::Sequential, None).unwrap();
         let MethodDetails::Naive { distances } = &outcome.details else {
             panic!("wrong detail variant");
         };
@@ -149,8 +150,7 @@ mod tests {
     fn naive_ships_the_whole_corpus() {
         let dataset = Dataset::small(33);
         let query = probe_query(&dataset, 0);
-        let outcome =
-            run_naive(&dataset, &[query], 2, ExecutionMode::Sequential, None).unwrap();
+        let outcome = run_naive(&dataset, &[query], 2, ExecutionMode::Sequential, None).unwrap();
         // Data traffic dominates and equals stored bytes at the center.
         assert!(outcome.cost.data_bytes > 0);
         assert_eq!(outcome.cost.data_bytes, outcome.cost.storage_bytes);
@@ -163,10 +163,15 @@ mod tests {
     fn naive_threaded_matches_sequential() {
         let dataset = Dataset::small(34);
         let query = probe_query(&dataset, 2);
-        let seq = run_naive(&dataset, &[query.clone()], 3, ExecutionMode::Sequential, None)
-            .unwrap();
-        let thr =
-            run_naive(&dataset, &[query], 3, ExecutionMode::Threaded, None).unwrap();
+        let seq = run_naive(
+            &dataset,
+            std::slice::from_ref(&query),
+            3,
+            ExecutionMode::Sequential,
+            None,
+        )
+        .unwrap();
+        let thr = run_naive(&dataset, &[query], 3, ExecutionMode::Threaded, None).unwrap();
         assert_eq!(seq.ranked, thr.ranked);
     }
 

@@ -9,9 +9,7 @@
 use std::time::Instant;
 
 use dipm_core::encode;
-use dipm_distsim::{
-    run_stations, ExecutionMode, Network, NodeId, TrafficClass, DATA_CENTER,
-};
+use dipm_distsim::{run_stations, ExecutionMode, Network, NodeId, TrafficClass, DATA_CENTER};
 use dipm_mobilenet::{Dataset, StationId};
 
 use crate::basestation::{scan_station, scan_station_bloom};
@@ -195,9 +193,7 @@ pub fn run_bloom(
         let envelope = mailbox.recv()?;
         let filter = encode::decode_bloom(envelope.payload)?;
         let ids = match dataset.station_locals(*station) {
-            Some(patterns) => {
-                scan_station_bloom(&filter, patterns, config, Some(network.meter()))?
-            }
+            Some(patterns) => scan_station_bloom(&filter, patterns, config, Some(network.meter()))?,
             None => Vec::new(),
         };
         let payload = wire::encode_id_reports(&ids);
@@ -288,10 +284,11 @@ mod tests {
             .generate()
             .unwrap();
         let probe = dataset.users()[0];
-        let query =
-            PatternQuery::from_fragments(dataset.fragments(probe.id).unwrap()).unwrap();
-        let mut config = DiMatchingConfig::default();
-        config.eps = 0;
+        let query = PatternQuery::from_fragments(dataset.fragments(probe.id).unwrap()).unwrap();
+        let config = DiMatchingConfig {
+            eps: 0,
+            ..Default::default()
+        };
         let outcome =
             run_wbf(&dataset, &[query], &config, ExecutionMode::Sequential, None).unwrap();
         let MethodDetails::Wbf { weights, .. } = &outcome.details else {
@@ -306,8 +303,14 @@ mod tests {
         let dataset = Dataset::small(22);
         let query = probe_query(&dataset, 3);
         let config = DiMatchingConfig::default();
-        let seq = run_wbf(&dataset, &[query.clone()], &config, ExecutionMode::Sequential, None)
-            .unwrap();
+        let seq = run_wbf(
+            &dataset,
+            std::slice::from_ref(&query),
+            &config,
+            ExecutionMode::Sequential,
+            None,
+        )
+        .unwrap();
         let thr = run_wbf(&dataset, &[query], &config, ExecutionMode::Threaded, None).unwrap();
         assert_eq!(seq.ranked, thr.ranked);
         // Communication costs are identical; only wall time may differ.
@@ -320,11 +323,23 @@ mod tests {
         let dataset = Dataset::small(23);
         let query = probe_query(&dataset, 0);
         let config = DiMatchingConfig::default();
-        let full = run_wbf(&dataset, &[query.clone()], &config, ExecutionMode::Sequential, None)
-            .unwrap();
+        let full = run_wbf(
+            &dataset,
+            std::slice::from_ref(&query),
+            &config,
+            ExecutionMode::Sequential,
+            None,
+        )
+        .unwrap();
         let k = 1.min(full.ranked.len());
-        let cut = run_wbf(&dataset, &[query], &config, ExecutionMode::Sequential, Some(k))
-            .unwrap();
+        let cut = run_wbf(
+            &dataset,
+            &[query],
+            &config,
+            ExecutionMode::Sequential,
+            Some(k),
+        )
+        .unwrap();
         assert_eq!(cut.ranked.len(), k);
         assert_eq!(cut.ranked[..], full.ranked[..k]);
     }
@@ -346,10 +361,7 @@ mod tests {
         assert_eq!(outcome.cost.data_bytes, 0, "wbf ships no raw data");
         assert!(outcome.cost.storage_bytes > 0);
         assert!(outcome.cost.hash_ops > 0);
-        assert_eq!(
-            outcome.cost.messages as usize,
-            dataset.stations().len() * 2
-        );
+        assert_eq!(outcome.cost.messages as usize, dataset.stations().len() * 2);
     }
 
     #[test]
@@ -374,10 +386,15 @@ mod tests {
         let dataset = Dataset::small(26);
         let query = probe_query(&dataset, 0);
         let config = DiMatchingConfig::default();
-        let wbf = run_wbf(&dataset, &[query.clone()], &config, ExecutionMode::Sequential, None)
-            .unwrap();
-        let bf = run_bloom(&dataset, &[query], &config, ExecutionMode::Sequential, None)
-            .unwrap();
+        let wbf = run_wbf(
+            &dataset,
+            std::slice::from_ref(&query),
+            &config,
+            ExecutionMode::Sequential,
+            None,
+        )
+        .unwrap();
+        let bf = run_bloom(&dataset, &[query], &config, ExecutionMode::Sequential, None).unwrap();
         let bf_set: std::collections::BTreeSet<_> = bf.ranked.iter().collect();
         // Every WBF candidate that survived aggregation was reported by some
         // station under BF too (same bits are set in both filters).

@@ -51,9 +51,11 @@ impl PatternQuery {
         }
         let global = Pattern::sum(locals.iter())?;
         match global.total() {
-            None => return Err(ProtocolError::TimeSeries(
-                dipm_timeseries::TimeSeriesError::Overflow,
-            )),
+            None => {
+                return Err(ProtocolError::TimeSeries(
+                    dipm_timeseries::TimeSeriesError::Overflow,
+                ))
+            }
             Some(0) => return Err(ProtocolError::ZeroQueryVolume),
             Some(_) => {}
         }
@@ -131,11 +133,8 @@ mod tests {
 
     #[test]
     fn mismatched_fragments_rejected() {
-        let err = PatternQuery::from_locals(vec![
-            Pattern::from([1u64, 2]),
-            Pattern::from([1u64]),
-        ])
-        .unwrap_err();
+        let err = PatternQuery::from_locals(vec![Pattern::from([1u64, 2]), Pattern::from([1u64])])
+            .unwrap_err();
         assert!(matches!(err, ProtocolError::TimeSeries(_)));
     }
 

@@ -30,7 +30,9 @@ pub fn encode_filter_broadcast(query_totals: &[u64], filter: Bytes) -> Bytes {
 /// Returns [`ProtocolError::MalformedReport`] on truncation.
 pub fn decode_filter_broadcast(mut data: Bytes) -> Result<(Vec<u64>, Bytes)> {
     if data.remaining() < 4 {
-        return Err(ProtocolError::malformed_report("truncated broadcast header"));
+        return Err(ProtocolError::malformed_report(
+            "truncated broadcast header",
+        ));
     }
     let count = data.get_u32_le() as usize;
     if data.remaining() < count * 8 {
@@ -139,6 +141,11 @@ pub fn decode_station_data(mut data: Bytes) -> Result<Vec<(UserId, Pattern)>> {
         return Err(ProtocolError::malformed_report("truncated user count"));
     }
     let count = data.get_u32_le() as usize;
+    // Every entry takes at least 12 bytes; reject impossible counts before
+    // allocating (a malicious count must not drive `with_capacity`).
+    if data.remaining() < count.saturating_mul(12) {
+        return Err(ProtocolError::malformed_report("truncated station data"));
+    }
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
         if data.remaining() < 12 {
@@ -180,7 +187,9 @@ mod tests {
         assert!(decode_weight_reports(encode_weight_reports(&[]))
             .unwrap()
             .is_empty());
-        assert!(decode_id_reports(encode_id_reports(&[])).unwrap().is_empty());
+        assert!(decode_id_reports(encode_id_reports(&[]))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

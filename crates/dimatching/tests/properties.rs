@@ -3,8 +3,7 @@
 use dipm_core::Weight;
 use dipm_mobilenet::UserId;
 use dipm_protocol::{
-    aggregate_and_rank, build_wbf, scan_station, wire, DiMatchingConfig, HashScheme,
-    PatternQuery,
+    aggregate_and_rank, build_wbf, scan_station, wire, DiMatchingConfig, HashScheme, PatternQuery,
 };
 use dipm_timeseries::{eps_match, Pattern};
 use proptest::collection::vec;
@@ -16,10 +15,11 @@ fn arb_locals() -> impl Strategy<Value = Vec<Pattern>> {
 }
 
 fn small_config() -> DiMatchingConfig {
-    let mut c = DiMatchingConfig::default();
-    c.samples = 6;
-    c.eps = 2;
-    c
+    DiMatchingConfig {
+        samples: 6,
+        eps: 2,
+        ..Default::default()
+    }
 }
 
 proptest! {
@@ -128,7 +128,7 @@ proptest! {
         prop_assume!(Pattern::sum(locals.iter()).unwrap().total().unwrap() > 0);
         let query = PatternQuery::from_locals(locals).unwrap();
         let config = small_config();
-        let a = build_wbf(&[query.clone()], &config).unwrap();
+        let a = build_wbf(std::slice::from_ref(&query), &config).unwrap();
         let b = build_wbf(&[query], &config).unwrap();
         prop_assert_eq!(a.filter, b.filter);
         prop_assert_eq!(a.stats, b.stats);

@@ -42,6 +42,8 @@ mod tests {
 
     #[test]
     fn display_names_node() {
-        assert!(DistSimError::UnknownNode(NodeId(4)).to_string().contains("N4"));
+        assert!(DistSimError::UnknownNode(NodeId(4))
+            .to_string()
+            .contains("N4"));
     }
 }

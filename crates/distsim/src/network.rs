@@ -215,8 +215,13 @@ mod tests {
         let net = Network::new();
         let center = net.register(DATA_CENTER).unwrap();
         net.register(NodeId(1)).unwrap();
-        net.send(NodeId(1), DATA_CENTER, TrafficClass::Report, Bytes::from_static(b"abc"))
-            .unwrap();
+        net.send(
+            NodeId(1),
+            DATA_CENTER,
+            TrafficClass::Report,
+            Bytes::from_static(b"abc"),
+        )
+        .unwrap();
         let env = center.recv().unwrap();
         assert_eq!(env.payload.as_ref(), b"abc");
         assert_eq!(env.from, NodeId(1));
@@ -282,7 +287,12 @@ mod tests {
         let clone = net.clone();
         let _mailbox = net.register(NodeId(1)).unwrap();
         clone
-            .send(DATA_CENTER, NodeId(1), TrafficClass::Data, Bytes::from_static(b"xy"))
+            .send(
+                DATA_CENTER,
+                NodeId(1),
+                TrafficClass::Data,
+                Bytes::from_static(b"xy"),
+            )
             .unwrap();
         assert_eq!(net.meter().report().data_bytes, 2);
         assert_eq!(clone.node_count(), 1);

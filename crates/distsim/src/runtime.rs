@@ -54,10 +54,12 @@ where
             let handles: Vec<_> = stations
                 .iter()
                 .enumerate()
-                .map(|(i, s)| scope.spawn({
-                    let work = &work;
-                    move |_| work(i, s)
-                }))
+                .map(|(i, s)| {
+                    scope.spawn({
+                        let work = &work;
+                        move |_| work(i, s)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -76,14 +78,18 @@ mod tests {
     #[test]
     fn sequential_preserves_order() {
         let stations = vec!["a", "b", "c"];
-        let out = run_stations(ExecutionMode::Sequential, &stations, |i, s| format!("{i}{s}"));
+        let out = run_stations(ExecutionMode::Sequential, &stations, |i, s| {
+            format!("{i}{s}")
+        });
         assert_eq!(out, vec!["0a", "1b", "2c"]);
     }
 
     #[test]
     fn threaded_matches_sequential() {
         let stations: Vec<u64> = (0..32).collect();
-        let seq = run_stations(ExecutionMode::Sequential, &stations, |i, s| s * 3 + i as u64);
+        let seq = run_stations(ExecutionMode::Sequential, &stations, |i, s| {
+            s * 3 + i as u64
+        });
         let thr = run_stations(ExecutionMode::Threaded, &stations, |i, s| s * 3 + i as u64);
         assert_eq!(seq, thr);
     }

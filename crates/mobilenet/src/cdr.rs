@@ -124,7 +124,11 @@ mod tests {
 
     #[test]
     fn splits_by_user_and_station() {
-        let rows = vec![row(1, 9, 5, 0, 60), row(1, 9, 6, 0, 60), row(2, 9, 5, 0, 60)];
+        let rows = vec![
+            row(1, 9, 5, 0, 60),
+            row(1, 9, 6, 0, 60),
+            row(2, 9, 5, 0, 60),
+        ];
         let series = records_to_series(&rows, 1);
         assert_eq!(series.len(), 3);
     }

@@ -47,7 +47,10 @@ impl Dataset {
                     .entry(*station)
                     .or_default()
                     .insert(*user, pattern.clone());
-                fragments.entry(*user).or_default().push((*station, pattern));
+                fragments
+                    .entry(*user)
+                    .or_default()
+                    .push((*station, pattern));
             }
         }
         let globals = fragments
@@ -120,9 +123,7 @@ impl Dataset {
     }
 
     /// Iterates over every `(station, user, local pattern)` triple.
-    pub fn iter_locals(
-        &self,
-    ) -> impl Iterator<Item = (StationId, UserId, &Pattern)> + '_ {
+    pub fn iter_locals(&self) -> impl Iterator<Item = (StationId, UserId, &Pattern)> + '_ {
         self.locals.iter().flat_map(|(station, per_user)| {
             per_user
                 .iter()

@@ -116,9 +116,8 @@ impl TraceConfig {
             let category = Category::ALL[i % Category::ALL.len()];
             // Independent per-user stream so traces are insensitive to user
             // iteration order and to other users' parameters.
-            let mut rng = StdRng::seed_from_u64(
-                self.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-            );
+            let mut rng =
+                StdRng::seed_from_u64(self.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
             let spec = self.assign_stations(id, category, &mut rng);
             users.push(spec);
             self.generate_user_traffic(&spec, &mut rng, intervals, &mut series);
@@ -204,8 +203,7 @@ impl TraceConfig {
             // when outgoing calls jitter to zero; partners never exceed the
             // interval's call count.
             let duration = (rates.duration_mins.round() as i64 + jitter(rng)).max(0) as u32;
-            let partners =
-                ((rates.partners.round() as i64 + jitter(rng)).max(0) as u32).min(calls);
+            let partners = ((rates.partners.round() as i64 + jitter(rng)).max(0) as u32).min(calls);
 
             let record = AttributeRecord::new(calls, duration, partners);
             let station_entry = series.entry(station).or_default();
@@ -272,11 +270,7 @@ mod tests {
         let d = tiny();
         for u in d.users() {
             let frags = d.fragments(u.id).unwrap();
-            assert!(
-                frags.len() >= 2,
-                "{} traffic confined to one station",
-                u.id
-            );
+            assert!(frags.len() >= 2, "{} traffic confined to one station", u.id);
         }
     }
 
@@ -319,8 +313,16 @@ mod tests {
     #[test]
     fn different_categories_have_distant_globals() {
         let d = tiny();
-        let office = d.users().iter().find(|u| u.category == Category::OfficeWorker).unwrap();
-        let night = d.users().iter().find(|u| u.category == Category::NightShift).unwrap();
+        let office = d
+            .users()
+            .iter()
+            .find(|u| u.category == Category::OfficeWorker)
+            .unwrap();
+        let night = d
+            .users()
+            .iter()
+            .find(|u| u.category == Category::NightShift)
+            .unwrap();
         let dist = dipm_timeseries::chebyshev_distance(
             d.global(office.id).unwrap(),
             d.global(night.id).unwrap(),
@@ -346,6 +348,10 @@ mod tests {
         assert!(TraceConfig::new(0, 5).generate().is_err());
         assert!(TraceConfig::new(5, 2).generate().is_err());
         assert!(TraceConfig::new(5, 5).days(0).generate().is_err());
-        assert!(TraceConfig::new(5, 5).days(1000).intervals_per_day(24).generate().is_err());
+        assert!(TraceConfig::new(5, 5)
+            .days(1000)
+            .intervals_per_day(24)
+            .generate()
+            .is_err());
     }
 }

@@ -162,10 +162,7 @@ impl AttributeSeries {
     /// Applies Definition 1 interval-by-interval, yielding the communication
     /// pattern time series.
     pub fn to_pattern(&self, weights: &AttributeWeights) -> Pattern {
-        self.records
-            .iter()
-            .map(|&r| weights.combine(r))
-            .collect()
+        self.records.iter().map(|&r| weights.combine(r)).collect()
     }
 }
 

@@ -145,7 +145,7 @@ mod tests {
                 .filter(|i| combo.mask & (1 << i) != 0)
                 .map(|i| &ls[i])
                 .collect();
-            let expect = Pattern::sum(members.into_iter()).unwrap();
+            let expect = Pattern::sum(members).unwrap();
             assert_eq!(combo.pattern, expect, "mask {:#b}", combo.mask);
         }
     }
@@ -201,9 +201,6 @@ mod tests {
     #[test]
     fn overflow_is_error() {
         let bad = vec![Pattern::from([u64::MAX]), Pattern::from([1u64])];
-        assert_eq!(
-            enumerate_combinations(&bad),
-            Err(TimeSeriesError::Overflow)
-        );
+        assert_eq!(enumerate_combinations(&bad), Err(TimeSeriesError::Overflow));
     }
 }

@@ -58,9 +58,7 @@ mod tolerance;
 
 pub use accumulate::AccumulatedPattern;
 pub use attributes::{AttributeRecord, AttributeSeries, AttributeWeights};
-pub use combine::{
-    combination_count, enumerate_combinations, CombinedPattern, MAX_LOCAL_PATTERNS,
-};
+pub use combine::{combination_count, enumerate_combinations, CombinedPattern, MAX_LOCAL_PATTERNS};
 pub use error::{Result, TimeSeriesError};
 pub use pattern::Pattern;
 pub use sample::{sample_positions, SamplePoint, SampledPattern};

@@ -69,7 +69,9 @@ impl Pattern {
     /// The sum of all values — a pattern's "total volume", which determines
     /// its weight relative to a global pattern. `None` on overflow.
     pub fn total(&self) -> Option<u64> {
-        self.values.iter().try_fold(0u64, |acc, &v| acc.checked_add(v))
+        self.values
+            .iter()
+            .try_fold(0u64, |acc, &v| acc.checked_add(v))
     }
 
     /// Element-wise sum with `other` — how local fragments at different base

@@ -21,10 +21,7 @@ use crate::pattern::Pattern;
 /// assert!(!eps_match(&a, &b, 0));
 /// ```
 pub fn eps_match(a: &Pattern, b: &Pattern, eps: u64) -> bool {
-    a.len() == b.len()
-        && a.iter()
-            .zip(b.iter())
-            .all(|(x, y)| x.abs_diff(y) <= eps)
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.abs_diff(y) <= eps)
 }
 
 /// The Chebyshev (L∞) distance: the largest per-interval difference, or

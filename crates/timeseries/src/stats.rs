@@ -29,10 +29,7 @@ pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
         return None;
     }
     let n = a.len() as f64;
-    let (ma, mb) = (
-        a.iter().sum::<f64>() / n,
-        b.iter().sum::<f64>() / n,
-    );
+    let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
     let mut cov = 0.0;
     let mut va = 0.0;
     let mut vb = 0.0;
@@ -204,7 +201,9 @@ mod tests {
     fn cdf_points_are_monotone() {
         let cdf = Cdf::from_observations(vec![3, 1, 4, 1, 5, 9, 2, 6]);
         let points = cdf.points();
-        assert!(points.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert!(points
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
         assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
     }
 

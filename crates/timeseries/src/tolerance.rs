@@ -44,7 +44,11 @@ impl ToleranceMode {
         let radius = self.band_radius(eps, point.position);
         let lo = point.value.saturating_sub(radius);
         let hi = point.value.saturating_add(radius);
-        BandValues { next: lo, hi, done: false }
+        BandValues {
+            next: lo,
+            hi,
+            done: false,
+        }
     }
 
     /// The number of values [`ToleranceMode::band_values`] yields at
@@ -124,9 +128,7 @@ mod tests {
 
     #[test]
     fn band_clamps_at_zero() {
-        let vals: Vec<u64> = ToleranceMode::Uniform
-            .band_values(4, point(0, 2))
-            .collect();
+        let vals: Vec<u64> = ToleranceMode::Uniform.band_values(4, point(0, 2)).collect();
         assert_eq!(vals, vec![0, 1, 2, 3, 4, 5, 6]);
     }
 
@@ -179,6 +181,9 @@ mod tests {
         let vals: Vec<u64> = ToleranceMode::Uniform
             .band_values(2, point(0, u64::MAX - 1))
             .collect();
-        assert_eq!(vals, vec![u64::MAX - 3, u64::MAX - 2, u64::MAX - 1, u64::MAX]);
+        assert_eq!(
+            vals,
+            vec![u64::MAX - 3, u64::MAX - 2, u64::MAX - 1, u64::MAX]
+        );
     }
 }

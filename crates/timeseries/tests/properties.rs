@@ -1,8 +1,8 @@
 //! Property-based tests for the time-series pattern model.
 
 use dipm_timeseries::{
-    chebyshev_distance, enumerate_combinations, eps_match, sample_positions,
-    AccumulatedPattern, Pattern, SamplePoint, SampledPattern, ToleranceMode,
+    chebyshev_distance, enumerate_combinations, eps_match, sample_positions, AccumulatedPattern,
+    Pattern, SamplePoint, SampledPattern, ToleranceMode,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;

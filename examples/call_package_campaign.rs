@@ -33,8 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| PatternQuery::from_fragments(dataset.fragments(s.id).unwrap()))
         .collect::<Result<_, _>>()?;
 
-    let mut config = DiMatchingConfig::default();
-    config.eps = 3; // a campaign casts a slightly wider net
+    // A campaign casts a slightly wider net than the default ε = 2.
+    let config = DiMatchingConfig {
+        eps: 3,
+        ..Default::default()
+    };
 
     // Ground truth: anyone ε-similar to at least one seed's global pattern.
     let mut relevant = BTreeSet::new();
@@ -86,4 +89,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.cost.messages
     );
     Ok(())
+}
+
+// Compiled under the libtest harness by `cargo test` (the facade manifest
+// sets `test = true` for every example), so the example doubles as a
+// smoke test of exactly what the docs tell users to run.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn example_runs() {
+        super::main().expect("example completes");
+    }
 }

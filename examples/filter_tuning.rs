@@ -57,10 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..trials {
         // First half from pattern i, second half from pattern i+1: every
         // value is genuinely present, so membership alone accepts.
-        let stitched: Vec<u64> = pattern(i)
-            .take(4)
-            .chain(pattern(i + 1).skip(4))
-            .collect();
+        let stitched: Vec<u64> = pattern(i).take(4).chain(pattern(i + 1).skip(4)).collect();
         if stitched.iter().all(|&v| wbf.contains(v)) {
             bloom_accepts += 1;
         }
@@ -83,4 +80,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("the weight table is the storage premium WBF pays for its precision.");
     Ok(())
+}
+
+// Compiled under the libtest harness by `cargo test` (the facade manifest
+// sets `test = true` for every example), so the example doubles as a
+// smoke test of exactly what the docs tell users to run.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn example_runs() {
+        super::main().expect("example completes");
+    }
 }

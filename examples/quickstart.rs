@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = DiMatchingConfig::default(); // b = 12, ε = 2, 1% target fpp
     let outcome = run_wbf(
         &dataset,
-        &[query.clone()],
+        std::slice::from_ref(&query),
         &config,
         ExecutionMode::Threaded,
         Some(10),
@@ -53,12 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // How much did it cost? Compare against shipping everything.
     let naive = run_naive(
         &dataset,
-        &[query.clone()],
+        std::slice::from_ref(&query),
         config.eps,
         ExecutionMode::Threaded,
         Some(10),
     )?;
-    println!("\ncommunication: wbf {} bytes vs naive {} bytes ({:.1}% of naive)",
+    println!(
+        "\ncommunication: wbf {} bytes vs naive {} bytes ({:.1}% of naive)",
         outcome.cost.total_bytes(),
         naive.cost.total_bytes(),
         100.0 * outcome.cost.total_bytes() as f64 / naive.cost.total_bytes() as f64,
@@ -75,4 +76,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         relevant.len()
     );
     Ok(())
+}
+
+// Compiled under the libtest harness by `cargo test` (the facade manifest
+// sets `test = true` for every example), so the example doubles as a
+// smoke test of exactly what the docs tell users to run.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn example_runs() {
+        super::main().expect("example completes");
+    }
 }

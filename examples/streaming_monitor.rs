@@ -26,10 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .copied()
         .expect("night-shift users exist");
     let query = PatternQuery::from_fragments(day0.fragments(target.id).unwrap())?;
-    println!("monitoring for patterns like {} ({})\n", target.id, target.category);
+    println!(
+        "monitoring for patterns like {} ({})\n",
+        target.id, target.category
+    );
 
     let config = DiMatchingConfig::default();
-    println!("{:<6} {:>8} {:>10} {:>10} {:>8}", "day", "matches", "precision", "recall", "KB");
+    println!(
+        "{:<6} {:>8} {:>10} {:>10} {:>8}",
+        "day", "matches", "precision", "recall", "KB"
+    );
 
     let mut yesterday: BTreeSet<UserId> = BTreeSet::new();
     for day in 0..4u64 {
@@ -42,11 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .seed(100 + day)
             .generate()?;
 
-        let relevant =
-            ground_truth::eps_similar_users(&snapshot, query.global(), config.eps);
+        let relevant = ground_truth::eps_similar_users(&snapshot, query.global(), config.eps);
         let outcome = run_wbf(
             &snapshot,
-            &[query.clone()],
+            std::slice::from_ref(&query),
             &config,
             ExecutionMode::Threaded,
             Some(relevant.len()), // top-K query semantics
@@ -74,4 +79,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nthe filter is built once; each day's scan reuses the broadcast,");
     println!("so daily monitoring costs only the station scans plus tiny reports.");
     Ok(())
+}
+
+// Compiled under the libtest harness by `cargo test` (the facade manifest
+// sets `test = true` for every example), so the example doubles as a
+// smoke test of exactly what the docs tell users to run.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn example_runs() {
+        super::main().expect("example completes");
+    }
 }

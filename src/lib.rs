@@ -55,16 +55,12 @@ pub use dipm_timeseries as timeseries;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use dipm_core::{
-        BloomFilter, FilterParams, Weight, WeightSet, WeightedBloomFilter,
-    };
+    pub use dipm_core::{BloomFilter, FilterParams, Weight, WeightSet, WeightedBloomFilter};
     pub use dipm_distsim::{CostReport, ExecutionMode};
-    pub use dipm_mobilenet::{
-        Category, Dataset, StationId, TraceConfig, UserId, UserSpec,
-    };
+    pub use dipm_mobilenet::{Category, Dataset, StationId, TraceConfig, UserId, UserSpec};
     pub use dipm_protocol::{
-        aggregate_and_rank, build_wbf, evaluate, run_bloom, run_naive, run_wbf,
-        DiMatchingConfig, HashScheme, Method, PatternQuery, QueryOutcome,
+        aggregate_and_rank, build_wbf, evaluate, run_bloom, run_naive, run_wbf, DiMatchingConfig,
+        HashScheme, Method, PatternQuery, QueryOutcome,
     };
     pub use dipm_timeseries::{
         eps_match, AccumulatedPattern, Pattern, SampledPattern, ToleranceMode,

@@ -1,0 +1,111 @@
+//! Shared conformance oracle: runs the naive gold standard, the Bloom
+//! baseline and WBF over the *same* seeded datasets and exposes the
+//! paper's correctness invariants as reusable assertions.
+//!
+//! The three invariants (Sections III–IV of the paper):
+//!
+//! 1. **No false negatives** — under the accumulated tolerance mode, every
+//!    user the exact naive method retrieves is also reported by WBF.
+//! 2. **Precision dominance** — the weight-consistency check only removes
+//!    candidates, so WBF precision is at least the Bloom baseline's.
+//! 3. **Stitched rejection** — a candidate whose probed bits were set by
+//!    *different* patterns carries no common weight and is rejected, even
+//!    though a classic Bloom filter accepts it.
+
+use std::collections::BTreeSet;
+
+use dipm::mobilenet::ground_truth;
+use dipm::prelude::*;
+use dipm::protocol::ProtocolError;
+
+/// The fixed dataset seeds every conformance test sweeps. Three distinct
+/// cities plus the quickstart seed; all invariants must hold on each.
+pub const SEEDS: [u64; 4] = [5, 17, 29, 42];
+
+/// Users per conformance dataset (kept laptop-fast; the bench harness
+/// covers paper scale).
+pub const USERS: usize = 300;
+
+/// Stations per conformance dataset.
+pub const STATIONS: u32 = 10;
+
+/// Probe indices (into `dataset.users()`) queried per dataset.
+pub const PROBES: [usize; 3] = [0, 7, 20];
+
+/// One outcome per method, over identical inputs.
+pub struct MethodTriple {
+    /// The exact, ship-everything gold standard.
+    pub naive: QueryOutcome,
+    /// The unweighted Bloom baseline.
+    pub bloom: QueryOutcome,
+    /// The paper's weighted Bloom filter method.
+    pub wbf: QueryOutcome,
+}
+
+/// The seeded conformance dataset for one entry of [`SEEDS`].
+pub fn dataset(seed: u64) -> Dataset {
+    Dataset::city_slice(USERS, STATIONS, seed).expect("conformance preset is valid")
+}
+
+/// The decomposition query of the `index`-th user.
+pub fn probe_query(dataset: &Dataset, index: usize) -> PatternQuery {
+    let user = dataset.users()[index];
+    PatternQuery::from_fragments(dataset.fragments(user.id).expect("every user has traffic"))
+        .expect("fragments form a valid query")
+}
+
+/// Runs all three methods sequentially (deterministic order) over one
+/// query with unbounded K, so retrieval sets are directly comparable.
+pub fn run_all(
+    dataset: &Dataset,
+    query: &PatternQuery,
+    config: &DiMatchingConfig,
+) -> Result<MethodTriple, ProtocolError> {
+    let queries = [query.clone()];
+    Ok(MethodTriple {
+        naive: run_naive(
+            dataset,
+            &queries,
+            config.eps,
+            ExecutionMode::Sequential,
+            None,
+        )?,
+        bloom: run_bloom(dataset, &queries, config, ExecutionMode::Sequential, None)?,
+        wbf: run_wbf(dataset, &queries, config, ExecutionMode::Sequential, None)?,
+    })
+}
+
+/// The retrieved user set of one outcome.
+pub fn retrieved_set(outcome: &QueryOutcome) -> BTreeSet<UserId> {
+    outcome.retrieved().collect()
+}
+
+/// Invariant 1: everything naive finds, WBF reports too.
+pub fn assert_no_false_negatives(seed: u64, probe: usize, triple: &MethodTriple) {
+    let wbf = retrieved_set(&triple.wbf);
+    for user in &triple.naive.ranked {
+        assert!(
+            wbf.contains(user),
+            "seed {seed} probe {probe}: naive found {user} but WBF missed it"
+        );
+    }
+}
+
+/// Invariant 2: WBF precision is no worse than Bloom precision against
+/// the ε-similarity ground truth (small float slack for the division).
+pub fn assert_precision_dominance(
+    seed: u64,
+    probe: usize,
+    dataset: &Dataset,
+    query: &PatternQuery,
+    triple: &MethodTriple,
+    eps: u64,
+) {
+    let relevant = ground_truth::eps_similar_users(dataset, query.global(), eps);
+    let wbf = evaluate(triple.wbf.retrieved(), &relevant).precision;
+    let bloom = evaluate(triple.bloom.retrieved(), &relevant).precision;
+    assert!(
+        wbf >= bloom - 1e-9,
+        "seed {seed} probe {probe}: WBF precision {wbf} below Bloom {bloom}"
+    );
+}

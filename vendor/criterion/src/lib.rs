@@ -1,0 +1,178 @@
+//! Offline stub of the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! Benchmarks compile and run, timing each routine with `Instant` over a
+//! fixed wall-clock budget and printing one mean-time line per benchmark.
+//! No statistics, baselines, or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent measuring each benchmark function.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// How batched inputs are grouped; accepted for API compatibility, the
+/// stub always materialises one input per routine call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Times closures handed to [`Criterion::bench_function`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly until the measurement budget is
+    /// spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let budget_end = Instant::now() + MEASURE_BUDGET;
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= budget_end {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let budget_end = Instant::now() + MEASURE_BUDGET;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= budget_end {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name}: no iterations");
+            return;
+        }
+        let mean_ns = self.total.as_nanos() / u128::from(self.iters);
+        println!("{name}: {mean_ns} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the stub is time-budgeted, not
+    /// sample-counted.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs and reports one benchmark in this group.
+    pub fn bench_function<R>(&mut self, id: impl Into<String>, f: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs and reports one stand-alone benchmark.
+    pub fn bench_function<R>(&mut self, id: impl Into<String>, f: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, f);
+        self
+    }
+
+    fn run_one<R: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: R) {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(name);
+    }
+}
+
+/// Declares a benchmark entry point collecting the given functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routines() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u64;
+        group.sample_size(10).bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 2u64, |v| v * 2, BatchSize::SmallInput);
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

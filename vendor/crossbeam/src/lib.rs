@@ -1,0 +1,167 @@
+//! Offline stub of the [`crossbeam`](https://docs.rs/crossbeam) crate.
+//!
+//! `thread::scope` is implemented over `std::thread::scope` and
+//! `channel::unbounded` over `std::sync::mpsc`, preserving the crossbeam
+//! API shapes this workspace uses (spawn closures receive the scope;
+//! `scope` returns a `Result`).
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// A scope for spawning threads that borrow from the caller's stack.
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to join one scoped thread.
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its panic payload if
+        /// it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads.
+    ///
+    /// Unlike crossbeam, a child-thread panic that the caller never joins
+    /// propagates as a panic (via `std::thread::scope`) rather than an
+    /// `Err`; callers that join every handle observe identical behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` in this stub (see above).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::{mpsc, Mutex};
+
+    /// The sending half of an unbounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    /// The receiving half of an unbounded channel.
+    ///
+    /// Crossbeam receivers are `Sync`; `mpsc`'s are not, so the stub locks
+    /// a mutex around each receive (uncontended in this workspace, where
+    /// every mailbox has one consumer at a time).
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: Mutex<mpsc::Receiver<T>>,
+    }
+
+    /// Error returned when sending into a channel whose receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when receiving from an empty, disconnected channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders are gone and the channel is empty.
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value, failing only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn with_inner<R>(&self, f: impl FnOnce(&mpsc::Receiver<T>) -> R) -> R {
+            f(&self
+                .inner
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()))
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.with_inner(|rx| rx.try_recv()).map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Receives, blocking until a value arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.with_inner(|rx| rx.recv()).map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Mutex::new(rx),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_spawn_join() {
+        let data = [1u64, 2, 3];
+        let sum = super::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(sum, 12);
+    }
+
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(rx.try_recv().is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stub of the [`serde`](https://docs.rs/serde) crate.
+//!
+//! The workspace only uses serde through feature-gated derive attributes
+//! (`#[cfg_attr(feature = "serde", derive(serde::Serialize, ...))]`), so
+//! this stub supplies marker traits satisfied by blanket implementations
+//! plus no-op derive macros. The derive macro and the trait share each
+//! name (macro vs. type namespace), exactly as in the real crate, so both
+//! `#[derive(serde::Serialize)]` and `T: serde::Serialize` bounds
+//! typecheck; no actual serialization format is provided.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

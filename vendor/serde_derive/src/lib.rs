@@ -1,0 +1,21 @@
+//! Offline stub of the `serde_derive` proc-macro crate.
+//!
+//! The derives emit no code: the stub `serde` crate provides blanket
+//! implementations of its marker traits, so `#[derive(Serialize)]` only
+//! needs to be *accepted*, not expanded. This keeps `#[cfg_attr(feature =
+//! "serde", derive(serde::Serialize, serde::Deserialize))]` compiling in
+//! both feature configurations without a network-fetched syn/quote stack.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
