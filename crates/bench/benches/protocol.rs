@@ -5,7 +5,8 @@ use dipm_core::Weight;
 use dipm_distsim::ExecutionMode;
 use dipm_mobilenet::{Dataset, UserId};
 use dipm_protocol::{
-    aggregate_and_rank, build_wbf, run_wbf, scan_station, DiMatchingConfig, PatternQuery,
+    aggregate_and_rank, build_wbf, run_pipeline, run_wbf, scan_station, DiMatchingConfig,
+    PatternQuery, PipelineOptions, Shards, Wbf,
 };
 
 fn queries(dataset: &Dataset, count: usize) -> Vec<PatternQuery> {
@@ -56,6 +57,28 @@ fn bench_protocol(c: &mut Criterion) {
             run_wbf(&dataset, &one, &config, ExecutionMode::Sequential, Some(10))
                 .expect("pipeline runs")
         });
+    });
+
+    // The batch-first pipeline: 8 queries amortized over one broadcast and
+    // one scan pass per station, per-query rankings out.
+    let batch = queries(&dataset, 8);
+    group.bench_function("batch_pipeline_q8", |b| {
+        let options = PipelineOptions {
+            top_k: Some(10),
+            ..PipelineOptions::default()
+        };
+        b.iter(|| run_pipeline::<Wbf>(&dataset, &batch, &config, &options).expect("pipeline runs"));
+    });
+
+    // The scaled-out deployment shape: sharded stations over a fixed pool.
+    group.bench_function("batch_pipeline_q8_sharded_pool", |b| {
+        let options = PipelineOptions {
+            mode: ExecutionMode::ThreadPool { workers: 6 },
+            shards: Shards::new(4),
+            top_k: Some(10),
+            ..PipelineOptions::default()
+        };
+        b.iter(|| run_pipeline::<Wbf>(&dataset, &batch, &config, &options).expect("pipeline runs"));
     });
 
     group.finish();

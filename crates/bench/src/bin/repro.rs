@@ -4,7 +4,7 @@
 //! repro [EXPERIMENT…] [--quick] [--users N] [--stations N] [--patterns A,B,C] [--seed S]
 //!
 //! experiments: fig1a fig1b fig3 convergence fig4 fig4a fig4b fig4c fig4d
-//!              table2 fpp ablation all   (default: all)
+//!              table2 fpp ablation batch all   (default: all)
 //! ```
 
 use std::process::ExitCode;
@@ -17,7 +17,7 @@ fn print(report: Report) {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [fig1a|fig1b|fig3|convergence|fig4|fig4a|fig4b|fig4c|fig4d|table2|fpp|ablation|all]…"
+        "usage: repro [fig1a|fig1b|fig3|convergence|fig4|fig4a|fig4b|fig4c|fig4d|table2|fpp|ablation|batch|all]…"
     );
     eprintln!("       [--quick] [--users N] [--stations N] [--patterns A,B,C] [--seed S]");
     ExitCode::FAILURE
@@ -93,6 +93,10 @@ fn main() -> ExitCode {
             "table2" => print(experiments::table2(scale.seed)),
             "fpp" => print(experiments::fpp(scale.seed)),
             "ablation" => print(experiments::ablation(&scale)),
+            "batch" => {
+                print(experiments::batch_scaling(&scale));
+                print(experiments::shard_scaling(&scale));
+            }
             "all" => {
                 print(experiments::fig1a());
                 print(experiments::fig1b(&scale));
@@ -110,6 +114,8 @@ fn main() -> ExitCode {
                 print(experiments::table2(scale.seed));
                 print(experiments::fpp(scale.seed));
                 print(experiments::ablation(&scale));
+                print(experiments::batch_scaling(&scale));
+                print(experiments::shard_scaling(&scale));
             }
             _ => return usage(),
         }

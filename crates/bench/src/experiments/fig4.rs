@@ -9,10 +9,42 @@ use std::time::Duration;
 
 use dipm_distsim::ExecutionMode;
 use dipm_mobilenet::{ground_truth, Category, Dataset, UserId};
-use dipm_protocol::{evaluate, run_bloom, run_naive, run_wbf, DiMatchingConfig, PatternQuery};
+use dipm_protocol::{
+    evaluate, run_pipeline, Bloom, DiMatchingConfig, FilterStrategy, Naive, PatternQuery,
+    PipelineOptions, QueryOutcome, SectionGrouping, Shards, Wbf,
+};
 
 use crate::report::Report;
 use crate::scale::Scale;
+
+/// Shards per station in the sweep's deployment.
+const SWEEP_SHARDS: usize = 2;
+
+/// Worker threads the sweep's pool multiplexes station shards over (kept
+/// below the quick scale's station count, the intended pool shape).
+const SWEEP_WORKERS: usize = 8;
+
+/// Runs one method through the generic pipeline in the sweep's scaled-out
+/// deployment shape: merged filter (the paper's Algorithm 1 over all given
+/// patterns), sharded stations, fixed worker pool.
+fn run_method<S: FilterStrategy>(
+    dataset: &Dataset,
+    queries: &[PatternQuery],
+    config: &DiMatchingConfig,
+    top_k: Option<usize>,
+) -> QueryOutcome {
+    let options = PipelineOptions {
+        mode: ExecutionMode::ThreadPool {
+            workers: SWEEP_WORKERS,
+        },
+        shards: Shards::new(SWEEP_SHARDS),
+        top_k,
+        grouping: SectionGrouping::Merged,
+    };
+    run_pipeline::<S>(dataset, queries, config, &options)
+        .expect("pipeline runs")
+        .into_merged(top_k)
+}
 
 /// One method's measurements at one sweep point.
 #[derive(Debug, Clone, Copy)]
@@ -78,7 +110,7 @@ pub fn sweep(scale: &Scale) -> Vec<SweepPoint> {
         }
         let k = Some(relevant.len());
 
-        let run = |outcome: dipm_protocol::QueryOutcome| -> MethodPoint {
+        let run = |outcome: QueryOutcome| -> MethodPoint {
             MethodPoint {
                 precision: evaluate(outcome.retrieved(), &relevant).precision,
                 elapsed: outcome.elapsed,
@@ -88,16 +120,9 @@ pub fn sweep(scale: &Scale) -> Vec<SweepPoint> {
             }
         };
 
-        let naive = run(
-            run_naive(&dataset, &queries, config.eps, ExecutionMode::Threaded, k)
-                .expect("naive runs"),
-        );
-        let bloom = run(
-            run_bloom(&dataset, &queries, &config, ExecutionMode::Threaded, k).expect("bloom runs"),
-        );
-        let wbf = run(
-            run_wbf(&dataset, &queries, &config, ExecutionMode::Threaded, k).expect("wbf runs"),
-        );
+        let naive = run(run_method::<Naive>(&dataset, &queries, &config, k));
+        let bloom = run(run_method::<Bloom>(&dataset, &queries, &config, k));
+        let wbf = run(run_method::<Wbf>(&dataset, &queries, &config, k));
         points.push(SweepPoint {
             patterns: a,
             naive,
@@ -216,10 +241,12 @@ mod tests {
             assert!(p.wbf.precision > 0.85, "wbf precision {}", p.wbf.precision);
             assert!(p.bloom.precision <= p.wbf.precision + 1e-9);
             // 4(c): the weight check cuts the matching number — candidate
-            // counts (24 bytes per WBF entry, 8 per BF entry, headers
+            // counts (28 bytes per tagged WBF entry, 12 per tagged BF
+            // entry; the 8-byte shard+count frame header per station
             // excluded) and both filter methods ship far less than naive.
-            let wbf_candidates = p.wbf.comm_bytes.saturating_sub(4 * 12) / 24;
-            let bloom_candidates = p.bloom.comm_bytes.saturating_sub(4 * 12) / 8;
+            let header_bytes = 8 * 12; // stations at quick scale
+            let wbf_candidates = p.wbf.comm_bytes.saturating_sub(header_bytes) / 28;
+            let bloom_candidates = p.bloom.comm_bytes.saturating_sub(header_bytes) / 12;
             assert!(wbf_candidates <= bloom_candidates);
             assert!(p.wbf.comm_bytes < p.naive.comm_bytes);
             assert!(p.bloom.comm_bytes < p.naive.comm_bytes);

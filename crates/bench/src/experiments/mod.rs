@@ -1,6 +1,7 @@
 //! One module per regenerated table or figure.
 
 mod ablation;
+mod batch;
 mod convergence;
 mod fig1;
 mod fig4;
@@ -8,6 +9,7 @@ mod fpp;
 mod table2;
 
 pub use ablation::ablation;
+pub use batch::{batch_scaling, shard_scaling};
 pub use convergence::convergence;
 pub use fig1::{fig1a, fig1b, fig3};
 pub use fig4::{fig4a, fig4b, fig4c, fig4d, sweep, MethodPoint, SweepPoint};

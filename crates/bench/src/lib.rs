@@ -13,6 +13,7 @@
 //! | Table II | [`experiments::table2`] | `repro table2` |
 //! | FP bound tightness | [`experiments::fpp`] | `repro fpp` |
 //! | Design ablations | [`experiments::ablation`] | `repro ablation` |
+//! | Batch & shard scaling (post-paper) | [`experiments::batch_scaling`] / [`experiments::shard_scaling`] | `repro batch` |
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 

@@ -1,0 +1,122 @@
+//! The common read surface of both filter variants.
+//!
+//! [`FilterCore`] abstracts over what the classic [`BloomFilter`] and the
+//! paper's [`WeightedBloomFilter`] share: seeded k-hash probing over a fixed
+//! bit array. Protocol-level code that is generic over the filter family —
+//! the `FilterStrategy` pipeline in `dipm-protocol`, metering, statistics
+//! reporting — programs against this trait instead of matching on concrete
+//! types.
+
+use crate::bloom::BloomFilter;
+use crate::wbf::WeightedBloomFilter;
+
+/// Read-only operations every filter variant supports.
+pub trait FilterCore {
+    /// The filter length in bits (`m`).
+    fn bit_len(&self) -> usize;
+
+    /// The number of hash functions (`k`).
+    fn hashes(&self) -> u16;
+
+    /// The seed of the hash family (broadcast with the filter so stations
+    /// probe with identical functions).
+    fn seed(&self) -> u64;
+
+    /// Membership of a single key: true iff all `k` probed bits are set.
+    fn contains(&self, key: u64) -> bool;
+
+    /// The fraction of set bits — the quantity behind the false-positive
+    /// estimate.
+    fn fill_ratio(&self) -> f64;
+
+    /// The number of `insert` calls performed so far.
+    fn inserted(&self) -> u64;
+
+    /// Hash evaluations performed by probing one full key sequence of
+    /// `keys` points (the per-candidate station cost the meter records).
+    fn probe_cost(&self, keys: usize) -> u64 {
+        keys as u64 * u64::from(self.hashes())
+    }
+}
+
+impl FilterCore for BloomFilter {
+    fn bit_len(&self) -> usize {
+        BloomFilter::bit_len(self)
+    }
+
+    fn hashes(&self) -> u16 {
+        BloomFilter::hashes(self)
+    }
+
+    fn seed(&self) -> u64 {
+        BloomFilter::seed(self)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        BloomFilter::contains(self, key)
+    }
+
+    fn fill_ratio(&self) -> f64 {
+        BloomFilter::fill_ratio(self)
+    }
+
+    fn inserted(&self) -> u64 {
+        BloomFilter::inserted(self)
+    }
+}
+
+impl FilterCore for WeightedBloomFilter {
+    fn bit_len(&self) -> usize {
+        WeightedBloomFilter::bit_len(self)
+    }
+
+    fn hashes(&self) -> u16 {
+        WeightedBloomFilter::hashes(self)
+    }
+
+    fn seed(&self) -> u64 {
+        WeightedBloomFilter::seed(self)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        WeightedBloomFilter::contains(self, key)
+    }
+
+    fn fill_ratio(&self) -> f64 {
+        WeightedBloomFilter::fill_ratio(self)
+    }
+
+    fn inserted(&self) -> u64 {
+        WeightedBloomFilter::inserted(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::FilterParams;
+    use crate::weight::Weight;
+
+    fn assert_core_surface<F: FilterCore>(filter: &F, key: u64) {
+        assert!(filter.bit_len() > 0);
+        assert!(filter.hashes() > 0);
+        assert!(filter.contains(key));
+        assert!(filter.fill_ratio() > 0.0);
+        assert_eq!(filter.inserted(), 1);
+        assert_eq!(filter.probe_cost(12), 12 * u64::from(filter.hashes()));
+    }
+
+    #[test]
+    fn both_filters_share_the_core_surface() {
+        let params = FilterParams::optimal(100, 0.01).unwrap();
+        let mut bloom = BloomFilter::new(params, 7);
+        bloom.insert(42);
+        assert_core_surface(&bloom, 42);
+
+        let mut wbf = WeightedBloomFilter::new(params, 7);
+        wbf.insert(42, Weight::ONE);
+        assert_core_surface(&wbf, 42);
+        assert_eq!(FilterCore::seed(&wbf), 7);
+        assert_eq!(FilterCore::seed(&bloom), 7);
+    }
+}

@@ -51,6 +51,7 @@ mod bitset;
 mod bloom;
 pub mod encode;
 mod error;
+mod filter;
 mod hash;
 mod params;
 mod wbf;
@@ -60,6 +61,7 @@ mod weight_set;
 pub use bitset::{BitSet, Ones};
 pub use bloom::BloomFilter;
 pub use error::{CoreError, Result};
+pub use filter::FilterCore;
 pub use hash::{mix64, tagged_key, HashFamily, Probes};
 pub use params::{FilterParams, MAX_BITS, MAX_HASHES};
 pub use wbf::WeightedBloomFilter;

@@ -1,16 +1,23 @@
-//! Base-station-side matching (Algorithm 2).
+//! Base-station-side matching (Algorithm 2) over hash-sharded local stores.
 //!
-//! Each station receives the broadcast filter and probes every locally
-//! stored pattern: accumulate, sample the same `b` points the data center
-//! sampled, hash each point, and accept only when all probed bits are set
-//! *and* one weight is common to every point. Only `(ID, weight)` pairs
+//! A station's local store is split into [`Shards`] by a pure
+//! `UserId → shard` mapping, so one station can scan its shards in parallel
+//! and a simulated city can grow past one thread per station. Each scan is
+//! *batch-first*: every locally stored pattern is accumulated, sampled and
+//! hashed **once**, then probed against every query section of the batch —
+//! one pass over the store per batch, however many queries it carries. Only
+//! `(query, ID, weight)` (or `(query, ID)` for the Bloom baseline) tuples
 //! travel back to the center.
+//!
+//! [`scan_station`] and [`scan_station_bloom`] remain as the single-filter,
+//! unsharded convenience API: thin wrappers over the same shard-scan core
+//! the generic pipeline uses.
 
 use std::collections::BTreeMap;
 
-use dipm_core::{BloomFilter, Weight, WeightedBloomFilter};
+use dipm_core::{BloomFilter, FilterCore, Weight, WeightedBloomFilter};
 use dipm_distsim::CostMeter;
-use dipm_mobilenet::UserId;
+use dipm_mobilenet::{StationId, UserId};
 use dipm_timeseries::{AccumulatedPattern, Pattern, SampledPattern};
 
 use crate::config::DiMatchingConfig;
@@ -19,6 +26,98 @@ use crate::error::Result;
 /// One station's candidate report: a user and the weight their pattern
 /// matched with.
 pub type WeightReport = (UserId, Weight);
+
+/// A pure `UserId → shard` layout shared by every station of a deployment.
+///
+/// The mapping is a fixed bit-mix of the user id — no table, no state — so
+/// any node (or a rebalanced replacement) computes the same placement, and
+/// merging per-shard scan results is always equivalent to an unsharded scan
+/// (property-tested in `tests/properties.rs` for every count in `1..=8`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Shards {
+    count: usize,
+}
+
+impl Shards {
+    /// A layout with `count` shards per station; `0` is clamped to one
+    /// shard (the unsharded layout).
+    pub fn new(count: usize) -> Shards {
+        Shards {
+            count: count.max(1),
+        }
+    }
+
+    /// The number of shards per station.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The shard `user` lives in — a pure function of the id alone.
+    pub fn of(&self, user: UserId) -> usize {
+        // SplitMix64 finalizer: cheap, stateless, and well distributed even
+        // for the sequential ids the synthetic traces hand out.
+        let mut x = user.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x % self.count as u64) as usize
+    }
+}
+
+impl Default for Shards {
+    fn default() -> Shards {
+        Shards::new(1)
+    }
+}
+
+/// One base station's local store, partitioned into hash shards.
+///
+/// Borrows the deployment's pattern data (the simulator owns the corpus;
+/// a real station would own its shard files) and groups it by
+/// [`Shards::of`]. Entries within a shard stay in ascending user order, so
+/// a sequential walk of shard 0, shard 1, … visits a deterministic
+/// permutation of the unsharded store.
+#[derive(Debug)]
+pub struct BaseStation<'a> {
+    id: StationId,
+    shards: Vec<Vec<(UserId, &'a Pattern)>>,
+}
+
+impl<'a> BaseStation<'a> {
+    /// Partitions `locals` into `layout.count()` shards.
+    pub fn from_locals(
+        id: StationId,
+        locals: &'a BTreeMap<UserId, Pattern>,
+        layout: Shards,
+    ) -> BaseStation<'a> {
+        let mut shards: Vec<Vec<(UserId, &'a Pattern)>> = vec![Vec::new(); layout.count()];
+        for (&user, pattern) in locals {
+            shards[layout.of(user)].push((user, pattern));
+        }
+        BaseStation { id, shards }
+    }
+
+    /// The station this store belongs to.
+    pub fn id(&self) -> StationId {
+        self.id
+    }
+
+    /// The number of shards (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's `(user, pattern)` rows in ascending user order.
+    pub fn shard(&self, index: usize) -> &[(UserId, &'a Pattern)] {
+        &self.shards[index]
+    }
+
+    /// Total users stored across all shards.
+    pub fn user_count(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+}
 
 fn sample_keys(pattern: &Pattern, config: &DiMatchingConfig) -> Result<(Vec<u64>, u64)> {
     let acc = AccumulatedPattern::from_pattern(pattern)?;
@@ -66,8 +165,85 @@ fn select_weight(
     set.iter().find(|&w| !w.is_zero() && plausible(w))
 }
 
-/// Algorithm 2 over one station's stored patterns: returns `(user, weight)`
-/// for every pattern the filter accepts with a consistent weight.
+/// One WBF query section as a station sees it: the filter plus the query
+/// volumes it was broadcast with, tagged with the batch-frame query id.
+pub type WbfSectionView<'a> = (u32, &'a WeightedBloomFilter, &'a [u64]);
+
+/// Algorithm 2 over one shard, batch-first: every stored pattern is sampled
+/// and hashed once, then probed against every WBF query section. Returns
+/// `(query, user, weight)` for each section that accepts a pattern with a
+/// consistent, plausible weight, in `(row, section)` visit order.
+///
+/// `meter`, when given, records the hash and comparison work performed.
+///
+/// # Errors
+///
+/// Propagates pattern-transformation errors (overflow, zero samples).
+pub fn scan_shard_wbf(
+    sections: &[WbfSectionView<'_>],
+    shard: &[(UserId, &Pattern)],
+    config: &DiMatchingConfig,
+    meter: Option<&CostMeter>,
+) -> Result<Vec<(u32, UserId, Weight)>> {
+    let mut reports = Vec::new();
+    for &(user, pattern) in shard {
+        let (keys, local_total) = sample_keys(pattern, config)?;
+        let slack = config.eps.saturating_mul(pattern.len() as u64);
+        for &(query, filter, query_totals) in sections {
+            if let Some(m) = meter {
+                m.record_hash_ops(filter.probe_cost(keys.len()));
+            }
+            if let Some(set) = filter.query_sequence(keys.iter().copied()) {
+                if let Some(m) = meter {
+                    m.record_comparisons(set.len() as u64 + 1);
+                }
+                if let Some(weight) = select_weight(&set, query_totals, local_total, slack) {
+                    reports.push((query, user, weight));
+                }
+            }
+        }
+    }
+    Ok(reports)
+}
+
+/// The Bloom-baseline analogue of [`scan_shard_wbf`]: membership only, no
+/// weights — every `(query, user)` pair whose sampled points are all
+/// contained in that query's filter is reported.
+///
+/// # Errors
+///
+/// Propagates pattern-transformation errors.
+pub fn scan_shard_bloom(
+    sections: &[(u32, &BloomFilter)],
+    shard: &[(UserId, &Pattern)],
+    config: &DiMatchingConfig,
+    meter: Option<&CostMeter>,
+) -> Result<Vec<(u32, UserId)>> {
+    let mut reports = Vec::new();
+    for &(user, pattern) in shard {
+        let (keys, _) = sample_keys(pattern, config)?;
+        for &(query, filter) in sections {
+            if let Some(m) = meter {
+                m.record_hash_ops(filter.probe_cost(keys.len()));
+            }
+            if keys.iter().all(|&k| filter.contains(k)) {
+                reports.push((query, user));
+            }
+        }
+    }
+    Ok(reports)
+}
+
+fn single_shard(patterns: &BTreeMap<UserId, Pattern>) -> Vec<(UserId, &Pattern)> {
+    patterns.iter().map(|(&u, p)| (u, p)).collect()
+}
+
+/// Algorithm 2 over one station's unsharded store with a single query
+/// filter: returns `(user, weight)` for every pattern the filter accepts
+/// with a consistent weight.
+///
+/// Thin wrapper over [`scan_shard_wbf`] — the shard-scan core the generic
+/// pipeline runs — presenting the store as one shard and one section.
 ///
 /// `meter`, when given, records the hash and comparison work performed.
 ///
@@ -81,27 +257,15 @@ pub fn scan_station(
     config: &DiMatchingConfig,
     meter: Option<&CostMeter>,
 ) -> Result<Vec<WeightReport>> {
-    let mut reports = Vec::new();
-    for (&user, pattern) in patterns {
-        let (keys, local_total) = sample_keys(pattern, config)?;
-        let slack = config.eps.saturating_mul(pattern.len() as u64);
-        if let Some(m) = meter {
-            m.record_hash_ops(keys.len() as u64 * filter.hashes() as u64);
-        }
-        if let Some(set) = filter.query_sequence(keys.iter().copied()) {
-            if let Some(m) = meter {
-                m.record_comparisons(set.len() as u64 + 1);
-            }
-            if let Some(weight) = select_weight(&set, query_totals, local_total, slack) {
-                reports.push((user, weight));
-            }
-        }
-    }
-    Ok(reports)
+    let shard = single_shard(patterns);
+    let reports = scan_shard_wbf(&[(0, filter, query_totals)], &shard, config, meter)?;
+    Ok(reports.into_iter().map(|(_, u, w)| (u, w)).collect())
 }
 
 /// The Bloom-baseline analogue of [`scan_station`]: membership only, no
 /// weights — every user whose sampled points are all contained is reported.
+///
+/// Thin wrapper over [`scan_shard_bloom`].
 ///
 /// # Errors
 ///
@@ -112,17 +276,9 @@ pub fn scan_station_bloom(
     config: &DiMatchingConfig,
     meter: Option<&CostMeter>,
 ) -> Result<Vec<UserId>> {
-    let mut reports = Vec::new();
-    for (&user, pattern) in patterns {
-        let (keys, _) = sample_keys(pattern, config)?;
-        if let Some(m) = meter {
-            m.record_hash_ops(keys.len() as u64 * filter.hashes() as u64);
-        }
-        if keys.iter().all(|&k| filter.contains(k)) {
-            reports.push(user);
-        }
-    }
-    Ok(reports)
+    let shard = single_shard(patterns);
+    let reports = scan_shard_bloom(&[(0, filter)], &shard, config, meter)?;
+    Ok(reports.into_iter().map(|(_, u)| u).collect())
 }
 
 #[cfg(test)]
@@ -147,6 +303,60 @@ mod tests {
             Pattern::from([0u64, 20, 0, 0, 15, 0, 0, 10]),
         ])
         .unwrap()
+    }
+
+    #[test]
+    fn shard_mapping_is_pure_and_total() {
+        for count in 1..=8 {
+            let layout = Shards::new(count);
+            assert_eq!(layout.count(), count);
+            for id in 0..1000 {
+                let shard = layout.of(UserId(id));
+                assert!(shard < count);
+                assert_eq!(shard, layout.of(UserId(id)), "mapping must be pure");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let layout = Shards::new(0);
+        assert_eq!(layout.count(), 1);
+        assert_eq!(layout.of(UserId(123)), 0);
+    }
+
+    #[test]
+    fn shards_spread_users() {
+        let layout = Shards::new(4);
+        let hit: std::collections::BTreeSet<usize> =
+            (0..64).map(|id| layout.of(UserId(id))).collect();
+        assert_eq!(hit.len(), 4, "64 sequential ids must reach all 4 shards");
+    }
+
+    #[test]
+    fn base_station_partitions_cover_the_store() {
+        let patterns = station((0..40).map(|i| (i, Pattern::from([i, 1, 2, 3]))).collect());
+        let layout = Shards::new(5);
+        let st = BaseStation::from_locals(StationId(3), &patterns, layout);
+        assert_eq!(st.id(), StationId(3));
+        assert_eq!(st.shard_count(), 5);
+        assert_eq!(st.user_count(), 40);
+        let mut seen = Vec::new();
+        for i in 0..st.shard_count() {
+            for &(user, pattern) in st.shard(i) {
+                assert_eq!(layout.of(user), i, "row placed in the wrong shard");
+                assert_eq!(patterns.get(&user), Some(pattern));
+                seen.push(user);
+            }
+            let shard = st.shard(i);
+            assert!(
+                shard.windows(2).all(|w| w[0].0 < w[1].0),
+                "shard rows must stay user-ordered"
+            );
+        }
+        seen.sort();
+        let expect: Vec<UserId> = patterns.keys().copied().collect();
+        assert_eq!(seen, expect);
     }
 
     #[test]
@@ -210,6 +420,32 @@ mod tests {
         let reports =
             scan_station(&built.filter, &built.query_totals, &patterns, &config, None).unwrap();
         assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn batch_scan_samples_each_pattern_once_for_many_sections() {
+        // Probing two sections must double hash work but not the sampling:
+        // reports appear per accepting section, tagged by query id.
+        let query = demo_query();
+        let config = DiMatchingConfig::default();
+        let built = build_wbf(std::slice::from_ref(&query), &config).unwrap();
+        let patterns = station(vec![(5, query.global().clone())]);
+        let shard = single_shard(&patterns);
+        let sections: Vec<WbfSectionView<'_>> = vec![
+            (0, &built.filter, built.query_totals.as_slice()),
+            (9, &built.filter, built.query_totals.as_slice()),
+        ];
+        let meter = CostMeter::new();
+        let reports = scan_shard_wbf(&sections, &shard, &config, Some(&meter)).unwrap();
+        let tags: Vec<u32> = reports.iter().map(|&(q, _, _)| q).collect();
+        assert_eq!(tags, vec![0, 9]);
+        let single = CostMeter::new();
+        scan_shard_wbf(&sections[..1], &shard, &config, Some(&single)).unwrap();
+        assert_eq!(
+            meter.report().hash_ops,
+            2 * single.report().hash_ops,
+            "hash work scales with sections"
+        );
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Data-center-side algorithms: WBF construction (Algorithm 1) and
 //! similarity ranking (Algorithm 3).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use dipm_core::{FilterParams, Weight, WeightedBloomFilter};
+use dipm_core::{FilterCore, FilterParams, Weight, WeightedBloomFilter};
 use dipm_mobilenet::UserId;
 use dipm_timeseries::{enumerate_combinations, AccumulatedPattern, SampledPattern};
 
@@ -22,6 +22,29 @@ pub struct BuildStats {
     pub bits: usize,
     /// The number of hash functions.
     pub hashes: u16,
+}
+
+impl BuildStats {
+    /// Stats for a freshly built filter of either variant.
+    fn for_filter<F: FilterCore>(combinations: usize, inserted_values: u64, filter: &F) -> Self {
+        BuildStats {
+            combinations,
+            inserted_values,
+            bits: filter.bit_len(),
+            hashes: filter.hashes(),
+        }
+    }
+
+    /// Element-wise sum — the merged statistics of a batch of per-query
+    /// filter sections.
+    pub fn merged_with(self, other: BuildStats) -> BuildStats {
+        BuildStats {
+            combinations: self.combinations + other.combinations,
+            inserted_values: self.inserted_values + other.inserted_values,
+            bits: self.bits + other.bits,
+            hashes: self.hashes.max(other.hashes),
+        }
+    }
 }
 
 /// A filter built by Algorithm 1, ready for broadcast.
@@ -43,6 +66,63 @@ pub struct BuiltFilter {
 struct PreparedPattern {
     sampled: SampledPattern,
     weight: Weight,
+}
+
+/// Everything both builders need: the distinct `(key, weight)` pairs of the
+/// query set (tolerance bands expanded, duplicates collapsed), the per-query
+/// global volumes, and the combination count.
+struct PreparedBuild {
+    pairs: BTreeSet<(u64, Weight)>,
+    query_totals: Vec<u64>,
+    combinations: usize,
+}
+
+impl PreparedBuild {
+    /// The number of distinct probe keys (the quantity filters are sized
+    /// by: identical `(key, weight)` pairs set identical bits).
+    fn distinct_keys(&self) -> usize {
+        let mut count = 0usize;
+        let mut prev = None;
+        for &(key, _) in &self.pairs {
+            if prev != Some(key) {
+                count += 1;
+                prev = Some(key);
+            }
+        }
+        count
+    }
+}
+
+/// Collects the distinct insertion pairs for a query set. Similar queries
+/// produce heavily overlapping tolerance bands, so the *distinct* pairs are
+/// collected first and the filter sized by distinct keys, not raw
+/// insertions.
+fn prepare_build(queries: &[PatternQuery], config: &DiMatchingConfig) -> Result<PreparedBuild> {
+    let (prepared, query_totals) = prepare_queries(queries, config)?;
+    let mut pairs: BTreeSet<(u64, Weight)> = BTreeSet::new();
+    for p in &prepared {
+        for (index, point) in p.sampled.points().iter().enumerate() {
+            for value in config.tolerance.band_values(config.eps, *point) {
+                pairs.insert((config.hash_scheme.key(index, value), p.weight));
+            }
+        }
+    }
+    Ok(PreparedBuild {
+        pairs,
+        query_totals,
+        combinations: prepared.len(),
+    })
+}
+
+/// Sizes a filter for `distinct_keys` insertions at the configured target
+/// false-positive rate, with the configured floor applied.
+fn sized_params(distinct_keys: usize, config: &DiMatchingConfig) -> Result<FilterParams> {
+    let params = FilterParams::optimal(distinct_keys.max(1), config.target_fpp)?;
+    if params.bits() < config.min_bits {
+        Ok(FilterParams::new(config.min_bits, params.hashes())?)
+    } else {
+        Ok(params)
+    }
 }
 
 fn prepare_queries(
@@ -103,48 +183,16 @@ fn prepare_queries(
 /// ```
 pub fn build_wbf(queries: &[PatternQuery], config: &DiMatchingConfig) -> Result<BuiltFilter> {
     config.validate()?;
-    let (prepared, query_totals) = prepare_queries(queries, config)?;
-
-    // Similar queries produce heavily overlapping tolerance bands, so first
-    // collect the *distinct* (key, weight) pairs; the filter is then sized by
-    // distinct keys, not raw insertions — identical pairs set identical bits.
-    let mut pairs: std::collections::BTreeSet<(u64, Weight)> = std::collections::BTreeSet::new();
-    for p in &prepared {
-        for (index, point) in p.sampled.points().iter().enumerate() {
-            for value in config.tolerance.band_values(config.eps, *point) {
-                pairs.insert((config.hash_scheme.key(index, value), p.weight));
-            }
-        }
-    }
-    let mut distinct_keys = 0usize;
-    let mut prev_key = None;
-    for &(key, _) in &pairs {
-        if prev_key != Some(key) {
-            distinct_keys += 1;
-            prev_key = Some(key);
-        }
-    }
-
-    let params = FilterParams::optimal(distinct_keys.max(1), config.target_fpp)?;
-    let params = if params.bits() < config.min_bits {
-        FilterParams::new(config.min_bits, params.hashes())?
-    } else {
-        params
-    };
-
+    let build = prepare_build(queries, config)?;
+    let params = sized_params(build.distinct_keys(), config)?;
     let mut filter = WeightedBloomFilter::new(params, config.seed);
-    for &(key, weight) in &pairs {
+    for &(key, weight) in &build.pairs {
         filter.insert(key, weight);
     }
-    let stats = BuildStats {
-        combinations: prepared.len(),
-        inserted_values: pairs.len() as u64,
-        bits: filter.bit_len(),
-        hashes: filter.hashes(),
-    };
+    let stats = BuildStats::for_filter(build.combinations, build.pairs.len() as u64, &filter);
     Ok(BuiltFilter {
         filter,
-        query_totals,
+        query_totals: build.query_totals,
         stats,
     })
 }
@@ -168,31 +216,15 @@ pub struct BuiltBloom {
 /// Same as [`build_wbf`].
 pub fn build_bloom(queries: &[PatternQuery], config: &DiMatchingConfig) -> Result<BuiltBloom> {
     config.validate()?;
-    let (prepared, _query_totals) = prepare_queries(queries, config)?;
-    let mut keys: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
-    for p in &prepared {
-        for (index, point) in p.sampled.points().iter().enumerate() {
-            for value in config.tolerance.band_values(config.eps, *point) {
-                keys.insert(config.hash_scheme.key(index, value));
-            }
-        }
-    }
-    let params = FilterParams::optimal(keys.len().max(1), config.target_fpp)?;
-    let params = if params.bits() < config.min_bits {
-        FilterParams::new(config.min_bits, params.hashes())?
-    } else {
-        params
-    };
+    let build = prepare_build(queries, config)?;
+    // The weight layer is dropped: only the distinct keys are inserted.
+    let keys: BTreeSet<u64> = build.pairs.iter().map(|&(key, _)| key).collect();
+    let params = sized_params(keys.len(), config)?;
     let mut filter = dipm_core::BloomFilter::new(params, config.seed);
     for &key in &keys {
         filter.insert(key);
     }
-    let stats = BuildStats {
-        combinations: prepared.len(),
-        inserted_values: keys.len() as u64,
-        bits: filter.bit_len(),
-        hashes: filter.hashes(),
-    };
+    let stats = BuildStats::for_filter(build.combinations, keys.len() as u64, &filter);
     Ok(BuiltBloom { filter, stats })
 }
 

@@ -16,10 +16,15 @@
 //! 3. **Data center, [`aggregate_and_rank`]** (Algorithm 3) — sum weights
 //!    per ID, discard sums above 1, rank descending, return the top-K.
 //!
-//! [`run_wbf`] wires the three steps over the simulated deployment of
-//! [`dipm_distsim`]; [`run_bloom`] and [`run_naive`] are the paper's
-//! comparison methods, and [`evaluate`] scores any of them against ground
-//! truth.
+//! All three methods — WBF, the plain-Bloom baseline and the naive oracle —
+//! are [`FilterStrategy`] implementations ([`Wbf`], [`Bloom`], [`Naive`])
+//! running through the single generic, batch-first [`run_pipeline`] over
+//! the simulated deployment of [`dipm_distsim`]: per-query filter sections
+//! in one broadcast frame, hash-sharded stations ([`Shards`] /
+//! [`BaseStation`]) scanned in **one pass per station per batch**, and one
+//! ranking per query in the returned [`BatchOutcome`]. [`run_wbf`],
+//! [`run_bloom`] and [`run_naive`] are thin single-outcome wrappers, and
+//! [`evaluate`] scores any outcome against ground truth.
 //!
 //! # Example
 //!
@@ -56,16 +61,21 @@ mod naive;
 mod pipeline;
 mod query;
 mod result;
+mod strategy;
 pub mod wire;
 
-pub use basestation::{scan_station, scan_station_bloom, WeightReport};
+pub use basestation::{
+    scan_shard_bloom, scan_shard_wbf, scan_station, scan_station_bloom, BaseStation, Shards,
+    WbfSectionView, WeightReport,
+};
 pub use config::{DiMatchingConfig, HashScheme};
 pub use datacenter::{
     aggregate_and_rank, build_bloom, build_wbf, BuildStats, BuiltBloom, BuiltFilter, RankedUser,
 };
 pub use error::{ProtocolError, Result};
 pub use eval::{evaluate, Effectiveness};
-pub use naive::run_naive;
-pub use pipeline::{run_bloom, run_wbf};
+pub use naive::{run_naive, Naive};
+pub use pipeline::{run_bloom, run_pipeline, run_wbf, PipelineOptions, SectionGrouping};
 pub use query::PatternQuery;
-pub use result::{Method, MethodDetails, QueryOutcome};
+pub use result::{BatchOutcome, Method, MethodDetails, QueryOutcome, QueryVerdict};
+pub use strategy::{Bloom, FilterStrategy, Wbf, WbfStationView};

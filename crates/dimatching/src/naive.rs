@@ -1,26 +1,148 @@
-//! The naive baseline (Approach 1 of Section III-C): ship every station's
-//! raw data to the center and match there.
+//! The naive baseline (Approach 1 of Section III-C) as a
+//! [`FilterStrategy`]: ship every station's raw data to the center and
+//! match there.
 //!
 //! This is the accuracy gold standard — the center sees true global patterns
 //! — but pays for it by moving the entire distributed corpus over the
-//! network and storing it centrally.
+//! network and storing it centrally. It broadcasts no filter
+//! (`BROADCASTS = false`), its "scan" is a full shard dump, and its
+//! aggregation reconstructs per-user globals and ranks by Chebyshev
+//! distance per query.
 
-use std::collections::BTreeMap;
-use std::time::Instant;
-
-use dipm_distsim::{run_stations, ExecutionMode, Network, NodeId, TrafficClass, DATA_CENTER};
-use dipm_mobilenet::{Dataset, StationId, UserId};
+use bytes::Bytes;
+use dipm_distsim::{CostMeter, ExecutionMode, TrafficClass};
+use dipm_mobilenet::{Dataset, UserId};
 use dipm_timeseries::{chebyshev_distance, Pattern};
 
+use crate::config::DiMatchingConfig;
 use crate::error::Result;
+use crate::pipeline::{run_pipeline, PipelineOptions, SectionGrouping};
 use crate::query::PatternQuery;
-use crate::result::{Method, MethodDetails, QueryOutcome};
+use crate::result::{Method, MethodDetails, QueryOutcome, QueryVerdict};
+use crate::strategy::FilterStrategy;
 use crate::wire;
+
+/// The ship-everything oracle method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Naive;
+
+impl FilterStrategy for Naive {
+    const METHOD: Method = Method::Naive;
+    const BROADCASTS: bool = false;
+    const REPORT_CLASS: TrafficClass = TrafficClass::Data;
+
+    /// The query group's global patterns — kept at the center for the
+    /// final matching; nothing is broadcast.
+    type BuiltFilter = Vec<Pattern>;
+    type Decoded = ();
+    type StationReport = (UserId, Pattern);
+
+    fn build(queries: &[PatternQuery], _config: &DiMatchingConfig) -> Result<Self::BuiltFilter> {
+        Ok(queries.iter().map(|q| q.global().clone()).collect())
+    }
+
+    fn encode_filter(_built: &Self::BuiltFilter) -> Result<Bytes> {
+        Ok(Bytes::new())
+    }
+
+    fn decode_filter(_bytes: Bytes) -> Result<Self::Decoded> {
+        Ok(())
+    }
+
+    fn scan_shard(
+        _sections: &[(u32, Self::Decoded)],
+        shard: &[(UserId, &Pattern)],
+        _config: &DiMatchingConfig,
+        _meter: Option<&CostMeter>,
+    ) -> Result<Vec<Self::StationReport>> {
+        // The whole shard ships, once per batch — the method is oblivious
+        // to how many queries the batch carries.
+        Ok(shard
+            .iter()
+            .map(|&(user, pattern)| (user, pattern.clone()))
+            .collect())
+    }
+
+    fn report_key(report: &Self::StationReport) -> (u32, UserId) {
+        (0, report.0)
+    }
+
+    fn encode_reports(reports: &[Self::StationReport]) -> Bytes {
+        wire::encode_station_data(reports.iter().map(|(u, p)| (*u, p)))
+    }
+
+    fn decode_reports(payload: Bytes) -> Result<Vec<Self::StationReport>> {
+        wire::decode_station_data(payload)
+    }
+
+    fn record_center_storage(
+        meter: &CostMeter,
+        received_bytes: u64,
+        _reports: &[Self::StationReport],
+    ) {
+        // The center stores everything it received.
+        meter.record_storage(received_bytes);
+    }
+
+    fn aggregate(
+        sections: &[Self::BuiltFilter],
+        reports: Vec<Self::StationReport>,
+        config: &DiMatchingConfig,
+        meter: &CostMeter,
+        top_k: Option<usize>,
+    ) -> Result<Vec<QueryVerdict>> {
+        // The center aggregates global patterns from the shipped fragments…
+        let mut globals: std::collections::BTreeMap<UserId, Pattern> =
+            std::collections::BTreeMap::new();
+        for (user, fragment) in reports {
+            match globals.remove(&user) {
+                Some(existing) => {
+                    globals.insert(user, existing.checked_add(&fragment)?);
+                }
+                None => {
+                    globals.insert(user, fragment);
+                }
+            }
+        }
+        // …and matches every query global against every user global.
+        Ok(sections
+            .iter()
+            .map(|query_globals| {
+                let mut best: std::collections::BTreeMap<UserId, u64> =
+                    std::collections::BTreeMap::new();
+                for query_global in query_globals {
+                    for (&user, global) in &globals {
+                        meter.record_comparisons(1);
+                        if let Some(d) = chebyshev_distance(global, query_global) {
+                            if d <= config.eps {
+                                best.entry(user)
+                                    .and_modify(|cur| *cur = (*cur).min(d))
+                                    .or_insert(d);
+                            }
+                        }
+                    }
+                }
+                let mut distances: Vec<(UserId, u64)> = best.into_iter().collect();
+                distances.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+                if let Some(k) = top_k {
+                    distances.truncate(k);
+                }
+                QueryVerdict {
+                    ranked: distances.iter().map(|&(u, _)| u).collect(),
+                    details: MethodDetails::Naive { distances },
+                }
+            })
+            .collect())
+    }
+}
 
 /// Runs the naive method: every station ships all `(user, local pattern)`
 /// data to the center, which aggregates per-user globals and retrieves the
 /// users within `eps` of any query global, ranked by ascending Chebyshev
 /// distance (exact matches first).
+///
+/// Thin wrapper over [`run_pipeline::<Naive>`](run_pipeline) with an
+/// unsharded layout, merged into one outcome.
 ///
 /// # Errors
 ///
@@ -32,77 +154,17 @@ pub fn run_naive(
     mode: ExecutionMode,
     top_k: Option<usize>,
 ) -> Result<QueryOutcome> {
-    let start = Instant::now();
-    let network = Network::new();
-    let center = network.register(DATA_CENTER)?;
-    let stations: Vec<(StationId, NodeId)> = dataset
-        .stations()
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| (s, NodeId::base_station(i as u32)))
-        .collect();
-    for &(_, node) in &stations {
-        network.register(node)?;
-    }
-
-    // Every station ships its whole local store.
-    let results = run_stations(mode, &stations, |_, &(station, node)| {
-        let payload = match dataset.station_locals(station) {
-            Some(patterns) => wire::encode_station_data(patterns.iter().map(|(&u, p)| (u, p))),
-            None => wire::encode_station_data(std::iter::empty()),
-        };
-        network.send(node, DATA_CENTER, TrafficClass::Data, payload)
-    });
-    for r in results {
-        r?;
-    }
-
-    // The center aggregates global patterns from the shipped fragments…
-    let mut globals: BTreeMap<UserId, Pattern> = BTreeMap::new();
-    let mut received_bytes = 0u64;
-    for envelope in center.drain() {
-        received_bytes += envelope.payload.len() as u64;
-        for (user, fragment) in wire::decode_station_data(envelope.payload)? {
-            match globals.remove(&user) {
-                Some(existing) => {
-                    globals.insert(user, existing.checked_add(&fragment)?);
-                }
-                None => {
-                    globals.insert(user, fragment);
-                }
-            }
-        }
-    }
-    // …and stores everything it received.
-    network.meter().record_storage(received_bytes);
-
-    // Centralized matching: every query global against every user global.
-    let mut best: BTreeMap<UserId, u64> = BTreeMap::new();
-    for query in queries {
-        for (&user, global) in &globals {
-            network.meter().record_comparisons(1);
-            if let Some(d) = chebyshev_distance(global, query.global()) {
-                if d <= eps {
-                    best.entry(user)
-                        .and_modify(|cur| *cur = (*cur).min(d))
-                        .or_insert(d);
-                }
-            }
-        }
-    }
-    let mut distances: Vec<(UserId, u64)> = best.into_iter().collect();
-    distances.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-    if let Some(k) = top_k {
-        distances.truncate(k);
-    }
-
-    Ok(QueryOutcome {
-        method: Method::Naive,
-        ranked: distances.iter().map(|&(u, _)| u).collect(),
-        details: MethodDetails::Naive { distances },
-        cost: network.meter().report(),
-        elapsed: start.elapsed(),
-    })
+    let config = DiMatchingConfig {
+        eps,
+        ..DiMatchingConfig::default()
+    };
+    let options = PipelineOptions {
+        mode,
+        top_k,
+        grouping: SectionGrouping::Merged,
+        ..PipelineOptions::default()
+    };
+    Ok(run_pipeline::<Naive>(dataset, queries, &config, &options)?.into_merged(top_k))
 }
 
 #[cfg(test)]
@@ -173,6 +235,25 @@ mod tests {
         .unwrap();
         let thr = run_naive(&dataset, &[query], 3, ExecutionMode::Threaded, None).unwrap();
         assert_eq!(seq.ranked, thr.ranked);
+    }
+
+    #[test]
+    fn naive_batch_ships_the_corpus_once() {
+        // The oracle's cost is batch-oblivious: five queries move exactly
+        // as many data bytes as one.
+        let dataset = Dataset::small(36);
+        let one = run_naive(
+            &dataset,
+            &[probe_query(&dataset, 0)],
+            3,
+            ExecutionMode::Sequential,
+            None,
+        )
+        .unwrap();
+        let five: Vec<PatternQuery> = (0..5).map(|i| probe_query(&dataset, i)).collect();
+        let many = run_naive(&dataset, &five, 3, ExecutionMode::Sequential, None).unwrap();
+        assert_eq!(one.cost.data_bytes, many.cost.data_bytes);
+        assert_eq!(one.cost.scan_passes, many.cost.scan_passes);
     }
 
     #[test]

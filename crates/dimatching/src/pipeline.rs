@@ -1,27 +1,79 @@
-//! End-to-end DI-matching runs over the simulated deployment.
+//! The generic, batch-first DI-matching pipeline over the simulated
+//! deployment.
 //!
-//! Each run wires up a [`Network`], registers the data center and one node
-//! per base station, broadcasts the encoded filter, executes Algorithm 2 at
-//! every station (sequentially or one thread per station), ships the
-//! `(ID, weight)` reports back and ranks them with Algorithm 3 — metering
-//! every byte and operation along the way.
+//! [`run_pipeline`] is the *one* implementation of the paper's protocol,
+//! parameterized by a [`FilterStrategy`]: the data center builds one filter
+//! section per query (Algorithm 1), broadcasts the batch frame, every
+//! station decodes it once and scans its hash-sharded local store in **one
+//! pass per batch** (Algorithm 2 — shards are the unit of parallelism, so
+//! [`ExecutionMode::ThreadPool`] multiplexes every station's shards over a
+//! small worker pool), ships canonical-ordered reports back, and the center
+//! aggregates one ranking per query (Algorithm 3) — metering every byte and
+//! operation along the way.
+//!
+//! [`run_wbf`] and [`run_bloom`] are thin wrappers:
+//! `run_pipeline::<Wbf>` / `run_pipeline::<Bloom>` with an unsharded layout,
+//! merged into the legacy single-outcome shape (as is
+//! [`run_naive`](crate::run_naive) over the [`Naive`](crate::Naive)
+//! strategy).
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
-use dipm_core::encode;
-use dipm_distsim::{run_stations, ExecutionMode, Network, NodeId, TrafficClass, DATA_CENTER};
+use dipm_distsim::{
+    run_station_shards, run_stations, ExecutionMode, Network, NodeId, TrafficClass, DATA_CENTER,
+};
 use dipm_mobilenet::{Dataset, StationId};
 
-use crate::basestation::{scan_station, scan_station_bloom};
+use crate::basestation::{BaseStation, Shards};
 use crate::config::DiMatchingConfig;
-use crate::datacenter::{aggregate_and_rank, build_bloom, build_wbf};
 use crate::error::Result;
 use crate::query::PatternQuery;
-use crate::result::{Method, MethodDetails, QueryOutcome};
+use crate::result::{BatchOutcome, QueryOutcome};
+use crate::strategy::{Bloom, FilterStrategy, Wbf};
 use crate::wire;
 
-/// Bytes of aggregation state the center keeps per surviving candidate.
-const CENTER_ENTRY_BYTES: u64 = 24;
+/// How a query batch maps onto broadcast filter sections.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SectionGrouping {
+    /// One filter section per query: the batch frame carries per-query
+    /// sections and the outcome one ranking per query. Costs a larger
+    /// broadcast (no cross-query key dedup) in exchange for per-query
+    /// answers.
+    #[default]
+    PerQuery,
+    /// One merged section over the whole batch — the paper's Algorithm 1,
+    /// where all given patterns share one filter and one ranking. The
+    /// outcome carries a single verdict. This is what the legacy
+    /// single-outcome entry points use.
+    Merged,
+}
+
+/// Deployment knobs of one pipeline run — how the fixed protocol executes,
+/// as opposed to [`DiMatchingConfig`], which fixes *what* is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineOptions {
+    /// How station shards are scheduled.
+    pub mode: ExecutionMode,
+    /// The per-station shard layout (pure `UserId → shard`; identical
+    /// results for every count).
+    pub shards: Shards,
+    /// Keep only the best `K` candidates per query ranking.
+    pub top_k: Option<usize>,
+    /// How queries group into broadcast sections.
+    pub grouping: SectionGrouping,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> PipelineOptions {
+        PipelineOptions {
+            mode: ExecutionMode::Sequential,
+            shards: Shards::new(1),
+            top_k: None,
+            grouping: SectionGrouping::PerQuery,
+        }
+    }
+}
 
 fn station_nodes(dataset: &Dataset) -> Vec<(usize, StationId, NodeId)> {
     dataset
@@ -32,7 +84,189 @@ fn station_nodes(dataset: &Dataset) -> Vec<(usize, StationId, NodeId)> {
         .collect()
 }
 
+/// Runs the full DI-matching protocol for a batch of queries under filter
+/// strategy `S`.
+///
+/// The batch is first-class end to end: one build pass producing filter
+/// sections (per query under [`SectionGrouping::PerQuery`], one merged
+/// section under [`SectionGrouping::Merged`]), **one broadcast** carrying
+/// all of them, **one scan pass per station** (asserted via the meter's
+/// `scan_passes` — a batch of Q queries over N stations records exactly N
+/// passes, not Q × N), one report per station, and one ranking per section
+/// in the returned [`BatchOutcome`]. Single-query use is just a batch of
+/// one; the legacy entry points wrap exactly that.
+///
+/// # Errors
+///
+/// Propagates configuration, pattern, filter, wire and network errors.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_distsim::ExecutionMode;
+/// use dipm_mobilenet::Dataset;
+/// use dipm_protocol::{run_pipeline, DiMatchingConfig, PatternQuery, PipelineOptions, Shards, Wbf};
+///
+/// # fn main() -> Result<(), dipm_protocol::ProtocolError> {
+/// let dataset = Dataset::small(7);
+/// let queries: Vec<PatternQuery> = (0..3)
+///     .map(|i| {
+///         let probe = dataset.users()[i];
+///         PatternQuery::from_fragments(dataset.fragments(probe.id).unwrap())
+///     })
+///     .collect::<Result<_, _>>()?;
+/// let options = PipelineOptions {
+///     mode: ExecutionMode::ThreadPool { workers: 4 },
+///     shards: Shards::new(2),
+///     top_k: Some(10),
+///     ..PipelineOptions::default()
+/// };
+/// let batch = run_pipeline::<Wbf>(&dataset, &queries, &DiMatchingConfig::default(), &options)?;
+/// assert_eq!(batch.queries.len(), 3);
+/// // One scan pass per station, however many queries the batch carries.
+/// assert_eq!(batch.cost.scan_passes as usize, dataset.stations().len());
+/// assert!(batch.queries[0].ranked.contains(&dataset.users()[0].id));
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_pipeline<S: FilterStrategy>(
+    dataset: &Dataset,
+    queries: &[PatternQuery],
+    config: &DiMatchingConfig,
+    options: &PipelineOptions,
+) -> Result<BatchOutcome> {
+    let start = Instant::now();
+    config.validate()?;
+    let network = Network::new();
+    let center = network.register(DATA_CENTER)?;
+    let stations = station_nodes(dataset);
+    let mailboxes = stations
+        .iter()
+        .map(|&(_, _, node)| network.register(node))
+        .collect::<dipm_distsim::Result<Vec<_>>>()?;
+
+    // Algorithm 1 at the data center: one filter section per query group,
+    // one batch frame for all of them.
+    let groups: Vec<&[PatternQuery]> = match options.grouping {
+        SectionGrouping::PerQuery => queries.chunks(1).collect(),
+        SectionGrouping::Merged => vec![queries],
+    };
+    let sections: Vec<S::BuiltFilter> = groups
+        .iter()
+        .map(|group| S::build(group, config))
+        .collect::<Result<_>>()?;
+    if S::BROADCASTS {
+        let payloads: Vec<(u32, bytes::Bytes)> = sections
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Ok((i as u32, S::encode_filter(s)?)))
+            .collect::<Result<_>>()?;
+        let frame = wire::encode_batch_broadcast(&payloads);
+        network.broadcast(
+            DATA_CENTER,
+            stations.iter().map(|&(_, _, node)| node),
+            TrafficClass::Query,
+            &frame,
+        )?;
+        // Each station holds a copy of the batch frame while it is live.
+        network
+            .meter()
+            .record_storage(frame.len() as u64 * stations.len() as u64);
+    }
+
+    // Station side: every station receives and decodes the frame once and
+    // partitions its local store into shards.
+    let empty = BTreeMap::new();
+    let layouts: Vec<BaseStation<'_>> = stations
+        .iter()
+        .map(|&(_, station, _)| {
+            let locals = dataset.station_locals(station).unwrap_or(&empty);
+            BaseStation::from_locals(station, locals, options.shards)
+        })
+        .collect();
+    let decoded: Vec<Vec<(u32, S::Decoded)>> = if S::BROADCASTS {
+        // Each station decodes its own copy of the frame, under the same
+        // execution mode the scans will use (decoding is station-side work,
+        // not the center's).
+        run_stations(options.mode, &mailboxes, |_, mailbox| {
+            let envelope = mailbox.recv()?;
+            wire::decode_batch_broadcast(envelope.payload)?
+                .into_iter()
+                .map(|(query, bytes)| Ok((query, S::decode_filter(bytes)?)))
+                .collect::<Result<Vec<_>>>()
+        })
+        .into_iter()
+        .collect::<Result<_>>()?
+    } else {
+        stations.iter().map(|_| Vec::new()).collect()
+    };
+
+    // Algorithm 2: one scan pass per station per batch, fanned out over the
+    // flattened (station, shard) grid.
+    let grid: Vec<(usize, usize)> = layouts
+        .iter()
+        .enumerate()
+        .flat_map(|(i, layout)| (0..layout.shard_count()).map(move |shard| (i, shard)))
+        .collect();
+    let scanned = run_station_shards(options.mode, &grid, |_, &(station, shard)| {
+        S::scan_shard(
+            &decoded[station],
+            layouts[station].shard(shard),
+            config,
+            Some(network.meter()),
+        )
+    });
+
+    // Merge each station's shard output in canonical (query, user) order —
+    // the report bytes are identical whatever the shard layout — and send.
+    let mut shard_results = scanned.into_iter();
+    for (i, layout) in layouts.iter().enumerate() {
+        let mut merged: Vec<S::StationReport> = Vec::new();
+        for _ in 0..layout.shard_count() {
+            merged.extend(shard_results.next().expect("one result per grid entry")?);
+        }
+        merged.sort_by_key(S::report_key);
+        network.meter().record_scan_pass();
+        let payload =
+            wire::encode_batch_reports(options.shards.count() as u32, S::encode_reports(&merged));
+        network.send(
+            NodeId::base_station(i as u32),
+            DATA_CENTER,
+            S::REPORT_CLASS,
+            payload,
+        )?;
+    }
+
+    // Algorithm 3 at the data center.
+    let mut all_reports: Vec<S::StationReport> = Vec::new();
+    let mut received_bytes = 0u64;
+    for envelope in center.drain() {
+        received_bytes += envelope.payload.len() as u64;
+        let payload = wire::decode_batch_reports(envelope.payload, options.shards.count() as u32)?;
+        all_reports.extend(S::decode_reports(payload)?);
+    }
+    S::record_center_storage(network.meter(), received_bytes, &all_reports);
+    let verdicts = S::aggregate(
+        &sections,
+        all_reports,
+        config,
+        network.meter(),
+        options.top_k,
+    )?;
+
+    Ok(BatchOutcome {
+        method: S::METHOD,
+        queries: verdicts,
+        cost: network.meter().report(),
+        elapsed: start.elapsed(),
+    })
+}
+
 /// Runs full DI-matching with the weighted Bloom filter.
+///
+/// Thin wrapper: [`run_pipeline::<Wbf>`](run_pipeline) with an unsharded
+/// layout and one merged filter over the whole query set (the paper's
+/// Algorithm 1), collapsed into one outcome.
 ///
 /// `top_k = None` returns every surviving candidate in rank order.
 ///
@@ -69,89 +303,22 @@ pub fn run_wbf(
     mode: ExecutionMode,
     top_k: Option<usize>,
 ) -> Result<QueryOutcome> {
-    let start = Instant::now();
-    let network = Network::new();
-    let center = network.register(DATA_CENTER)?;
-    let stations = station_nodes(dataset);
-    let mailboxes = stations
-        .iter()
-        .map(|&(_, _, node)| network.register(node))
-        .collect::<dipm_distsim::Result<Vec<_>>>()?;
-
-    // Algorithm 1 at the data center.
-    let built = build_wbf(queries, config)?;
-    let filter_bytes =
-        encode::encode_wbf(&built.filter).map_err(crate::error::ProtocolError::Core)?;
-    let encoded = wire::encode_filter_broadcast(&built.query_totals, filter_bytes);
-    network.broadcast(
-        DATA_CENTER,
-        stations.iter().map(|&(_, _, node)| node),
-        TrafficClass::Query,
-        &encoded,
-    )?;
-    // Each station holds a copy of the filter while the query is live.
-    network
-        .meter()
-        .record_storage(encoded.len() as u64 * stations.len() as u64);
-
-    // Algorithm 2, one worker per station.
-    let items: Vec<(StationId, &dipm_distsim::Mailbox)> = stations
-        .iter()
-        .zip(&mailboxes)
-        .map(|(&(_, station, _), mailbox)| (station, mailbox))
-        .collect();
-    let results = run_stations(mode, &items, |i, (station, mailbox)| {
-        let envelope = mailbox.recv()?;
-        let (query_totals, filter_bytes) = wire::decode_filter_broadcast(envelope.payload)?;
-        let filter = encode::decode_wbf(filter_bytes)?;
-        let reports = match dataset.station_locals(*station) {
-            Some(patterns) => scan_station(
-                &filter,
-                &query_totals,
-                patterns,
-                config,
-                Some(network.meter()),
-            )?,
-            None => Vec::new(),
-        };
-        let payload = wire::encode_weight_reports(&reports);
-        network.send(
-            NodeId::base_station(i as u32),
-            DATA_CENTER,
-            TrafficClass::Report,
-            payload,
-        )?;
-        Ok::<(), crate::error::ProtocolError>(())
-    });
-    for r in results {
-        r?;
-    }
-
-    // Algorithm 3 at the data center.
-    let mut all_reports = Vec::new();
-    for envelope in center.drain() {
-        all_reports.extend(wire::decode_weight_reports(envelope.payload)?);
-    }
-    network
-        .meter()
-        .record_storage(all_reports.len() as u64 * CENTER_ENTRY_BYTES);
-    let ranked_users = aggregate_and_rank(all_reports, top_k);
-
-    Ok(QueryOutcome {
-        method: Method::Wbf,
-        ranked: ranked_users.iter().map(|r| r.user).collect(),
-        details: MethodDetails::Wbf {
-            weights: ranked_users,
-            build: built.stats,
-        },
-        cost: network.meter().report(),
-        elapsed: start.elapsed(),
-    })
+    let options = PipelineOptions {
+        mode,
+        top_k,
+        grouping: SectionGrouping::Merged,
+        ..PipelineOptions::default()
+    };
+    Ok(run_pipeline::<Wbf>(dataset, queries, config, &options)?.into_merged(top_k))
 }
 
 /// Runs DI-matching with the plain Bloom filter (the paper's `BF` method):
 /// same representation and sampling, membership-only matching, bare-ID
 /// reports, ranking by the number of reporting stations.
+///
+/// Thin wrapper: [`run_pipeline::<Bloom>`](run_pipeline) with an unsharded
+/// layout and one merged filter over the whole query set, collapsed into
+/// one outcome.
 ///
 /// # Errors
 ///
@@ -163,84 +330,19 @@ pub fn run_bloom(
     mode: ExecutionMode,
     top_k: Option<usize>,
 ) -> Result<QueryOutcome> {
-    let start = Instant::now();
-    let network = Network::new();
-    let center = network.register(DATA_CENTER)?;
-    let stations = station_nodes(dataset);
-    let mailboxes = stations
-        .iter()
-        .map(|&(_, _, node)| network.register(node))
-        .collect::<dipm_distsim::Result<Vec<_>>>()?;
-
-    let built = build_bloom(queries, config)?;
-    let encoded = encode::encode_bloom(&built.filter);
-    network.broadcast(
-        DATA_CENTER,
-        stations.iter().map(|&(_, _, node)| node),
-        TrafficClass::Query,
-        &encoded,
-    )?;
-    network
-        .meter()
-        .record_storage(encoded.len() as u64 * stations.len() as u64);
-
-    let items: Vec<(StationId, &dipm_distsim::Mailbox)> = stations
-        .iter()
-        .zip(&mailboxes)
-        .map(|(&(_, station, _), mailbox)| (station, mailbox))
-        .collect();
-    let results = run_stations(mode, &items, |i, (station, mailbox)| {
-        let envelope = mailbox.recv()?;
-        let filter = encode::decode_bloom(envelope.payload)?;
-        let ids = match dataset.station_locals(*station) {
-            Some(patterns) => scan_station_bloom(&filter, patterns, config, Some(network.meter()))?,
-            None => Vec::new(),
-        };
-        let payload = wire::encode_id_reports(&ids);
-        network.send(
-            NodeId::base_station(i as u32),
-            DATA_CENTER,
-            TrafficClass::Report,
-            payload,
-        )?;
-        Ok::<(), crate::error::ProtocolError>(())
-    });
-    for r in results {
-        r?;
-    }
-
-    // Without weights the center can only count reporting stations.
-    let mut counts: std::collections::BTreeMap<dipm_mobilenet::UserId, u32> =
-        std::collections::BTreeMap::new();
-    for envelope in center.drain() {
-        for id in wire::decode_id_reports(envelope.payload)? {
-            *counts.entry(id).or_insert(0) += 1;
-        }
-    }
-    network
-        .meter()
-        .record_storage(counts.len() as u64 * CENTER_ENTRY_BYTES);
-    let mut station_counts: Vec<(dipm_mobilenet::UserId, u32)> = counts.into_iter().collect();
-    station_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    if let Some(k) = top_k {
-        station_counts.truncate(k);
-    }
-
-    Ok(QueryOutcome {
-        method: Method::Bloom,
-        ranked: station_counts.iter().map(|&(u, _)| u).collect(),
-        details: MethodDetails::Bloom {
-            station_counts,
-            build: built.stats,
-        },
-        cost: network.meter().report(),
-        elapsed: start.elapsed(),
-    })
+    let options = PipelineOptions {
+        mode,
+        top_k,
+        grouping: SectionGrouping::Merged,
+        ..PipelineOptions::default()
+    };
+    Ok(run_pipeline::<Bloom>(dataset, queries, config, &options)?.into_merged(top_k))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::result::{Method, MethodDetails};
     use dipm_core::Weight;
 
     fn probe_query(dataset: &Dataset, user_index: usize) -> PatternQuery {
@@ -299,7 +401,7 @@ mod tests {
     }
 
     #[test]
-    fn sequential_and_threaded_agree() {
+    fn all_modes_agree() {
         let dataset = Dataset::small(22);
         let query = probe_query(&dataset, 3);
         let config = DiMatchingConfig::default();
@@ -311,11 +413,69 @@ mod tests {
             None,
         )
         .unwrap();
-        let thr = run_wbf(&dataset, &[query], &config, ExecutionMode::Threaded, None).unwrap();
+        let thr = run_wbf(
+            &dataset,
+            std::slice::from_ref(&query),
+            &config,
+            ExecutionMode::Threaded,
+            None,
+        )
+        .unwrap();
+        let pool = run_wbf(
+            &dataset,
+            &[query],
+            &config,
+            ExecutionMode::ThreadPool { workers: 3 },
+            None,
+        )
+        .unwrap();
         assert_eq!(seq.ranked, thr.ranked);
+        assert_eq!(seq.ranked, pool.ranked);
         // Communication costs are identical; only wall time may differ.
-        assert_eq!(seq.cost.query_bytes, thr.cost.query_bytes);
-        assert_eq!(seq.cost.report_bytes, thr.cost.report_bytes);
+        assert_eq!(seq.cost, thr.cost);
+        assert_eq!(seq.cost, pool.cost);
+    }
+
+    #[test]
+    fn sharded_run_matches_unsharded() {
+        let dataset = Dataset::small(27);
+        let query = probe_query(&dataset, 1);
+        let config = DiMatchingConfig::default();
+        let run = |shards: usize| {
+            let options = PipelineOptions {
+                shards: Shards::new(shards),
+                ..PipelineOptions::default()
+            };
+            run_pipeline::<Wbf>(&dataset, std::slice::from_ref(&query), &config, &options).unwrap()
+        };
+        let flat = run(1);
+        for shards in [2, 5] {
+            let sharded = run(shards);
+            assert_eq!(flat.queries[0].ranked, sharded.queries[0].ranked);
+            // Canonical report ordering keeps the whole cost report
+            // byte-identical across shard layouts.
+            assert_eq!(flat.cost, sharded.cost);
+        }
+    }
+
+    #[test]
+    fn batch_scans_each_station_once() {
+        let dataset = Dataset::small(28);
+        let queries: Vec<PatternQuery> = (0..4).map(|i| probe_query(&dataset, i)).collect();
+        let config = DiMatchingConfig::default();
+        let batch =
+            run_pipeline::<Wbf>(&dataset, &queries, &config, &PipelineOptions::default()).unwrap();
+        assert_eq!(batch.queries.len(), 4);
+        assert_eq!(
+            batch.cost.scan_passes as usize,
+            dataset.stations().len(),
+            "a batch of Q queries must scan each station once, not Q times"
+        );
+        assert_eq!(
+            batch.cost.messages as usize,
+            dataset.stations().len() * 2,
+            "one broadcast and one report per station"
+        );
     }
 
     #[test]
@@ -362,6 +522,11 @@ mod tests {
         assert!(outcome.cost.storage_bytes > 0);
         assert!(outcome.cost.hash_ops > 0);
         assert_eq!(outcome.cost.messages as usize, dataset.stations().len() * 2);
+        assert_eq!(
+            outcome.cost.scan_passes as usize,
+            dataset.stations().len(),
+            "one scan pass per station"
+        );
     }
 
     #[test]
@@ -401,5 +566,43 @@ mod tests {
         for user in &wbf.ranked {
             assert!(bf_set.contains(user), "{user:?} in WBF but not BF");
         }
+    }
+
+    #[test]
+    fn batch_verdicts_match_single_query_runs() {
+        // Batching must change costs, never answers: each verdict of a
+        // batch equals the corresponding single-query run's ranking.
+        let dataset = Dataset::small(29);
+        let config = DiMatchingConfig::default();
+        let queries: Vec<PatternQuery> = (0..3).map(|i| probe_query(&dataset, i * 5)).collect();
+        let batch =
+            run_pipeline::<Wbf>(&dataset, &queries, &config, &PipelineOptions::default()).unwrap();
+        assert_eq!(batch.method, Method::Wbf);
+        for (i, query) in queries.iter().enumerate() {
+            let single = run_wbf(
+                &dataset,
+                std::slice::from_ref(query),
+                &config,
+                ExecutionMode::Sequential,
+                None,
+            )
+            .unwrap();
+            assert_eq!(batch.queries[i].ranked, single.ranked, "query {i} drifted");
+        }
+    }
+
+    #[test]
+    fn empty_batch_runs_to_an_empty_outcome() {
+        let dataset = Dataset::small(30);
+        let batch = run_pipeline::<Wbf>(
+            &dataset,
+            &[],
+            &DiMatchingConfig::default(),
+            &PipelineOptions::default(),
+        )
+        .unwrap();
+        assert!(batch.queries.is_empty());
+        let merged = batch.into_merged(None);
+        assert!(merged.ranked.is_empty());
     }
 }

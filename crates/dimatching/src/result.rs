@@ -1,5 +1,6 @@
 //! Query outcomes: rankings plus the costs incurred producing them.
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use dipm_distsim::CostReport;
@@ -74,6 +75,169 @@ impl QueryOutcome {
     }
 }
 
+/// One query's answer within a batch run.
+#[derive(Debug, Clone)]
+pub struct QueryVerdict {
+    /// Retrieved users in rank order (truncated to top-K if asked).
+    pub ranked: Vec<UserId>,
+    /// Method-specific ranking detail for this query.
+    pub details: MethodDetails,
+}
+
+impl QueryVerdict {
+    /// The retrieved users as an iterator (rank order).
+    pub fn retrieved(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.ranked.iter().copied()
+    }
+}
+
+/// The result of one batch pipeline run: per-query rankings plus the costs
+/// of the *shared* run — one filter broadcast, one scan pass per station,
+/// one report per station, however many queries the batch carries.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Which method ran.
+    pub method: Method,
+    /// One verdict per submitted query, in submission order.
+    pub queries: Vec<QueryVerdict>,
+    /// Metered communication/storage/operation costs of the whole batch.
+    pub cost: CostReport,
+    /// Wall-clock time of the full batch run.
+    pub elapsed: Duration,
+}
+
+impl BatchOutcome {
+    /// Collapses the per-query verdicts into one merged [`QueryOutcome`] —
+    /// the campaign view ("everyone matching *any* of the batch") and the
+    /// contract of the legacy single-outcome entry points.
+    ///
+    /// Per user, the best score across queries wins: highest weight sum for
+    /// WBF (ties by most reports), highest station count for Bloom, smallest
+    /// distance for naive. A single-verdict batch merges to itself,
+    /// truncated to `top_k` like any other merge.
+    pub fn into_merged(self, top_k: Option<usize>) -> QueryOutcome {
+        let method = self.method;
+        let (ranked, details) = if self.queries.len() == 1 {
+            let mut verdict = self.queries.into_iter().next().expect("one verdict");
+            truncate_verdict(&mut verdict, top_k);
+            (verdict.ranked, verdict.details)
+        } else {
+            merge_verdicts(method, self.queries, top_k)
+        };
+        QueryOutcome {
+            method,
+            ranked,
+            details,
+            cost: self.cost,
+            elapsed: self.elapsed,
+        }
+    }
+}
+
+/// Applies a top-K cut to one verdict's ranking and its detail lists (they
+/// mirror each other entry for entry).
+fn truncate_verdict(verdict: &mut QueryVerdict, top_k: Option<usize>) {
+    let Some(k) = top_k else { return };
+    verdict.ranked.truncate(k);
+    match &mut verdict.details {
+        MethodDetails::Wbf { weights, .. } => weights.truncate(k),
+        MethodDetails::Bloom { station_counts, .. } => station_counts.truncate(k),
+        MethodDetails::Naive { distances } => distances.truncate(k),
+    }
+}
+
+fn merge_verdicts(
+    method: Method,
+    verdicts: Vec<QueryVerdict>,
+    top_k: Option<usize>,
+) -> (Vec<UserId>, MethodDetails) {
+    match method {
+        Method::Wbf => {
+            let mut best: BTreeMap<UserId, RankedUser> = BTreeMap::new();
+            let mut build = BuildStats::default();
+            for verdict in verdicts {
+                let MethodDetails::Wbf { weights, build: b } = verdict.details else {
+                    unreachable!("wbf batch carries wbf details");
+                };
+                build = build.merged_with(b);
+                for entry in weights {
+                    best.entry(entry.user)
+                        .and_modify(|cur| {
+                            if (entry.weight_sum, entry.reports) > (cur.weight_sum, cur.reports) {
+                                *cur = entry;
+                            }
+                        })
+                        .or_insert(entry);
+                }
+            }
+            let mut weights: Vec<RankedUser> = best.into_values().collect();
+            weights.sort_by(|a, b| {
+                b.weight_sum
+                    .cmp(&a.weight_sum)
+                    .then_with(|| b.reports.cmp(&a.reports))
+                    .then_with(|| a.user.cmp(&b.user))
+            });
+            if let Some(k) = top_k {
+                weights.truncate(k);
+            }
+            let ranked = weights.iter().map(|r| r.user).collect();
+            (ranked, MethodDetails::Wbf { weights, build })
+        }
+        Method::Bloom => {
+            let mut best: BTreeMap<UserId, u32> = BTreeMap::new();
+            let mut build = BuildStats::default();
+            for verdict in verdicts {
+                let MethodDetails::Bloom {
+                    station_counts,
+                    build: b,
+                } = verdict.details
+                else {
+                    unreachable!("bloom batch carries bloom details");
+                };
+                build = build.merged_with(b);
+                for (user, count) in station_counts {
+                    best.entry(user)
+                        .and_modify(|cur| *cur = (*cur).max(count))
+                        .or_insert(count);
+                }
+            }
+            let mut station_counts: Vec<(UserId, u32)> = best.into_iter().collect();
+            station_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            if let Some(k) = top_k {
+                station_counts.truncate(k);
+            }
+            let ranked = station_counts.iter().map(|&(u, _)| u).collect();
+            (
+                ranked,
+                MethodDetails::Bloom {
+                    station_counts,
+                    build,
+                },
+            )
+        }
+        Method::Naive => {
+            let mut best: BTreeMap<UserId, u64> = BTreeMap::new();
+            for verdict in verdicts {
+                let MethodDetails::Naive { distances } = verdict.details else {
+                    unreachable!("naive batch carries naive details");
+                };
+                for (user, distance) in distances {
+                    best.entry(user)
+                        .and_modify(|cur| *cur = (*cur).min(distance))
+                        .or_insert(distance);
+                }
+            }
+            let mut distances: Vec<(UserId, u64)> = best.into_iter().collect();
+            distances.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            if let Some(k) = top_k {
+                distances.truncate(k);
+            }
+            let ranked = distances.iter().map(|&(u, _)| u).collect();
+            (ranked, MethodDetails::Naive { distances })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +247,27 @@ mod tests {
         assert_eq!(Method::Naive.to_string(), "naive");
         assert_eq!(Method::Bloom.to_string(), "bf");
         assert_eq!(Method::Wbf.to_string(), "wbf");
+    }
+
+    #[test]
+    fn single_verdict_merge_still_applies_top_k() {
+        // The fast path must truncate exactly like the multi-verdict merge:
+        // a post-hoc `into_merged(Some(k))` cannot depend on batch size.
+        let distances: Vec<(UserId, u64)> = (0..5).map(|i| (UserId(i), i)).collect();
+        let batch = BatchOutcome {
+            method: Method::Naive,
+            queries: vec![QueryVerdict {
+                ranked: distances.iter().map(|&(u, _)| u).collect(),
+                details: MethodDetails::Naive { distances },
+            }],
+            cost: CostReport::default(),
+            elapsed: Duration::ZERO,
+        };
+        let merged = batch.into_merged(Some(2));
+        assert_eq!(merged.ranked, vec![UserId(0), UserId(1)]);
+        let MethodDetails::Naive { distances } = merged.details else {
+            panic!("wrong detail variant");
+        };
+        assert_eq!(distances.len(), 2, "details must be cut with the ranking");
     }
 }

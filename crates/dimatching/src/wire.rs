@@ -11,6 +11,172 @@ use dipm_timeseries::Pattern;
 
 use crate::error::{ProtocolError, Result};
 
+/// Frames a batch broadcast: one strategy-encoded filter section per query,
+/// each tagged with its query id (`u32` section count, then per section
+/// `{query id u32, len u32, bytes×len}`).
+///
+/// The sections are opaque to the frame — WBF sections carry query volumes
+/// plus a weighted filter, Bloom sections a plain filter — so one frame
+/// layout serves every [`FilterStrategy`](crate::FilterStrategy), and every
+/// framing byte still crosses the metered network (Fig. 4c stays honest).
+pub fn encode_batch_broadcast(sections: &[(u32, Bytes)]) -> Bytes {
+    let body: usize = sections.iter().map(|(_, b)| 8 + b.len()).sum();
+    let mut buf = BytesMut::with_capacity(4 + body);
+    buf.put_u32_le(sections.len() as u32);
+    for (query, bytes) in sections {
+        buf.put_u32_le(*query);
+        buf.put_u32_le(bytes.len() as u32);
+        buf.extend_from_slice(bytes);
+    }
+    buf.freeze()
+}
+
+/// Splits a batch-broadcast frame back into `(query id, section bytes)`
+/// pairs.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedReport`] on a truncated header or
+/// section, and on duplicate query ids (a station must never scan the same
+/// query twice in one pass). The declared section count is validated against
+/// the remaining bytes before any allocation.
+pub fn decode_batch_broadcast(mut data: Bytes) -> Result<Vec<(u32, Bytes)>> {
+    if data.remaining() < 4 {
+        return Err(ProtocolError::malformed_report("truncated batch header"));
+    }
+    let count = data.get_u32_le() as usize;
+    // Every section takes at least 8 header bytes; reject impossible counts
+    // before allocating.
+    if data.remaining() < count.saturating_mul(8) {
+        return Err(ProtocolError::malformed_report("truncated batch sections"));
+    }
+    let mut out: Vec<(u32, Bytes)> = Vec::with_capacity(count);
+    for _ in 0..count {
+        if data.remaining() < 8 {
+            return Err(ProtocolError::malformed_report("truncated section header"));
+        }
+        let query = data.get_u32_le();
+        let len = data.get_u32_le() as usize;
+        if data.remaining() < len {
+            return Err(ProtocolError::malformed_report("truncated section body"));
+        }
+        if out.iter().any(|(q, _)| *q == query) {
+            return Err(ProtocolError::malformed_report("duplicate query id"));
+        }
+        let section = data.slice(0..len);
+        data.advance(len);
+        out.push((query, section));
+    }
+    Ok(out)
+}
+
+/// Frames a station's batch report: the station's shard count followed by
+/// the strategy-encoded report payload.
+///
+/// The shard count is a protocol sanity check: the center configured the
+/// deployment's shard layout, and a station reporting under a different
+/// layout indicates a rebalance race, so the frame makes the mismatch
+/// detectable instead of silently aggregating.
+pub fn encode_batch_reports(shard_count: u32, payload: Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32_le(shard_count);
+    buf.extend_from_slice(&payload);
+    buf.freeze()
+}
+
+/// Unwraps a batch-report frame, validating the station's declared shard
+/// count against the deployment's configured one.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedReport`] on truncation or a shard-count
+/// mismatch.
+pub fn decode_batch_reports(mut data: Bytes, expected_shards: u32) -> Result<Bytes> {
+    if data.remaining() < 4 {
+        return Err(ProtocolError::malformed_report(
+            "truncated batch report header",
+        ));
+    }
+    let declared = data.get_u32_le();
+    if declared != expected_shards {
+        return Err(ProtocolError::malformed_report(format!(
+            "shard-count mismatch: station declared {declared}, center expects {expected_shards}"
+        )));
+    }
+    Ok(data)
+}
+
+/// Encodes query-tagged `(query, user, weight)` reports: `u32` count then
+/// `{query u32, id u64, num u64, den u64}` per entry (28 bytes/candidate).
+pub fn encode_tagged_weight_reports(reports: &[(u32, UserId, Weight)]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + reports.len() * 28);
+    buf.put_u32_le(reports.len() as u32);
+    for (query, user, weight) in reports {
+        buf.put_u32_le(*query);
+        buf.put_u64_le(user.0);
+        buf.put_u64_le(weight.numerator());
+        buf.put_u64_le(weight.denominator());
+    }
+    buf.freeze()
+}
+
+/// Decodes a query-tagged weight-report payload.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedReport`] on truncation or a zero
+/// denominator.
+pub fn decode_tagged_weight_reports(mut data: Bytes) -> Result<Vec<(u32, UserId, Weight)>> {
+    if data.remaining() < 4 {
+        return Err(ProtocolError::malformed_report("truncated report count"));
+    }
+    let count = data.get_u32_le() as usize;
+    if data.remaining() < count.saturating_mul(28) {
+        return Err(ProtocolError::malformed_report("truncated report entries"));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let query = data.get_u32_le();
+        let user = UserId(data.get_u64_le());
+        let num = data.get_u64_le();
+        let den = data.get_u64_le();
+        let weight = Weight::new(num, den)
+            .map_err(|_| ProtocolError::malformed_report("zero weight denominator"))?;
+        out.push((query, user, weight));
+    }
+    Ok(out)
+}
+
+/// Encodes query-tagged candidate ids (the Bloom baseline's batch reports):
+/// `u32` count then `{query u32, id u64}` per entry.
+pub fn encode_tagged_id_reports(reports: &[(u32, UserId)]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + reports.len() * 12);
+    buf.put_u32_le(reports.len() as u32);
+    for (query, user) in reports {
+        buf.put_u32_le(*query);
+        buf.put_u64_le(user.0);
+    }
+    buf.freeze()
+}
+
+/// Decodes a query-tagged id payload.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedReport`] on truncation.
+pub fn decode_tagged_id_reports(mut data: Bytes) -> Result<Vec<(u32, UserId)>> {
+    if data.remaining() < 4 {
+        return Err(ProtocolError::malformed_report("truncated id count"));
+    }
+    let count = data.get_u32_le() as usize;
+    if data.remaining() < count.saturating_mul(12) {
+        return Err(ProtocolError::malformed_report("truncated id entries"));
+    }
+    Ok((0..count)
+        .map(|_| (data.get_u32_le(), UserId(data.get_u64_le())))
+        .collect())
+}
+
 /// Frames a filter broadcast: the per-query global volumes followed by the
 /// encoded filter (`u32` count, `u64`×count totals, filter bytes).
 pub fn encode_filter_broadcast(query_totals: &[u64], filter: Bytes) -> Bytes {
@@ -240,6 +406,83 @@ mod tests {
         assert_eq!(totals, vec![100, 250]);
         assert_eq!(rest, filter_bytes);
         assert!(decode_filter_broadcast(Bytes::from_static(b"\x01")).is_err());
+    }
+
+    #[test]
+    fn batch_broadcast_roundtrip() {
+        let sections = vec![
+            (0u32, Bytes::from_static(b"SECTION-A")),
+            (1u32, Bytes::from_static(b"")),
+            (7u32, Bytes::from_static(b"SECTION-C-LONGER")),
+        ];
+        let framed = encode_batch_broadcast(&sections);
+        assert_eq!(framed.len(), 4 + sections.len() * 8 + 9 + 16);
+        assert_eq!(decode_batch_broadcast(framed).unwrap(), sections);
+        assert!(decode_batch_broadcast(encode_batch_broadcast(&[]))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn batch_broadcast_rejects_duplicate_query_ids() {
+        let framed =
+            encode_batch_broadcast(&[(3, Bytes::from_static(b"x")), (3, Bytes::from_static(b"y"))]);
+        assert!(decode_batch_broadcast(framed).is_err());
+    }
+
+    #[test]
+    fn batch_broadcast_rejects_truncation() {
+        let framed = encode_batch_broadcast(&[(0, Bytes::from_static(b"PAYLOAD"))]);
+        for cut in [0, 3, 7, framed.len() - 1] {
+            assert!(decode_batch_broadcast(framed.slice(0..cut)).is_err());
+        }
+    }
+
+    #[test]
+    fn batch_reports_validate_shard_count() {
+        let framed = encode_batch_reports(4, Bytes::from_static(b"inner"));
+        assert_eq!(
+            decode_batch_reports(framed.clone(), 4).unwrap().as_ref(),
+            b"inner"
+        );
+        assert!(decode_batch_reports(framed, 2).is_err());
+        assert!(decode_batch_reports(Bytes::from_static(b"\x01"), 1).is_err());
+    }
+
+    #[test]
+    fn tagged_weight_reports_roundtrip() {
+        let reports = vec![
+            (0u32, UserId(1), w(1, 3)),
+            (2u32, UserId(999), Weight::ONE),
+            (2u32, UserId(42), w(7, 9)),
+        ];
+        let encoded = encode_tagged_weight_reports(&reports);
+        assert_eq!(encoded.len(), 4 + 3 * 28);
+        assert_eq!(decode_tagged_weight_reports(encoded).unwrap(), reports);
+    }
+
+    #[test]
+    fn tagged_id_reports_roundtrip() {
+        let reports = vec![(0u32, UserId(3)), (1u32, UserId(1)), (0u32, UserId(4))];
+        let encoded = encode_tagged_id_reports(&reports);
+        assert_eq!(encoded.len(), 4 + 3 * 12);
+        assert_eq!(decode_tagged_id_reports(encoded).unwrap(), reports);
+    }
+
+    #[test]
+    fn tagged_decoders_reject_truncation_and_zero_denominators() {
+        let encoded = encode_tagged_weight_reports(&[(0, UserId(1), w(1, 2))]);
+        for cut in [0, 3, 10, encoded.len() - 1] {
+            assert!(decode_tagged_weight_reports(encoded.slice(0..cut)).is_err());
+        }
+        let mut raw = encoded.to_vec();
+        let n = raw.len();
+        raw[n - 8..].fill(0);
+        assert!(decode_tagged_weight_reports(Bytes::from(raw)).is_err());
+        let ids = encode_tagged_id_reports(&[(0, UserId(1))]);
+        for cut in [0, 3, ids.len() - 1] {
+            assert!(decode_tagged_id_reports(ids.slice(0..cut)).is_err());
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@ use dipm_core::Weight;
 use dipm_mobilenet::UserId;
 use dipm_protocol::{
     aggregate_and_rank, build_wbf, scan_station, wire, DiMatchingConfig, HashScheme, PatternQuery,
+    Shards,
 };
 use dipm_timeseries::{eps_match, Pattern};
 use proptest::collection::vec;
@@ -120,6 +121,51 @@ proptest! {
             wire::encode_station_data(entries.iter().map(|(u, p)| (*u, p)));
         let decoded = wire::decode_station_data(encoded).unwrap();
         prop_assert_eq!(decoded, entries);
+    }
+
+    // Shard rebalance safety: because `UserId → shard` is a pure function,
+    // splitting any user set into per-shard partitions, scanning each
+    // partition independently and merging the reports is equivalent to one
+    // unsharded scan — for every shard count a deployment might pick.
+    #[test]
+    fn sharded_scan_merge_equals_unsharded_scan(
+        locals in arb_locals(),
+        users in vec((any::<u64>(), vec(0u64..60, 6usize..7)), 0..24),
+    ) {
+        prop_assume!(Pattern::sum(locals.iter()).unwrap().total().unwrap() > 0);
+        let query = PatternQuery::from_locals(locals).unwrap();
+        let config = small_config();
+        let built = build_wbf(&[query], &config).unwrap();
+
+        let store: BTreeMap<UserId, Pattern> = users
+            .into_iter()
+            .map(|(id, vs)| (UserId(id), Pattern::new(vs)))
+            .collect();
+        let unsharded =
+            scan_station(&built.filter, &built.query_totals, &store, &config, None).unwrap();
+
+        for shard_count in 1..=8usize {
+            let layout = Shards::new(shard_count);
+            let mut partitions: Vec<BTreeMap<UserId, Pattern>> =
+                vec![BTreeMap::new(); shard_count];
+            for (&user, pattern) in &store {
+                partitions[layout.of(user)].insert(user, pattern.clone());
+            }
+            let mut merged = Vec::new();
+            for partition in &partitions {
+                merged.extend(
+                    scan_station(&built.filter, &built.query_totals, partition, &config, None)
+                        .unwrap(),
+                );
+            }
+            merged.sort();
+            let mut expect = unsharded.clone();
+            expect.sort();
+            prop_assert_eq!(
+                merged, expect,
+                "shard_count {} must not change the scan", shard_count
+            );
+        }
     }
 
     // Filters built from the same queries are deterministic.

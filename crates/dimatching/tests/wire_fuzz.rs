@@ -1,5 +1,7 @@
 //! Robustness: the data center must survive arbitrary bytes arriving as
-//! station reports or broadcasts — decode cleanly or reject, never panic.
+//! station reports or broadcasts — decode cleanly or reject, never panic —
+//! and the batch frames must reject structural lies (duplicate query ids,
+//! shard-count mismatches, impossible counts) without over-allocating.
 
 use bytes::Bytes;
 use dipm_protocol::wire;
@@ -15,7 +17,13 @@ proptest! {
         let _ = wire::decode_weight_reports(bytes.clone());
         let _ = wire::decode_id_reports(bytes.clone());
         let _ = wire::decode_station_data(bytes.clone());
-        let _ = wire::decode_filter_broadcast(bytes);
+        let _ = wire::decode_filter_broadcast(bytes.clone());
+        let _ = wire::decode_batch_broadcast(bytes.clone());
+        let _ = wire::decode_tagged_weight_reports(bytes.clone());
+        let _ = wire::decode_tagged_id_reports(bytes.clone());
+        for shards in [0u32, 1, 4] {
+            let _ = wire::decode_batch_reports(bytes.clone(), shards);
+        }
     }
 
     #[test]
@@ -27,7 +35,68 @@ proptest! {
         let bytes = Bytes::from(raw);
         prop_assert!(wire::decode_weight_reports(bytes.clone()).is_err());
         prop_assert!(wire::decode_id_reports(bytes.clone()).is_err());
-        // Station data validates per-entry, so it errors once the body runs dry.
-        prop_assert!(wire::decode_station_data(bytes).is_err());
+        prop_assert!(wire::decode_tagged_weight_reports(bytes.clone()).is_err());
+        prop_assert!(wire::decode_tagged_id_reports(bytes.clone()).is_err());
+        // Station data and batch frames validate per-entry, so they error
+        // once the body runs dry.
+        prop_assert!(wire::decode_station_data(bytes.clone()).is_err());
+        prop_assert!(wire::decode_batch_broadcast(bytes).is_err());
+    }
+
+    #[test]
+    fn batch_broadcast_roundtrips(sections in vec(vec(any::<u8>(), 0..40), 0..10)) {
+        let tagged: Vec<(u32, Bytes)> = sections
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| (i as u32, Bytes::from(body)))
+            .collect();
+        let framed = wire::encode_batch_broadcast(&tagged);
+        prop_assert_eq!(wire::decode_batch_broadcast(framed).unwrap(), tagged);
+    }
+
+    #[test]
+    fn truncated_batch_broadcasts_error_never_panic(
+        sections in vec(vec(any::<u8>(), 0..40), 1..6),
+        cut_permille in 0usize..1000,
+    ) {
+        let tagged: Vec<(u32, Bytes)> = sections
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| (i as u32, Bytes::from(body)))
+            .collect();
+        let framed = wire::encode_batch_broadcast(&tagged);
+        let cut = framed.len() * cut_permille / 1000;
+        prop_assume!(cut < framed.len());
+        // Any strict prefix is missing bytes somewhere: decoding must fail
+        // cleanly (it may fail on the header or on a section body).
+        prop_assert!(wire::decode_batch_broadcast(framed.slice(0..cut)).is_err());
+    }
+
+    #[test]
+    fn duplicate_query_ids_are_rejected(
+        id in any::<u32>(),
+        body_a in vec(any::<u8>(), 0..20),
+        body_b in vec(any::<u8>(), 0..20),
+    ) {
+        let framed = wire::encode_batch_broadcast(&[
+            (id, Bytes::from(body_a)),
+            (id, Bytes::from(body_b)),
+        ]);
+        prop_assert!(wire::decode_batch_broadcast(framed).is_err());
+    }
+
+    #[test]
+    fn shard_count_mismatches_are_rejected(
+        declared in 0u32..64,
+        expected in 0u32..64,
+        payload in vec(any::<u8>(), 0..60),
+    ) {
+        let framed = wire::encode_batch_reports(declared, Bytes::from(payload.clone()));
+        let decoded = wire::decode_batch_reports(framed, expected);
+        if declared == expected {
+            prop_assert_eq!(decoded.unwrap().as_ref(), payload.as_slice());
+        } else {
+            prop_assert!(decoded.is_err());
+        }
     }
 }

@@ -12,8 +12,11 @@
 //! * [`CostMeter`] / [`CostReport`] — lock-free accounting of bytes moved,
 //!   bytes stored and operations executed (Fig. 4b/4d machine-independent
 //!   cost).
-//! * [`run_stations`] — sequential or thread-per-station execution
-//!   ([`ExecutionMode`]), with identical results in both modes.
+//! * [`run_stations`] / [`run_station_shards`] — sequential,
+//!   thread-per-station or fixed-pool execution ([`ExecutionMode`]), with
+//!   identical results in every mode; the shard entry point lets a sharded
+//!   station parallelize internally while the pool stays far below one
+//!   thread per station.
 //!
 //! # Example
 //!
@@ -57,4 +60,4 @@ pub use error::{DistSimError, Result};
 pub use metrics::{CostMeter, CostReport, TrafficClass};
 pub use network::{Envelope, Mailbox, Network};
 pub use node::{NodeId, DATA_CENTER};
-pub use runtime::{run_stations, ExecutionMode};
+pub use runtime::{run_station_shards, run_stations, ExecutionMode};

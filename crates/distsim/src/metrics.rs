@@ -48,6 +48,7 @@ pub struct CostMeter {
     storage_bytes: AtomicU64,
     hash_ops: AtomicU64,
     comparisons: AtomicU64,
+    scan_passes: AtomicU64,
 }
 
 impl CostMeter {
@@ -77,6 +78,16 @@ impl CostMeter {
         self.comparisons.fetch_add(count, Ordering::Relaxed);
     }
 
+    /// Records one full pass over a station's local store.
+    ///
+    /// A batch-aware pipeline scans each station once per *batch*, however
+    /// many queries the batch carries — this counter is how that claim is
+    /// asserted (a batch of Q queries over N stations must record exactly N
+    /// passes, not Q × N).
+    pub fn record_scan_pass(&self) {
+        self.scan_passes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot for reporting (individual counters
     /// are exact; cross-counter skew is possible while threads still run).
     pub fn report(&self) -> CostReport {
@@ -89,6 +100,7 @@ impl CostMeter {
             storage_bytes: self.storage_bytes.load(Ordering::Relaxed),
             hash_ops: self.hash_ops.load(Ordering::Relaxed),
             comparisons: self.comparisons.load(Ordering::Relaxed),
+            scan_passes: self.scan_passes.load(Ordering::Relaxed),
         }
     }
 
@@ -101,6 +113,7 @@ impl CostMeter {
         self.storage_bytes.store(0, Ordering::Relaxed);
         self.hash_ops.store(0, Ordering::Relaxed);
         self.comparisons.store(0, Ordering::Relaxed);
+        self.scan_passes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -123,6 +136,9 @@ pub struct CostReport {
     pub hash_ops: u64,
     /// Pattern/value comparisons.
     pub comparisons: u64,
+    /// Full passes over a station's local store (one per station per batch
+    /// in the batch-aware pipeline).
+    pub scan_passes: u64,
 }
 
 impl CostReport {
@@ -155,10 +171,13 @@ mod tests {
         meter.record_storage(4096);
         meter.record_hash_ops(12);
         meter.record_comparisons(3);
+        meter.record_scan_pass();
+        meter.record_scan_pass();
         let report = meter.report();
         assert_eq!(report.storage_bytes, 4096);
         assert_eq!(report.hash_ops, 12);
         assert_eq!(report.comparisons, 3);
+        assert_eq!(report.scan_passes, 2);
     }
 
     #[test]

@@ -4,19 +4,108 @@
 //! (Section V-A). [`ExecutionMode::Threaded`] reproduces that: one OS thread
 //! per station via crossbeam's scoped threads. [`ExecutionMode::Sequential`]
 //! runs the same closures in station order on the calling thread, which is
-//! deterministic and convenient for tests; both modes must produce identical
-//! results (property-tested in the protocol crate).
+//! deterministic and convenient for tests. [`ExecutionMode::ThreadPool`]
+//! multiplexes the work items over a fixed pool of workers so the simulated
+//! city can grow past one OS thread per station. All modes must produce
+//! identical results and byte-identical cost reports (property-tested at
+//! pipeline level in the facade crate's `mode_agreement` suite as well as in
+//! the protocol crate).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::thread;
 
-/// How per-station work is executed.
+/// How per-station (or per-shard) work is executed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum ExecutionMode {
-    /// Run stations one after another on the calling thread.
+    /// Run work items one after another on the calling thread.
     #[default]
     Sequential,
-    /// Run one scoped OS thread per station (the paper's setup).
+    /// Run one scoped OS thread per work item (the paper's setup, where the
+    /// item is a whole station).
     Threaded,
+    /// Run all work items over a fixed pool of `workers` scoped threads.
+    ///
+    /// The pool is capped at the number of work items (spawning idle workers
+    /// is pointless), so a deployment can keep `workers` well below one
+    /// thread per station and still scan every station — the intended
+    /// configuration once stations are sharded and the work items are
+    /// `(station, shard)` pairs.
+    ThreadPool {
+        /// Number of worker threads; clamped to `1..=items`.
+        workers: usize,
+    },
+}
+
+/// Shared executor behind [`run_stations`] and [`run_station_shards`]:
+/// returns outputs in item order regardless of mode.
+fn execute<S, T, F>(mode: ExecutionMode, items: &[S], work: F) -> Vec<T>
+where
+    S: Sync,
+    T: Send,
+    F: Fn(usize, &S) -> T + Sync,
+{
+    match mode {
+        ExecutionMode::Sequential => items.iter().enumerate().map(|(i, s)| work(i, s)).collect(),
+        ExecutionMode::Threaded => thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    scope.spawn({
+                        let work = &work;
+                        move |_| work(i, s)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("station thread panicked"))
+                .collect()
+        })
+        .expect("station scope panicked"),
+        ExecutionMode::ThreadPool { workers } => {
+            if items.is_empty() {
+                return Vec::new();
+            }
+            let workers = workers.clamp(1, items.len());
+            let next = AtomicUsize::new(0);
+            let mut slots: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
+            let done = thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn({
+                            let work = &work;
+                            let next = &next;
+                            move |_| {
+                                let mut out = Vec::new();
+                                loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    if i >= items.len() {
+                                        break;
+                                    }
+                                    out.push((i, work(i, &items[i])));
+                                }
+                                out
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("pool worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("pool scope panicked");
+            for (i, value) in done {
+                slots[i] = Some(value);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every work item executed exactly once"))
+                .collect()
+        }
+    }
 }
 
 /// Runs `work` once per station, returning outputs in station order
@@ -26,8 +115,8 @@ pub enum ExecutionMode {
 ///
 /// # Panics
 ///
-/// Propagates panics from `work` (in threaded mode, after all threads have
-/// been joined).
+/// Propagates panics from `work` (in threaded/pool modes, after the scope's
+/// threads have been joined).
 ///
 /// # Examples
 ///
@@ -44,30 +133,46 @@ where
     T: Send,
     F: Fn(usize, &S) -> T + Sync,
 {
-    match mode {
-        ExecutionMode::Sequential => stations
-            .iter()
-            .enumerate()
-            .map(|(i, s)| work(i, s))
-            .collect(),
-        ExecutionMode::Threaded => thread::scope(|scope| {
-            let handles: Vec<_> = stations
-                .iter()
-                .enumerate()
-                .map(|(i, s)| {
-                    scope.spawn({
-                        let work = &work;
-                        move |_| work(i, s)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("station thread panicked"))
-                .collect()
-        })
-        .expect("station scope panicked"),
-    }
+    execute(mode, stations, work)
+}
+
+/// Runs `work` once per shard work item, returning outputs in item order
+/// regardless of execution mode.
+///
+/// This is the scan entry point for hash-sharded stations: the caller
+/// flattens every station's shards into one item grid (station-major order)
+/// so a station parallelizes *internally* — under
+/// [`ExecutionMode::ThreadPool`] shards from many stations multiplex onto a
+/// worker pool much smaller than the station count, and under
+/// [`ExecutionMode::Threaded`] each shard gets its own scoped thread. The
+/// contract is identical to [`run_stations`]; only the unit of work differs.
+///
+/// # Panics
+///
+/// Propagates panics from `work` (in threaded/pool modes, after the scope's
+/// threads have been joined).
+///
+/// # Examples
+///
+/// ```
+/// use dipm_distsim::{run_station_shards, ExecutionMode};
+///
+/// // Two stations with two shards each, flattened station-major.
+/// let grid = vec![(0, 0), (0, 1), (1, 0), (1, 1)];
+/// let out = run_station_shards(
+///     ExecutionMode::ThreadPool { workers: 2 },
+///     &grid,
+///     |_, &(station, shard)| station * 10 + shard,
+/// );
+/// assert_eq!(out, vec![0, 1, 10, 11]);
+/// ```
+pub fn run_station_shards<S, T, F>(mode: ExecutionMode, shards: &[S], work: F) -> Vec<T>
+where
+    S: Sync,
+    T: Send,
+    F: Fn(usize, &S) -> T + Sync,
+{
+    execute(mode, shards, work)
 }
 
 #[cfg(test)]
@@ -95,6 +200,37 @@ mod tests {
     }
 
     #[test]
+    fn pool_matches_sequential_in_item_order() {
+        let items: Vec<u64> = (0..57).collect();
+        let seq = run_stations(ExecutionMode::Sequential, &items, |i, s| s * 7 + i as u64);
+        for workers in [1, 2, 3, 8, 200] {
+            let pooled = run_stations(ExecutionMode::ThreadPool { workers }, &items, |i, s| {
+                s * 7 + i as u64
+            });
+            assert_eq!(seq, pooled, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn pool_clamps_zero_workers() {
+        let items = vec![1u32, 2, 3];
+        let out = run_stations(ExecutionMode::ThreadPool { workers: 0 }, &items, |_, s| {
+            s * 2
+        });
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn pool_runs_every_item_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let items = vec![(); 64];
+        run_stations(ExecutionMode::ThreadPool { workers: 4 }, &items, |_, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
     fn threaded_actually_runs_every_station() {
         let counter = AtomicU64::new(0);
         let stations = vec![(); 16];
@@ -106,8 +242,26 @@ mod tests {
 
     #[test]
     fn empty_station_list() {
-        let out: Vec<u32> = run_stations(ExecutionMode::Threaded, &[] as &[u32], |_, s| *s);
-        assert!(out.is_empty());
+        for mode in [
+            ExecutionMode::Sequential,
+            ExecutionMode::Threaded,
+            ExecutionMode::ThreadPool { workers: 4 },
+        ] {
+            let out: Vec<u32> = run_stations(mode, &[] as &[u32], |_, s| *s);
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn shard_grid_entry_point_matches_station_entry_point() {
+        let grid: Vec<(usize, usize)> = (0..6).flat_map(|s| (0..3).map(move |h| (s, h))).collect();
+        let a = run_stations(ExecutionMode::Sequential, &grid, |_, &(s, h)| s * 100 + h);
+        let b = run_station_shards(
+            ExecutionMode::ThreadPool { workers: 3 },
+            &grid,
+            |_, &(s, h)| s * 100 + h,
+        );
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -116,5 +270,17 @@ mod tests {
         run_stations(ExecutionMode::Threaded, &[1u32], |_, _| -> u32 {
             panic!("boom");
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "pool worker panicked")]
+    fn pool_propagates_panics() {
+        run_station_shards(
+            ExecutionMode::ThreadPool { workers: 2 },
+            &[1u32, 2],
+            |_, _| -> u32 {
+                panic!("boom");
+            },
+        );
     }
 }

@@ -59,8 +59,9 @@ pub mod prelude {
     pub use dipm_distsim::{CostReport, ExecutionMode};
     pub use dipm_mobilenet::{Category, Dataset, StationId, TraceConfig, UserId, UserSpec};
     pub use dipm_protocol::{
-        aggregate_and_rank, build_wbf, evaluate, run_bloom, run_naive, run_wbf, DiMatchingConfig,
-        HashScheme, Method, PatternQuery, QueryOutcome,
+        aggregate_and_rank, build_wbf, evaluate, run_bloom, run_naive, run_pipeline, run_wbf,
+        BatchOutcome, Bloom, DiMatchingConfig, FilterStrategy, HashScheme, Method, Naive,
+        PatternQuery, PipelineOptions, QueryOutcome, QueryVerdict, SectionGrouping, Shards, Wbf,
     };
     pub use dipm_timeseries::{
         eps_match, AccumulatedPattern, Pattern, SampledPattern, ToleranceMode,

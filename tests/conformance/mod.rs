@@ -56,22 +56,25 @@ pub fn probe_query(dataset: &Dataset, index: usize) -> PatternQuery {
 
 /// Runs all three methods sequentially (deterministic order) over one
 /// query with unbounded K, so retrieval sets are directly comparable.
+///
+/// Every method goes through the one generic `run_pipeline::<S>` — the
+/// conformance invariants are checked against the unified pipeline, not
+/// per-method forks (which no longer exist).
 pub fn run_all(
     dataset: &Dataset,
     query: &PatternQuery,
     config: &DiMatchingConfig,
 ) -> Result<MethodTriple, ProtocolError> {
     let queries = [query.clone()];
+    let options = PipelineOptions::default();
+    let naive_config = DiMatchingConfig {
+        eps: config.eps,
+        ..DiMatchingConfig::default()
+    };
     Ok(MethodTriple {
-        naive: run_naive(
-            dataset,
-            &queries,
-            config.eps,
-            ExecutionMode::Sequential,
-            None,
-        )?,
-        bloom: run_bloom(dataset, &queries, config, ExecutionMode::Sequential, None)?,
-        wbf: run_wbf(dataset, &queries, config, ExecutionMode::Sequential, None)?,
+        naive: run_pipeline::<Naive>(dataset, &queries, &naive_config, &options)?.into_merged(None),
+        bloom: run_pipeline::<Bloom>(dataset, &queries, config, &options)?.into_merged(None),
+        wbf: run_pipeline::<Wbf>(dataset, &queries, config, &options)?.into_merged(None),
     })
 }
 

@@ -247,6 +247,116 @@ fn multi_pattern_queries_share_one_broadcast() {
 }
 
 #[test]
+fn batch_of_queries_scans_each_station_exactly_once() {
+    // The batch-first acceptance criterion: a batch of Q queries over N
+    // stations performs exactly N scan passes (one per station), not Q × N,
+    // while Q single-query runs perform Q × N.
+    let dataset = conformance::dataset(conformance::SEEDS[0]);
+    let config = DiMatchingConfig::default();
+    let queries: Vec<PatternQuery> = conformance::PROBES
+        .iter()
+        .map(|&p| probe_query(&dataset, p))
+        .collect();
+    let stations = dataset.stations().len() as u64;
+
+    let batch =
+        run_pipeline::<Wbf>(&dataset, &queries, &config, &PipelineOptions::default()).unwrap();
+    assert_eq!(batch.queries.len(), queries.len());
+    assert_eq!(batch.cost.scan_passes, stations);
+
+    let mut single_passes = 0;
+    for query in &queries {
+        let one = run_wbf(
+            &dataset,
+            std::slice::from_ref(query),
+            &config,
+            ExecutionMode::Sequential,
+            None,
+        )
+        .unwrap();
+        single_passes += one.cost.scan_passes;
+    }
+    assert_eq!(single_passes, stations * queries.len() as u64);
+}
+
+#[test]
+fn batch_per_query_rankings_match_single_query_runs() {
+    // Amortizing the broadcast must not change any answer: each verdict of
+    // a per-query batch equals the matching single-query pipeline run.
+    let dataset = conformance::dataset(conformance::SEEDS[1]);
+    let config = DiMatchingConfig::default();
+    let queries: Vec<PatternQuery> = conformance::PROBES
+        .iter()
+        .map(|&p| probe_query(&dataset, p))
+        .collect();
+    let batch =
+        run_pipeline::<Wbf>(&dataset, &queries, &config, &PipelineOptions::default()).unwrap();
+    for (i, query) in queries.iter().enumerate() {
+        let single = run_wbf(
+            &dataset,
+            std::slice::from_ref(query),
+            &config,
+            ExecutionMode::Sequential,
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            batch.queries[i].ranked, single.ranked,
+            "probe {i}: batch verdict diverged from the single-query run"
+        );
+    }
+}
+
+#[test]
+fn sharded_pooled_deployment_preserves_conformance_invariants() {
+    // The scaled-out deployment shape — sharded stations multiplexed over a
+    // small worker pool — must satisfy the same correctness invariants as
+    // the paper's one-thread-per-station setup, with identical bytes.
+    let seed = conformance::SEEDS[2];
+    let dataset = conformance::dataset(seed);
+    let config = DiMatchingConfig::default();
+    let query = probe_query(&dataset, conformance::PROBES[1]);
+    let flat = run_pipeline::<Wbf>(
+        &dataset,
+        std::slice::from_ref(&query),
+        &config,
+        &PipelineOptions::default(),
+    )
+    .unwrap();
+    let scaled = run_pipeline::<Wbf>(
+        &dataset,
+        std::slice::from_ref(&query),
+        &config,
+        &PipelineOptions {
+            mode: ExecutionMode::ThreadPool { workers: 4 },
+            shards: Shards::new(3),
+            ..PipelineOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(flat.queries[0].ranked, scaled.queries[0].ranked);
+    assert_eq!(flat.cost, scaled.cost, "shard layout leaked into the bytes");
+
+    // And the cross-method invariants still hold when the WBF leg runs in
+    // the scaled-out shape.
+    let naive = run_naive(
+        &dataset,
+        std::slice::from_ref(&query),
+        config.eps,
+        ExecutionMode::Sequential,
+        None,
+    )
+    .unwrap();
+    let wbf_set: BTreeSet<UserId> = scaled.queries[0].ranked.iter().copied().collect();
+    for user in &naive.ranked {
+        assert!(
+            wbf_set.contains(user),
+            "seed {seed}: naive found {user} but sharded WBF missed it"
+        );
+    }
+}
+
+#[test]
 fn position_tagged_ablation_is_no_less_precise() {
     let dataset = Dataset::city_slice(400, 12, 17).unwrap();
     let query = probe_query(&dataset, 3);

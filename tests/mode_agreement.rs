@@ -1,0 +1,137 @@
+//! Pipeline-level execution-mode agreement.
+//!
+//! `dipm_distsim::run_stations` / `run_station_shards` promise that every
+//! [`ExecutionMode`] produces identical results. Unit tests in the runtime
+//! crate cover pure closures; this suite asserts the promise where it
+//! actually matters — through the full generic pipeline, where the modes
+//! interleave metered sends, shared-meter updates and shard merging — by
+//! requiring **byte-identical `CostReport`s** (not just equal rankings)
+//! across `Sequential`, `Threaded` and `ThreadPool` for every strategy and
+//! shard layout.
+
+use dipm::prelude::*;
+use proptest::prelude::*;
+
+fn modes() -> [ExecutionMode; 4] {
+    [
+        ExecutionMode::Sequential,
+        ExecutionMode::Threaded,
+        ExecutionMode::ThreadPool { workers: 1 },
+        ExecutionMode::ThreadPool { workers: 3 },
+    ]
+}
+
+fn run_batch<S: FilterStrategy>(
+    dataset: &Dataset,
+    queries: &[PatternQuery],
+    config: &DiMatchingConfig,
+    mode: ExecutionMode,
+    shards: usize,
+) -> BatchOutcome {
+    let options = PipelineOptions {
+        mode,
+        shards: Shards::new(shards),
+        top_k: None,
+        ..PipelineOptions::default()
+    };
+    run_pipeline::<S>(dataset, queries, config, &options).expect("pipeline runs")
+}
+
+fn assert_mode_agreement<S: FilterStrategy>(seed: u64, shards: usize, batch: usize) {
+    let dataset = TraceConfig::new(40, 6)
+        .days(1)
+        .intervals_per_day(8)
+        .noise(1)
+        .seed(seed)
+        .generate()
+        .expect("valid trace");
+    let config = DiMatchingConfig::default();
+    let queries: Vec<PatternQuery> = (0..batch)
+        .map(|i| {
+            let user = dataset.users()[(i * 11) % dataset.users().len()];
+            PatternQuery::from_fragments(dataset.fragments(user.id).expect("traffic"))
+                .expect("valid query")
+        })
+        .collect();
+
+    let reference = run_batch::<S>(
+        &dataset,
+        &queries,
+        &config,
+        ExecutionMode::Sequential,
+        shards,
+    );
+    for mode in modes() {
+        let outcome = run_batch::<S>(&dataset, &queries, &config, mode, shards);
+        assert_eq!(
+            reference.cost, outcome.cost,
+            "seed {seed} shards {shards}: {mode:?} cost diverged from Sequential"
+        );
+        assert_eq!(reference.queries.len(), outcome.queries.len());
+        for (i, (a, b)) in reference.queries.iter().zip(&outcome.queries).enumerate() {
+            assert_eq!(
+                a.ranked, b.ranked,
+                "seed {seed} shards {shards}: {mode:?} ranking for query {i} diverged"
+            );
+        }
+    }
+}
+
+proptest! {
+    // Full pipeline runs are comparatively expensive; a handful of random
+    // (seed, shard, batch) points per strategy is plenty to catch a
+    // scheduling-dependent meter or merge bug.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn wbf_modes_produce_byte_identical_cost_reports(
+        seed in 0u64..1_000,
+        shards in 1usize..5,
+        batch in 1usize..4,
+    ) {
+        assert_mode_agreement::<Wbf>(seed, shards, batch);
+    }
+
+    #[test]
+    fn bloom_modes_produce_byte_identical_cost_reports(
+        seed in 0u64..1_000,
+        shards in 1usize..5,
+        batch in 1usize..4,
+    ) {
+        assert_mode_agreement::<Bloom>(seed, shards, batch);
+    }
+
+    #[test]
+    fn naive_modes_produce_byte_identical_cost_reports(
+        seed in 0u64..1_000,
+        shards in 1usize..5,
+        batch in 1usize..3,
+    ) {
+        assert_mode_agreement::<Naive>(seed, shards, batch);
+    }
+}
+
+#[test]
+fn legacy_wrappers_agree_across_modes_too() {
+    // The single-outcome wrappers ride the same pipeline; spot-check that
+    // their merged outcomes agree mode-to-mode as well.
+    let dataset = Dataset::small(19);
+    let config = DiMatchingConfig::default();
+    let query = {
+        let probe = dataset.users()[2];
+        PatternQuery::from_fragments(dataset.fragments(probe.id).unwrap()).unwrap()
+    };
+    let seq = run_wbf(
+        &dataset,
+        std::slice::from_ref(&query),
+        &config,
+        ExecutionMode::Sequential,
+        None,
+    )
+    .unwrap();
+    for mode in modes() {
+        let other = run_wbf(&dataset, std::slice::from_ref(&query), &config, mode, None).unwrap();
+        assert_eq!(seq.ranked, other.ranked);
+        assert_eq!(seq.cost, other.cost, "{mode:?} cost diverged");
+    }
+}
