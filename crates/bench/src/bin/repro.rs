@@ -4,7 +4,7 @@
 //! repro [EXPERIMENT…] [--quick] [--users N] [--stations N] [--patterns A,B,C] [--seed S]
 //!
 //! experiments: fig1a fig1b fig3 convergence fig4 fig4a fig4b fig4c fig4d
-//!              table2 fpp ablation batch all   (default: all)
+//!              table2 fpp ablation batch latency all   (default: all)
 //! ```
 
 use std::process::ExitCode;
@@ -17,7 +17,7 @@ fn print(report: Report) {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [fig1a|fig1b|fig3|convergence|fig4|fig4a|fig4b|fig4c|fig4d|table2|fpp|ablation|batch|all]…"
+        "usage: repro [fig1a|fig1b|fig3|convergence|fig4|fig4a|fig4b|fig4c|fig4d|table2|fpp|ablation|batch|latency|all]…"
     );
     eprintln!("       [--quick] [--users N] [--stations N] [--patterns A,B,C] [--seed S]");
     ExitCode::FAILURE
@@ -97,6 +97,7 @@ fn main() -> ExitCode {
                 print(experiments::batch_scaling(&scale));
                 print(experiments::shard_scaling(&scale));
             }
+            "latency" => print(experiments::latency(&scale)),
             "all" => {
                 print(experiments::fig1a());
                 print(experiments::fig1b(&scale));
@@ -116,6 +117,7 @@ fn main() -> ExitCode {
                 print(experiments::ablation(&scale));
                 print(experiments::batch_scaling(&scale));
                 print(experiments::shard_scaling(&scale));
+                print(experiments::latency(&scale));
             }
             _ => return usage(),
         }

@@ -114,18 +114,19 @@ pub fn shard_scaling(scale: &Scale) -> Report {
     );
     report.columns(["shards", "mode", "total KB", "scan passes", "seconds"]);
     let reference = run_batch(&dataset, &qs, &config, ExecutionMode::Sequential, 1);
-    let pool = ExecutionMode::ThreadPool {
-        workers: (scale.stations as usize / 2).max(1),
-    };
+    let workers = (scale.stations as usize / 2).max(1);
+    let pool = ExecutionMode::ThreadPool { workers };
     for &shards in &[1usize, 2, 4, 8] {
         for (label, mode) in [
             ("seq", ExecutionMode::Sequential),
             ("thread/station", ExecutionMode::Threaded),
             ("pool", pool),
+            ("async", ExecutionMode::Async { workers }),
         ] {
             let outcome = run_batch(&dataset, &qs, &config, mode, shards);
             assert_eq!(
-                outcome.cost, reference.cost,
+                outcome.cost.mode_invariant(),
+                reference.cost.mode_invariant(),
                 "shard layout or mode leaked into the metered bytes"
             );
             report.row([
@@ -137,7 +138,7 @@ pub fn shard_scaling(scale: &Scale) -> Report {
             ]);
         }
     }
-    report.note("the pool runs at half a worker per station — the shape a city-scale deployment multiplexes at");
+    report.note("the pool and async rows run at half a worker per station — the shape a city-scale deployment multiplexes at");
     report
 }
 
@@ -166,6 +167,6 @@ mod tests {
         scale.users = 200;
         // The table itself asserts byte equality across layouts.
         let report = shard_scaling(&scale);
-        assert_eq!(report.rows.len(), 12);
+        assert_eq!(report.rows.len(), 16, "4 shard layouts × 4 modes");
     }
 }

@@ -40,6 +40,7 @@ fn run_method<S: FilterStrategy>(
         shards: Shards::new(SWEEP_SHARDS),
         top_k,
         grouping: SectionGrouping::Merged,
+        ..PipelineOptions::default()
     };
     run_pipeline::<S>(dataset, queries, config, &options)
         .expect("pipeline runs")

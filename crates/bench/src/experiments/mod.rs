@@ -6,6 +6,7 @@ mod convergence;
 mod fig1;
 mod fig4;
 mod fpp;
+mod latency;
 mod table2;
 
 pub use ablation::ablation;
@@ -14,4 +15,5 @@ pub use convergence::convergence;
 pub use fig1::{fig1a, fig1b, fig3};
 pub use fig4::{fig4a, fig4b, fig4c, fig4d, sweep, MethodPoint, SweepPoint};
 pub use fpp::fpp;
+pub use latency::latency;
 pub use table2::{score_day, table2, DayScore};

@@ -18,16 +18,18 @@
 //! strategy).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use dipm_distsim::{
-    run_station_shards, run_stations, ExecutionMode, Network, NodeId, TrafficClass, DATA_CENTER,
+    block_on_all, run_station_shards, run_stations, ExecutionMode, LatencyModel, LatencyReport,
+    Network, NodeId, StationLatency, TrafficClass, VirtualClock, DATA_CENTER,
 };
 use dipm_mobilenet::{Dataset, StationId};
 
 use crate::basestation::{BaseStation, Shards};
 use crate::config::DiMatchingConfig;
-use crate::error::Result;
+use crate::error::{ProtocolError, Result};
 use crate::query::PatternQuery;
 use crate::result::{BatchOutcome, QueryOutcome};
 use crate::strategy::{Bloom, FilterStrategy, Wbf};
@@ -62,6 +64,12 @@ pub struct PipelineOptions {
     pub top_k: Option<usize>,
     /// How queries group into broadcast sections.
     pub grouping: SectionGrouping,
+    /// Modeled flight and scan times, used only under
+    /// [`ExecutionMode::Async`]: broadcast and report envelopes are stamped
+    /// with virtual delivery ticks and the run reports a deterministic
+    /// `makespan_ticks`. Synchronous modes ignore it entirely, so it cannot
+    /// perturb the mode-invariant byte meters.
+    pub latency: LatencyModel,
 }
 
 impl Default for PipelineOptions {
@@ -71,6 +79,7 @@ impl Default for PipelineOptions {
             shards: Shards::new(1),
             top_k: None,
             grouping: SectionGrouping::PerQuery,
+            latency: LatencyModel::default(),
         }
     }
 }
@@ -137,7 +146,16 @@ pub fn run_pipeline<S: FilterStrategy>(
 ) -> Result<BatchOutcome> {
     let start = Instant::now();
     config.validate()?;
-    let network = Network::new();
+    // Async runs stamp every envelope against a shared virtual clock; the
+    // synchronous modes keep the unmodeled network (all stamps zero).
+    let (clock, network) = match options.mode {
+        ExecutionMode::Async { .. } => {
+            let clock = Arc::new(VirtualClock::new());
+            let network = Network::with_latency(options.latency, Arc::clone(&clock));
+            (Some(clock), network)
+        }
+        _ => (None, Network::new()),
+    };
     let center = network.register(DATA_CENTER)?;
     let stations = station_nodes(dataset);
     let mailboxes = stations
@@ -184,66 +202,191 @@ pub fn run_pipeline<S: FilterStrategy>(
             BaseStation::from_locals(station, locals, options.shards)
         })
         .collect();
-    let decoded: Vec<Vec<(u32, S::Decoded)>> = if S::BROADCASTS {
-        // Each station decodes its own copy of the frame, under the same
-        // execution mode the scans will use (decoding is station-side work,
-        // not the center's).
-        run_stations(options.mode, &mailboxes, |_, mailbox| {
-            let envelope = mailbox.recv()?;
-            wire::decode_batch_broadcast(envelope.payload)?
+    let shard_count = options.shards.count() as u32;
+    match options.mode {
+        ExecutionMode::Async { workers } => {
+            // One future per station, polled per shard: the station sleeps
+            // until its broadcast copy's modeled delivery tick, decodes,
+            // charges each shard scan to the virtual clock (yielding the
+            // worker between shards), and sends its stamped report the
+            // moment it finishes — stations complete in virtual-time order,
+            // not station order.
+            let clock = clock.as_ref().expect("async mode builds a clock");
+            let model = options.latency;
+            let futures: Vec<_> = mailboxes
                 .into_iter()
-                .map(|(query, bytes)| Ok((query, S::decode_filter(bytes)?)))
-                .collect::<Result<Vec<_>>>()
-        })
-        .into_iter()
-        .collect::<Result<_>>()?
-    } else {
-        stations.iter().map(|_| Vec::new()).collect()
-    };
-
-    // Algorithm 2: one scan pass per station per batch, fanned out over the
-    // flattened (station, shard) grid.
-    let grid: Vec<(usize, usize)> = layouts
-        .iter()
-        .enumerate()
-        .flat_map(|(i, layout)| (0..layout.shard_count()).map(move |shard| (i, shard)))
-        .collect();
-    let scanned = run_station_shards(options.mode, &grid, |_, &(station, shard)| {
-        S::scan_shard(
-            &decoded[station],
-            layouts[station].shard(shard),
-            config,
-            Some(network.meter()),
-        )
-    });
-
-    // Merge each station's shard output in canonical (query, user) order —
-    // the report bytes are identical whatever the shard layout — and send.
-    let mut shard_results = scanned.into_iter();
-    for (i, layout) in layouts.iter().enumerate() {
-        let mut merged: Vec<S::StationReport> = Vec::new();
-        for _ in 0..layout.shard_count() {
-            merged.extend(shard_results.next().expect("one result per grid entry")?);
+                .enumerate()
+                .map(|(i, mailbox)| {
+                    let network = network.clone();
+                    let clock = Arc::clone(clock);
+                    let layout = &layouts[i];
+                    async move {
+                        // The station's own virtual timeline. Deadlines are
+                        // interleaving-free; global `clock.now()` reads are
+                        // not (the pool may advance the clock while this
+                        // station's poll sits in a queue), so every stamp
+                        // below derives from `station_now`, never from the
+                        // global reading.
+                        let mut station_now = 0u64;
+                        let sections: Vec<(u32, S::Decoded)> = if S::BROADCASTS {
+                            let envelope = mailbox.recv()?;
+                            station_now = envelope.deliver_at;
+                            clock.sleep_until(station_now).await;
+                            wire::decode_batch_broadcast(envelope.payload)?
+                                .into_iter()
+                                .map(|(query, bytes)| Ok((query, S::decode_filter(bytes)?)))
+                                .collect::<Result<Vec<_>>>()?
+                        } else {
+                            Vec::new()
+                        };
+                        let mut merged: Vec<S::StationReport> = Vec::new();
+                        for shard_index in 0..layout.shard_count() {
+                            let shard = layout.shard(shard_index);
+                            // Charge the modeled scan time to the station's
+                            // own timeline…
+                            station_now = station_now.saturating_add(model.scan_ticks(shard.len()));
+                            clock.sleep_until(station_now).await;
+                            merged.extend(S::scan_shard(
+                                &sections,
+                                shard,
+                                config,
+                                Some(network.meter()),
+                            )?);
+                            // …and yield unconditionally after each shard
+                            // (an already-elapsed sleep resolves without
+                            // suspending), so one large station cannot
+                            // monopolize a worker even under a zero-tick
+                            // latency model.
+                            dipm_distsim::yield_now().await;
+                        }
+                        merged.sort_by_key(S::report_key);
+                        network.meter().record_scan_pass();
+                        let payload = wire::encode_batch_reports(
+                            shard_count,
+                            i as u32,
+                            station_now,
+                            S::encode_reports(&merged),
+                        );
+                        network.send_at(
+                            NodeId::base_station(i as u32),
+                            DATA_CENTER,
+                            S::REPORT_CLASS,
+                            payload,
+                            station_now,
+                        )?;
+                        Ok::<(), ProtocolError>(())
+                    }
+                })
+                .collect();
+            let (results, _run) = block_on_all(workers, clock, futures);
+            for result in results {
+                result?;
+            }
         }
-        merged.sort_by_key(S::report_key);
-        network.meter().record_scan_pass();
-        let payload =
-            wire::encode_batch_reports(options.shards.count() as u32, S::encode_reports(&merged));
-        network.send(
-            NodeId::base_station(i as u32),
-            DATA_CENTER,
-            S::REPORT_CLASS,
-            payload,
-        )?;
+        mode => {
+            let decoded: Vec<Vec<(u32, S::Decoded)>> = if S::BROADCASTS {
+                // Each station decodes its own copy of the frame, under the
+                // same execution mode the scans will use (decoding is
+                // station-side work, not the center's).
+                run_stations(mode, &mailboxes, |_, mailbox| {
+                    let envelope = mailbox.recv()?;
+                    wire::decode_batch_broadcast(envelope.payload)?
+                        .into_iter()
+                        .map(|(query, bytes)| Ok((query, S::decode_filter(bytes)?)))
+                        .collect::<Result<Vec<_>>>()
+                })
+                .into_iter()
+                .collect::<Result<_>>()?
+            } else {
+                stations.iter().map(|_| Vec::new()).collect()
+            };
+
+            // Algorithm 2: one scan pass per station per batch, fanned out
+            // over the flattened (station, shard) grid.
+            let grid: Vec<(usize, usize)> = layouts
+                .iter()
+                .enumerate()
+                .flat_map(|(i, layout)| (0..layout.shard_count()).map(move |shard| (i, shard)))
+                .collect();
+            let scanned = run_station_shards(mode, &grid, |_, &(station, shard)| {
+                S::scan_shard(
+                    &decoded[station],
+                    layouts[station].shard(shard),
+                    config,
+                    Some(network.meter()),
+                )
+            });
+
+            // Merge each station's shard output in canonical (query, user)
+            // order — the report bytes are identical whatever the shard
+            // layout — and send.
+            let mut shard_results = scanned.into_iter();
+            for (i, layout) in layouts.iter().enumerate() {
+                let mut merged: Vec<S::StationReport> = Vec::new();
+                for _ in 0..layout.shard_count() {
+                    merged.extend(shard_results.next().expect("one result per grid entry")?);
+                }
+                merged.sort_by_key(S::report_key);
+                network.meter().record_scan_pass();
+                let payload = wire::encode_batch_reports(
+                    shard_count,
+                    i as u32,
+                    0,
+                    S::encode_reports(&merged),
+                );
+                network.send(
+                    NodeId::base_station(i as u32),
+                    DATA_CENTER,
+                    S::REPORT_CLASS,
+                    payload,
+                )?;
+            }
+        }
     }
 
-    // Algorithm 3 at the data center.
-    let mut all_reports: Vec<S::StationReport> = Vec::new();
+    // Algorithm 3 at the data center. Frames are worked through in modeled
+    // delivery order (the executor's *physical* completion order may differ
+    // run to run under work stealing; virtual delivery times never do) and
+    // admitted one by one — duplicate stations, unknown ids, time-traveling
+    // stamps and delivery regressions all error, never double-count. Then
+    // they are decoded in canonical station order so the aggregation input
+    // is identical whatever order stations finished in.
     let mut received_bytes = 0u64;
+    let mut arrivals: Vec<(wire::ReportFrame, u64)> = Vec::new();
     for envelope in center.drain() {
         received_bytes += envelope.payload.len() as u64;
-        let payload = wire::decode_batch_reports(envelope.payload, options.shards.count() as u32)?;
-        all_reports.extend(S::decode_reports(payload)?);
+        let deliver_at = envelope.deliver_at;
+        arrivals.push((
+            wire::decode_batch_reports(envelope.payload, shard_count)?,
+            deliver_at,
+        ));
+    }
+    arrivals.sort_by_key(|(frame, deliver)| (*deliver, frame.station));
+    let mut collector = wire::ReportCollector::new(shard_count, stations.len() as u32);
+    for (frame, deliver) in &arrivals {
+        collector.admit(frame, *deliver)?;
+    }
+    let makespan = arrivals
+        .iter()
+        .map(|&(_, deliver)| deliver)
+        .max()
+        .unwrap_or(0);
+    network.meter().record_makespan(makespan);
+    let latency = clock.map(|_| LatencyReport {
+        makespan_ticks: makespan,
+        stations: arrivals
+            .iter()
+            .map(|(frame, deliver)| StationLatency {
+                station: frame.station,
+                report_sent: frame.sent_tick,
+                report_delivered: *deliver,
+            })
+            .collect(),
+    });
+    arrivals.sort_by_key(|(frame, _)| frame.station);
+    let mut all_reports: Vec<S::StationReport> = Vec::new();
+    for (frame, _) in &arrivals {
+        all_reports.extend(S::decode_reports(frame.payload.clone())?);
     }
     S::record_center_storage(network.meter(), received_bytes, &all_reports);
     let verdicts = S::aggregate(
@@ -258,6 +401,7 @@ pub fn run_pipeline<S: FilterStrategy>(
         method: S::METHOD,
         queries: verdicts,
         cost: network.meter().report(),
+        latency,
         elapsed: start.elapsed(),
     })
 }
@@ -475,6 +619,86 @@ mod tests {
             batch.cost.messages as usize,
             dataset.stations().len() * 2,
             "one broadcast and one report per station"
+        );
+    }
+
+    #[test]
+    fn async_mode_agrees_and_reports_latency() {
+        use dipm_distsim::LatencyModel;
+        let dataset = Dataset::small(37);
+        let queries: Vec<PatternQuery> = (0..3).map(|i| probe_query(&dataset, i * 2)).collect();
+        let config = DiMatchingConfig::default();
+        let reference =
+            run_pipeline::<Wbf>(&dataset, &queries, &config, &PipelineOptions::default()).unwrap();
+        assert!(reference.latency.is_none(), "sync modes do not model time");
+        assert_eq!(reference.cost.makespan_ticks, 0);
+        let options = PipelineOptions {
+            mode: ExecutionMode::Async { workers: 3 },
+            shards: Shards::new(2),
+            latency: LatencyModel {
+                base_ticks: 50,
+                ticks_per_byte: 1,
+                ticks_per_row: 2,
+                jitter_ticks: 7,
+                seed: 11,
+            },
+            ..PipelineOptions::default()
+        };
+        let run = |options: &PipelineOptions| {
+            run_pipeline::<Wbf>(&dataset, &queries, &config, options).unwrap()
+        };
+        let first = run(&options);
+        // Answers and mode-invariant meters are identical to Sequential…
+        for (a, b) in reference.queries.iter().zip(&first.queries) {
+            assert_eq!(a.ranked, b.ranked);
+        }
+        assert_eq!(reference.cost, first.cost.mode_invariant());
+        // …and the latency dimension is present, plausible and
+        // deterministic under the seeded virtual clock.
+        let latency = first.latency.as_ref().expect("async models time");
+        assert!(latency.makespan_ticks > 0);
+        assert_eq!(latency.stations.len(), dataset.stations().len());
+        assert_eq!(latency.critical_path_ticks(), latency.makespan_ticks);
+        assert_eq!(first.cost.makespan_ticks, latency.makespan_ticks);
+        for station in &latency.stations {
+            assert!(station.report_sent >= 50, "broadcast flight charged");
+            assert!(station.report_delivered > station.report_sent);
+        }
+        let again = run(&options);
+        assert_eq!(first.cost, again.cost, "async cost must be deterministic");
+        assert_eq!(first.latency, again.latency);
+        // A single deterministic worker models the very same virtual times.
+        let single = run(&PipelineOptions {
+            mode: ExecutionMode::Async { workers: 1 },
+            ..options
+        });
+        assert_eq!(single.latency, first.latency);
+    }
+
+    #[test]
+    fn slower_links_stretch_the_makespan() {
+        let dataset = Dataset::small(38);
+        let queries = vec![probe_query(&dataset, 0)];
+        let config = DiMatchingConfig::default();
+        let makespan = |base_ticks: u64| {
+            let options = PipelineOptions {
+                mode: ExecutionMode::Async { workers: 2 },
+                latency: dipm_distsim::LatencyModel {
+                    base_ticks,
+                    ..dipm_distsim::LatencyModel::default()
+                },
+                ..PipelineOptions::default()
+            };
+            run_pipeline::<Wbf>(&dataset, &queries, &config, &options)
+                .unwrap()
+                .cost
+                .makespan_ticks
+        };
+        let fast = makespan(10);
+        let slow = makespan(10_000);
+        assert!(
+            slow >= fast + 2 * (10_000 - 10),
+            "a round trip pays the base latency twice: {fast} vs {slow}"
         );
     }
 

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use dipm_distsim::CostReport;
+use dipm_distsim::{CostReport, LatencyReport};
 use dipm_mobilenet::UserId;
 
 use crate::datacenter::{BuildStats, RankedUser};
@@ -102,6 +102,10 @@ pub struct BatchOutcome {
     pub queries: Vec<QueryVerdict>,
     /// Metered communication/storage/operation costs of the whole batch.
     pub cost: CostReport,
+    /// The latency dimension — modeled per-station critical paths and the
+    /// run's makespan on the virtual clock. `Some` only under
+    /// `ExecutionMode::Async`; synchronous modes do not model time.
+    pub latency: Option<LatencyReport>,
     /// Wall-clock time of the full batch run.
     pub elapsed: Duration,
 }
@@ -261,6 +265,7 @@ mod tests {
                 details: MethodDetails::Naive { distances },
             }],
             cost: CostReport::default(),
+            latency: None,
             elapsed: Duration::ZERO,
         };
         let merged = batch.into_merged(Some(2));

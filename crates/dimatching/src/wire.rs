@@ -70,16 +70,39 @@ pub fn decode_batch_broadcast(mut data: Bytes) -> Result<Vec<(u32, Bytes)>> {
     Ok(out)
 }
 
-/// Frames a station's batch report: the station's shard count followed by
-/// the strategy-encoded report payload.
+/// One decoded station batch-report frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportFrame {
+    /// The reporting station's index, as declared on the wire.
+    pub station: u32,
+    /// Virtual tick at which the station sent the report (`0` outside the
+    /// latency-modeled async runtime).
+    pub sent_tick: u64,
+    /// The strategy-encoded report payload.
+    pub payload: Bytes,
+}
+
+/// Frames a station's batch report: the station's shard count, its station
+/// id and the virtual send tick, followed by the strategy-encoded report
+/// payload.
 ///
-/// The shard count is a protocol sanity check: the center configured the
-/// deployment's shard layout, and a station reporting under a different
-/// layout indicates a rebalance race, so the frame makes the mismatch
-/// detectable instead of silently aggregating.
-pub fn encode_batch_reports(shard_count: u32, payload: Bytes) -> Bytes {
-    let mut buf = BytesMut::with_capacity(4 + payload.len());
+/// The 16-byte header is a protocol sanity check three ways: the center
+/// configured the deployment's shard layout, so a station reporting under a
+/// different `shard_count` indicates a rebalance race; the `station` id lets
+/// the center reject duplicate reports instead of double-counting a
+/// retransmit; and the `sent_tick` stamp lets it reject out-of-order
+/// arrivals (the simulated network delivers in send order, so a regression
+/// indicates corruption). All validation lives in [`ReportCollector`].
+pub fn encode_batch_reports(
+    shard_count: u32,
+    station: u32,
+    sent_tick: u64,
+    payload: Bytes,
+) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + payload.len());
     buf.put_u32_le(shard_count);
+    buf.put_u32_le(station);
+    buf.put_u64_le(sent_tick);
     buf.extend_from_slice(&payload);
     buf.freeze()
 }
@@ -91,8 +114,8 @@ pub fn encode_batch_reports(shard_count: u32, payload: Bytes) -> Bytes {
 ///
 /// Returns [`ProtocolError::MalformedReport`] on truncation or a shard-count
 /// mismatch.
-pub fn decode_batch_reports(mut data: Bytes, expected_shards: u32) -> Result<Bytes> {
-    if data.remaining() < 4 {
+pub fn decode_batch_reports(mut data: Bytes, expected_shards: u32) -> Result<ReportFrame> {
+    if data.remaining() < 16 {
         return Err(ProtocolError::malformed_report(
             "truncated batch report header",
         ));
@@ -103,7 +126,117 @@ pub fn decode_batch_reports(mut data: Bytes, expected_shards: u32) -> Result<Byt
             "shard-count mismatch: station declared {declared}, center expects {expected_shards}"
         )));
     }
-    Ok(data)
+    let station = data.get_u32_le();
+    let sent_tick = data.get_u64_le();
+    Ok(ReportFrame {
+        station,
+        sent_tick,
+        payload: data,
+    })
+}
+
+/// Center-side admission control for station report frames.
+///
+/// Wraps [`decode_batch_reports`] with the cross-frame checks a single
+/// decode cannot make: each station may report **once** per batch (a
+/// duplicate or retransmit must error, never double-count), the station id
+/// must belong to the deployment, a frame cannot claim to have been sent
+/// *after* it was delivered, and delivery ticks must be non-decreasing in
+/// admission order (the center works through its inbox in modeled arrival
+/// order, so a regression means the transport corrupted the queue — note
+/// that **send** ticks may legitimately regress across stations, since a
+/// small report on a slow link overtakes nothing).
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use dipm_protocol::wire::{encode_batch_reports, ReportCollector};
+///
+/// let mut collector = ReportCollector::new(1, 4);
+/// let frame = encode_batch_reports(1, 2, 10, Bytes::from_static(b"rows"));
+/// let accepted = collector.accept(frame.clone(), 25).unwrap();
+/// assert_eq!(accepted.station, 2);
+/// // The same station reporting again is rejected, not double-counted.
+/// assert!(collector.accept(frame, 26).is_err());
+/// ```
+#[derive(Debug)]
+pub struct ReportCollector {
+    expected_shards: u32,
+    station_count: u32,
+    seen: std::collections::BTreeSet<u32>,
+    last_delivered: u64,
+}
+
+impl ReportCollector {
+    /// A collector for a deployment of `station_count` stations sharded
+    /// `expected_shards` ways.
+    pub fn new(expected_shards: u32, station_count: u32) -> ReportCollector {
+        ReportCollector {
+            expected_shards,
+            station_count,
+            seen: std::collections::BTreeSet::new(),
+            last_delivered: 0,
+        }
+    }
+
+    /// Decodes and admits one report frame delivered at `delivered_tick`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::MalformedReport`] on truncation, a
+    /// shard-count mismatch, or any [`ReportCollector::admit`] rejection.
+    pub fn accept(&mut self, data: Bytes, delivered_tick: u64) -> Result<ReportFrame> {
+        let frame = decode_batch_reports(data, self.expected_shards)?;
+        self.admit(&frame, delivered_tick)?;
+        Ok(frame)
+    }
+
+    /// Admits an already-decoded frame delivered at `delivered_tick`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::MalformedReport`] on an out-of-range or
+    /// duplicate station id, a send tick later than the delivery tick, or a
+    /// delivery tick older than the previously admitted frame's. A rejected
+    /// frame leaves the collector untouched, so its rows can never be
+    /// counted.
+    pub fn admit(&mut self, frame: &ReportFrame, delivered_tick: u64) -> Result<()> {
+        if frame.station >= self.station_count {
+            return Err(ProtocolError::malformed_report(format!(
+                "report from unknown station {} (deployment has {})",
+                frame.station, self.station_count
+            )));
+        }
+        if self.seen.contains(&frame.station) {
+            return Err(ProtocolError::malformed_report(format!(
+                "duplicate report from station {}",
+                frame.station
+            )));
+        }
+        if frame.sent_tick > delivered_tick {
+            return Err(ProtocolError::malformed_report(format!(
+                "station {} report delivered at tick {} before it was sent at tick {}",
+                frame.station, delivered_tick, frame.sent_tick
+            )));
+        }
+        if delivered_tick < self.last_delivered {
+            return Err(ProtocolError::malformed_report(format!(
+                "out-of-order report arrival: station {} delivered at tick {} after tick {}",
+                frame.station, delivered_tick, self.last_delivered
+            )));
+        }
+        // Admit only after every check passed, so a rejected frame leaves
+        // the collector untouched.
+        self.seen.insert(frame.station);
+        self.last_delivered = delivered_tick;
+        Ok(())
+    }
+
+    /// How many stations have reported so far.
+    pub fn accepted(&self) -> usize {
+        self.seen.len()
+    }
 }
 
 /// Encodes query-tagged `(query, user, weight)` reports: `u32` count then
@@ -440,13 +573,49 @@ mod tests {
 
     #[test]
     fn batch_reports_validate_shard_count() {
-        let framed = encode_batch_reports(4, Bytes::from_static(b"inner"));
-        assert_eq!(
-            decode_batch_reports(framed.clone(), 4).unwrap().as_ref(),
-            b"inner"
-        );
+        let framed = encode_batch_reports(4, 7, 1234, Bytes::from_static(b"inner"));
+        let frame = decode_batch_reports(framed.clone(), 4).unwrap();
+        assert_eq!(frame.station, 7);
+        assert_eq!(frame.sent_tick, 1234);
+        assert_eq!(frame.payload.as_ref(), b"inner");
         assert!(decode_batch_reports(framed, 2).is_err());
         assert!(decode_batch_reports(Bytes::from_static(b"\x01"), 1).is_err());
+    }
+
+    #[test]
+    fn report_collector_rejects_structural_lies() {
+        let mut collector = ReportCollector::new(2, 3);
+        let ok = collector
+            .accept(encode_batch_reports(2, 0, 5, Bytes::from_static(b"a")), 9)
+            .unwrap();
+        assert_eq!((ok.station, ok.sent_tick), (0, 5));
+        // Duplicate station (a retransmit must never double-count).
+        assert!(collector
+            .accept(encode_batch_reports(2, 0, 6, Bytes::from_static(b"b")), 10)
+            .is_err());
+        // Out-of-order arrival (delivery-tick regression).
+        assert!(collector
+            .accept(encode_batch_reports(2, 1, 4, Bytes::from_static(b"c")), 8)
+            .is_err());
+        // Delivered before it was sent.
+        assert!(collector
+            .accept(encode_batch_reports(2, 1, 30, Bytes::from_static(b"t")), 20)
+            .is_err());
+        // Unknown station id.
+        assert!(collector
+            .accept(encode_batch_reports(2, 9, 8, Bytes::from_static(b"d")), 11)
+            .is_err());
+        // Shard-count mismatch still caught underneath.
+        assert!(collector
+            .accept(encode_batch_reports(1, 1, 8, Bytes::from_static(b"e")), 11)
+            .is_err());
+        // A rejected frame leaves no trace: the same station admits cleanly,
+        // and a *send* tick older than an earlier station's is legal (a
+        // small report on a slow link regresses nothing).
+        assert!(collector
+            .accept(encode_batch_reports(2, 1, 3, Bytes::from_static(b"f")), 11)
+            .is_ok());
+        assert_eq!(collector.accepted(), 2);
     }
 
     #[test]

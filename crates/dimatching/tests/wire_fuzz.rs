@@ -89,14 +89,113 @@ proptest! {
     fn shard_count_mismatches_are_rejected(
         declared in 0u32..64,
         expected in 0u32..64,
+        station in 0u32..100,
+        tick in 0u64..1_000_000,
         payload in vec(any::<u8>(), 0..60),
     ) {
-        let framed = wire::encode_batch_reports(declared, Bytes::from(payload.clone()));
+        let framed = wire::encode_batch_reports(declared, station, tick, Bytes::from(payload.clone()));
         let decoded = wire::decode_batch_reports(framed, expected);
         if declared == expected {
-            prop_assert_eq!(decoded.unwrap().as_ref(), payload.as_slice());
+            let frame = decoded.unwrap();
+            prop_assert_eq!(frame.station, station);
+            prop_assert_eq!(frame.sent_tick, tick);
+            prop_assert_eq!(frame.payload.as_ref(), payload.as_slice());
         } else {
             prop_assert!(decoded.is_err());
+        }
+    }
+
+    #[test]
+    fn truncated_report_frames_error_never_panic(
+        station in 0u32..16,
+        tick in 0u64..1_000_000,
+        payload in vec(any::<u8>(), 0..60),
+        cut in 0usize..16,
+    ) {
+        // Cutting anywhere inside the 16-byte latency-stamped header must
+        // error cleanly; the payload itself is opaque at this layer.
+        let framed = wire::encode_batch_reports(4, station, tick, Bytes::from(payload));
+        prop_assert!(wire::decode_batch_reports(framed.slice(0..cut), 4).is_err());
+    }
+
+    #[test]
+    fn duplicate_station_reports_never_double_count(
+        station in 0u32..8,
+        tick in 0u64..1_000,
+        payload in vec(any::<u8>(), 0..40),
+    ) {
+        let mut collector = wire::ReportCollector::new(2, 8);
+        let frame = wire::encode_batch_reports(2, station, tick, Bytes::from(payload));
+        prop_assert!(collector.accept(frame.clone(), tick + 5).is_ok());
+        // A retransmit of the same station's frame — identical or with a
+        // fresher tick — must be rejected, so its rows can't be counted
+        // twice at the center.
+        prop_assert!(collector.accept(frame.clone(), tick + 5).is_err());
+        prop_assert!(collector
+            .accept(wire::encode_batch_reports(2, station, tick + 1, Bytes::new()), tick + 6)
+            .is_err());
+        prop_assert_eq!(collector.accepted(), 1);
+    }
+
+    #[test]
+    fn out_of_order_report_arrivals_are_rejected(
+        first in 1u64..1_000_000,
+        regression in 1u64..1_000,
+        payload in vec(any::<u8>(), 0..40),
+    ) {
+        // The center admits frames in modeled delivery order, so a frame
+        // delivered at an older tick than its predecessor is a corrupted
+        // queue, not in-flight reordering.
+        let older = first.saturating_sub(regression);
+        prop_assume!(older < first);
+        let mut collector = wire::ReportCollector::new(1, 4);
+        prop_assert!(collector
+            .accept(wire::encode_batch_reports(1, 0, older, Bytes::from(payload)), first)
+            .is_ok());
+        prop_assert!(collector
+            .accept(wire::encode_batch_reports(1, 1, older, Bytes::new()), older)
+            .is_err());
+        // Equal delivery ticks are fine (zero-latency models stamp 0), and
+        // a *send*-tick regression across stations is legal.
+        let mut flat = wire::ReportCollector::new(1, 4);
+        prop_assert!(flat
+            .accept(wire::encode_batch_reports(1, 0, older, Bytes::new()), first)
+            .is_ok());
+        prop_assert!(flat
+            .accept(wire::encode_batch_reports(1, 1, 0, Bytes::new()), first)
+            .is_ok());
+    }
+
+    #[test]
+    fn time_traveling_reports_are_rejected(
+        sent in 1u64..1_000_000,
+        shortfall in 1u64..1_000,
+    ) {
+        // A frame claiming to be sent after its own delivery is corrupt.
+        let delivered = sent.saturating_sub(shortfall);
+        prop_assume!(delivered < sent);
+        let mut collector = wire::ReportCollector::new(1, 2);
+        prop_assert!(collector
+            .accept(wire::encode_batch_reports(1, 0, sent, Bytes::new()), delivered)
+            .is_err());
+        prop_assert_eq!(collector.accepted(), 0);
+        // Instantaneous delivery (sent == delivered) is legal.
+        prop_assert!(collector
+            .accept(wire::encode_batch_reports(1, 0, sent, Bytes::new()), sent)
+            .is_ok());
+    }
+
+    #[test]
+    fn collector_survives_random_bytes(
+        raw in vec(any::<u8>(), 0..100),
+        delivered in 0u64..1_000,
+    ) {
+        let mut collector = wire::ReportCollector::new(3, 5);
+        // Arbitrary bytes must decode cleanly or error — never panic, and
+        // never count as an accepted station report unless actually valid.
+        let before = collector.accepted();
+        if collector.accept(Bytes::from(raw), delivered).is_err() {
+            prop_assert_eq!(collector.accepted(), before);
         }
     }
 }

@@ -1,0 +1,261 @@
+//! Virtual time for the async station runtime.
+//!
+//! The paper's prototype measures wall time on one machine; a latency-bound
+//! deployment is better modeled with *virtual* ticks — broadcast and report
+//! frames carry modeled delivery times, and the executor advances this clock
+//! discrete-event style whenever every task is blocked on a timer. Ticks are
+//! deterministic under a fixed latency model and seed, so the
+//! `makespan_ticks` meter is reproducible in a way wall time never is.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// A shared discrete-event clock: a monotone tick counter plus a pending
+/// timer heap.
+///
+/// Tasks park on it with [`VirtualClock::sleep_until`]; the executor calls
+/// [`VirtualClock::fire_next`] when no task is runnable, jumping time
+/// forward to the earliest deadline. Timers registered at the same tick fire
+/// in registration order, so single-worker runs are fully deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_distsim::VirtualClock;
+///
+/// let clock = VirtualClock::new();
+/// assert_eq!(clock.now(), 0);
+/// assert!(!clock.fire_next()); // nothing pending, time stands still
+/// ```
+#[derive(Debug)]
+pub struct VirtualClock {
+    inner: Mutex<ClockInner>,
+}
+
+#[derive(Debug)]
+struct ClockInner {
+    now: u64,
+    seq: u64,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+}
+
+#[derive(Debug)]
+struct TimerEntry {
+    deadline: u64,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deadline, self.seq) == (other.deadline, other.seq)
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        VirtualClock::new()
+    }
+}
+
+impl VirtualClock {
+    /// A clock at tick zero with no pending timers.
+    pub fn new() -> VirtualClock {
+        VirtualClock {
+            inner: Mutex::new(ClockInner {
+                now: 0,
+                seq: 0,
+                timers: BinaryHeap::new(),
+            }),
+        }
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> u64 {
+        self.inner.lock().expect("clock lock").now
+    }
+
+    /// The number of registered, unfired timers.
+    pub fn pending_timers(&self) -> usize {
+        self.inner.lock().expect("clock lock").timers.len()
+    }
+
+    /// A future resolving once the clock reaches `deadline` (immediately if
+    /// it already has).
+    pub fn sleep_until(self: &Arc<Self>, deadline: u64) -> Sleep {
+        Sleep {
+            clock: Arc::clone(self),
+            deadline,
+        }
+    }
+
+    /// A future resolving `ticks` from now.
+    pub fn sleep(self: &Arc<Self>, ticks: u64) -> Sleep {
+        let deadline = self.now().saturating_add(ticks);
+        self.sleep_until(deadline)
+    }
+
+    /// Advances time to the earliest pending deadline and wakes every timer
+    /// due at (or before) it, in registration order. Returns `false` when no
+    /// timer is pending — the clock never moves on its own.
+    ///
+    /// The wakes run **inside** the clock lock, making pop-and-wake atomic:
+    /// a concurrent caller can never observe the heap empty while a woken
+    /// task is still invisible to its scheduler, which is what keeps the
+    /// executor's idle-pool deadlock detector sound. (The lock is a leaf —
+    /// waker callbacks must not re-enter the clock, and the executor's
+    /// don't: they only touch run queues.)
+    pub fn fire_next(&self) -> bool {
+        let mut inner = self.inner.lock().expect("clock lock");
+        let Some(Reverse(first)) = inner.timers.peek() else {
+            return false;
+        };
+        inner.now = inner.now.max(first.deadline);
+        let now = inner.now;
+        while inner
+            .timers
+            .peek()
+            .is_some_and(|Reverse(t)| t.deadline <= now)
+        {
+            let Reverse(entry) = inner.timers.pop().expect("peeked entry");
+            entry.waker.wake();
+        }
+        true
+    }
+
+    /// Registers `waker` for `deadline` unless the deadline already passed
+    /// (in which case the caller should complete immediately).
+    fn register(&self, deadline: u64, waker: &Waker) -> bool {
+        let mut inner = self.inner.lock().expect("clock lock");
+        if inner.now >= deadline {
+            return false;
+        }
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.timers.push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            waker: waker.clone(),
+        }));
+        true
+    }
+}
+
+/// Future returned by [`VirtualClock::sleep_until`] / [`VirtualClock::sleep`].
+#[derive(Debug)]
+pub struct Sleep {
+    clock: Arc<VirtualClock>,
+    deadline: u64,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.clock.register(self.deadline, cx.waker()) {
+            Poll::Pending
+        } else {
+            Poll::Ready(())
+        }
+    }
+}
+
+/// A future that yields to the executor exactly once, then completes.
+///
+/// The station pipeline awaits this between shard scans so one slow station
+/// cannot monopolize a worker for its whole store.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::task::Wake;
+
+    struct CountingWake(AtomicUsize);
+
+    impl Wake for CountingWake {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn fires_in_deadline_then_registration_order() {
+        let clock = Arc::new(VirtualClock::new());
+        let counter = Arc::new(CountingWake(AtomicUsize::new(0)));
+        let waker = Waker::from(Arc::clone(&counter));
+        assert!(clock.register(10, &waker));
+        assert!(clock.register(5, &waker));
+        assert!(clock.register(10, &waker));
+        assert!(clock.fire_next());
+        assert_eq!(clock.now(), 5);
+        assert_eq!(counter.0.load(Ordering::Relaxed), 1);
+        assert!(clock.fire_next());
+        assert_eq!(clock.now(), 10);
+        assert_eq!(counter.0.load(Ordering::Relaxed), 3);
+        assert!(!clock.fire_next());
+    }
+
+    #[test]
+    fn register_past_deadline_declines() {
+        let clock = Arc::new(VirtualClock::new());
+        let counter = Arc::new(CountingWake(AtomicUsize::new(0)));
+        let waker = Waker::from(counter);
+        assert!(clock.register(3, &waker));
+        clock.fire_next();
+        assert!(!clock.register(3, &waker), "elapsed deadline must decline");
+        assert!(!clock.register(2, &waker));
+    }
+
+    #[test]
+    fn sleep_for_is_relative_to_now() {
+        let clock = Arc::new(VirtualClock::new());
+        let counter = Arc::new(CountingWake(AtomicUsize::new(0)));
+        let waker = Waker::from(counter);
+        clock.register(7, &waker);
+        clock.fire_next();
+        let sleep = clock.sleep(3);
+        assert_eq!(sleep.deadline, 10);
+    }
+}

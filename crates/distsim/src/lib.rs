@@ -13,10 +13,15 @@
 //!   bytes stored and operations executed (Fig. 4b/4d machine-independent
 //!   cost).
 //! * [`run_stations`] / [`run_station_shards`] — sequential,
-//!   thread-per-station or fixed-pool execution ([`ExecutionMode`]), with
-//!   identical results in every mode; the shard entry point lets a sharded
-//!   station parallelize internally while the pool stays far below one
-//!   thread per station.
+//!   thread-per-station, fixed-pool or async execution ([`ExecutionMode`]),
+//!   with identical results in every mode; the shard entry point lets a
+//!   sharded station parallelize internally while the pool stays far below
+//!   one thread per station.
+//! * [`block_on_all`] / [`VirtualClock`] — the vendored mini-executor
+//!   behind [`ExecutionMode::Async`]: a deterministic single-worker task
+//!   queue, a work-stealing pool, and a discrete-event clock that the
+//!   [`LatencyModel`] stamps broadcast/report envelopes against, producing
+//!   the [`CostReport::makespan_ticks`] latency meter.
 //!
 //! # Example
 //!
@@ -50,14 +55,18 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod clock;
 mod error;
+mod executor;
 mod metrics;
 mod network;
 mod node;
 mod runtime;
 
+pub use clock::{yield_now, Sleep, VirtualClock, YieldNow};
 pub use error::{DistSimError, Result};
-pub use metrics::{CostMeter, CostReport, TrafficClass};
-pub use network::{Envelope, Mailbox, Network};
+pub use executor::{block_on_all, AsyncRunReport};
+pub use metrics::{CostMeter, CostReport, LatencyReport, StationLatency, TrafficClass};
+pub use network::{Envelope, LatencyModel, Mailbox, Network};
 pub use node::{NodeId, DATA_CENTER};
 pub use runtime::{run_station_shards, run_stations, ExecutionMode};

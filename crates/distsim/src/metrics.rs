@@ -49,6 +49,7 @@ pub struct CostMeter {
     hash_ops: AtomicU64,
     comparisons: AtomicU64,
     scan_passes: AtomicU64,
+    makespan_ticks: AtomicU64,
 }
 
 impl CostMeter {
@@ -88,6 +89,16 @@ impl CostMeter {
         self.scan_passes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a completion time on the virtual clock; the report keeps the
+    /// maximum seen (the run's makespan).
+    ///
+    /// Only the async runtime models time, so this stays zero in every
+    /// synchronous mode — it is the one [`CostReport`] dimension excluded
+    /// from [`CostReport::mode_invariant`].
+    pub fn record_makespan(&self, ticks: u64) {
+        self.makespan_ticks.fetch_max(ticks, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot for reporting (individual counters
     /// are exact; cross-counter skew is possible while threads still run).
     pub fn report(&self) -> CostReport {
@@ -101,6 +112,7 @@ impl CostMeter {
             hash_ops: self.hash_ops.load(Ordering::Relaxed),
             comparisons: self.comparisons.load(Ordering::Relaxed),
             scan_passes: self.scan_passes.load(Ordering::Relaxed),
+            makespan_ticks: self.makespan_ticks.load(Ordering::Relaxed),
         }
     }
 
@@ -114,6 +126,7 @@ impl CostMeter {
         self.hash_ops.store(0, Ordering::Relaxed);
         self.comparisons.store(0, Ordering::Relaxed);
         self.scan_passes.store(0, Ordering::Relaxed);
+        self.makespan_ticks.store(0, Ordering::Relaxed);
     }
 }
 
@@ -139,6 +152,10 @@ pub struct CostReport {
     /// Full passes over a station's local store (one per station per batch
     /// in the batch-aware pipeline).
     pub scan_passes: u64,
+    /// Virtual-clock makespan of the run: the latest modeled report
+    /// delivery tick. Zero outside `ExecutionMode::Async` (wall time is not
+    /// modeled there); deterministic under a fixed latency model and seed.
+    pub makespan_ticks: u64,
 }
 
 impl CostReport {
@@ -146,6 +163,60 @@ impl CostReport {
     pub fn total_bytes(&self) -> u64 {
         self.query_bytes + self.report_bytes + self.data_bytes + self.control_bytes
     }
+
+    /// The mode-invariant projection: every byte, storage and operation
+    /// meter, with the latency dimension (`makespan_ticks`) zeroed.
+    ///
+    /// The protocol promises these meters are **byte-identical across all
+    /// execution modes** (the Fig. 4 comparisons depend on it); makespan is
+    /// the one dimension only the async runtime produces, so agreement
+    /// suites compare this projection and pin makespan determinism
+    /// separately.
+    pub fn mode_invariant(&self) -> CostReport {
+        CostReport {
+            makespan_ticks: 0,
+            ..*self
+        }
+    }
+}
+
+/// The latency dimension of one async pipeline run, in virtual ticks.
+///
+/// Produced only under `ExecutionMode::Async`, where broadcast and report
+/// frames carry modeled delivery times. `stations` is in **modeled delivery
+/// order** — the order the center hears from stations on the virtual clock
+/// (fast stations first), not station order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyReport {
+    /// The latest modeled report delivery tick — when the data center has
+    /// heard from every station and can aggregate.
+    pub makespan_ticks: u64,
+    /// Per-station critical paths, in report-arrival (completion) order.
+    pub stations: Vec<StationLatency>,
+}
+
+impl LatencyReport {
+    /// The slowest station's critical path (equals the makespan when every
+    /// station reported).
+    pub fn critical_path_ticks(&self) -> u64 {
+        self.stations
+            .iter()
+            .map(|s| s.report_delivered)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One station's critical path through an async run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StationLatency {
+    /// Station index (the wire-frame station id).
+    pub station: u32,
+    /// Tick at which the station finished scanning and sent its report
+    /// (includes broadcast flight and modeled scan time).
+    pub report_sent: u64,
+    /// Tick at which the report reached the data center.
+    pub report_delivered: u64,
 }
 
 #[cfg(test)]
@@ -187,6 +258,53 @@ mod tests {
         meter.record_storage(1);
         meter.reset();
         assert_eq!(meter.report(), CostReport::default());
+    }
+
+    #[test]
+    fn makespan_keeps_the_maximum() {
+        let meter = CostMeter::new();
+        meter.record_makespan(40);
+        meter.record_makespan(12);
+        meter.record_makespan(55);
+        assert_eq!(meter.report().makespan_ticks, 55);
+        meter.reset();
+        assert_eq!(meter.report().makespan_ticks, 0);
+    }
+
+    #[test]
+    fn mode_invariant_drops_only_the_latency_dimension() {
+        let meter = CostMeter::new();
+        meter.record_message(TrafficClass::Query, 7);
+        meter.record_scan_pass();
+        meter.record_makespan(1234);
+        let report = meter.report();
+        let invariant = report.mode_invariant();
+        assert_eq!(invariant.makespan_ticks, 0);
+        assert_eq!(invariant.query_bytes, 7);
+        assert_eq!(invariant.scan_passes, 1);
+        assert_ne!(report, invariant);
+        assert_eq!(report.mode_invariant(), invariant.mode_invariant());
+    }
+
+    #[test]
+    fn latency_report_critical_path() {
+        let report = LatencyReport {
+            makespan_ticks: 30,
+            stations: vec![
+                StationLatency {
+                    station: 1,
+                    report_sent: 12,
+                    report_delivered: 30,
+                },
+                StationLatency {
+                    station: 0,
+                    report_sent: 10,
+                    report_delivered: 25,
+                },
+            ],
+        };
+        assert_eq!(report.critical_path_ticks(), 30);
+        assert_eq!(LatencyReport::default().critical_path_ticks(), 0);
     }
 
     #[test]

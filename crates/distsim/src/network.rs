@@ -4,6 +4,13 @@
 //! process (one thread per base station, Section V-A) and exchange real
 //! messages whose payload sizes are metered — the numbers behind the
 //! communication-cost comparison in Figure 4(c).
+//!
+//! A network can additionally carry a [`LatencyModel`] bound to a
+//! [`VirtualClock`]: every envelope is then stamped with its modeled send
+//! and delivery ticks, which is what the async runtime's `makespan_ticks`
+//! meter is computed from. The stamps are simulation metadata — they ride
+//! outside the payload, so byte accounting is identical with and without a
+//! model.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -12,9 +19,88 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
+use crate::clock::VirtualClock;
 use crate::error::{DistSimError, Result};
 use crate::metrics::{CostMeter, TrafficClass};
 use crate::node::NodeId;
+
+/// Deterministic per-message flight-time model, in virtual ticks.
+///
+/// Flight time is `base_ticks + ticks_per_byte · payload_len + jitter`,
+/// where the jitter is a pure hash of `(seed, from, to)` bounded by
+/// `jitter_ticks` — the same pair of nodes always sees the same extra
+/// delay, so repeated runs produce identical makespans. `ticks_per_row`
+/// does not affect messages at all; it is the station-side scan cost the
+/// async pipeline charges per stored pattern row, kept here so one struct
+/// describes the whole latency dimension of a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LatencyModel {
+    /// Fixed per-message propagation delay (one-way), in ticks.
+    pub base_ticks: u64,
+    /// Serialization cost per payload byte, in ticks.
+    pub ticks_per_byte: u64,
+    /// Station-side scan cost per stored pattern row, in ticks.
+    pub ticks_per_row: u64,
+    /// Upper bound on the deterministic per-link jitter, in ticks.
+    pub jitter_ticks: u64,
+    /// Seed of the jitter hash.
+    pub seed: u64,
+}
+
+impl Default for LatencyModel {
+    /// A mild default: 100-tick propagation, one tick per byte on the wire
+    /// and per row scanned, no jitter.
+    fn default() -> Self {
+        LatencyModel {
+            base_ticks: 100,
+            ticks_per_byte: 1,
+            ticks_per_row: 1,
+            jitter_ticks: 0,
+            seed: 0,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A model where every message and scan takes zero ticks.
+    pub fn zero() -> LatencyModel {
+        LatencyModel {
+            base_ticks: 0,
+            ticks_per_byte: 0,
+            ticks_per_row: 0,
+            jitter_ticks: 0,
+            seed: 0,
+        }
+    }
+
+    /// Modeled one-way flight time of a `payload_len`-byte message.
+    pub fn flight_ticks(&self, from: NodeId, to: NodeId, payload_len: usize) -> u64 {
+        self.base_ticks
+            .saturating_add(self.ticks_per_byte.saturating_mul(payload_len as u64))
+            .saturating_add(self.link_jitter(from, to))
+    }
+
+    /// Modeled cost of scanning `rows` stored pattern rows.
+    pub fn scan_ticks(&self, rows: usize) -> u64 {
+        self.ticks_per_row.saturating_mul(rows as u64)
+    }
+
+    /// The deterministic jitter of the `from → to` link.
+    fn link_jitter(&self, from: NodeId, to: NodeId) -> u64 {
+        if self.jitter_ticks == 0 {
+            return 0;
+        }
+        // SplitMix64 finalizer over (seed, from, to): stateless and stable.
+        let mut x = self.seed ^ ((from.0 as u64) << 32 | to.0 as u64);
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        // Saturating like the other tick math: jitter_ticks == u64::MAX
+        // must not overflow the modulus.
+        x % self.jitter_ticks.saturating_add(1)
+    }
+}
 
 /// One delivered message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,11 +113,18 @@ pub struct Envelope {
     pub class: TrafficClass,
     /// Opaque payload; its length is the metered communication cost.
     pub payload: Bytes,
+    /// Virtual tick at which the message was sent (`0` without a
+    /// [`LatencyModel`]).
+    pub sent_at: u64,
+    /// Modeled virtual delivery tick (`sent_at` plus flight time; `0`
+    /// without a model). Simulation metadata, not payload.
+    pub deliver_at: u64,
 }
 
 struct NetworkInner {
     meter: CostMeter,
     mailboxes: Mutex<HashMap<NodeId, Sender<Envelope>>>,
+    timing: Option<(LatencyModel, Arc<VirtualClock>)>,
 }
 
 /// A shared in-memory network with per-message byte accounting.
@@ -67,14 +160,32 @@ impl Default for Network {
 }
 
 impl Network {
-    /// Creates an empty network.
+    /// Creates an empty network with no latency model (all stamps zero).
     pub fn new() -> Network {
         Network {
             inner: Arc::new(NetworkInner {
                 meter: CostMeter::new(),
                 mailboxes: Mutex::new(HashMap::new()),
+                timing: None,
             }),
         }
+    }
+
+    /// Creates an empty network that stamps every envelope with modeled
+    /// send/delivery ticks read from `clock`.
+    pub fn with_latency(model: LatencyModel, clock: Arc<VirtualClock>) -> Network {
+        Network {
+            inner: Arc::new(NetworkInner {
+                meter: CostMeter::new(),
+                mailboxes: Mutex::new(HashMap::new()),
+                timing: Some((model, clock)),
+            }),
+        }
+    }
+
+    /// The latency model, if this network stamps delivery times.
+    pub fn latency_model(&self) -> Option<&LatencyModel> {
+        self.inner.timing.as_ref().map(|(model, _)| model)
     }
 
     /// The shared cost meter.
@@ -117,13 +228,67 @@ impl Network {
                 .cloned()
                 .ok_or(DistSimError::UnknownNode(to))?
         };
+        let sent_at = match &self.inner.timing {
+            Some((_, clock)) => clock.now(),
+            None => 0,
+        };
+        self.deliver(from, to, class, payload, sent_at, sender)
+    }
+
+    /// Sends one metered message stamped as sent at the given virtual tick.
+    ///
+    /// Asynchronous stations use this instead of [`Network::send`]: a
+    /// station's send time is a fact of *its own* virtual timeline (its
+    /// broadcast arrival plus its modeled scan time), not of the global
+    /// clock — which may already have advanced past it while the station's
+    /// final poll sat in an executor queue. Stamping explicitly keeps
+    /// delivery times (and therefore `makespan_ticks`) identical whatever
+    /// the worker interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistSimError::UnknownNode`] if `to` never registered and
+    /// [`DistSimError::Disconnected`] if its mailbox was dropped.
+    pub fn send_at(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        class: TrafficClass,
+        payload: Bytes,
+        sent_at: u64,
+    ) -> Result<()> {
+        let sender = {
+            let boxes = self.inner.mailboxes.lock();
+            boxes
+                .get(&to)
+                .cloned()
+                .ok_or(DistSimError::UnknownNode(to))?
+        };
+        self.deliver(from, to, class, payload, sent_at, sender)
+    }
+
+    fn deliver(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        class: TrafficClass,
+        payload: Bytes,
+        sent_at: u64,
+        sender: Sender<Envelope>,
+    ) -> Result<()> {
         self.inner.meter.record_message(class, payload.len() as u64);
+        let deliver_at = match &self.inner.timing {
+            Some((model, _)) => sent_at.saturating_add(model.flight_ticks(from, to, payload.len())),
+            None => sent_at,
+        };
         sender
             .send(Envelope {
                 from,
                 to,
                 class,
                 payload,
+                sent_at,
+                deliver_at,
             })
             .map_err(|_| DistSimError::Disconnected(to))
     }
@@ -279,6 +444,76 @@ mod tests {
         }
         assert_eq!(mailbox.drain().len(), 3);
         assert!(mailbox.try_recv().is_none());
+    }
+
+    #[test]
+    fn latency_model_stamps_envelopes_deterministically() {
+        let model = LatencyModel {
+            base_ticks: 10,
+            ticks_per_byte: 2,
+            ticks_per_row: 1,
+            jitter_ticks: 5,
+            seed: 99,
+        };
+        let clock = Arc::new(VirtualClock::new());
+        let net = Network::with_latency(model, Arc::clone(&clock));
+        let mailbox = net.register(NodeId(1)).unwrap();
+        net.send(
+            DATA_CENTER,
+            NodeId(1),
+            TrafficClass::Query,
+            Bytes::from_static(b"abcd"),
+        )
+        .unwrap();
+        let env = mailbox.recv().unwrap();
+        assert_eq!(env.sent_at, 0);
+        let expected = model.flight_ticks(DATA_CENTER, NodeId(1), 4);
+        assert_eq!(env.deliver_at, expected);
+        assert!(expected >= 18, "base + 2·4 bytes before jitter");
+        assert!(expected <= 23, "jitter bounded by jitter_ticks");
+        // Same link, same model ⇒ same stamp, run after run.
+        assert_eq!(expected, model.flight_ticks(DATA_CENTER, NodeId(1), 4));
+        // Byte accounting is untouched by the stamps.
+        assert_eq!(net.meter().report().query_bytes, 4);
+    }
+
+    #[test]
+    fn unmodeled_network_stamps_zero() {
+        let net = Network::new();
+        let mailbox = net.register(NodeId(1)).unwrap();
+        net.send(
+            DATA_CENTER,
+            NodeId(1),
+            TrafficClass::Control,
+            Bytes::from_static(b"x"),
+        )
+        .unwrap();
+        let env = mailbox.recv().unwrap();
+        assert_eq!((env.sent_at, env.deliver_at), (0, 0));
+        assert!(net.latency_model().is_none());
+    }
+
+    #[test]
+    fn zero_model_is_all_zeros() {
+        let model = LatencyModel::zero();
+        assert_eq!(model.flight_ticks(NodeId(1), NodeId(2), 10_000), 0);
+        assert_eq!(model.scan_ticks(5_000), 0);
+    }
+
+    #[test]
+    fn extreme_model_values_saturate_instead_of_panicking() {
+        let model = LatencyModel {
+            base_ticks: u64::MAX,
+            ticks_per_byte: u64::MAX,
+            ticks_per_row: u64::MAX,
+            jitter_ticks: u64::MAX,
+            seed: 1,
+        };
+        assert_eq!(
+            model.flight_ticks(NodeId(1), NodeId(2), usize::MAX),
+            u64::MAX
+        );
+        assert_eq!(model.scan_ticks(usize::MAX), u64::MAX);
     }
 
     #[test]

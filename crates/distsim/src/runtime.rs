@@ -12,8 +12,12 @@
 //! the protocol crate).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crossbeam::thread;
+
+use crate::clock::VirtualClock;
+use crate::executor::block_on_all;
 
 /// How per-station (or per-shard) work is executed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -35,6 +39,73 @@ pub enum ExecutionMode {
         /// Number of worker threads; clamped to `1..=items`.
         workers: usize,
     },
+    /// Run work items as futures on the vendored mini-executor
+    /// ([`block_on_all`]): `workers == 1` is the deterministic
+    /// single-threaded task queue, more workers the work-stealing pool. In
+    /// the matching pipeline this mode additionally models broadcast/report
+    /// flight times on a [`VirtualClock`], producing the `makespan_ticks`
+    /// latency meter; results and byte meters stay identical to every other
+    /// mode.
+    Async {
+        /// Number of executor workers; clamped to `1..=items`.
+        workers: usize,
+    },
+}
+
+impl ExecutionMode {
+    /// Reads the mode from the `DIPM_MODE` environment variable, falling
+    /// back to `default` when unset or unparseable.
+    ///
+    /// Accepted forms: `sequential` (or `seq`), `threaded`, `pool:N`,
+    /// `async`, `async:N` (`async` alone means one deterministic worker).
+    /// The CI example jobs use this to re-run every example under
+    /// [`ExecutionMode::Async`] without code changes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dipm_distsim::ExecutionMode;
+    ///
+    /// // Unset (or unrecognized) falls back to the given default.
+    /// let mode = ExecutionMode::from_env(ExecutionMode::Threaded);
+    /// assert!(matches!(
+    ///     mode,
+    ///     ExecutionMode::Threaded | ExecutionMode::Sequential
+    ///         | ExecutionMode::ThreadPool { .. } | ExecutionMode::Async { .. }
+    /// ));
+    /// ```
+    pub fn from_env(default: ExecutionMode) -> ExecutionMode {
+        match std::env::var("DIPM_MODE") {
+            // An empty value (e.g. `DIPM_MODE=` or a CI matrix arm setting
+            // "") means "use the default", not a parse error worth warning
+            // about.
+            Ok(value) if value.trim().is_empty() => default,
+            Ok(value) => ExecutionMode::parse(&value).unwrap_or_else(|| {
+                eprintln!("DIPM_MODE={value:?} not recognized; using {default:?}");
+                default
+            }),
+            Err(_) => default,
+        }
+    }
+
+    /// Parses the `DIPM_MODE` grammar; `None` on unrecognized input.
+    pub fn parse(value: &str) -> Option<ExecutionMode> {
+        let value = value.trim().to_ascii_lowercase();
+        match value.as_str() {
+            "sequential" | "seq" => Some(ExecutionMode::Sequential),
+            "threaded" => Some(ExecutionMode::Threaded),
+            "async" => Some(ExecutionMode::Async { workers: 1 }),
+            other => {
+                let (kind, count) = other.split_once(':')?;
+                let workers: usize = count.parse().ok()?;
+                match kind {
+                    "pool" => Some(ExecutionMode::ThreadPool { workers }),
+                    "async" => Some(ExecutionMode::Async { workers }),
+                    _ => None,
+                }
+            }
+        }
+    }
 }
 
 /// Shared executor behind [`run_stations`] and [`run_station_shards`]:
@@ -104,6 +175,23 @@ where
                 .into_iter()
                 .map(|s| s.expect("every work item executed exactly once"))
                 .collect()
+        }
+        ExecutionMode::Async { workers } => {
+            // Plain closures become immediately-ready futures; the executor
+            // still drives them (and a pipeline passing real futures gets
+            // the full virtual-clock treatment through `block_on_all`
+            // directly).
+            let clock = Arc::new(VirtualClock::new());
+            let futures: Vec<_> = items
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let work = &work;
+                    async move { work(i, s) }
+                })
+                .collect();
+            let (outputs, _report) = block_on_all(workers, &clock, futures);
+            outputs
         }
     }
 }
@@ -246,10 +334,52 @@ mod tests {
             ExecutionMode::Sequential,
             ExecutionMode::Threaded,
             ExecutionMode::ThreadPool { workers: 4 },
+            ExecutionMode::Async { workers: 4 },
         ] {
             let out: Vec<u32> = run_stations(mode, &[] as &[u32], |_, s| *s);
             assert!(out.is_empty());
         }
+    }
+
+    #[test]
+    fn async_matches_sequential_in_item_order() {
+        let items: Vec<u64> = (0..41).collect();
+        let seq = run_stations(ExecutionMode::Sequential, &items, |i, s| s * 5 + i as u64);
+        for workers in [1, 2, 7] {
+            let run = run_stations(ExecutionMode::Async { workers }, &items, |i, s| {
+                s * 5 + i as u64
+            });
+            assert_eq!(seq, run, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn mode_env_grammar() {
+        assert_eq!(
+            ExecutionMode::parse("sequential"),
+            Some(ExecutionMode::Sequential)
+        );
+        assert_eq!(ExecutionMode::parse("SEQ"), Some(ExecutionMode::Sequential));
+        assert_eq!(
+            ExecutionMode::parse("threaded"),
+            Some(ExecutionMode::Threaded)
+        );
+        assert_eq!(
+            ExecutionMode::parse("pool:6"),
+            Some(ExecutionMode::ThreadPool { workers: 6 })
+        );
+        assert_eq!(
+            ExecutionMode::parse("async"),
+            Some(ExecutionMode::Async { workers: 1 })
+        );
+        assert_eq!(
+            ExecutionMode::parse(" async:3 "),
+            Some(ExecutionMode::Async { workers: 3 })
+        );
+        assert_eq!(ExecutionMode::parse("fibers:2"), None);
+        assert_eq!(ExecutionMode::parse("pool"), None);
+        // `from_env` treats empty as unset (no warning); `parse` rejects it.
+        assert_eq!(ExecutionMode::parse(""), None);
     }
 
     #[test]

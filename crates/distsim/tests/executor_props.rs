@@ -1,0 +1,176 @@
+//! Executor determinism properties.
+//!
+//! The deterministic single-worker executor promises that the same task set
+//! produces the same schedule on every run: identical completion order,
+//! identical per-task wake counts, identical poll count and identical
+//! virtual-clock readings. The work-stealing pool may schedule differently,
+//! but anything computed from *virtual time* — task outputs and the final
+//! tick — must still agree with the single-worker run, because sleep
+//! deadlines stack on each task's own chain, never on worker interleaving.
+
+use std::sync::Arc;
+
+use dipm_distsim::{block_on_all, yield_now, AsyncRunReport, VirtualClock};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One step of a task's script: sleep some virtual ticks (0 ⇒ ready
+/// immediately) or yield to the executor.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Sleep(u64),
+    Yield,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    (0u64..40, 0u8..2).prop_map(|(ticks, kind)| {
+        if kind == 0 {
+            Op::Sleep(ticks)
+        } else {
+            Op::Yield
+        }
+    })
+}
+
+/// Runs a scripted task set and returns each task's finish tick plus the
+/// scheduler's report.
+///
+/// Deadlines derive from each task's own timeline (the `local` counter),
+/// the pattern the matching pipeline uses too: global `clock.now()` reads
+/// mid-task are interleaving-dependent under the pool, deadlines are not.
+fn run_scripts(workers: usize, scripts: &[Vec<Op>]) -> (Vec<u64>, AsyncRunReport) {
+    let clock = Arc::new(VirtualClock::new());
+    let futures: Vec<_> = scripts
+        .iter()
+        .cloned()
+        .map(|ops| {
+            let clock = Arc::clone(&clock);
+            async move {
+                let mut local = 0u64;
+                for op in ops {
+                    match op {
+                        Op::Sleep(ticks) => {
+                            local += ticks;
+                            clock.sleep_until(local).await;
+                        }
+                        Op::Yield => yield_now().await,
+                    }
+                }
+                local
+            }
+        })
+        .collect();
+    block_on_all(workers, &clock, futures)
+}
+
+#[test]
+fn pool_survives_compute_heavy_tasks_under_contention() {
+    // Regression test for a false-positive deadlock verdict: with long
+    // compute inside polls, a momentary last-idler could fire the final
+    // timer, hand the woken task to a peer, and leave a *stale* last-idler
+    // staring at empty queues and an empty heap while the task ran — the
+    // detector must consult task states, not just queues and timers.
+    for round in 0..400u64 {
+        let clock = Arc::new(VirtualClock::new());
+        let tasks = 2 + (round % 9) as usize;
+        let workers = 2 + (round % 4) as usize;
+        let futures: Vec<_> = (0..tasks)
+            .map(|i| {
+                let clock = Arc::clone(&clock);
+                async move {
+                    let mut local = 0u64;
+                    let mut acc = 0u64;
+                    for step in 0..4u64 {
+                        local += (i as u64 * 7 + step * 3 + round) % 40;
+                        clock.sleep_until(local).await;
+                        // Long compute inside the poll, like a shard scan.
+                        for k in 0..10_000u64 {
+                            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                        }
+                        yield_now().await;
+                    }
+                    local | (acc & 1)
+                }
+            })
+            .collect();
+        let (out, report) = block_on_all(workers, &clock, futures);
+        assert_eq!(out.len(), tasks, "round {round}");
+        let mut order = report.completion_order;
+        order.sort_unstable();
+        assert_eq!(order, (0..tasks).collect::<Vec<_>>(), "round {round}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn single_worker_schedule_is_identical_across_runs(
+        scripts in vec(vec(op(), 0..8), 1..10),
+    ) {
+        let (outputs, report) = run_scripts(1, &scripts);
+        for _ in 0..2 {
+            let (again_outputs, again_report) = run_scripts(1, &scripts);
+            prop_assert_eq!(&again_outputs, &outputs, "finish ticks drifted");
+            prop_assert_eq!(
+                &again_report.completion_order,
+                &report.completion_order,
+                "completion order drifted"
+            );
+            prop_assert_eq!(
+                &again_report.wake_counts,
+                &report.wake_counts,
+                "wake counts drifted"
+            );
+            prop_assert_eq!(again_report.polls, report.polls, "poll count drifted");
+            prop_assert_eq!(
+                again_report.final_tick,
+                report.final_tick,
+                "final clock reading drifted"
+            );
+        }
+        // Every task completed exactly once.
+        let mut order = report.completion_order.clone();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..scripts.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_agrees_with_single_worker_on_virtual_time(
+        scripts in vec(vec(op(), 0..8), 1..10),
+        workers in 2usize..5,
+    ) {
+        let (reference, single) = run_scripts(1, &scripts);
+        let (outputs, report) = run_scripts(workers, &scripts);
+        // Each task's finish tick is its own sleep chain — worker count and
+        // steal order cannot move it.
+        prop_assert_eq!(&outputs, &reference, "virtual finish ticks drifted");
+        prop_assert_eq!(report.final_tick, single.final_tick);
+        let mut order = report.completion_order.clone();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..scripts.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn final_tick_is_the_longest_sleep_chain(
+        scripts in vec(vec(op(), 0..8), 1..10),
+    ) {
+        let (outputs, report) = run_scripts(1, &scripts);
+        let expected: Vec<u64> = scripts
+            .iter()
+            .map(|ops| {
+                ops.iter()
+                    .map(|op| match op {
+                        Op::Sleep(t) => *t,
+                        Op::Yield => 0,
+                    })
+                    .sum()
+            })
+            .collect();
+        prop_assert_eq!(&outputs, &expected, "a task finishes at its summed sleeps");
+        prop_assert_eq!(
+            report.final_tick,
+            expected.iter().copied().max().unwrap_or(0)
+        );
+    }
+}

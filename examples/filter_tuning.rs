@@ -1,10 +1,15 @@
-//! Using the core library directly: size a weighted Bloom filter, watch the
-//! false-positive bound, and see the weight-consistency check reject the
-//! stitched patterns a plain Bloom filter accepts (Section IV-B's example,
-//! at scale).
+//! Tuning the filter through the real protocol: size the weighted Bloom
+//! filter with [`FilterParams`], then sweep the target false-positive rate
+//! through the batch [`run_pipeline`] API and watch what a looser or tighter
+//! filter costs end to end — broadcast bytes out, candidate reports back,
+//! precision after the weight-consistency check (Section IV-B's stitched
+//! rejection, measured in the deployed pipeline rather than on a bare
+//! filter).
 //!
 //! Run with: `cargo run --example filter_tuning`
+//! (set `DIPM_MODE=seq|threaded|pool:N|async:N` to switch runtimes)
 
+use dipm::mobilenet::ground_truth;
 use dipm::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,63 +27,65 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // --- 2. Theory vs observation ----------------------------------------
-    let n = 20_000usize;
-    let params = FilterParams::optimal(n, 0.01)?;
-    let mut bloom = BloomFilter::new(params, 0xBEEF);
-    for key in 0..n as u64 {
-        bloom.insert(key);
-    }
-    let probes = 200_000u64;
-    let false_positives = (1_000_000..1_000_000 + probes)
-        .filter(|&k| bloom.contains(k))
-        .count();
+    // --- 2. The same dial, end to end -------------------------------------
+    // A small city slice and a two-query batch; every pipeline run below
+    // broadcasts once, scans each station once, reports once.
+    let dataset = TraceConfig::new(300, 10)
+        .days(1)
+        .intervals_per_day(8)
+        .seed(0xBEEF)
+        .generate()?;
+    let queries: Vec<PatternQuery> = [0usize, 7]
+        .iter()
+        .map(|&i| {
+            let probe = dataset.users()[i];
+            PatternQuery::from_fragments(dataset.fragments(probe.id).unwrap())
+        })
+        .collect::<Result<_, _>>()?;
+    let mode = ExecutionMode::from_env(ExecutionMode::Async { workers: 4 });
+
+    println!("\nsweeping target fpp through the deployed pipeline (batch of 2):");
     println!(
-        "\nclassic bloom at capacity: theoretical fpp {:.4}, observed {:.4}",
-        params.false_positive_rate(n),
-        false_positives as f64 / probes as f64
+        "{:>8} {:>14} {:>14} {:>12} {:>12}",
+        "fpp", "broadcast KB", "bf candidates", "wbf cands", "wbf precision"
     );
+    for target_fpp in [0.1, 0.01, 0.001] {
+        let config = DiMatchingConfig {
+            target_fpp,
+            ..DiMatchingConfig::default()
+        };
+        let options = PipelineOptions {
+            mode,
+            shards: Shards::new(2),
+            ..PipelineOptions::default()
+        };
+        let bf = run_pipeline::<Bloom>(&dataset, &queries, &config, &options)?;
+        let wbf = run_pipeline::<Wbf>(&dataset, &queries, &config, &options)?;
 
-    // --- 3. The weighted layer rejects stitched sequences -----------------
-    // Insert 200 random-ish "patterns" of 8 values, each under its own
-    // weight, then probe stitched sequences mixing two patterns' values.
-    let mut wbf = WeightedBloomFilter::new(FilterParams::optimal(200 * 8, 0.01)?, 0xBEEF);
-    let pattern = |i: u64| (0..8u64).map(move |j| i * 1_000 + j * 37);
-    for i in 0..200u64 {
-        let weight = Weight::new(i + 1, 1_000)?;
-        for v in pattern(i) {
-            wbf.insert(v, weight);
+        // Mean precision over the batch, judged against ε-ground truth.
+        let mut precision = 0.0;
+        for (query, verdict) in queries.iter().zip(&wbf.queries) {
+            let relevant = ground_truth::eps_similar_users(&dataset, query.global(), config.eps);
+            precision += evaluate(verdict.retrieved(), &relevant).precision;
         }
+        precision /= queries.len() as f64;
+
+        let candidates =
+            |batch: &BatchOutcome| -> usize { batch.queries.iter().map(|v| v.ranked.len()).sum() };
+        println!(
+            "{:>8} {:>14} {:>14} {:>12} {:>12.3}",
+            target_fpp,
+            wbf.cost.query_bytes / 1024,
+            candidates(&bf),
+            candidates(&wbf),
+            precision,
+        );
     }
 
-    let mut bloom_accepts = 0u32;
-    let mut wbf_accepts = 0u32;
-    let trials = 199u64;
-    for i in 0..trials {
-        // First half from pattern i, second half from pattern i+1: every
-        // value is genuinely present, so membership alone accepts.
-        let stitched: Vec<u64> = pattern(i).take(4).chain(pattern(i + 1).skip(4)).collect();
-        if stitched.iter().all(|&v| wbf.contains(v)) {
-            bloom_accepts += 1;
-        }
-        match wbf.query_sequence(stitched.iter().copied()) {
-            Some(set) if !set.is_empty() => wbf_accepts += 1,
-            _ => {}
-        }
-    }
-    println!("\nstitched-pattern probes ({trials} trials):");
-    println!("  membership only (what a plain BF sees): {bloom_accepts} accepted");
-    println!("  weight-consistent (WBF):                {wbf_accepts} accepted");
-
-    // --- 4. What does the weight table cost? ------------------------------
-    let plain_bytes = dipm::core::encode::encoded_bloom_len(&bloom);
-    let weighted_bytes = dipm::core::encode::encoded_wbf_len(&wbf);
-    println!(
-        "\nwire sizes: plain bloom (20k keys) {} KB, weighted bloom (1.6k keys) {} KB",
-        plain_bytes / 1024,
-        weighted_bytes / 1024
-    );
-    println!("the weight table is the storage premium WBF pays for its precision.");
+    println!("\nlooser filters shrink the broadcast but admit more candidates;");
+    println!("the weight-consistency layer then pays the cleanup — membership-only");
+    println!("BF reports every stitched sequence the filter admits, WBF rejects");
+    println!("the ones whose weights cannot sum to a whole user.");
     Ok(())
 }
 

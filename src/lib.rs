@@ -13,8 +13,9 @@
 //!   sampling, ε-similarity (Eq. 2), combination enumeration (Eq. 4).
 //! * [`mobilenet`] — the synthetic city-scale mobile network substituting
 //!   for the paper's proprietary CDR corpus.
-//! * [`distsim`] — the simulated deployment: byte-accounted messaging and
-//!   one-thread-per-station execution.
+//! * [`distsim`] — the simulated deployment: byte-accounted messaging,
+//!   one-thread-per-station, pooled and async execution (a vendored
+//!   mini-executor with a virtual-clock latency model).
 //! * [`protocol`] — the DI-matching framework (Algorithms 1–3) plus the
 //!   naive and Bloom-filter baselines and effectiveness metrics.
 //!
@@ -56,7 +57,9 @@ pub use dipm_timeseries as timeseries;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use dipm_core::{BloomFilter, FilterParams, Weight, WeightSet, WeightedBloomFilter};
-    pub use dipm_distsim::{CostReport, ExecutionMode};
+    pub use dipm_distsim::{
+        CostReport, ExecutionMode, LatencyModel, LatencyReport, StationLatency,
+    };
     pub use dipm_mobilenet::{Category, Dataset, StationId, TraceConfig, UserId, UserSpec};
     pub use dipm_protocol::{
         aggregate_and_rank, build_wbf, evaluate, run_bloom, run_naive, run_pipeline, run_wbf,
