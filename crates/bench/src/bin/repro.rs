@@ -4,7 +4,7 @@
 //! repro [EXPERIMENT…] [--quick] [--users N] [--stations N] [--patterns A,B,C] [--seed S]
 //!
 //! experiments: fig1a fig1b fig3 convergence fig4 fig4a fig4b fig4c fig4d
-//!              table2 fpp ablation batch latency all   (default: all)
+//!              table2 fpp ablation batch latency streaming all   (default: all)
 //! ```
 
 use std::process::ExitCode;
@@ -17,7 +17,7 @@ fn print(report: Report) {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [fig1a|fig1b|fig3|convergence|fig4|fig4a|fig4b|fig4c|fig4d|table2|fpp|ablation|batch|latency|all]…"
+        "usage: repro [fig1a|fig1b|fig3|convergence|fig4|fig4a|fig4b|fig4c|fig4d|table2|fpp|ablation|batch|latency|streaming|all]…"
     );
     eprintln!("       [--quick] [--users N] [--stations N] [--patterns A,B,C] [--seed S]");
     ExitCode::FAILURE
@@ -98,6 +98,7 @@ fn main() -> ExitCode {
                 print(experiments::shard_scaling(&scale));
             }
             "latency" => print(experiments::latency(&scale)),
+            "streaming" => print(experiments::streaming(&scale)),
             "all" => {
                 print(experiments::fig1a());
                 print(experiments::fig1b(&scale));
@@ -118,6 +119,7 @@ fn main() -> ExitCode {
                 print(experiments::batch_scaling(&scale));
                 print(experiments::shard_scaling(&scale));
                 print(experiments::latency(&scale));
+                print(experiments::streaming(&scale));
             }
             _ => return usage(),
         }

@@ -102,6 +102,25 @@ impl BitSet {
         newly
     }
 
+    /// Clears the bit at `index`, returning `true` if it was previously one.
+    ///
+    /// Counting-filter deltas use this to retire positions whose last
+    /// contributing pattern was removed; plain build paths never unset bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn unset(&mut self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range");
+        let (word, mask) = (index / 64, 1u64 << (index % 64));
+        let was = self.words[word] & mask != 0;
+        self.words[word] &= !mask;
+        if was {
+            self.ones -= 1;
+        }
+        was
+    }
+
     /// Reads the bit at `index`.
     ///
     /// # Panics

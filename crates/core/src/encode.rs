@@ -150,6 +150,9 @@ pub fn decode_bloom(mut data: Bytes) -> Result<BloomFilter> {
     }
     let bits = take_bits(&mut data, header.bits)?;
     FilterParams::new(header.bits, header.hashes)?;
+    if data.remaining() > 0 {
+        return Err(CoreError::decode("trailing bytes after filter payload"));
+    }
     let family = HashFamily::new(header.hashes, header.seed);
     Ok(BloomFilter::from_parts(bits, family, header.inserted))
 }
@@ -343,6 +346,9 @@ pub fn decode_wbf(mut data: Bytes) -> Result<WeightedBloomFilter> {
             .ok_or_else(|| CoreError::decode("set id outside set table"))?;
         table.insert(bit as u32, set);
     }
+    if data.remaining() > 0 {
+        return Err(CoreError::decode("trailing bytes after filter payload"));
+    }
     let family = HashFamily::new(header.hashes, header.seed);
     WeightedBloomFilter::from_parts(bits, table, family, header.inserted)
 }
@@ -406,6 +412,21 @@ mod tests {
             let slice = encoded.slice(0..cut);
             assert!(decode_wbf(slice).is_err(), "cut at {cut} decoded");
         }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        // A frame that decodes and then has bytes left over is corrupt —
+        // accepting it would let framing bugs pass silently.
+        let mut raw = encode_wbf(&sample_wbf()).unwrap().to_vec();
+        raw.push(0);
+        assert!(decode_wbf(Bytes::from(raw)).is_err());
+        let params = FilterParams::new(2048, 5).unwrap();
+        let mut bf = BloomFilter::new(params, 13);
+        bf.insert(3);
+        let mut raw = encode_bloom(&bf).to_vec();
+        raw.extend_from_slice(&[0xAA; 3]);
+        assert!(decode_bloom(Bytes::from(raw)).is_err());
     }
 
     #[test]

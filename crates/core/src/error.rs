@@ -39,6 +39,11 @@ pub enum CoreError {
     /// Two filters with incompatible geometry (length, hash count or seed)
     /// were combined.
     IncompatibleFilters,
+    /// A counting-filter removal named a `(key, weight)` pair that was never
+    /// inserted (or was already removed). The filter is left untouched:
+    /// honoring such a removal would corrupt counters and break the
+    /// rebuild-equivalence guarantee streaming updates rely on.
+    AbsentRemoval,
 }
 
 impl CoreError {
@@ -66,6 +71,9 @@ impl fmt::Display for CoreError {
             CoreError::Decode { reason } => write!(f, "malformed filter encoding: {reason}"),
             CoreError::IncompatibleFilters => {
                 write!(f, "filters have incompatible geometry")
+            }
+            CoreError::AbsentRemoval => {
+                write!(f, "removal of a key/weight pair that was never inserted")
             }
         }
     }

@@ -10,6 +10,10 @@
 //!   global-pattern matches (weight 1) from local-pattern matches
 //!   (weight < 1) and rejects classic Bloom false positives stitched
 //!   together from different patterns.
+//! * [`CountingWbf`] — a counting variant of the weighted filter whose
+//!   positions hold per-weight reference counts, supporting pattern
+//!   insertion *and removal* without rebuilds — the primitive behind the
+//!   streaming delta broadcasts in `dipm-protocol`.
 //! * [`BloomFilter`] — the classic unweighted filter used as the paper's
 //!   `BF` comparison method.
 //! * [`Weight`] / [`WeightSet`] — exact rational weights with the paper's
@@ -49,6 +53,7 @@
 
 mod bitset;
 mod bloom;
+mod counting;
 pub mod encode;
 mod error;
 mod filter;
@@ -60,6 +65,7 @@ mod weight_set;
 
 pub use bitset::{BitSet, Ones};
 pub use bloom::BloomFilter;
+pub use counting::{CountingWbf, WeightDiff};
 pub use error::{CoreError, Result};
 pub use filter::FilterCore;
 pub use hash::{mix64, tagged_key, HashFamily, Probes};

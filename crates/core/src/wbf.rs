@@ -14,6 +14,7 @@
 use std::collections::BTreeMap;
 
 use crate::bitset::BitSet;
+use crate::counting::WeightDiff;
 use crate::error::{CoreError, Result};
 use crate::hash::HashFamily;
 use crate::params::FilterParams;
@@ -248,6 +249,57 @@ impl WeightedBloomFilter {
         Ok(())
     }
 
+    /// Applies one filter-delta entry: the [`WeightDiff`] of a single
+    /// position relative to this filter's current state, as broadcast by a
+    /// streaming data center maintaining a
+    /// [`CountingWbf`](crate::CountingWbf).
+    ///
+    /// Every removed weight must currently be attached and every added
+    /// weight absent — a mismatch means the station's state diverged from
+    /// the baseline the center diffed against (a missed or replayed epoch)
+    /// and is rejected before anything is mutated. A position whose set
+    /// empties is cleared; a previously clear position gains its first
+    /// weights and its bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Decode`] if `bit` is outside the filter, the
+    /// diff is empty, or the diff does not match the current state.
+    pub fn apply_diff(&mut self, bit: u32, diff: &WeightDiff) -> Result<()> {
+        let idx = bit as usize;
+        if idx >= self.bits.len() {
+            return Err(CoreError::decode("delta entry beyond filter length"));
+        }
+        if diff.is_empty() {
+            return Err(CoreError::decode("empty delta entry"));
+        }
+        let current = self.weights.get(&(bit)).cloned().unwrap_or_default();
+        for w in &diff.removed {
+            if !current.contains(w) {
+                return Err(CoreError::decode(
+                    "delta removes a weight the position does not carry",
+                ));
+            }
+        }
+        for w in &diff.added {
+            if current.contains(w) {
+                return Err(CoreError::decode(
+                    "delta adds a weight the position already carries",
+                ));
+            }
+        }
+        let mut next = current.difference(&diff.removed);
+        next.union_with(&diff.added);
+        if next.is_empty() {
+            self.bits.unset(idx);
+            self.weights.remove(&bit);
+        } else {
+            self.bits.set(idx);
+            self.weights.insert(bit, next);
+        }
+        Ok(())
+    }
+
     /// Borrows the underlying bit set.
     pub fn bits(&self) -> &BitSet {
         &self.bits
@@ -389,6 +441,50 @@ mod tests {
         wbf.insert(10, Weight::ONE);
         assert!(wbf.contains(10));
         assert!(!wbf.contains(11) || wbf.query(11).is_some());
+    }
+
+    #[test]
+    fn apply_diff_mirrors_counting_updates() {
+        let mut wbf = WeightedBloomFilter::new(params(), 1);
+        wbf.insert(5, w(1, 2));
+        let mut counting = crate::counting::CountingWbf::new(params(), 1);
+        counting.insert(5, w(1, 2)).unwrap();
+        counting.drain_dirty();
+        // Churn the counting side, replay its diffs onto the plain filter.
+        counting.insert(9, w(1, 3)).unwrap();
+        counting.remove(5, w(1, 2)).unwrap();
+        for (bit, diff) in counting.drain_dirty() {
+            wbf.apply_diff(bit, &diff).unwrap();
+        }
+        assert_eq!(wbf, counting.snapshot());
+    }
+
+    #[test]
+    fn apply_diff_rejects_divergent_state() {
+        let mut wbf = WeightedBloomFilter::new(params(), 1);
+        wbf.insert(5, w(1, 2));
+        let bit = {
+            let m = wbf.bit_len();
+            wbf.family.probes(5, m).next().unwrap() as u32
+        };
+        let before = wbf.clone();
+        // Removing a weight the position never carried…
+        let diff = WeightDiff {
+            removed: WeightSet::singleton(w(1, 7)),
+            added: WeightSet::new(),
+        };
+        assert!(wbf.apply_diff(bit, &diff).is_err());
+        // …adding one it already carries…
+        let diff = WeightDiff {
+            removed: WeightSet::new(),
+            added: WeightSet::singleton(w(1, 2)),
+        };
+        assert!(wbf.apply_diff(bit, &diff).is_err());
+        // …an empty diff, and an out-of-range position: all rejected
+        // without mutating anything.
+        assert!(wbf.apply_diff(bit, &WeightDiff::default()).is_err());
+        assert!(wbf.apply_diff(u32::MAX, &WeightDiff::default()).is_err());
+        assert_eq!(wbf, before);
     }
 
     #[test]

@@ -116,6 +116,19 @@ impl WeightSet {
         *self = self.intersection(other);
     }
 
+    /// The weights in `self` but not in `other`, as a new set — the
+    /// building block of streaming weight diffs.
+    pub fn difference(&self, other: &WeightSet) -> WeightSet {
+        WeightSet {
+            sorted: self
+                .sorted
+                .iter()
+                .copied()
+                .filter(|&w| !other.contains(w))
+                .collect(),
+        }
+    }
+
     /// Adds every weight of `other` into `self`.
     pub fn union_with(&mut self, other: &WeightSet) {
         for &w in &other.sorted {
@@ -227,6 +240,15 @@ mod tests {
         let b = WeightSet::singleton(w(1, 2));
         a.intersect_with(&b);
         assert_eq!(a.as_slice(), &[w(1, 2)]);
+    }
+
+    #[test]
+    fn difference_removes_shared_weights() {
+        let a: WeightSet = [w(1, 4), w(1, 2), Weight::ONE].into_iter().collect();
+        let b: WeightSet = [w(1, 2)].into_iter().collect();
+        assert_eq!(a.difference(&b).as_slice(), &[w(1, 4), Weight::ONE]);
+        assert_eq!(b.difference(&a).len(), 0);
+        assert_eq!(a.difference(&WeightSet::new()), a);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Protocol configuration.
 
-use dipm_core::tagged_key;
+use dipm_core::{tagged_key, FilterParams};
 use dipm_timeseries::ToleranceMode;
 
 use crate::error::{ProtocolError, Result};
@@ -58,6 +58,13 @@ pub struct DiMatchingConfig {
     pub target_fpp: f64,
     /// Lower bound on the filter size in bits (keeps tiny queries sane).
     pub min_bits: usize,
+    /// Pins the filter geometry instead of sizing it from the query set.
+    /// `None` (the default) derives the geometry from the distinct key
+    /// count, `target_fpp` and `min_bits`. Streaming sessions pin the
+    /// geometry they started with — incremental updates cannot resize a
+    /// filter — and equivalence tests pin it to compare an incrementally
+    /// maintained filter against a from-scratch build.
+    pub fixed_geometry: Option<FilterParams>,
     /// What the hash functions see per sampled point.
     pub hash_scheme: HashScheme,
     /// How ε expands into bands over accumulated samples.
@@ -73,6 +80,7 @@ impl Default for DiMatchingConfig {
             eps: 2,
             target_fpp: 0.01,
             min_bits: 1 << 10,
+            fixed_geometry: None,
             hash_scheme: HashScheme::ValueOnly,
             tolerance: ToleranceMode::Accumulated,
             seed: 0xD1_4A7C,

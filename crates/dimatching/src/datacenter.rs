@@ -70,17 +70,19 @@ struct PreparedPattern {
 
 /// Everything both builders need: the distinct `(key, weight)` pairs of the
 /// query set (tolerance bands expanded, duplicates collapsed), the per-query
-/// global volumes, and the combination count.
-struct PreparedBuild {
-    pairs: BTreeSet<(u64, Weight)>,
-    query_totals: Vec<u64>,
-    combinations: usize,
+/// global volumes, and the combination count. The streaming session reuses
+/// this per query: a standing query's pair set is exactly what gets
+/// inserted into (and later removed from) the counting filter.
+pub(crate) struct PreparedBuild {
+    pub(crate) pairs: BTreeSet<(u64, Weight)>,
+    pub(crate) query_totals: Vec<u64>,
+    pub(crate) combinations: usize,
 }
 
 impl PreparedBuild {
     /// The number of distinct probe keys (the quantity filters are sized
     /// by: identical `(key, weight)` pairs set identical bits).
-    fn distinct_keys(&self) -> usize {
+    pub(crate) fn distinct_keys(&self) -> usize {
         let mut count = 0usize;
         let mut prev = None;
         for &(key, _) in &self.pairs {
@@ -97,7 +99,10 @@ impl PreparedBuild {
 /// produce heavily overlapping tolerance bands, so the *distinct* pairs are
 /// collected first and the filter sized by distinct keys, not raw
 /// insertions.
-fn prepare_build(queries: &[PatternQuery], config: &DiMatchingConfig) -> Result<PreparedBuild> {
+pub(crate) fn prepare_build(
+    queries: &[PatternQuery],
+    config: &DiMatchingConfig,
+) -> Result<PreparedBuild> {
     let (prepared, query_totals) = prepare_queries(queries, config)?;
     let mut pairs: BTreeSet<(u64, Weight)> = BTreeSet::new();
     for p in &prepared {
@@ -115,8 +120,16 @@ fn prepare_build(queries: &[PatternQuery], config: &DiMatchingConfig) -> Result<
 }
 
 /// Sizes a filter for `distinct_keys` insertions at the configured target
-/// false-positive rate, with the configured floor applied.
-fn sized_params(distinct_keys: usize, config: &DiMatchingConfig) -> Result<FilterParams> {
+/// false-positive rate, with the configured floor applied — unless the
+/// configuration pins an explicit geometry (streaming sessions and
+/// rebuild-equivalence comparisons do).
+pub(crate) fn sized_params(
+    distinct_keys: usize,
+    config: &DiMatchingConfig,
+) -> Result<FilterParams> {
+    if let Some(params) = config.fixed_geometry {
+        return Ok(params);
+    }
     let params = FilterParams::optimal(distinct_keys.max(1), config.target_fpp)?;
     if params.bits() < config.min_bits {
         Ok(FilterParams::new(config.min_bits, params.hashes())?)

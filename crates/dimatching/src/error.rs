@@ -35,6 +35,19 @@ pub enum ProtocolError {
         /// Human-readable reason the payload was rejected.
         reason: String,
     },
+    /// A frame's element count exceeds the wire format's `u32` length
+    /// prefix. Encoding would have to truncate the count — a frame whose
+    /// prefix lies about its body — so the encoder refuses instead.
+    FrameTooLarge {
+        /// What overflowed, and by how much.
+        reason: String,
+    },
+    /// A streaming-session operation referenced a query id that is not
+    /// live (never inserted, or already removed).
+    UnknownStreamQuery {
+        /// The referenced query id.
+        id: u64,
+    },
 }
 
 impl ProtocolError {
@@ -46,6 +59,12 @@ impl ProtocolError {
 
     pub(crate) fn malformed_report(reason: impl Into<String>) -> Self {
         ProtocolError::MalformedReport {
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn frame_too_large(reason: impl Into<String>) -> Self {
+        ProtocolError::FrameTooLarge {
             reason: reason.into(),
         }
     }
@@ -66,6 +85,12 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::MalformedReport { reason } => {
                 write!(f, "malformed station report: {reason}")
+            }
+            ProtocolError::FrameTooLarge { reason } => {
+                write!(f, "frame exceeds wire-format limits: {reason}")
+            }
+            ProtocolError::UnknownStreamQuery { id } => {
+                write!(f, "streaming query {id} is not live")
             }
         }
     }

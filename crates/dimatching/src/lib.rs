@@ -62,6 +62,7 @@ mod pipeline;
 mod query;
 mod result;
 mod strategy;
+mod streaming;
 pub mod wire;
 
 pub use basestation::{
@@ -79,3 +80,6 @@ pub use pipeline::{run_bloom, run_pipeline, run_wbf, PipelineOptions, SectionGro
 pub use query::PatternQuery;
 pub use result::{BatchOutcome, Method, MethodDetails, QueryOutcome, QueryVerdict};
 pub use strategy::{Bloom, FilterStrategy, Wbf, WbfStationView};
+pub use streaming::{
+    run_streaming, EpochBroadcast, EpochOutcome, StreamQueryId, StreamingSession, StreamingUpdate,
+};

@@ -67,7 +67,7 @@ impl FilterStrategy for Naive {
         (0, report.0)
     }
 
-    fn encode_reports(reports: &[Self::StationReport]) -> Bytes {
+    fn encode_reports(reports: &[Self::StationReport]) -> Result<Bytes> {
         wire::encode_station_data(reports.iter().map(|(u, p)| (*u, p)))
     }
 

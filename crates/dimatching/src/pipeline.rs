@@ -93,6 +93,81 @@ fn station_nodes(dataset: &Dataset) -> Vec<(usize, StationId, NodeId)> {
         .collect()
 }
 
+/// The center's admitted station report frames for one batch or epoch, in
+/// canonical station order, plus the run's delivery metrics.
+pub(crate) struct CollectedReports {
+    /// `(frame, delivered_tick)` sorted by station id.
+    pub(crate) frames: Vec<(wire::ReportFrame, u64)>,
+    /// Total report payload bytes received.
+    pub(crate) received_bytes: u64,
+    /// The latest modeled delivery tick (zero in unmodeled runs).
+    pub(crate) makespan: u64,
+}
+
+impl CollectedReports {
+    /// The latency dimension of the collected frames, in modeled delivery
+    /// order.
+    pub(crate) fn latency_report(&self) -> LatencyReport {
+        let mut stations: Vec<StationLatency> = self
+            .frames
+            .iter()
+            .map(|(frame, deliver)| StationLatency {
+                station: frame.station,
+                report_sent: frame.sent_tick,
+                report_delivered: *deliver,
+            })
+            .collect();
+        stations.sort_by_key(|s| (s.report_delivered, s.station));
+        LatencyReport {
+            makespan_ticks: self.makespan,
+            stations,
+        }
+    }
+}
+
+/// The shared Algorithm 3 intake: drains the center's mailbox, works
+/// through the frames in modeled delivery order (the executor's *physical*
+/// completion order may differ run to run under work stealing; virtual
+/// delivery times never do) and admits them one by one — duplicate
+/// stations, unknown ids, time-traveling stamps and delivery regressions
+/// all error, never double-count. The returned frames are in canonical
+/// station order so downstream aggregation input is identical whatever
+/// order stations finished in. Records the makespan on the network's meter.
+pub(crate) fn collect_station_reports(
+    center: &dipm_distsim::Mailbox,
+    network: &Network,
+    shard_count: u32,
+    station_count: u32,
+) -> Result<CollectedReports> {
+    let mut received_bytes = 0u64;
+    let mut arrivals: Vec<(wire::ReportFrame, u64)> = Vec::new();
+    for envelope in center.drain() {
+        received_bytes += envelope.payload.len() as u64;
+        let deliver_at = envelope.deliver_at;
+        arrivals.push((
+            wire::decode_batch_reports(envelope.payload, shard_count)?,
+            deliver_at,
+        ));
+    }
+    arrivals.sort_by_key(|(frame, deliver)| (*deliver, frame.station));
+    let mut collector = wire::ReportCollector::new(shard_count, station_count);
+    for (frame, deliver) in &arrivals {
+        collector.admit(frame, *deliver)?;
+    }
+    let makespan = arrivals
+        .iter()
+        .map(|&(_, deliver)| deliver)
+        .max()
+        .unwrap_or(0);
+    network.meter().record_makespan(makespan);
+    arrivals.sort_by_key(|(frame, _)| frame.station);
+    Ok(CollectedReports {
+        frames: arrivals,
+        received_bytes,
+        makespan,
+    })
+}
+
 /// Runs the full DI-matching protocol for a batch of queries under filter
 /// strategy `S`.
 ///
@@ -179,7 +254,7 @@ pub fn run_pipeline<S: FilterStrategy>(
             .enumerate()
             .map(|(i, s)| Ok((i as u32, S::encode_filter(s)?)))
             .collect::<Result<_>>()?;
-        let frame = wire::encode_batch_broadcast(&payloads);
+        let frame = wire::encode_batch_broadcast(&payloads)?;
         network.broadcast(
             DATA_CENTER,
             stations.iter().map(|&(_, _, node)| node),
@@ -265,7 +340,7 @@ pub fn run_pipeline<S: FilterStrategy>(
                             shard_count,
                             i as u32,
                             station_now,
-                            S::encode_reports(&merged),
+                            S::encode_reports(&merged)?,
                         );
                         network.send_at(
                             NodeId::base_station(i as u32),
@@ -332,7 +407,7 @@ pub fn run_pipeline<S: FilterStrategy>(
                     shard_count,
                     i as u32,
                     0,
-                    S::encode_reports(&merged),
+                    S::encode_reports(&merged)?,
                 );
                 network.send(
                     NodeId::base_station(i as u32),
@@ -344,48 +419,13 @@ pub fn run_pipeline<S: FilterStrategy>(
         }
     }
 
-    // Algorithm 3 at the data center. Frames are worked through in modeled
-    // delivery order (the executor's *physical* completion order may differ
-    // run to run under work stealing; virtual delivery times never do) and
-    // admitted one by one — duplicate stations, unknown ids, time-traveling
-    // stamps and delivery regressions all error, never double-count. Then
-    // they are decoded in canonical station order so the aggregation input
-    // is identical whatever order stations finished in.
-    let mut received_bytes = 0u64;
-    let mut arrivals: Vec<(wire::ReportFrame, u64)> = Vec::new();
-    for envelope in center.drain() {
-        received_bytes += envelope.payload.len() as u64;
-        let deliver_at = envelope.deliver_at;
-        arrivals.push((
-            wire::decode_batch_reports(envelope.payload, shard_count)?,
-            deliver_at,
-        ));
-    }
-    arrivals.sort_by_key(|(frame, deliver)| (*deliver, frame.station));
-    let mut collector = wire::ReportCollector::new(shard_count, stations.len() as u32);
-    for (frame, deliver) in &arrivals {
-        collector.admit(frame, *deliver)?;
-    }
-    let makespan = arrivals
-        .iter()
-        .map(|&(_, deliver)| deliver)
-        .max()
-        .unwrap_or(0);
-    network.meter().record_makespan(makespan);
-    let latency = clock.map(|_| LatencyReport {
-        makespan_ticks: makespan,
-        stations: arrivals
-            .iter()
-            .map(|(frame, deliver)| StationLatency {
-                station: frame.station,
-                report_sent: frame.sent_tick,
-                report_delivered: *deliver,
-            })
-            .collect(),
-    });
-    arrivals.sort_by_key(|(frame, _)| frame.station);
+    // Algorithm 3 at the data center: admit, order and decode the report
+    // frames (shared with the streaming epoch runner), then aggregate.
+    let collected = collect_station_reports(&center, &network, shard_count, stations.len() as u32)?;
+    let latency = clock.map(|_| collected.latency_report());
+    let received_bytes = collected.received_bytes;
     let mut all_reports: Vec<S::StationReport> = Vec::new();
-    for (frame, _) in &arrivals {
+    for (frame, _) in &collected.frames {
         all_reports.extend(S::decode_reports(frame.payload.clone())?);
     }
     S::record_center_storage(network.meter(), received_bytes, &all_reports);

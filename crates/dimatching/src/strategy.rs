@@ -115,7 +115,12 @@ pub trait FilterStrategy {
     fn report_key(report: &Self::StationReport) -> (u32, UserId);
 
     /// Serializes one station's merged report rows.
-    fn encode_reports(reports: &[Self::StationReport]) -> Bytes;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::FrameTooLarge`] if the rows exceed the wire
+    /// format's length prefixes.
+    fn encode_reports(reports: &[Self::StationReport]) -> Result<Bytes>;
 
     /// Deserializes one station's report payload at the center.
     ///
@@ -200,10 +205,7 @@ impl FilterStrategy for Wbf {
 
     fn encode_filter(built: &Self::BuiltFilter) -> Result<Bytes> {
         let filter_bytes = encode::encode_wbf(&built.filter).map_err(ProtocolError::Core)?;
-        Ok(wire::encode_filter_broadcast(
-            &built.query_totals,
-            filter_bytes,
-        ))
+        wire::encode_filter_broadcast(&built.query_totals, filter_bytes)
     }
 
     fn decode_filter(bytes: Bytes) -> Result<Self::Decoded> {
@@ -232,7 +234,7 @@ impl FilterStrategy for Wbf {
         (report.0, report.1)
     }
 
-    fn encode_reports(reports: &[Self::StationReport]) -> Bytes {
+    fn encode_reports(reports: &[Self::StationReport]) -> Result<Bytes> {
         wire::encode_tagged_weight_reports(reports)
     }
 
@@ -318,7 +320,7 @@ impl FilterStrategy for Bloom {
         *report
     }
 
-    fn encode_reports(reports: &[Self::StationReport]) -> Bytes {
+    fn encode_reports(reports: &[Self::StationReport]) -> Result<Bytes> {
         wire::encode_tagged_id_reports(reports)
     }
 

@@ -1,0 +1,953 @@
+//! Standing queries over live traffic: the streaming DI-matching session.
+//!
+//! The batch pipeline rebuilds and re-broadcasts the whole filter for every
+//! run — the right shape for one-shot queries, and exactly the wrong one
+//! for the paper's own motivating workload (Section III-A's continuous
+//! monitoring), where the query set is long-lived and only *changes* a
+//! little between epochs. A [`StreamingSession`] keeps the query set
+//! standing:
+//!
+//! * the **data center** maintains one [`CountingWbf`] over every live
+//!   query's `(key, weight)` pairs — [`StreamingSession::insert_query`] and
+//!   [`StreamingSession::remove_query`] mutate it in place, no rebuilds;
+//! * each **epoch** ([`StreamingSession::run_epoch`]) broadcasts a
+//!   [`StationUpdate`](crate::wire::StationUpdate): the full filter once at
+//!   session start, then only the positions whose visible state changed —
+//!   the [`FilterDelta`](crate::wire::FilterDelta) the counting filter
+//!   tracked while queries churned;
+//! * **base stations** hold their decoded filter across epochs and apply
+//!   deltas shard-locally under any [`ExecutionMode`] — a pure CDR-churn
+//!   epoch (new traffic, same queries) costs a near-empty delta frame plus
+//!   the scans, never a re-broadcast.
+//!
+//! The session pins its filter geometry at creation (incremental updates
+//! cannot resize a hash table without rehashing everything, i.e. a
+//! rebuild), and the counting filter's rebuild-equivalence guarantee makes
+//! the whole path checkable: after any update sequence the station-side
+//! state byte-matches a from-scratch [`run_pipeline`](crate::run_pipeline)
+//! over the surviving query set at the same geometry — asserted across all
+//! four execution modes by the streaming conformance suite.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dipm_core::{encode, CountingWbf, FilterParams, Weight, WeightedBloomFilter};
+use dipm_distsim::{
+    block_on_all, run_station_shards, run_stations, ExecutionMode, Network, NodeId, TrafficClass,
+    VirtualClock, DATA_CENTER,
+};
+use dipm_mobilenet::Dataset;
+
+use crate::basestation::{scan_shard_wbf, BaseStation};
+use crate::config::DiMatchingConfig;
+use crate::datacenter::{aggregate_and_rank, prepare_build, sized_params, BuildStats};
+use crate::error::{ProtocolError, Result};
+use crate::pipeline::{collect_station_reports, PipelineOptions};
+use crate::query::PatternQuery;
+use crate::result::{Method, MethodDetails, QueryOutcome};
+use crate::strategy::CENTER_ENTRY_BYTES;
+use crate::wire::{self, FilterDelta, StationUpdate};
+
+/// Handle to one live query of a [`StreamingSession`]; returned by
+/// [`StreamingSession::insert_query`] and consumed by
+/// [`StreamingSession::remove_query`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamQueryId(pub u64);
+
+/// One live query as the center tracks it: exactly the pairs it inserted,
+/// so removal can undo them pair for pair.
+#[derive(Debug)]
+struct LiveQuery {
+    pairs: Vec<(u64, Weight)>,
+    total: u64,
+    combinations: usize,
+}
+
+/// One base station's cross-epoch state: its decoded filter, the live
+/// query volumes, and the last epoch it applied.
+#[derive(Debug, Default)]
+struct StationState {
+    filter: Option<WeightedBloomFilter>,
+    totals: Vec<u64>,
+    applied_epoch: u64,
+}
+
+impl StationState {
+    /// Applies one epoch's update frame, enforcing the epoch protocol: a
+    /// delta may only extend the state the previous epoch left behind.
+    fn apply(&mut self, update: StationUpdate, expected_epoch: u64) -> Result<()> {
+        if update.epoch() != expected_epoch {
+            return Err(ProtocolError::malformed_report(format!(
+                "station update for epoch {} while expecting {expected_epoch}",
+                update.epoch()
+            )));
+        }
+        match update {
+            StationUpdate::Full {
+                query_totals,
+                filter,
+                ..
+            } => {
+                self.filter = Some(encode::decode_wbf(filter)?);
+                self.totals = query_totals;
+            }
+            StationUpdate::Delta {
+                query_totals,
+                delta,
+                ..
+            } => {
+                let filter = self.filter.as_mut().ok_or_else(|| {
+                    ProtocolError::malformed_report("delta update before any full broadcast")
+                })?;
+                if expected_epoch != self.applied_epoch + 1 {
+                    return Err(ProtocolError::malformed_report(format!(
+                        "delta for epoch {expected_epoch} on top of epoch {}",
+                        self.applied_epoch
+                    )));
+                }
+                for (pos, diff) in &delta.entries {
+                    filter.apply_diff(*pos, diff)?;
+                }
+                self.totals = query_totals;
+            }
+        }
+        self.applied_epoch = expected_epoch;
+        Ok(())
+    }
+
+    fn view(&self) -> Result<(&WeightedBloomFilter, &[u64])> {
+        let filter = self
+            .filter
+            .as_ref()
+            .ok_or_else(|| ProtocolError::malformed_report("station scanned before any update"))?;
+        Ok((filter, &self.totals))
+    }
+}
+
+/// How one epoch's filter state reached the stations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochBroadcast {
+    /// The full filter (session start).
+    Full,
+    /// Only the changed positions.
+    Delta {
+        /// Number of changed positions in the frame (zero for a pure
+        /// CDR-churn epoch).
+        entries: usize,
+    },
+}
+
+/// The result of one streaming epoch: the merged ranking over the live
+/// query set plus the epoch's broadcast economics.
+#[derive(Debug, Clone)]
+pub struct EpochOutcome {
+    /// The epoch number (0 is the session's first).
+    pub epoch: u64,
+    /// The merged WBF verdict over this epoch's dataset.
+    pub outcome: QueryOutcome,
+    /// How the filter state was disseminated.
+    pub broadcast: EpochBroadcast,
+    /// Bytes this epoch's dissemination actually moved (frame × stations —
+    /// equals the outcome's `query_bytes` meter).
+    pub broadcast_bytes: u64,
+    /// Bytes a full rebuild broadcast would have moved this epoch — the
+    /// rebuild-vs-delta economics `repro streaming` reports.
+    pub rebuild_bytes: u64,
+    /// The epoch's modeled per-station critical paths. `Some` only under
+    /// [`ExecutionMode::Async`]; ticks continue across epochs (epoch `n+1`
+    /// is stamped from epoch `n`'s makespan).
+    pub latency: Option<dipm_distsim::LatencyReport>,
+}
+
+/// A standing-query DI-matching session over evolving data.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_distsim::ExecutionMode;
+/// use dipm_mobilenet::Dataset;
+/// use dipm_protocol::{DiMatchingConfig, PatternQuery, PipelineOptions, StreamingSession};
+///
+/// # fn main() -> Result<(), dipm_protocol::ProtocolError> {
+/// let day0 = Dataset::small(7);
+/// let probe = day0.users()[0];
+/// let query = PatternQuery::from_fragments(day0.fragments(probe.id).unwrap())?;
+///
+/// let mut session = StreamingSession::new(
+///     &[query],
+///     DiMatchingConfig::default(),
+///     PipelineOptions::default(),
+/// )?;
+/// // Epoch 0 broadcasts the full filter once…
+/// let first = session.run_epoch(&day0)?;
+/// assert!(first.outcome.ranked.contains(&probe.id));
+/// // …and a pure CDR-churn epoch re-broadcasts nothing but a tiny delta.
+/// let day1 = Dataset::small(8);
+/// let next = session.run_epoch(&day1)?;
+/// assert!(next.broadcast_bytes < first.broadcast_bytes / 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StreamingSession {
+    config: DiMatchingConfig,
+    options: PipelineOptions,
+    params: FilterParams,
+    center: CountingWbf,
+    live: BTreeMap<StreamQueryId, LiveQuery>,
+    next_id: u64,
+    /// The next epoch to run; station states trail it by one once running.
+    epoch: u64,
+    stations: Vec<StationState>,
+    /// Whether the next epoch must broadcast the full filter: true at
+    /// session start, and re-armed by any failed epoch — a failure can
+    /// leave stations mid-protocol (some updated, some not, pending diffs
+    /// drained), and a full broadcast is the resync that makes the next
+    /// epoch correct regardless of where the failure struck.
+    needs_full: bool,
+    /// Cached full-broadcast frame length (the rebuild-economics
+    /// yardstick). Invalidated on query churn, so idle CDR-churn epochs
+    /// skip the snapshot-and-intern pass entirely.
+    cached_full_len: Option<usize>,
+    /// The virtual tick the session has reached (async mode): each epoch's
+    /// broadcast is stamped from the previous epoch's makespan, so modeled
+    /// time flows monotonically across the session.
+    clock_base: u64,
+}
+
+impl StreamingSession {
+    /// Opens a session over an initial standing-query set.
+    ///
+    /// The filter geometry is fixed here — sized for the initial set's
+    /// distinct keys (or pinned by
+    /// [`DiMatchingConfig::fixed_geometry`]) — and never changes: pin an
+    /// explicit geometry with headroom if the query set is expected to
+    /// grow far beyond its initial size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, pattern and filter errors.
+    pub fn new(
+        initial: &[PatternQuery],
+        config: DiMatchingConfig,
+        options: PipelineOptions,
+    ) -> Result<StreamingSession> {
+        config.validate()?;
+        // One preparation pass per query, reused for both the joint sizing
+        // (distinct keys across the whole set) and the registrations.
+        let prepared: Vec<crate::datacenter::PreparedBuild> = initial
+            .iter()
+            .map(|query| prepare_build(std::slice::from_ref(query), &config))
+            .collect::<Result<_>>()?;
+        let distinct_keys: std::collections::BTreeSet<u64> = prepared
+            .iter()
+            .flat_map(|build| build.pairs.iter().map(|&(key, _)| key))
+            .collect();
+        let params = sized_params(distinct_keys.len().max(1), &config)?;
+        let mut session = StreamingSession {
+            center: CountingWbf::new(params, config.seed),
+            config,
+            options,
+            params,
+            live: BTreeMap::new(),
+            next_id: 0,
+            epoch: 0,
+            stations: Vec::new(),
+            needs_full: true,
+            cached_full_len: None,
+            clock_base: 0,
+        };
+        for build in prepared {
+            session.register_prepared(build)?;
+        }
+        Ok(session)
+    }
+
+    /// Registers a new standing query: its combination pairs are inserted
+    /// into the counting filter and broadcast as a delta at the next epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pattern and filter errors (including counter overflow).
+    pub fn insert_query(&mut self, query: &PatternQuery) -> Result<StreamQueryId> {
+        let build = prepare_build(std::slice::from_ref(query), &self.config)?;
+        self.register_prepared(build)
+    }
+
+    fn register_prepared(
+        &mut self,
+        build: crate::datacenter::PreparedBuild,
+    ) -> Result<StreamQueryId> {
+        self.cached_full_len = None;
+        let pairs: Vec<(u64, Weight)> = build.pairs.into_iter().collect();
+        for &(key, weight) in &pairs {
+            self.center.insert(key, weight)?;
+        }
+        let id = StreamQueryId(self.next_id);
+        self.next_id += 1;
+        self.live.insert(
+            id,
+            LiveQuery {
+                pairs,
+                total: build.query_totals[0],
+                combinations: build.combinations,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Retires a standing query: its pairs are removed from the counting
+    /// filter (reference-counted, so pairs shared with other live queries
+    /// survive) and the retired positions go out as the next delta.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::UnknownStreamQuery`] if `id` is not live.
+    pub fn remove_query(&mut self, id: StreamQueryId) -> Result<()> {
+        self.cached_full_len = None;
+        let query = self
+            .live
+            .remove(&id)
+            .ok_or(ProtocolError::UnknownStreamQuery { id: id.0 })?;
+        for &(key, weight) in &query.pairs {
+            self.center
+                .remove(key, weight)
+                .map_err(ProtocolError::Core)?;
+        }
+        Ok(())
+    }
+
+    /// The ids of the currently live queries, in insertion order.
+    pub fn live_queries(&self) -> Vec<StreamQueryId> {
+        self.live.keys().copied().collect()
+    }
+
+    /// The session's pinned filter geometry.
+    pub fn params(&self) -> FilterParams {
+        self.params
+    }
+
+    /// The next epoch [`StreamingSession::run_epoch`] will run.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The center filter's occupancy — the signal for scheduling a
+    /// deliberate rebuild at a larger geometry once churn degrades it.
+    pub fn fill_ratio(&self) -> f64 {
+        self.center.fill_ratio()
+    }
+
+    /// The live queries' global volumes, in id order.
+    fn totals(&self) -> Vec<u64> {
+        self.live.values().map(|q| q.total).collect()
+    }
+
+    fn build_stats(&self) -> BuildStats {
+        BuildStats {
+            combinations: self.live.values().map(|q| q.combinations).sum(),
+            inserted_values: self.center.live(),
+            bits: self.params.bits(),
+            hashes: self.params.hashes(),
+        }
+    }
+
+    /// Runs one epoch over `dataset`: broadcasts the pending filter state
+    /// (full on the first epoch, delta after), scans every station's
+    /// current local store under the session's [`ExecutionMode`], and
+    /// aggregates one merged ranking over the live query set.
+    ///
+    /// The dataset may change freely between epochs (CDR churn) as long as
+    /// its station count stays the same — station identity is positional.
+    ///
+    /// A failed epoch does not wedge the session: the failure may have
+    /// left stations mid-protocol, so the next `run_epoch` resyncs them
+    /// with a full broadcast and continues from there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, pattern, filter, wire and network errors,
+    /// and rejects a dataset whose station count differs from the epoch
+    /// that initialized the session.
+    pub fn run_epoch(&mut self, dataset: &Dataset) -> Result<EpochOutcome> {
+        let result = self.run_epoch_inner(dataset);
+        if result.is_err() {
+            self.needs_full = true;
+        }
+        result
+    }
+
+    fn run_epoch_inner(&mut self, dataset: &Dataset) -> Result<EpochOutcome> {
+        let start = Instant::now();
+        let station_count = dataset.stations().len();
+        if !self.stations.is_empty() && self.stations.len() != station_count {
+            return Err(ProtocolError::invalid_config(format!(
+                "dataset has {station_count} stations, session was opened with {}",
+                self.stations.len()
+            )));
+        }
+        let epoch = self.epoch;
+        let totals = self.totals();
+
+        // The rebuild-economics yardstick: what a full broadcast would
+        // weigh this epoch. Computed without serializing the frame, and
+        // cached until query churn invalidates it — a pure CDR-churn epoch
+        // pays neither the snapshot nor the interning pass.
+        let full_frame_len = match self.cached_full_len {
+            Some(len) => len,
+            None => {
+                let len =
+                    1 + 8 + 4 + totals.len() * 8 + encode::encoded_wbf_len(&self.center.snapshot());
+                self.cached_full_len = Some(len);
+                len
+            }
+        };
+        let (frame, broadcast) = if self.needs_full {
+            self.center.drain_dirty(); // the full frame carries everything
+            let frame = wire::encode_station_update(&StationUpdate::Full {
+                epoch,
+                query_totals: totals,
+                filter: encode::encode_wbf(&self.center.snapshot())?,
+            })?;
+            debug_assert_eq!(frame.len(), full_frame_len);
+            (frame, EpochBroadcast::Full)
+        } else {
+            let delta = FilterDelta {
+                entries: self.center.drain_dirty(),
+            };
+            let entries = delta.entries.len();
+            let frame = wire::encode_station_update(&StationUpdate::Delta {
+                epoch,
+                query_totals: totals,
+                delta,
+            })?;
+            (frame, EpochBroadcast::Delta { entries })
+        };
+
+        if self.stations.is_empty() {
+            self.stations = (0..station_count)
+                .map(|_| StationState::default())
+                .collect();
+        }
+
+        // One fresh network per epoch (nodes re-register), one shared clock
+        // timeline across epochs via `clock_base`.
+        let (clock, network) = match self.options.mode {
+            ExecutionMode::Async { .. } => {
+                let clock = Arc::new(VirtualClock::new());
+                let network = Network::with_latency(self.options.latency, Arc::clone(&clock));
+                (Some(clock), network)
+            }
+            _ => (None, Network::new()),
+        };
+        let center = network.register(DATA_CENTER)?;
+        let nodes: Vec<NodeId> = (0..station_count)
+            .map(|i| NodeId::base_station(i as u32))
+            .collect();
+        let mailboxes = nodes
+            .iter()
+            .map(|&node| network.register(node))
+            .collect::<dipm_distsim::Result<Vec<_>>>()?;
+        network.broadcast_at(
+            DATA_CENTER,
+            nodes.iter().copied(),
+            TrafficClass::Query,
+            &frame,
+            self.clock_base,
+        )?;
+        // Each station holds its copy of the update frame while it is live.
+        network
+            .meter()
+            .record_storage(frame.len() as u64 * station_count as u64);
+
+        let empty = BTreeMap::new();
+        let layouts: Vec<BaseStation<'_>> = dataset
+            .stations()
+            .iter()
+            .map(|&station| {
+                let locals = dataset.station_locals(station).unwrap_or(&empty);
+                BaseStation::from_locals(station, locals, self.options.shards)
+            })
+            .collect();
+        let shard_count = self.options.shards.count() as u32;
+
+        match self.options.mode {
+            ExecutionMode::Async { workers } => {
+                // One future per station, exactly like the batch pipeline's
+                // async arm — but the update is applied to the station's
+                // *retained* filter before the scan, on the station's own
+                // virtual timeline.
+                let clock = clock.as_ref().expect("async mode builds a clock");
+                let model = self.options.latency;
+                let config = &self.config;
+                let futures: Vec<_> = mailboxes
+                    .into_iter()
+                    .zip(self.stations.iter_mut())
+                    .enumerate()
+                    .map(|(i, (mailbox, state))| {
+                        let network = network.clone();
+                        let clock = Arc::clone(clock);
+                        let layout = &layouts[i];
+                        async move {
+                            let envelope = mailbox.recv()?;
+                            let mut station_now = envelope.deliver_at;
+                            clock.sleep_until(station_now).await;
+                            state.apply(wire::decode_station_update(envelope.payload)?, epoch)?;
+                            let (filter, totals) = state.view()?;
+                            let mut merged: Vec<(u32, dipm_mobilenet::UserId, Weight)> = Vec::new();
+                            for shard_index in 0..layout.shard_count() {
+                                let shard = layout.shard(shard_index);
+                                station_now =
+                                    station_now.saturating_add(model.scan_ticks(shard.len()));
+                                clock.sleep_until(station_now).await;
+                                merged.extend(scan_shard_wbf(
+                                    &[(0, filter, totals)],
+                                    shard,
+                                    config,
+                                    Some(network.meter()),
+                                )?);
+                                dipm_distsim::yield_now().await;
+                            }
+                            merged.sort_by_key(|&(q, user, _)| (q, user));
+                            network.meter().record_scan_pass();
+                            let payload = wire::encode_batch_reports(
+                                shard_count,
+                                i as u32,
+                                station_now,
+                                wire::encode_tagged_weight_reports(&merged)?,
+                            );
+                            network.send_at(
+                                NodeId::base_station(i as u32),
+                                DATA_CENTER,
+                                TrafficClass::Report,
+                                payload,
+                                station_now,
+                            )?;
+                            Ok::<(), ProtocolError>(())
+                        }
+                    })
+                    .collect();
+                let (results, _run) = block_on_all(workers, clock, futures);
+                for result in results {
+                    result?;
+                }
+            }
+            mode => {
+                // Station-side decode under the epoch's execution mode…
+                let updates: Vec<StationUpdate> = run_stations(mode, &mailboxes, |_, mailbox| {
+                    let envelope = mailbox.recv()?;
+                    wire::decode_station_update(envelope.payload)
+                })
+                .into_iter()
+                .collect::<Result<_>>()?;
+                // …apply shard-locally (cheap, deterministic)…
+                for (state, update) in self.stations.iter_mut().zip(updates) {
+                    state.apply(update, epoch)?;
+                }
+                // …then one scan pass per station over the (station, shard)
+                // grid, identical to the batch pipeline.
+                let grid: Vec<(usize, usize)> = layouts
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(i, layout)| (0..layout.shard_count()).map(move |shard| (i, shard)))
+                    .collect();
+                let stations = &self.stations;
+                let config = &self.config;
+                let scanned = run_station_shards(mode, &grid, |_, &(station, shard)| {
+                    let (filter, totals) = stations[station].view()?;
+                    scan_shard_wbf(
+                        &[(0, filter, totals)],
+                        layouts[station].shard(shard),
+                        config,
+                        Some(network.meter()),
+                    )
+                });
+                let mut shard_results = scanned.into_iter();
+                for (i, layout) in layouts.iter().enumerate() {
+                    let mut merged: Vec<(u32, dipm_mobilenet::UserId, Weight)> = Vec::new();
+                    for _ in 0..layout.shard_count() {
+                        merged.extend(shard_results.next().expect("one result per grid entry")?);
+                    }
+                    merged.sort_by_key(|&(q, user, _)| (q, user));
+                    network.meter().record_scan_pass();
+                    let payload = wire::encode_batch_reports(
+                        shard_count,
+                        i as u32,
+                        0,
+                        wire::encode_tagged_weight_reports(&merged)?,
+                    );
+                    network.send(
+                        NodeId::base_station(i as u32),
+                        DATA_CENTER,
+                        TrafficClass::Report,
+                        payload,
+                    )?;
+                }
+            }
+        }
+
+        // Algorithm 3 intake, shared with the batch pipeline.
+        let collected =
+            collect_station_reports(&center, &network, shard_count, station_count as u32)?;
+        let latency = clock.map(|_| collected.latency_report());
+        let mut reports: Vec<(dipm_mobilenet::UserId, Weight)> = Vec::new();
+        for (report_frame, _) in &collected.frames {
+            for (query, user, weight) in
+                wire::decode_tagged_weight_reports(report_frame.payload.clone())?
+            {
+                if query != 0 {
+                    return Err(ProtocolError::malformed_report(format!(
+                        "streaming report references section {query} (sessions have one)"
+                    )));
+                }
+                reports.push((user, weight));
+            }
+        }
+        network
+            .meter()
+            .record_storage(reports.len() as u64 * CENTER_ENTRY_BYTES);
+        let weights = aggregate_and_rank(reports, self.options.top_k);
+        let cost = network.meter().report();
+        let outcome = QueryOutcome {
+            method: Method::Wbf,
+            ranked: weights.iter().map(|r| r.user).collect(),
+            details: MethodDetails::Wbf {
+                weights,
+                build: self.build_stats(),
+            },
+            cost,
+            elapsed: start.elapsed(),
+        };
+        self.clock_base = self.clock_base.max(collected.makespan);
+        self.epoch += 1;
+        self.needs_full = false;
+
+        Ok(EpochOutcome {
+            epoch,
+            broadcast,
+            broadcast_bytes: frame.len() as u64 * station_count as u64,
+            rebuild_bytes: full_frame_len as u64 * station_count as u64,
+            latency,
+            outcome,
+        })
+    }
+
+    /// The latency dimension of the *previous* epoch is carried inside its
+    /// [`EpochOutcome::outcome`]; this is the virtual tick the session has
+    /// reached (the last async epoch's makespan).
+    pub fn clock_base(&self) -> u64 {
+        self.clock_base
+    }
+}
+
+/// One epoch's query churn for [`run_streaming`].
+#[derive(Debug, Clone, Default)]
+pub struct StreamingUpdate {
+    /// Queries to register before the epoch runs.
+    pub insert: Vec<PatternQuery>,
+    /// Live queries to retire before the epoch runs.
+    pub remove: Vec<StreamQueryId>,
+}
+
+impl StreamingUpdate {
+    /// An epoch with no query churn (pure CDR churn).
+    pub fn none() -> StreamingUpdate {
+        StreamingUpdate::default()
+    }
+}
+
+/// Drives a [`StreamingSession`] over a sequence of epochs: for each
+/// `(dataset, update)` the update's removals and insertions are applied,
+/// then the epoch runs over that dataset snapshot.
+///
+/// Returns one [`EpochOutcome`] per epoch, in order.
+///
+/// # Errors
+///
+/// Propagates session errors; see [`StreamingSession::run_epoch`].
+pub fn run_streaming<'a, I>(
+    initial: &[PatternQuery],
+    epochs: I,
+    config: DiMatchingConfig,
+    options: PipelineOptions,
+) -> Result<Vec<EpochOutcome>>
+where
+    I: IntoIterator<Item = (&'a Dataset, StreamingUpdate)>,
+{
+    let mut session = StreamingSession::new(initial, config, options)?;
+    let mut outcomes = Vec::new();
+    for (dataset, update) in epochs {
+        for id in &update.remove {
+            session.remove_query(*id)?;
+        }
+        for query in &update.insert {
+            session.insert_query(query)?;
+        }
+        outcomes.push(session.run_epoch(dataset)?);
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_pipeline, SectionGrouping};
+    use crate::strategy::Wbf;
+    use dipm_distsim::LatencyModel;
+
+    fn probe_query(dataset: &Dataset, index: usize) -> PatternQuery {
+        let user = dataset.users()[index];
+        PatternQuery::from_fragments(dataset.fragments(user.id).unwrap()).unwrap()
+    }
+
+    /// The from-scratch comparator: a merged batch run at the session's
+    /// pinned geometry.
+    fn rebuild_outcome(
+        dataset: &Dataset,
+        queries: &[PatternQuery],
+        session: &StreamingSession,
+        options: &PipelineOptions,
+    ) -> QueryOutcome {
+        let config = DiMatchingConfig {
+            fixed_geometry: Some(session.params()),
+            ..DiMatchingConfig::default()
+        };
+        let options = PipelineOptions {
+            grouping: SectionGrouping::Merged,
+            ..*options
+        };
+        run_pipeline::<Wbf>(dataset, queries, &config, &options)
+            .unwrap()
+            .into_merged(None)
+    }
+
+    #[test]
+    fn first_epoch_matches_the_batch_pipeline() {
+        let dataset = Dataset::small(41);
+        let query = probe_query(&dataset, 0);
+        let options = PipelineOptions::default();
+        let mut session = StreamingSession::new(
+            std::slice::from_ref(&query),
+            DiMatchingConfig::default(),
+            options,
+        )
+        .unwrap();
+        let epoch = session.run_epoch(&dataset).unwrap();
+        assert_eq!(epoch.broadcast, EpochBroadcast::Full);
+        assert_eq!(epoch.broadcast_bytes, epoch.rebuild_bytes);
+        let reference = rebuild_outcome(&dataset, &[query], &session, &options);
+        assert_eq!(epoch.outcome.ranked, reference.ranked);
+        assert_eq!(
+            epoch.outcome.cost.report_bytes, reference.cost.report_bytes,
+            "identical filter state must produce identical reports"
+        );
+    }
+
+    #[test]
+    fn query_churn_converges_to_the_rebuilt_pipeline() {
+        // Insert a query, run, insert another, remove the first: the final
+        // epoch must answer exactly like a from-scratch run over the
+        // surviving set, and its broadcast must be a delta.
+        let dataset = Dataset::small(42);
+        let q0 = probe_query(&dataset, 0);
+        let q1 = probe_query(&dataset, 5);
+        let config = DiMatchingConfig {
+            // Headroom: geometry outlives the initial single-query set.
+            fixed_geometry: Some(FilterParams::new(1 << 14, 5).unwrap()),
+            ..DiMatchingConfig::default()
+        };
+        let options = PipelineOptions::default();
+        let mut session =
+            StreamingSession::new(std::slice::from_ref(&q0), config, options).unwrap();
+        let first = session.run_epoch(&dataset).unwrap();
+        let id0 = session.live_queries()[0];
+        session.insert_query(&q1).unwrap();
+        session.remove_query(id0).unwrap();
+        let second = session.run_epoch(&dataset).unwrap();
+        assert!(matches!(second.broadcast, EpochBroadcast::Delta { entries } if entries > 0));
+        assert!(
+            second.broadcast_bytes != first.broadcast_bytes,
+            "delta and full broadcasts must differ"
+        );
+        let reference = rebuild_outcome(&dataset, &[q1], &session, &options);
+        assert_eq!(second.outcome.ranked, reference.ranked);
+    }
+
+    #[test]
+    fn all_four_modes_agree_on_streaming_epochs() {
+        let day0 = Dataset::small(43);
+        let day1 = Dataset::small(44);
+        let q0 = probe_query(&day0, 0);
+        let q1 = probe_query(&day0, 7);
+        let run = |mode: ExecutionMode| {
+            let options = PipelineOptions {
+                mode,
+                shards: crate::basestation::Shards::new(2),
+                latency: LatencyModel {
+                    base_ticks: 40,
+                    ticks_per_byte: 1,
+                    ticks_per_row: 2,
+                    jitter_ticks: 5,
+                    seed: 3,
+                },
+                ..PipelineOptions::default()
+            };
+            let epochs = vec![
+                (&day0, StreamingUpdate::none()),
+                (
+                    &day1,
+                    StreamingUpdate {
+                        insert: vec![q1.clone()],
+                        remove: vec![],
+                    },
+                ),
+            ];
+            run_streaming(
+                std::slice::from_ref(&q0),
+                epochs,
+                DiMatchingConfig::default(),
+                options,
+            )
+            .unwrap()
+        };
+        let reference = run(ExecutionMode::Sequential);
+        for mode in [
+            ExecutionMode::Threaded,
+            ExecutionMode::ThreadPool { workers: 3 },
+            ExecutionMode::Async { workers: 3 },
+        ] {
+            let outcomes = run(mode);
+            assert_eq!(outcomes.len(), reference.len());
+            for (a, b) in reference.iter().zip(&outcomes) {
+                assert_eq!(a.outcome.ranked, b.outcome.ranked, "{mode:?} diverged");
+                assert_eq!(
+                    a.outcome.cost,
+                    b.outcome.cost.mode_invariant(),
+                    "{mode:?} moved different bytes"
+                );
+                assert_eq!(a.broadcast, b.broadcast);
+                assert_eq!(a.broadcast_bytes, b.broadcast_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn async_epochs_accumulate_virtual_time() {
+        let day0 = Dataset::small(45);
+        let day1 = Dataset::small(46);
+        let query = probe_query(&day0, 0);
+        let options = PipelineOptions {
+            mode: ExecutionMode::Async { workers: 2 },
+            latency: LatencyModel::default(),
+            ..PipelineOptions::default()
+        };
+        let mut session = StreamingSession::new(
+            std::slice::from_ref(&query),
+            DiMatchingConfig::default(),
+            options,
+        )
+        .unwrap();
+        let first = session.run_epoch(&day0).unwrap();
+        let base_after_first = session.clock_base();
+        assert!(base_after_first > 0, "async epochs model time");
+        let second = session.run_epoch(&day1).unwrap();
+        let first_latency = first.latency.as_ref().expect("async models time");
+        let second_latency = second.latency.as_ref().expect("async models time");
+        assert_eq!(
+            first_latency.makespan_ticks,
+            first.outcome.cost.makespan_ticks
+        );
+        assert!(
+            second_latency.makespan_ticks > first_latency.makespan_ticks,
+            "epoch 1 starts where epoch 0 ended"
+        );
+        for station in &second_latency.stations {
+            assert!(
+                station.report_sent >= base_after_first,
+                "epoch 1 stamps start from epoch 0's makespan"
+            );
+        }
+        assert!(second.outcome.cost.makespan_ticks >= base_after_first);
+    }
+
+    #[test]
+    fn pure_cdr_churn_costs_a_near_empty_delta() {
+        let day0 = Dataset::small(47);
+        let day1 = Dataset::small(48);
+        let query = probe_query(&day0, 0);
+        let mut session = StreamingSession::new(
+            std::slice::from_ref(&query),
+            DiMatchingConfig::default(),
+            PipelineOptions::default(),
+        )
+        .unwrap();
+        let full = session.run_epoch(&day0).unwrap();
+        let delta = session.run_epoch(&day1).unwrap();
+        assert_eq!(delta.broadcast, EpochBroadcast::Delta { entries: 0 });
+        assert!(
+            delta.broadcast_bytes * 10 < full.broadcast_bytes,
+            "an empty delta must be far cheaper than the full filter: {} vs {}",
+            delta.broadcast_bytes,
+            full.broadcast_bytes
+        );
+        assert!(delta.rebuild_bytes >= full.broadcast_bytes);
+    }
+
+    #[test]
+    fn station_count_changes_are_rejected_and_the_session_recovers() {
+        let day0 = Dataset::small(49);
+        let other = Dataset::city_slice(60, 3, 1).unwrap();
+        let query = probe_query(&day0, 0);
+        let mut session = StreamingSession::new(
+            std::slice::from_ref(&query),
+            DiMatchingConfig::default(),
+            PipelineOptions::default(),
+        )
+        .unwrap();
+        session.run_epoch(&day0).unwrap();
+        assert!(session.run_epoch(&other).is_err());
+        // A failed epoch must not wedge the session: the next epoch over a
+        // valid dataset resyncs stations with a full broadcast (the
+        // failure may have left them mid-protocol) and answers normally.
+        let recovered = session.run_epoch(&day0).unwrap();
+        assert_eq!(recovered.broadcast, EpochBroadcast::Full);
+        assert!(recovered.outcome.ranked.contains(&day0.users()[0].id));
+        // And the session continues on the delta path afterwards.
+        let next = session.run_epoch(&day0).unwrap();
+        assert_eq!(next.broadcast, EpochBroadcast::Delta { entries: 0 });
+    }
+
+    #[test]
+    fn unknown_query_removal_is_rejected() {
+        let day0 = Dataset::small(50);
+        let query = probe_query(&day0, 0);
+        let mut session = StreamingSession::new(
+            std::slice::from_ref(&query),
+            DiMatchingConfig::default(),
+            PipelineOptions::default(),
+        )
+        .unwrap();
+        let err = session.remove_query(StreamQueryId(99)).unwrap_err();
+        assert!(matches!(err, ProtocolError::UnknownStreamQuery { id: 99 }));
+        // Removing twice fails the second time.
+        let id = session.live_queries()[0];
+        session.remove_query(id).unwrap();
+        assert!(session.remove_query(id).is_err());
+    }
+
+    #[test]
+    fn station_state_rejects_protocol_violations() {
+        let mut state = StationState::default();
+        // A delta before any full broadcast is a protocol violation.
+        let delta = StationUpdate::Delta {
+            epoch: 0,
+            query_totals: vec![],
+            delta: FilterDelta::default(),
+        };
+        assert!(state.apply(delta.clone(), 0).is_err());
+        // So is an epoch mismatch.
+        assert!(state.apply(delta, 3).is_err());
+        assert!(state.view().is_err());
+    }
+}

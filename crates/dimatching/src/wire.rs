@@ -3,13 +3,56 @@
 //! Station reports and raw-data shipments are encoded into real byte buffers
 //! so the metered communication costs (Fig. 4c) reflect honest message
 //! sizes, and the center does honest decode work.
+//!
+//! Two hardening rules hold across the whole module:
+//!
+//! * **length prefixes never truncate** — every element count crosses
+//!   [`frame_count`], so an impossible frame errors at the encoder instead
+//!   of writing a prefix that lies about the body;
+//! * **decoders consume frames exactly** — bytes left over after the
+//!   declared counts are a framing bug or corruption and are rejected, never
+//!   silently ignored (the only exceptions are frames whose *final* field is
+//!   defined as "the rest of the buffer": the report payload of
+//!   [`decode_batch_reports`] and the filter bytes of
+//!   [`decode_filter_broadcast`], both of which are validated exhaustively
+//!   by their inner decoders).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use dipm_core::Weight;
+use dipm_core::{Weight, WeightDiff, WeightSet};
 use dipm_mobilenet::UserId;
 use dipm_timeseries::Pattern;
 
 use crate::error::{ProtocolError, Result};
+
+/// Bounds an element count to the wire format's `u32` length prefix.
+///
+/// Every encoder in this module routes its counts through here instead of a
+/// truncating `as u32` cast. The overflow is impractical to provoke with
+/// real allocations (> 4 Gi elements), which is exactly why the guard is a
+/// separate, directly testable function.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::FrameTooLarge`] when `len` exceeds `u32::MAX`.
+pub fn frame_count(len: usize) -> Result<u32> {
+    u32::try_from(len).map_err(|_| {
+        ProtocolError::frame_too_large(format!(
+            "{len} elements exceed the u32 length prefix (max {})",
+            u32::MAX
+        ))
+    })
+}
+
+/// Rejects bytes left over after a frame's declared contents.
+fn expect_consumed(data: &Bytes, frame: &str) -> Result<()> {
+    if data.remaining() > 0 {
+        return Err(ProtocolError::malformed_report(format!(
+            "{} trailing bytes after {frame}",
+            data.remaining()
+        )));
+    }
+    Ok(())
+}
 
 /// Frames a batch broadcast: one strategy-encoded filter section per query,
 /// each tagged with its query id (`u32` section count, then per section
@@ -19,16 +62,21 @@ use crate::error::{ProtocolError, Result};
 /// plus a weighted filter, Bloom sections a plain filter — so one frame
 /// layout serves every [`FilterStrategy`](crate::FilterStrategy), and every
 /// framing byte still crosses the metered network (Fig. 4c stays honest).
-pub fn encode_batch_broadcast(sections: &[(u32, Bytes)]) -> Bytes {
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::FrameTooLarge`] if the section count or any
+/// section length exceeds the `u32` prefix.
+pub fn encode_batch_broadcast(sections: &[(u32, Bytes)]) -> Result<Bytes> {
     let body: usize = sections.iter().map(|(_, b)| 8 + b.len()).sum();
     let mut buf = BytesMut::with_capacity(4 + body);
-    buf.put_u32_le(sections.len() as u32);
+    buf.put_u32_le(frame_count(sections.len())?);
     for (query, bytes) in sections {
         buf.put_u32_le(*query);
-        buf.put_u32_le(bytes.len() as u32);
+        buf.put_u32_le(frame_count(bytes.len())?);
         buf.extend_from_slice(bytes);
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Splits a batch-broadcast frame back into `(query id, section bytes)`
@@ -37,9 +85,10 @@ pub fn encode_batch_broadcast(sections: &[(u32, Bytes)]) -> Bytes {
 /// # Errors
 ///
 /// Returns [`ProtocolError::MalformedReport`] on a truncated header or
-/// section, and on duplicate query ids (a station must never scan the same
-/// query twice in one pass). The declared section count is validated against
-/// the remaining bytes before any allocation.
+/// section, on duplicate query ids (a station must never scan the same
+/// query twice in one pass), and on trailing bytes after the last declared
+/// section. The declared section count is validated against the remaining
+/// bytes before any allocation.
 pub fn decode_batch_broadcast(mut data: Bytes) -> Result<Vec<(u32, Bytes)>> {
     if data.remaining() < 4 {
         return Err(ProtocolError::malformed_report("truncated batch header"));
@@ -67,6 +116,7 @@ pub fn decode_batch_broadcast(mut data: Bytes) -> Result<Vec<(u32, Bytes)>> {
         data.advance(len);
         out.push((query, section));
     }
+    expect_consumed(&data, "batch broadcast sections")?;
     Ok(out)
 }
 
@@ -241,16 +291,21 @@ impl ReportCollector {
 
 /// Encodes query-tagged `(query, user, weight)` reports: `u32` count then
 /// `{query u32, id u64, num u64, den u64}` per entry (28 bytes/candidate).
-pub fn encode_tagged_weight_reports(reports: &[(u32, UserId, Weight)]) -> Bytes {
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::FrameTooLarge`] if the report count exceeds the
+/// `u32` prefix.
+pub fn encode_tagged_weight_reports(reports: &[(u32, UserId, Weight)]) -> Result<Bytes> {
     let mut buf = BytesMut::with_capacity(4 + reports.len() * 28);
-    buf.put_u32_le(reports.len() as u32);
+    buf.put_u32_le(frame_count(reports.len())?);
     for (query, user, weight) in reports {
         buf.put_u32_le(*query);
         buf.put_u64_le(user.0);
         buf.put_u64_le(weight.numerator());
         buf.put_u64_le(weight.denominator());
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Decodes a query-tagged weight-report payload.
@@ -277,19 +332,25 @@ pub fn decode_tagged_weight_reports(mut data: Bytes) -> Result<Vec<(u32, UserId,
             .map_err(|_| ProtocolError::malformed_report("zero weight denominator"))?;
         out.push((query, user, weight));
     }
+    expect_consumed(&data, "tagged weight reports")?;
     Ok(out)
 }
 
 /// Encodes query-tagged candidate ids (the Bloom baseline's batch reports):
 /// `u32` count then `{query u32, id u64}` per entry.
-pub fn encode_tagged_id_reports(reports: &[(u32, UserId)]) -> Bytes {
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::FrameTooLarge`] if the report count exceeds the
+/// `u32` prefix.
+pub fn encode_tagged_id_reports(reports: &[(u32, UserId)]) -> Result<Bytes> {
     let mut buf = BytesMut::with_capacity(4 + reports.len() * 12);
-    buf.put_u32_le(reports.len() as u32);
+    buf.put_u32_le(frame_count(reports.len())?);
     for (query, user) in reports {
         buf.put_u32_le(*query);
         buf.put_u64_le(user.0);
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Decodes a query-tagged id payload.
@@ -305,24 +366,34 @@ pub fn decode_tagged_id_reports(mut data: Bytes) -> Result<Vec<(u32, UserId)>> {
     if data.remaining() < count.saturating_mul(12) {
         return Err(ProtocolError::malformed_report("truncated id entries"));
     }
-    Ok((0..count)
+    let out = (0..count)
         .map(|_| (data.get_u32_le(), UserId(data.get_u64_le())))
-        .collect())
+        .collect();
+    expect_consumed(&data, "tagged id reports")?;
+    Ok(out)
 }
 
 /// Frames a filter broadcast: the per-query global volumes followed by the
 /// encoded filter (`u32` count, `u64`×count totals, filter bytes).
-pub fn encode_filter_broadcast(query_totals: &[u64], filter: Bytes) -> Bytes {
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::FrameTooLarge`] if the volume count exceeds the
+/// `u32` prefix.
+pub fn encode_filter_broadcast(query_totals: &[u64], filter: Bytes) -> Result<Bytes> {
     let mut buf = BytesMut::with_capacity(4 + query_totals.len() * 8 + filter.len());
-    buf.put_u32_le(query_totals.len() as u32);
+    buf.put_u32_le(frame_count(query_totals.len())?);
     for &t in query_totals {
         buf.put_u64_le(t);
     }
     buf.extend_from_slice(&filter);
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Splits a filter-broadcast frame back into query volumes and filter bytes.
+///
+/// The filter bytes are the frame's final, rest-of-buffer field; the filter
+/// decoder validates them exhaustively (including trailing garbage).
 ///
 /// # Errors
 ///
@@ -334,7 +405,7 @@ pub fn decode_filter_broadcast(mut data: Bytes) -> Result<(Vec<u64>, Bytes)> {
         ));
     }
     let count = data.get_u32_le() as usize;
-    if data.remaining() < count * 8 {
+    if data.remaining() < count.saturating_mul(8) {
         return Err(ProtocolError::malformed_report("truncated query volumes"));
     }
     let totals = (0..count).map(|_| data.get_u64_le()).collect();
@@ -344,15 +415,20 @@ pub fn decode_filter_broadcast(mut data: Bytes) -> Result<(Vec<u64>, Bytes)> {
 /// Encodes `(user, weight)` reports: `u32` count then
 /// `{id u64, num u64, den u64}` per entry (24 bytes/candidate — the
 /// communication saving DI-matching claims over shipping patterns).
-pub fn encode_weight_reports(reports: &[(UserId, Weight)]) -> Bytes {
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::FrameTooLarge`] if the report count exceeds the
+/// `u32` prefix.
+pub fn encode_weight_reports(reports: &[(UserId, Weight)]) -> Result<Bytes> {
     let mut buf = BytesMut::with_capacity(4 + reports.len() * 24);
-    buf.put_u32_le(reports.len() as u32);
+    buf.put_u32_le(frame_count(reports.len())?);
     for (user, weight) in reports {
         buf.put_u64_le(user.0);
         buf.put_u64_le(weight.numerator());
         buf.put_u64_le(weight.denominator());
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Decodes a weight-report payload.
@@ -366,7 +442,7 @@ pub fn decode_weight_reports(mut data: Bytes) -> Result<Vec<(UserId, Weight)>> {
         return Err(ProtocolError::malformed_report("truncated report count"));
     }
     let count = data.get_u32_le() as usize;
-    if data.remaining() < count * 24 {
+    if data.remaining() < count.saturating_mul(24) {
         return Err(ProtocolError::malformed_report("truncated report entries"));
     }
     let mut out = Vec::with_capacity(count);
@@ -378,18 +454,24 @@ pub fn decode_weight_reports(mut data: Bytes) -> Result<Vec<(UserId, Weight)>> {
             .map_err(|_| ProtocolError::malformed_report("zero weight denominator"))?;
         out.push((user, weight));
     }
+    expect_consumed(&data, "weight reports")?;
     Ok(out)
 }
 
 /// Encodes bare candidate IDs (the Bloom baseline's reports): `u32` count
 /// then `u64` per id.
-pub fn encode_id_reports(ids: &[UserId]) -> Bytes {
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::FrameTooLarge`] if the id count exceeds the
+/// `u32` prefix.
+pub fn encode_id_reports(ids: &[UserId]) -> Result<Bytes> {
     let mut buf = BytesMut::with_capacity(4 + ids.len() * 8);
-    buf.put_u32_le(ids.len() as u32);
+    buf.put_u32_le(frame_count(ids.len())?);
     for id in ids {
         buf.put_u64_le(id.0);
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Decodes a bare-ID payload.
@@ -402,32 +484,39 @@ pub fn decode_id_reports(mut data: Bytes) -> Result<Vec<UserId>> {
         return Err(ProtocolError::malformed_report("truncated id count"));
     }
     let count = data.get_u32_le() as usize;
-    if data.remaining() < count * 8 {
+    if data.remaining() < count.saturating_mul(8) {
         return Err(ProtocolError::malformed_report("truncated id entries"));
     }
-    Ok((0..count).map(|_| UserId(data.get_u64_le())).collect())
+    let out = (0..count).map(|_| UserId(data.get_u64_le())).collect();
+    expect_consumed(&data, "id reports")?;
+    Ok(out)
 }
 
 /// Encodes a station's full local data (the naive method's shipment):
 /// `u32` user count, then per user `{id u64, len u32, values u64×len}`.
-pub fn encode_station_data<'a, I>(entries: I) -> Bytes
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::FrameTooLarge`] if the entry count or any
+/// pattern length exceeds the `u32` prefix.
+pub fn encode_station_data<'a, I>(entries: I) -> Result<Bytes>
 where
     I: IntoIterator<Item = (UserId, &'a Pattern)>,
 {
     let mut buf = BytesMut::new();
-    let mut count = 0u32;
+    let mut count = 0usize;
     let mut body = BytesMut::new();
     for (user, pattern) in entries {
         body.put_u64_le(user.0);
-        body.put_u32_le(pattern.len() as u32);
+        body.put_u32_le(frame_count(pattern.len())?);
         for v in pattern.iter() {
             body.put_u64_le(v);
         }
         count += 1;
     }
-    buf.put_u32_le(count);
+    buf.put_u32_le(frame_count(count)?);
     buf.extend_from_slice(&body);
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Decodes a naive-method data shipment.
@@ -452,13 +541,417 @@ pub fn decode_station_data(mut data: Bytes) -> Result<Vec<(UserId, Pattern)>> {
         }
         let user = UserId(data.get_u64_le());
         let len = data.get_u32_le() as usize;
-        if data.remaining() < len * 8 {
+        if data.remaining() < len.saturating_mul(8) {
             return Err(ProtocolError::malformed_report("truncated pattern values"));
         }
         let values: Vec<u64> = (0..len).map(|_| data.get_u64_le()).collect();
         out.push((user, Pattern::new(values)));
     }
+    expect_consumed(&data, "station data")?;
     Ok(out)
+}
+
+const UPDATE_KIND_FULL: u8 = 0;
+const UPDATE_KIND_DELTA: u8 = 1;
+
+/// The changed positions of one filter section, as per-position
+/// [`WeightDiff`]s against the receiver's current state.
+///
+/// Entries are in strictly ascending position order — the canonical form
+/// [`CountingWbf::drain_dirty`](dipm_core::CountingWbf::drain_dirty)
+/// produces; the encoder rejects disorder and the wire format makes it
+/// unrepresentable (positions travel as varint gaps). Diffs rather than
+/// absolute sets for two reasons: every position a churned pattern touches
+/// carries the *same* few-weight diff, so the diff table interns to a
+/// handful of entries where absolute sets (each grafted onto a different
+/// pre-existing set) would not — and application doubles as validation,
+/// since a diff that does not match the station's state proves the station
+/// missed or replayed an epoch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FilterDelta {
+    /// `(position, diff)` in strictly ascending position order.
+    pub entries: Vec<(u32, WeightDiff)>,
+}
+
+impl FilterDelta {
+    /// Whether the delta changes nothing (a pure CDR-churn epoch).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One epoch's broadcast in a streaming session: either the full filter
+/// (session start, or a deliberate rebuild) or the delta since the previous
+/// epoch. Both carry the epoch number — stations reject gaps and replays —
+/// and the current per-query global volumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StationUpdate {
+    /// A full filter broadcast: the station replaces its state wholesale.
+    Full {
+        /// The session epoch this update begins.
+        epoch: u64,
+        /// The live queries' global volumes.
+        query_totals: Vec<u64>,
+        /// The complete encoded filter
+        /// ([`encode_wbf`](dipm_core::encode::encode_wbf) bytes).
+        filter: Bytes,
+    },
+    /// A delta broadcast: only the positions whose visible state changed.
+    Delta {
+        /// The session epoch this update begins.
+        epoch: u64,
+        /// The live queries' global volumes (replaced wholesale; they only
+        /// change with query churn, but re-sending them keeps the frame
+        /// self-contained and they are a few bytes).
+        query_totals: Vec<u64>,
+        /// The changed positions.
+        delta: FilterDelta,
+    },
+}
+
+impl StationUpdate {
+    /// The epoch this update begins.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            StationUpdate::Full { epoch, .. } | StationUpdate::Delta { epoch, .. } => *epoch,
+        }
+    }
+}
+
+/// Writes a LEB128 varint — the delta frame's integer form for position
+/// gaps and diff references, both overwhelmingly one byte in practice.
+fn put_varint(buf: &mut BytesMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn take_varint(data: &mut Bytes) -> Result<u64> {
+    let mut value = 0u64;
+    for shift in (0..64).step_by(7) {
+        if data.remaining() < 1 {
+            return Err(ProtocolError::malformed_report("truncated varint"));
+        }
+        let byte = data.get_u8();
+        // The 10th byte (shift 63) has one bit of capacity left: any higher
+        // payload bit, or a further continuation, overflows u64 — reject it
+        // rather than silently truncating to the low bit.
+        if shift == 63 && byte > 1 {
+            return Err(ProtocolError::malformed_report("varint exceeds 64 bits"));
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            if shift > 0 && byte == 0 {
+                return Err(ProtocolError::malformed_report(
+                    "non-canonical varint padding",
+                ));
+            }
+            return Ok(value);
+        }
+    }
+    Err(ProtocolError::malformed_report("varint exceeds 64 bits"))
+}
+
+/// Serializes a delta with the same weight-set interning idea the
+/// full-filter encoding uses, applied to *diffs*: a dictionary of distinct
+/// weights (`u16` ids) and a table of distinct `(removed, added)` diffs,
+/// with each entry carrying its position as a varint gap from the previous
+/// entry plus a varint reference into the diff table. A churned pattern
+/// stamps the same diff onto every position it touches, so the table stays
+/// tiny however many positions change.
+fn put_filter_delta(buf: &mut BytesMut, delta: &FilterDelta) -> Result<()> {
+    // Dictionary of distinct weights across all diffs, ascending.
+    let mut dict_set = WeightSet::new();
+    for (_, diff) in &delta.entries {
+        dict_set.union_with(&diff.removed);
+        dict_set.union_with(&diff.added);
+    }
+    let dict: Vec<Weight> = dict_set.iter().collect();
+    if dict.len() > u16::MAX as usize {
+        return Err(ProtocolError::frame_too_large(
+            "more distinct weights than the delta format's u16 dictionary",
+        ));
+    }
+    let side_ids = |side: &WeightSet| -> Result<Vec<u16>> {
+        if side.len() > u16::MAX as usize {
+            return Err(ProtocolError::frame_too_large(
+                "more weights in one diff than the delta format supports",
+            ));
+        }
+        Ok(side
+            .iter()
+            .map(|w| {
+                dict.binary_search(&w)
+                    .expect("dictionary contains every delta weight") as u16
+            })
+            .collect())
+    };
+    // Table of distinct diffs, first-seen order.
+    let mut diffs: Vec<(Vec<u16>, Vec<u16>)> = Vec::new();
+    let mut index: std::collections::HashMap<(Vec<u16>, Vec<u16>), u64> =
+        std::collections::HashMap::new();
+    let mut refs: Vec<u64> = Vec::with_capacity(delta.entries.len());
+    let mut previous: Option<u32> = None;
+    for (pos, diff) in &delta.entries {
+        if previous.is_some_and(|p| p >= *pos) {
+            return Err(ProtocolError::malformed_report(
+                "delta positions must be strictly ascending",
+            ));
+        }
+        previous = Some(*pos);
+        if diff.is_empty() {
+            return Err(ProtocolError::malformed_report("empty delta entry"));
+        }
+        if !diff.removed.intersection(&diff.added).is_empty() {
+            return Err(ProtocolError::malformed_report(
+                "diff removes and adds the same weight",
+            ));
+        }
+        let key = (side_ids(&diff.removed)?, side_ids(&diff.added)?);
+        let id = match index.get(&key) {
+            Some(&id) => id,
+            None => {
+                let id = diffs.len() as u64;
+                index.insert(key.clone(), id);
+                diffs.push(key);
+                id
+            }
+        };
+        refs.push(id);
+    }
+    buf.put_u32_le(frame_count(dict.len())?);
+    for weight in &dict {
+        buf.put_u64_le(weight.numerator());
+        buf.put_u64_le(weight.denominator());
+    }
+    buf.put_u32_le(frame_count(diffs.len())?);
+    for (removed, added) in &diffs {
+        buf.put_u16_le(removed.len() as u16);
+        buf.put_u16_le(added.len() as u16);
+        for &id in removed.iter().chain(added) {
+            buf.put_u16_le(id);
+        }
+    }
+    buf.put_u32_le(frame_count(delta.entries.len())?);
+    let mut previous: Option<u32> = None;
+    for ((pos, _), diff_ref) in delta.entries.iter().zip(refs) {
+        // First entry: the absolute position. Later entries: the gap minus
+        // one (strict ascent makes gap ≥ 1, so the common consecutive-run
+        // case encodes as a zero byte).
+        let gap = match previous {
+            None => u64::from(*pos),
+            Some(p) => u64::from(*pos - p - 1),
+        };
+        previous = Some(*pos);
+        put_varint(buf, gap);
+        put_varint(buf, diff_ref);
+    }
+    Ok(())
+}
+
+fn take_filter_delta(data: &mut Bytes) -> Result<FilterDelta> {
+    if data.remaining() < 4 {
+        return Err(ProtocolError::malformed_report(
+            "truncated delta dictionary length",
+        ));
+    }
+    let dict_len = data.get_u32_le() as usize;
+    if dict_len > u16::MAX as usize {
+        return Err(ProtocolError::malformed_report(
+            "delta dictionary too large",
+        ));
+    }
+    if data.remaining() < dict_len.saturating_mul(16) {
+        return Err(ProtocolError::malformed_report(
+            "truncated delta dictionary",
+        ));
+    }
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        let num = data.get_u64_le();
+        let den = data.get_u64_le();
+        let weight = Weight::new(num, den)
+            .map_err(|_| ProtocolError::malformed_report("zero weight denominator"))?;
+        dict.push(weight);
+    }
+    if data.remaining() < 4 {
+        return Err(ProtocolError::malformed_report(
+            "truncated delta diff table length",
+        ));
+    }
+    let diffs_len = data.get_u32_le() as usize;
+    // Every diff takes at least 4 header bytes; bound before allocating.
+    if data.remaining() < diffs_len.saturating_mul(4) {
+        return Err(ProtocolError::malformed_report(
+            "truncated delta diff table",
+        ));
+    }
+    let mut diffs: Vec<WeightDiff> = Vec::with_capacity(diffs_len);
+    for _ in 0..diffs_len {
+        if data.remaining() < 4 {
+            return Err(ProtocolError::malformed_report(
+                "truncated delta diff header",
+            ));
+        }
+        let removed_len = data.get_u16_le() as usize;
+        let added_len = data.get_u16_le() as usize;
+        if removed_len + added_len == 0 {
+            return Err(ProtocolError::malformed_report("empty diff table entry"));
+        }
+        if data.remaining() < (removed_len + added_len).saturating_mul(2) {
+            return Err(ProtocolError::malformed_report(
+                "truncated delta diff indices",
+            ));
+        }
+        let mut take_side = |len: usize| -> Result<WeightSet> {
+            let mut side = WeightSet::new();
+            for _ in 0..len {
+                let idx = data.get_u16_le() as usize;
+                let weight = dict.get(idx).copied().ok_or_else(|| {
+                    ProtocolError::malformed_report("delta weight index outside dictionary")
+                })?;
+                side.insert(weight);
+            }
+            Ok(side)
+        };
+        let removed = take_side(removed_len)?;
+        let added = take_side(added_len)?;
+        if !removed.intersection(&added).is_empty() {
+            return Err(ProtocolError::malformed_report(
+                "diff removes and adds the same weight",
+            ));
+        }
+        diffs.push(WeightDiff { removed, added });
+    }
+    if data.remaining() < 4 {
+        return Err(ProtocolError::malformed_report(
+            "truncated delta entry count",
+        ));
+    }
+    let entry_count = data.get_u32_le() as usize;
+    // Every entry takes at least 2 varint bytes; bound before allocating.
+    if data.remaining() < entry_count.saturating_mul(2) {
+        return Err(ProtocolError::malformed_report("truncated delta entries"));
+    }
+    let mut entries = Vec::with_capacity(entry_count);
+    let mut previous: Option<u32> = None;
+    for _ in 0..entry_count {
+        let gap = take_varint(data)?;
+        let pos = match previous {
+            None => Some(gap),
+            // Checked: a hostile gap near u64::MAX must error, not wrap
+            // into a duplicate or backwards position.
+            Some(p) => gap.checked_add(1).and_then(|g| u64::from(p).checked_add(g)),
+        };
+        let pos = pos.and_then(|pos| u32::try_from(pos).ok()).ok_or_else(|| {
+            ProtocolError::malformed_report("delta position exceeds the u32 filter range")
+        })?;
+        previous = Some(pos);
+        let diff_ref = take_varint(data)?;
+        let diff = usize::try_from(diff_ref)
+            .ok()
+            .and_then(|i| diffs.get(i))
+            .cloned()
+            .ok_or_else(|| ProtocolError::malformed_report("delta diff reference outside table"))?;
+        entries.push((pos, diff));
+    }
+    Ok(FilterDelta { entries })
+}
+
+/// Frames one streaming epoch's broadcast.
+///
+/// Layout: `kind u8` (0 full, 1 delta), `epoch u64`, `u32` volume count,
+/// `u64`×count volumes, then the full filter bytes (kind 0) or the interned
+/// delta (kind 1).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::FrameTooLarge`] if any count exceeds its wire
+/// prefix.
+pub fn encode_station_update(update: &StationUpdate) -> Result<Bytes> {
+    let mut buf = BytesMut::new();
+    match update {
+        StationUpdate::Full {
+            epoch,
+            query_totals,
+            filter,
+        } => {
+            buf.put_u8(UPDATE_KIND_FULL);
+            buf.put_u64_le(*epoch);
+            buf.put_u32_le(frame_count(query_totals.len())?);
+            for &t in query_totals {
+                buf.put_u64_le(t);
+            }
+            buf.extend_from_slice(filter);
+        }
+        StationUpdate::Delta {
+            epoch,
+            query_totals,
+            delta,
+        } => {
+            buf.put_u8(UPDATE_KIND_DELTA);
+            buf.put_u64_le(*epoch);
+            buf.put_u32_le(frame_count(query_totals.len())?);
+            for &t in query_totals {
+                buf.put_u64_le(t);
+            }
+            put_filter_delta(&mut buf, delta)?;
+        }
+    }
+    Ok(buf.freeze())
+}
+
+/// Decodes one streaming epoch's broadcast.
+///
+/// Delta frames are validated structurally here (counts bounded before
+/// allocation, dictionary and set references in range, strictly ascending
+/// positions, no trailing bytes); full frames hand their rest-of-buffer
+/// filter bytes to the filter decoder, which performs the equivalent
+/// validation.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedReport`] on any malformed input.
+pub fn decode_station_update(mut data: Bytes) -> Result<StationUpdate> {
+    if data.remaining() < 1 + 8 + 4 {
+        return Err(ProtocolError::malformed_report(
+            "truncated station update header",
+        ));
+    }
+    let kind = data.get_u8();
+    let epoch = data.get_u64_le();
+    let count = data.get_u32_le() as usize;
+    if data.remaining() < count.saturating_mul(8) {
+        return Err(ProtocolError::malformed_report(
+            "truncated station update volumes",
+        ));
+    }
+    let query_totals: Vec<u64> = (0..count).map(|_| data.get_u64_le()).collect();
+    match kind {
+        UPDATE_KIND_FULL => Ok(StationUpdate::Full {
+            epoch,
+            query_totals,
+            filter: data,
+        }),
+        UPDATE_KIND_DELTA => {
+            let delta = take_filter_delta(&mut data)?;
+            expect_consumed(&data, "station update delta")?;
+            Ok(StationUpdate::Delta {
+                epoch,
+                query_totals,
+                delta,
+            })
+        }
+        other => Err(ProtocolError::malformed_report(format!(
+            "unknown station update kind {other}"
+        ))),
+    }
 }
 
 #[cfg(test)]
@@ -476,17 +969,17 @@ mod tests {
             (UserId(999), Weight::ONE),
             (UserId(42), w(7, 9)),
         ];
-        let encoded = encode_weight_reports(&reports);
+        let encoded = encode_weight_reports(&reports).unwrap();
         assert_eq!(encoded.len(), 4 + 3 * 24);
         assert_eq!(decode_weight_reports(encoded).unwrap(), reports);
     }
 
     #[test]
     fn empty_reports_roundtrip() {
-        assert!(decode_weight_reports(encode_weight_reports(&[]))
+        assert!(decode_weight_reports(encode_weight_reports(&[]).unwrap())
             .unwrap()
             .is_empty());
-        assert!(decode_id_reports(encode_id_reports(&[]))
+        assert!(decode_id_reports(encode_id_reports(&[]).unwrap())
             .unwrap()
             .is_empty());
     }
@@ -494,7 +987,7 @@ mod tests {
     #[test]
     fn id_reports_roundtrip() {
         let ids = vec![UserId(3), UserId(1), UserId(4)];
-        let encoded = encode_id_reports(&ids);
+        let encoded = encode_id_reports(&ids).unwrap();
         assert_eq!(encoded.len(), 4 + 3 * 8);
         assert_eq!(decode_id_reports(encoded).unwrap(), ids);
     }
@@ -503,7 +996,7 @@ mod tests {
     fn station_data_roundtrip() {
         let p1 = Pattern::from([1u64, 2, 3]);
         let p2 = Pattern::from([0u64; 5]);
-        let encoded = encode_station_data(vec![(UserId(1), &p1), (UserId(2), &p2)]);
+        let encoded = encode_station_data(vec![(UserId(1), &p1), (UserId(2), &p2)]).unwrap();
         let decoded = decode_station_data(encoded).unwrap();
         assert_eq!(decoded, vec![(UserId(1), p1), (UserId(2), p2)]);
     }
@@ -511,12 +1004,12 @@ mod tests {
     #[test]
     fn truncation_rejected_everywhere() {
         let reports = vec![(UserId(1), w(1, 2))];
-        let encoded = encode_weight_reports(&reports);
+        let encoded = encode_weight_reports(&reports).unwrap();
         for cut in [0, 3, 10, encoded.len() - 1] {
             assert!(decode_weight_reports(encoded.slice(0..cut)).is_err());
         }
         let p = Pattern::from([1u64, 2]);
-        let data = encode_station_data(vec![(UserId(1), &p)]);
+        let data = encode_station_data(vec![(UserId(1), &p)]).unwrap();
         for cut in [0, 3, 10, data.len() - 1] {
             assert!(decode_station_data(data.slice(0..cut)).is_err());
         }
@@ -524,7 +1017,9 @@ mod tests {
 
     #[test]
     fn zero_denominator_rejected() {
-        let mut raw = encode_weight_reports(&[(UserId(1), w(1, 2))]).to_vec();
+        let mut raw = encode_weight_reports(&[(UserId(1), w(1, 2))])
+            .unwrap()
+            .to_vec();
         // Denominator is the last 8 bytes; zero it.
         let n = raw.len();
         raw[n - 8..].fill(0);
@@ -534,7 +1029,7 @@ mod tests {
     #[test]
     fn filter_broadcast_roundtrip() {
         let filter_bytes = Bytes::from_static(b"FILTERPAYLOAD");
-        let framed = encode_filter_broadcast(&[100, 250], filter_bytes.clone());
+        let framed = encode_filter_broadcast(&[100, 250], filter_bytes.clone()).unwrap();
         let (totals, rest) = decode_filter_broadcast(framed).unwrap();
         assert_eq!(totals, vec![100, 250]);
         assert_eq!(rest, filter_bytes);
@@ -548,10 +1043,10 @@ mod tests {
             (1u32, Bytes::from_static(b"")),
             (7u32, Bytes::from_static(b"SECTION-C-LONGER")),
         ];
-        let framed = encode_batch_broadcast(&sections);
+        let framed = encode_batch_broadcast(&sections).unwrap();
         assert_eq!(framed.len(), 4 + sections.len() * 8 + 9 + 16);
         assert_eq!(decode_batch_broadcast(framed).unwrap(), sections);
-        assert!(decode_batch_broadcast(encode_batch_broadcast(&[]))
+        assert!(decode_batch_broadcast(encode_batch_broadcast(&[]).unwrap())
             .unwrap()
             .is_empty());
     }
@@ -559,13 +1054,14 @@ mod tests {
     #[test]
     fn batch_broadcast_rejects_duplicate_query_ids() {
         let framed =
-            encode_batch_broadcast(&[(3, Bytes::from_static(b"x")), (3, Bytes::from_static(b"y"))]);
+            encode_batch_broadcast(&[(3, Bytes::from_static(b"x")), (3, Bytes::from_static(b"y"))])
+                .unwrap();
         assert!(decode_batch_broadcast(framed).is_err());
     }
 
     #[test]
     fn batch_broadcast_rejects_truncation() {
-        let framed = encode_batch_broadcast(&[(0, Bytes::from_static(b"PAYLOAD"))]);
+        let framed = encode_batch_broadcast(&[(0, Bytes::from_static(b"PAYLOAD"))]).unwrap();
         for cut in [0, 3, 7, framed.len() - 1] {
             assert!(decode_batch_broadcast(framed.slice(0..cut)).is_err());
         }
@@ -625,7 +1121,7 @@ mod tests {
             (2u32, UserId(999), Weight::ONE),
             (2u32, UserId(42), w(7, 9)),
         ];
-        let encoded = encode_tagged_weight_reports(&reports);
+        let encoded = encode_tagged_weight_reports(&reports).unwrap();
         assert_eq!(encoded.len(), 4 + 3 * 28);
         assert_eq!(decode_tagged_weight_reports(encoded).unwrap(), reports);
     }
@@ -633,14 +1129,14 @@ mod tests {
     #[test]
     fn tagged_id_reports_roundtrip() {
         let reports = vec![(0u32, UserId(3)), (1u32, UserId(1)), (0u32, UserId(4))];
-        let encoded = encode_tagged_id_reports(&reports);
+        let encoded = encode_tagged_id_reports(&reports).unwrap();
         assert_eq!(encoded.len(), 4 + 3 * 12);
         assert_eq!(decode_tagged_id_reports(encoded).unwrap(), reports);
     }
 
     #[test]
     fn tagged_decoders_reject_truncation_and_zero_denominators() {
-        let encoded = encode_tagged_weight_reports(&[(0, UserId(1), w(1, 2))]);
+        let encoded = encode_tagged_weight_reports(&[(0, UserId(1), w(1, 2))]).unwrap();
         for cut in [0, 3, 10, encoded.len() - 1] {
             assert!(decode_tagged_weight_reports(encoded.slice(0..cut)).is_err());
         }
@@ -648,10 +1144,245 @@ mod tests {
         let n = raw.len();
         raw[n - 8..].fill(0);
         assert!(decode_tagged_weight_reports(Bytes::from(raw)).is_err());
-        let ids = encode_tagged_id_reports(&[(0, UserId(1))]);
+        let ids = encode_tagged_id_reports(&[(0, UserId(1))]).unwrap();
         for cut in [0, 3, ids.len() - 1] {
             assert!(decode_tagged_id_reports(ids.slice(0..cut)).is_err());
         }
+    }
+
+    #[test]
+    fn frame_count_guards_the_length_prefix() {
+        // The regression the checked casts fix: a count above u32::MAX used
+        // to truncate silently (`len() as u32`), producing a prefix that
+        // lies about the body. Constructing > 4 Gi real elements is not
+        // feasible in a test, which is why the guard is its own function.
+        assert_eq!(frame_count(0).unwrap(), 0);
+        assert_eq!(frame_count(u32::MAX as usize).unwrap(), u32::MAX);
+        for len in [u32::MAX as usize + 1, usize::MAX] {
+            let err = frame_count(len).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::FrameTooLarge { .. }),
+                "{len} must refuse to encode, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected_on_report_frames() {
+        let valid = encode_weight_reports(&[(UserId(1), w(1, 2))]).unwrap();
+        let mut raw = valid.to_vec();
+        raw.push(0xEE);
+        assert!(decode_weight_reports(Bytes::from(raw)).is_err());
+        let valid = encode_tagged_id_reports(&[(0, UserId(9))]).unwrap();
+        let mut raw = valid.to_vec();
+        raw.extend_from_slice(&[1, 2, 3]);
+        assert!(decode_tagged_id_reports(Bytes::from(raw)).is_err());
+    }
+
+    fn ws(weights: &[Weight]) -> WeightSet {
+        weights.iter().copied().collect()
+    }
+
+    fn diff(removed: &[Weight], added: &[Weight]) -> WeightDiff {
+        WeightDiff {
+            removed: ws(removed),
+            added: ws(added),
+        }
+    }
+
+    #[test]
+    fn station_update_delta_roundtrips_with_interning() {
+        let churn = diff(&[w(1, 3)], &[w(2, 3)]);
+        let delta = FilterDelta {
+            entries: vec![
+                (3, churn.clone()),
+                (9, diff(&[Weight::ONE], &[])),
+                (17, churn.clone()),
+                (18, churn.clone()),
+                (40, diff(&[], &[Weight::ONE])),
+            ],
+        };
+        let update = StationUpdate::Delta {
+            epoch: 7,
+            query_totals: vec![100, 250],
+            delta: delta.clone(),
+        };
+        let encoded = encode_station_update(&update).unwrap();
+        assert_eq!(decode_station_update(encoded.clone()).unwrap(), update);
+        // Interning + varint gaps: the repeated churn diff crosses the wire
+        // once and each entry costs a couple of bytes, so the frame stays
+        // well below one uninterned 16-byte weight pair per entry.
+        let header = 1 + 8 + 4 + 2 * 8;
+        let uninterned = 5 * (4 + 2 * 16);
+        assert!(
+            encoded.len() < header + (3 * uninterned) / 4,
+            "delta frame too large: {} bytes",
+            encoded.len()
+        );
+        assert_eq!(update.epoch(), 7);
+        assert!(!delta.is_empty());
+        assert!(FilterDelta::default().is_empty());
+    }
+
+    #[test]
+    fn delta_encoder_rejects_disorder_and_empty_diffs() {
+        let out_of_order = FilterDelta {
+            entries: vec![
+                (9, diff(&[], &[Weight::ONE])),
+                (3, diff(&[], &[Weight::ONE])),
+            ],
+        };
+        assert!(encode_station_update(&StationUpdate::Delta {
+            epoch: 0,
+            query_totals: vec![],
+            delta: out_of_order,
+        })
+        .is_err());
+        let duplicate = FilterDelta {
+            entries: vec![
+                (3, diff(&[], &[Weight::ONE])),
+                (3, diff(&[], &[Weight::ONE])),
+            ],
+        };
+        assert!(encode_station_update(&StationUpdate::Delta {
+            epoch: 0,
+            query_totals: vec![],
+            delta: duplicate,
+        })
+        .is_err());
+        let empty_diff = FilterDelta {
+            entries: vec![(3, WeightDiff::default())],
+        };
+        assert!(encode_station_update(&StationUpdate::Delta {
+            epoch: 0,
+            query_totals: vec![],
+            delta: empty_diff,
+        })
+        .is_err());
+        // Encode/decode symmetry: an overlapping diff is rejected at the
+        // encoder too, so the center can never frame an update every
+        // station would refuse.
+        let overlapping = FilterDelta {
+            entries: vec![(3, diff(&[Weight::ONE], &[Weight::ONE]))],
+        };
+        assert!(encode_station_update(&StationUpdate::Delta {
+            epoch: 0,
+            query_totals: vec![],
+            delta: overlapping,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn overlong_varints_are_rejected_not_truncated() {
+        // A 10-byte varint whose final byte carries payload above bit 63
+        // must error: silently keeping only the low bit would decode a
+        // corrupt frame to wrong positions. Frame: a delta with one dict
+        // weight and one diff, whose single entry's gap varint is hostile.
+        let mut frame = BytesMut::new();
+        frame.put_u8(1);
+        frame.put_u64_le(0);
+        frame.put_u32_le(0);
+        frame.put_u32_le(1); // dict: one weight
+        frame.put_u64_le(1);
+        frame.put_u64_le(2);
+        frame.put_u32_le(1); // one diff
+        frame.put_u16_le(0); // removes nothing
+        frame.put_u16_le(1); // adds weight 0
+        frame.put_u16_le(0);
+        frame.put_u32_le(1); // one entry
+        frame.extend_from_slice(&[0x80; 9]); // gap varint: 9 continuations…
+        frame.put_u8(0x7E); // …then payload bits above the u64 range
+        frame.put_u8(0); // diff ref
+        assert!(decode_station_update(frame.freeze()).is_err());
+    }
+
+    #[test]
+    fn hostile_position_gaps_error_instead_of_wrapping() {
+        // Entry 1 at position 5, entry 2 with gap u64::MAX: the position
+        // reconstruction must error, not overflow (a wraparound would land
+        // back on position 5, double-applying a diff to one position).
+        let mut frame = BytesMut::new();
+        frame.put_u8(1); // delta kind
+        frame.put_u64_le(0); // epoch
+        frame.put_u32_le(0); // totals
+        frame.put_u32_le(1); // dict: one weight
+        frame.put_u64_le(1);
+        frame.put_u64_le(2);
+        frame.put_u32_le(1); // one diff
+        frame.put_u16_le(0); // removes nothing
+        frame.put_u16_le(1); // adds weight 0
+        frame.put_u16_le(0);
+        frame.put_u32_le(2); // two entries
+        frame.put_u8(5); // entry 1: position 5
+        frame.put_u8(0); // diff ref
+        frame.extend_from_slice(&[0xFF; 9]); // entry 2: gap = u64::MAX…
+        frame.put_u8(0x01); // …(canonical 10-byte varint)
+        frame.put_u8(0); // diff ref
+        assert!(decode_station_update(frame.freeze()).is_err());
+    }
+
+    #[test]
+    fn station_update_full_roundtrips() {
+        let update = StationUpdate::Full {
+            epoch: 0,
+            query_totals: vec![42],
+            filter: Bytes::from_static(b"FILTERBYTES"),
+        };
+        let encoded = encode_station_update(&update).unwrap();
+        assert_eq!(decode_station_update(encoded).unwrap(), update);
+    }
+
+    #[test]
+    fn station_update_rejects_structural_corruption() {
+        // Unknown kind byte.
+        let mut raw = encode_station_update(&StationUpdate::Delta {
+            epoch: 1,
+            query_totals: vec![],
+            delta: FilterDelta::default(),
+        })
+        .unwrap()
+        .to_vec();
+        raw[0] = 9;
+        assert!(decode_station_update(Bytes::from(raw)).is_err());
+        // A diff reference outside the table: entry count 1, reference 2
+        // while the table holds nothing.
+        let mut buf = BytesMut::new();
+        buf.put_u8(1); // delta
+        buf.put_u64_le(0); // epoch
+        buf.put_u32_le(0); // totals
+        buf.put_u32_le(0); // dict
+        buf.put_u32_le(0); // diffs
+        buf.put_u32_le(1); // entries
+        buf.put_u8(5); // pos varint
+        buf.put_u8(2); // diff ref → out of range
+        assert!(decode_station_update(buf.freeze()).is_err());
+        // An empty diff in the table.
+        let mut buf = BytesMut::new();
+        buf.put_u8(1);
+        buf.put_u64_le(0);
+        buf.put_u32_le(0);
+        buf.put_u32_le(0); // dict
+        buf.put_u32_le(1); // one diff…
+        buf.put_u16_le(0); // …removing nothing
+        buf.put_u16_le(0); // …and adding nothing
+        buf.put_u32_le(0); // entries
+        assert!(decode_station_update(buf.freeze()).is_err());
+        // A diff that removes and adds the same weight.
+        let mut buf = BytesMut::new();
+        buf.put_u8(1);
+        buf.put_u64_le(0);
+        buf.put_u32_le(0);
+        buf.put_u32_le(1); // dict: one weight
+        buf.put_u64_le(1);
+        buf.put_u64_le(2);
+        buf.put_u32_le(1); // one diff
+        buf.put_u16_le(1); // removes weight 0…
+        buf.put_u16_le(1); // …and adds weight 0
+        buf.put_u16_le(0);
+        buf.put_u16_le(0);
+        buf.put_u32_le(0); // entries
+        assert!(decode_station_update(buf.freeze()).is_err());
     }
 
     #[test]
@@ -659,8 +1390,8 @@ mod tests {
         // The core communication claim: 24 bytes per candidate vs a full
         // pattern (8 bytes × intervals) per user.
         let long = Pattern::from(vec![5u64; 336]); // one week at 30-min slots
-        let shipment = encode_station_data(vec![(UserId(1), &long)]);
-        let report = encode_weight_reports(&[(UserId(1), Weight::ONE)]);
+        let shipment = encode_station_data(vec![(UserId(1), &long)]).unwrap();
+        let report = encode_weight_reports(&[(UserId(1), Weight::ONE)]).unwrap();
         assert!(report.len() * 50 < shipment.len());
     }
 }

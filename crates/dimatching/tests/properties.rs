@@ -107,7 +107,7 @@ proptest! {
             .map(|&(id, a, b)| (UserId(id), Weight::new(a, b).unwrap()))
             .collect();
         let decoded =
-            wire::decode_weight_reports(wire::encode_weight_reports(&reports)).unwrap();
+            wire::decode_weight_reports(wire::encode_weight_reports(&reports).unwrap()).unwrap();
         prop_assert_eq!(decoded, reports);
     }
 
@@ -118,7 +118,7 @@ proptest! {
             .map(|(id, vs)| (UserId(id), Pattern::new(vs)))
             .collect();
         let encoded =
-            wire::encode_station_data(entries.iter().map(|(u, p)| (*u, p)));
+            wire::encode_station_data(entries.iter().map(|(u, p)| (*u, p))).unwrap();
         let decoded = wire::decode_station_data(encoded).unwrap();
         prop_assert_eq!(decoded, entries);
     }

@@ -4,9 +4,39 @@
 //! shard-count mismatches, impossible counts) without over-allocating.
 
 use bytes::Bytes;
+use dipm_core::{Weight, WeightDiff, WeightSet};
 use dipm_protocol::wire;
 use proptest::collection::vec;
 use proptest::prelude::*;
+
+/// A random, non-empty, disjoint weight diff derived from a seed.
+fn weight_diff(seed: u64) -> WeightDiff {
+    let mut removed = WeightSet::new();
+    let mut added = WeightSet::new();
+    for i in 0..(seed % 3 + 1) {
+        let weight = Weight::new(seed % 7 + i + 1, 9).unwrap();
+        if (seed + i) % 2 == 0 {
+            removed.insert(weight);
+        } else {
+            added.insert(weight);
+        }
+    }
+    if removed.is_empty() && added.is_empty() {
+        added.insert(Weight::ONE);
+    }
+    WeightDiff { removed, added }
+}
+
+/// Builds a structurally valid delta from arbitrary position/diff seeds.
+fn delta_from(seeds: &[(u32, u64)]) -> wire::FilterDelta {
+    let mut entries: Vec<(u32, WeightDiff)> = seeds
+        .iter()
+        .map(|&(pos, seed)| (pos, weight_diff(seed)))
+        .collect();
+    entries.sort_by_key(|&(pos, _)| pos);
+    entries.dedup_by_key(|&mut (pos, _)| pos);
+    wire::FilterDelta { entries }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -50,7 +80,7 @@ proptest! {
             .enumerate()
             .map(|(i, body)| (i as u32, Bytes::from(body)))
             .collect();
-        let framed = wire::encode_batch_broadcast(&tagged);
+        let framed = wire::encode_batch_broadcast(&tagged).unwrap();
         prop_assert_eq!(wire::decode_batch_broadcast(framed).unwrap(), tagged);
     }
 
@@ -64,7 +94,7 @@ proptest! {
             .enumerate()
             .map(|(i, body)| (i as u32, Bytes::from(body)))
             .collect();
-        let framed = wire::encode_batch_broadcast(&tagged);
+        let framed = wire::encode_batch_broadcast(&tagged).unwrap();
         let cut = framed.len() * cut_permille / 1000;
         prop_assume!(cut < framed.len());
         // Any strict prefix is missing bytes somewhere: decoding must fail
@@ -81,8 +111,138 @@ proptest! {
         let framed = wire::encode_batch_broadcast(&[
             (id, Bytes::from(body_a)),
             (id, Bytes::from(body_b)),
-        ]);
+        ]).unwrap();
         prop_assert!(wire::decode_batch_broadcast(framed).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected_by_every_decoder(
+        entries in vec((any::<u32>(), any::<u64>()), 0..12),
+        garbage in vec(any::<u8>(), 1..8),
+        epoch in any::<u64>(),
+        totals in vec(any::<u64>(), 0..4),
+    ) {
+        // Helper: a valid frame plus junk must error, never pass silently.
+        fn with_trailing(valid: &Bytes, garbage: &[u8]) -> Bytes {
+            let mut raw = valid.to_vec();
+            raw.extend_from_slice(garbage);
+            Bytes::from(raw)
+        }
+        let users: Vec<dipm_mobilenet::UserId> = entries
+            .iter()
+            .map(|&(q, u)| dipm_mobilenet::UserId(u ^ u64::from(q)))
+            .collect();
+        let weighted: Vec<(dipm_mobilenet::UserId, Weight)> = users
+            .iter()
+            .map(|&u| (u, Weight::new(u.0 % 5 + 1, 7).unwrap()))
+            .collect();
+        let tagged_ids: Vec<(u32, dipm_mobilenet::UserId)> =
+            entries.iter().map(|&(q, u)| (q, dipm_mobilenet::UserId(u))).collect();
+        let tagged_weights: Vec<(u32, dipm_mobilenet::UserId, Weight)> = entries
+            .iter()
+            .map(|&(q, u)| (q, dipm_mobilenet::UserId(u), Weight::new(u % 5 + 1, 7).unwrap()))
+            .collect();
+        let pattern = dipm_timeseries::Pattern::from([1u64, 2, 3]);
+        let station_data: Vec<(dipm_mobilenet::UserId, &dipm_timeseries::Pattern)> =
+            users.iter().map(|&u| (u, &pattern)).collect();
+        let sections: Vec<(u32, Bytes)> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (i as u32, Bytes::from_static(b"SEC")))
+            .collect();
+        let delta = delta_from(&entries);
+        let frames: Vec<Bytes> = vec![
+            wire::encode_weight_reports(&weighted).unwrap(),
+            wire::encode_id_reports(&users).unwrap(),
+            wire::encode_tagged_weight_reports(&tagged_weights).unwrap(),
+            wire::encode_tagged_id_reports(&tagged_ids).unwrap(),
+            wire::encode_station_data(station_data).unwrap(),
+            wire::encode_batch_broadcast(&sections).unwrap(),
+            wire::encode_station_update(&wire::StationUpdate::Delta {
+                epoch,
+                query_totals: totals.clone(),
+                delta,
+            })
+            .unwrap(),
+        ];
+        let decoders: Vec<fn(Bytes) -> bool> = vec![
+            |b| wire::decode_weight_reports(b).is_err(),
+            |b| wire::decode_id_reports(b).is_err(),
+            |b| wire::decode_tagged_weight_reports(b).is_err(),
+            |b| wire::decode_tagged_id_reports(b).is_err(),
+            |b| wire::decode_station_data(b).is_err(),
+            |b| wire::decode_batch_broadcast(b).is_err(),
+            |b| wire::decode_station_update(b).is_err(),
+        ];
+        for (frame, rejects) in frames.iter().zip(&decoders) {
+            prop_assert!(
+                rejects(with_trailing(frame, &garbage)),
+                "trailing bytes passed a decoder silently"
+            );
+        }
+    }
+
+    #[test]
+    fn station_updates_roundtrip(
+        entries in vec((any::<u32>(), any::<u64>()), 0..16),
+        epoch in any::<u64>(),
+        totals in vec(any::<u64>(), 0..5),
+        filter_body in vec(any::<u8>(), 0..40),
+    ) {
+        let delta = delta_from(&entries);
+        let update = wire::StationUpdate::Delta {
+            epoch,
+            query_totals: totals.clone(),
+            delta,
+        };
+        let encoded = wire::encode_station_update(&update).unwrap();
+        prop_assert_eq!(wire::decode_station_update(encoded).unwrap(), update);
+        // Full updates treat the filter bytes as the rest-of-buffer field.
+        let full = wire::StationUpdate::Full {
+            epoch,
+            query_totals: totals,
+            filter: Bytes::from(filter_body),
+        };
+        let encoded = wire::encode_station_update(&full).unwrap();
+        prop_assert_eq!(wire::decode_station_update(encoded).unwrap(), full);
+    }
+
+    #[test]
+    fn random_bytes_never_panic_station_update_decoder(raw in vec(any::<u8>(), 0..300)) {
+        let _ = wire::decode_station_update(Bytes::from(raw));
+    }
+
+    #[test]
+    fn truncated_station_updates_error_never_panic(
+        entries in vec((any::<u32>(), any::<u64>()), 1..10),
+        cut_permille in 0usize..1000,
+    ) {
+        let update = wire::StationUpdate::Delta {
+            epoch: 3,
+            query_totals: vec![10, 20],
+            delta: delta_from(&entries),
+        };
+        let encoded = wire::encode_station_update(&update).unwrap();
+        let cut = encoded.len() * cut_permille / 1000;
+        prop_assume!(cut < encoded.len());
+        prop_assert!(wire::decode_station_update(encoded.slice(0..cut)).is_err());
+    }
+
+    #[test]
+    fn disordered_delta_positions_are_unencodable(
+        entries in vec((any::<u32>(), any::<u64>()), 2..10),
+    ) {
+        // Positions travel as varint gaps, so disorder cannot even be
+        // framed: the encoder rejects it outright.
+        let mut delta = delta_from(&entries);
+        prop_assume!(delta.entries.len() >= 2);
+        delta.entries.swap(0, 1);
+        let update = wire::StationUpdate::Delta {
+            epoch: 0,
+            query_totals: vec![],
+            delta,
+        };
+        prop_assert!(wire::encode_station_update(&update).is_err());
     }
 
     #[test]

@@ -317,6 +317,38 @@ impl Network {
         Ok(delivered)
     }
 
+    /// Broadcasts the same payload to every given node, stamping every copy
+    /// as sent at the given virtual tick.
+    ///
+    /// Streaming epochs use this for delta broadcasts: the data center's
+    /// send time is a fact of the *session's* timeline (the previous
+    /// epoch's makespan), not of whatever the current epoch's fresh clock
+    /// happens to read, so each delta envelope is stamped from the tick the
+    /// center actually reached — and per-epoch makespans accumulate
+    /// deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first unknown or disconnected target.
+    pub fn broadcast_at<I>(
+        &self,
+        from: NodeId,
+        targets: I,
+        class: TrafficClass,
+        payload: &Bytes,
+        sent_at: u64,
+    ) -> Result<usize>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let mut delivered = 0;
+        for node in targets {
+            self.send_at(from, node, class, payload.clone(), sent_at)?;
+            delivered += 1;
+        }
+        Ok(delivered)
+    }
+
     /// The number of registered mailboxes.
     pub fn node_count(&self) -> usize {
         self.inner.mailboxes.lock().len()
@@ -432,6 +464,32 @@ mod tests {
         for mailbox in &boxes {
             assert_eq!(mailbox.drain().len(), 1);
         }
+    }
+
+    #[test]
+    fn broadcast_at_stamps_from_the_given_tick() {
+        let model = LatencyModel {
+            base_ticks: 10,
+            ticks_per_byte: 0,
+            ticks_per_row: 0,
+            jitter_ticks: 0,
+            seed: 0,
+        };
+        let clock = Arc::new(VirtualClock::new());
+        let net = Network::with_latency(model, Arc::clone(&clock));
+        let mailbox = net.register(NodeId(1)).unwrap();
+        net.broadcast_at(
+            DATA_CENTER,
+            [NodeId(1)],
+            TrafficClass::Query,
+            &Bytes::from_static(b"delta"),
+            500,
+        )
+        .unwrap();
+        let env = mailbox.recv().unwrap();
+        assert_eq!(env.sent_at, 500);
+        assert_eq!(env.deliver_at, 510);
+        assert_eq!(net.meter().report().query_bytes, 5);
     }
 
     #[test]

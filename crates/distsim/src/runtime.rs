@@ -17,6 +17,7 @@ use std::sync::Arc;
 use crossbeam::thread;
 
 use crate::clock::VirtualClock;
+use crate::error::{DistSimError, Result};
 use crate::executor::block_on_all;
 
 /// How per-station (or per-shard) work is executed.
@@ -53,38 +54,65 @@ pub enum ExecutionMode {
 }
 
 impl ExecutionMode {
-    /// Reads the mode from the `DIPM_MODE` environment variable, falling
-    /// back to `default` when unset or unparseable.
+    /// Reads the mode from the `DIPM_MODE` environment variable: `default`
+    /// when unset or empty, an error when set to anything outside the
+    /// grammar.
     ///
     /// Accepted forms: `sequential` (or `seq`), `threaded`, `pool:N`,
     /// `async`, `async:N` (`async` alone means one deterministic worker).
     /// The CI example jobs use this to re-run every example under
-    /// [`ExecutionMode::Async`] without code changes.
+    /// [`ExecutionMode::Async`] without code changes — which is exactly why
+    /// a typo must fail loudly instead of silently running the default
+    /// runtime under the wrong label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistSimError::InvalidMode`] when the variable is set to a
+    /// value [`ExecutionMode::parse`] rejects.
     ///
     /// # Examples
     ///
     /// ```
     /// use dipm_distsim::ExecutionMode;
     ///
-    /// // Unset (or unrecognized) falls back to the given default.
-    /// let mode = ExecutionMode::from_env(ExecutionMode::Threaded);
+    /// // Unset (or empty) falls back to the given default.
+    /// let mode = ExecutionMode::from_env(ExecutionMode::Threaded)?;
     /// assert!(matches!(
     ///     mode,
     ///     ExecutionMode::Threaded | ExecutionMode::Sequential
     ///         | ExecutionMode::ThreadPool { .. } | ExecutionMode::Async { .. }
     /// ));
+    /// # Ok::<(), dipm_distsim::DistSimError>(())
     /// ```
-    pub fn from_env(default: ExecutionMode) -> ExecutionMode {
+    pub fn from_env(default: ExecutionMode) -> Result<ExecutionMode> {
         match std::env::var("DIPM_MODE") {
-            // An empty value (e.g. `DIPM_MODE=` or a CI matrix arm setting
-            // "") means "use the default", not a parse error worth warning
-            // about.
-            Ok(value) if value.trim().is_empty() => default,
-            Ok(value) => ExecutionMode::parse(&value).unwrap_or_else(|| {
-                eprintln!("DIPM_MODE={value:?} not recognized; using {default:?}");
-                default
+            Ok(value) => ExecutionMode::from_env_value(Some(&value), default),
+            Err(std::env::VarError::NotPresent) => Ok(default),
+            // Non-UTF-8 is set-but-garbage — the same loud-error class as
+            // a value outside the grammar, never a silent fallback.
+            Err(std::env::VarError::NotUnicode(raw)) => Err(DistSimError::InvalidMode {
+                value: raw.to_string_lossy().into_owned(),
             }),
-            Err(_) => default,
+        }
+    }
+
+    /// The pure core of [`ExecutionMode::from_env`]: resolves an optional
+    /// `DIPM_MODE` value against a default. Split out so the grammar's
+    /// error path is unit-testable without touching process-global
+    /// environment state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistSimError::InvalidMode`] on a non-empty value outside
+    /// the grammar. An unset variable or an empty/whitespace value (e.g. a
+    /// CI matrix arm passing `DIPM_MODE=""`) resolves to `default`.
+    pub fn from_env_value(value: Option<&str>, default: ExecutionMode) -> Result<ExecutionMode> {
+        match value {
+            None => Ok(default),
+            Some(value) if value.trim().is_empty() => Ok(default),
+            Some(value) => ExecutionMode::parse(value).ok_or_else(|| DistSimError::InvalidMode {
+                value: value.to_string(),
+            }),
         }
     }
 
@@ -380,6 +408,64 @@ mod tests {
         assert_eq!(ExecutionMode::parse("pool"), None);
         // `from_env` treats empty as unset (no warning); `parse` rejects it.
         assert_eq!(ExecutionMode::parse(""), None);
+    }
+
+    #[test]
+    fn from_env_value_resolves_the_full_grammar() {
+        let default = ExecutionMode::Threaded;
+        // Unset and empty/whitespace values mean "use the default".
+        assert_eq!(
+            ExecutionMode::from_env_value(None, default),
+            Ok(ExecutionMode::Threaded)
+        );
+        assert_eq!(
+            ExecutionMode::from_env_value(Some(""), default),
+            Ok(ExecutionMode::Threaded)
+        );
+        assert_eq!(
+            ExecutionMode::from_env_value(Some("  "), default),
+            Ok(ExecutionMode::Threaded)
+        );
+        // Every documented form resolves.
+        for (value, expect) in [
+            ("sequential", ExecutionMode::Sequential),
+            ("SEQ", ExecutionMode::Sequential),
+            ("threaded", ExecutionMode::Threaded),
+            ("pool:6", ExecutionMode::ThreadPool { workers: 6 }),
+            ("async", ExecutionMode::Async { workers: 1 }),
+            (" async:3 ", ExecutionMode::Async { workers: 3 }),
+        ] {
+            assert_eq!(
+                ExecutionMode::from_env_value(Some(value), default),
+                Ok(expect)
+            );
+        }
+    }
+
+    #[test]
+    fn from_env_value_rejects_malformed_values_loudly() {
+        let default = ExecutionMode::Sequential;
+        for bad in [
+            "fibers:2",
+            "pool",
+            "pool:",
+            "pool:x",
+            "pool:-1",
+            "async:",
+            "async:two",
+            "Async 3",
+            "seq,threaded",
+        ] {
+            let err = ExecutionMode::from_env_value(Some(bad), default).unwrap_err();
+            assert_eq!(
+                err,
+                DistSimError::InvalidMode {
+                    value: bad.to_string()
+                },
+                "{bad:?} must error, not silently fall back"
+            );
+            assert!(err.to_string().contains("DIPM_MODE"));
+        }
     }
 
     #[test]

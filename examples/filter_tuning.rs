@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             PatternQuery::from_fragments(dataset.fragments(probe.id).unwrap())
         })
         .collect::<Result<_, _>>()?;
-    let mode = ExecutionMode::from_env(ExecutionMode::Async { workers: 4 });
+    let mode = ExecutionMode::from_env(ExecutionMode::Async { workers: 4 })?;
 
     println!("\nsweeping target fpp through the deployed pipeline (batch of 2):");
     println!(

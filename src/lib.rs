@@ -56,15 +56,19 @@ pub use dipm_timeseries as timeseries;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use dipm_core::{BloomFilter, FilterParams, Weight, WeightSet, WeightedBloomFilter};
+    pub use dipm_core::{
+        BloomFilter, CountingWbf, FilterParams, Weight, WeightDiff, WeightSet, WeightedBloomFilter,
+    };
     pub use dipm_distsim::{
         CostReport, ExecutionMode, LatencyModel, LatencyReport, StationLatency,
     };
     pub use dipm_mobilenet::{Category, Dataset, StationId, TraceConfig, UserId, UserSpec};
     pub use dipm_protocol::{
-        aggregate_and_rank, build_wbf, evaluate, run_bloom, run_naive, run_pipeline, run_wbf,
-        BatchOutcome, Bloom, DiMatchingConfig, FilterStrategy, HashScheme, Method, Naive,
-        PatternQuery, PipelineOptions, QueryOutcome, QueryVerdict, SectionGrouping, Shards, Wbf,
+        aggregate_and_rank, build_wbf, evaluate, run_bloom, run_naive, run_pipeline, run_streaming,
+        run_wbf, BatchOutcome, Bloom, DiMatchingConfig, EpochBroadcast, EpochOutcome,
+        FilterStrategy, HashScheme, Method, Naive, PatternQuery, PipelineOptions, QueryOutcome,
+        QueryVerdict, SectionGrouping, Shards, StreamQueryId, StreamingSession, StreamingUpdate,
+        Wbf,
     };
     pub use dipm_timeseries::{
         eps_match, AccumulatedPattern, Pattern, SampledPattern, ToleranceMode,

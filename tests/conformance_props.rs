@@ -140,7 +140,7 @@ proptest! {
             .map(|&(id, a, b)| (UserId(id), Weight::new(a, b).unwrap()))
             .collect();
         let decoded =
-            wire::decode_weight_reports(wire::encode_weight_reports(&reports)).unwrap();
+            wire::decode_weight_reports(wire::encode_weight_reports(&reports).unwrap()).unwrap();
         prop_assert_eq!(decoded, reports);
     }
 
@@ -152,7 +152,7 @@ proptest! {
             .into_iter()
             .map(|(id, vs)| (UserId(id), Pattern::new(vs)))
             .collect();
-        let encoded = wire::encode_station_data(entries.iter().map(|(u, p)| (*u, p)));
+        let encoded = wire::encode_station_data(entries.iter().map(|(u, p)| (*u, p))).unwrap();
         prop_assert_eq!(wire::decode_station_data(encoded).unwrap(), entries);
     }
 
@@ -162,7 +162,7 @@ proptest! {
         payload in vec(any::<u8>(), 0..64),
     ) {
         let filter = Bytes::from(payload);
-        let framed = wire::encode_filter_broadcast(&totals, filter.clone());
+        let framed = wire::encode_filter_broadcast(&totals, filter.clone()).unwrap();
         let (decoded_totals, rest) = wire::decode_filter_broadcast(framed).unwrap();
         prop_assert_eq!(decoded_totals, totals);
         prop_assert_eq!(rest, filter);
