@@ -1,31 +1,58 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [EXPERIMENT…] [--quick] [--users N] [--stations N] [--patterns A,B,C] [--seed S]
+//! repro [EXPERIMENT…] [--quick] [--users N] [--stations N] [--patterns A,B,C]
+//!       [--seed S] [--out DIR] [--check BASELINE.json]
 //!
 //! experiments: fig1a fig1b fig3 convergence fig4 fig4a fig4b fig4c fig4d
-//!              table2 fpp ablation batch latency streaming all   (default: all)
+//!              table2 fpp ablation batch latency streaming scan all   (default: all)
 //! ```
+//!
+//! The sweep experiments (`batch`, `latency`, `streaming`, `scan`) also write
+//! their tables as `BENCH_<experiment>.json` into `--out` (default: the
+//! current directory) — the checked-in perf trajectory every PR updates.
+//! `scan --check BASELINE.json` additionally compares the fresh sweep's
+//! geometric-mean rows/sec against the baseline file and exits non-zero on a
+//! >30 % regression; CI's perf-smoke job runs exactly that.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dipm_bench::{experiments, Report, Scale};
+use dipm_bench::{check, experiments, Report, Scale};
+
+/// Allowed fractional throughput regression before `--check` fails.
+const CHECK_TOLERANCE: f64 = 0.30;
 
 fn print(report: Report) {
     println!("{report}");
 }
 
+/// Writes one experiment's reports as `BENCH_<name>.json` (a JSON array of
+/// report objects) under `out`.
+fn emit_json(out: &std::path::Path, name: &str, reports: &[Report]) {
+    let body: Vec<String> = reports.iter().map(Report::to_json).collect();
+    let payload = format!("[\n{}]\n", body.join(","));
+    let path = out.join(format!("BENCH_{name}.json"));
+    match std::fs::write(&path, payload) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [fig1a|fig1b|fig3|convergence|fig4|fig4a|fig4b|fig4c|fig4d|table2|fpp|ablation|batch|latency|streaming|all]…"
+        "usage: repro [fig1a|fig1b|fig3|convergence|fig4|fig4a|fig4b|fig4c|fig4d|table2|fpp|ablation|batch|latency|streaming|scan|all]…"
     );
     eprintln!("       [--quick] [--users N] [--stations N] [--patterns A,B,C] [--seed S]");
+    eprintln!("       [--out DIR] [--check BASELINE.json]");
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
     let mut scale = Scale::default();
     let mut experiments_requested: Vec<String> = Vec::new();
+    let mut out_dir = PathBuf::from(".");
+    let mut check_baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -53,6 +80,14 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 }
             }
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => return usage(),
+            },
+            "--check" => match args.next() {
+                Some(path) => check_baseline = Some(PathBuf::from(path)),
+                None => return usage(),
+            },
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -65,6 +100,7 @@ fn main() -> ExitCode {
         experiments_requested.push("all".to_string());
     }
 
+    let mut check_failed = false;
     for name in &experiments_requested {
         match name.as_str() {
             "fig1a" => print(experiments::fig1a()),
@@ -94,11 +130,62 @@ fn main() -> ExitCode {
             "fpp" => print(experiments::fpp(scale.seed)),
             "ablation" => print(experiments::ablation(&scale)),
             "batch" => {
-                print(experiments::batch_scaling(&scale));
-                print(experiments::shard_scaling(&scale));
+                let reports = [
+                    experiments::batch_scaling(&scale),
+                    experiments::shard_scaling(&scale),
+                ];
+                for r in &reports {
+                    print(r.clone());
+                }
+                emit_json(&out_dir, "batch", &reports);
             }
-            "latency" => print(experiments::latency(&scale)),
-            "streaming" => print(experiments::streaming(&scale)),
+            "latency" => {
+                let report = experiments::latency(&scale);
+                print(report.clone());
+                emit_json(&out_dir, "latency", std::slice::from_ref(&report));
+            }
+            "streaming" => {
+                let report = experiments::streaming(&scale);
+                print(report.clone());
+                emit_json(&out_dir, "streaming", std::slice::from_ref(&report));
+            }
+            "scan" => {
+                eprintln!("running scan microbench sweep (seed {})…", scale.seed);
+                let report = experiments::scan(&scale);
+                print(report.clone());
+                emit_json(&out_dir, "scan", std::slice::from_ref(&report));
+                if let Some(baseline_path) = &check_baseline {
+                    let current =
+                        check::geomean(&check::extract_column(&report.to_json(), "rows_per_sec"));
+                    match std::fs::read_to_string(baseline_path) {
+                        Ok(baseline_json) => {
+                            let verdict = check::check_regression(
+                                &baseline_json,
+                                "rows_per_sec",
+                                current,
+                                CHECK_TOLERANCE,
+                            );
+                            eprintln!(
+                                "perf check: baseline {:.0} rows/s, current {:.0} rows/s ({:.0}% of baseline) → {}",
+                                verdict.baseline,
+                                verdict.current,
+                                verdict.ratio * 100.0,
+                                if verdict.pass { "PASS" } else { "FAIL" },
+                            );
+                            if !verdict.pass {
+                                check_failed = true;
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "error: could not read baseline {}: {e}",
+                                baseline_path.display()
+                            );
+                            check_failed = true;
+                        }
+                    }
+                }
+            }
             "all" => {
                 print(experiments::fig1a());
                 print(experiments::fig1b(&scale));
@@ -116,13 +203,26 @@ fn main() -> ExitCode {
                 print(experiments::table2(scale.seed));
                 print(experiments::fpp(scale.seed));
                 print(experiments::ablation(&scale));
-                print(experiments::batch_scaling(&scale));
-                print(experiments::shard_scaling(&scale));
-                print(experiments::latency(&scale));
-                print(experiments::streaming(&scale));
+                let batch = [
+                    experiments::batch_scaling(&scale),
+                    experiments::shard_scaling(&scale),
+                ];
+                for r in &batch {
+                    print(r.clone());
+                }
+                emit_json(&out_dir, "batch", &batch);
+                let latency = experiments::latency(&scale);
+                print(latency.clone());
+                emit_json(&out_dir, "latency", std::slice::from_ref(&latency));
+                let streaming = experiments::streaming(&scale);
+                print(streaming.clone());
+                emit_json(&out_dir, "streaming", std::slice::from_ref(&streaming));
             }
             _ => return usage(),
         }
+    }
+    if check_failed {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

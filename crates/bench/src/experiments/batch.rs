@@ -19,7 +19,7 @@ use dipm_protocol::{
     run_pipeline, BatchOutcome, DiMatchingConfig, PatternQuery, PipelineOptions, Shards, Wbf,
 };
 
-use crate::report::Report;
+use crate::report::{Cell, Report};
 use crate::scale::Scale;
 
 fn queries(dataset: &Dataset, count: usize) -> Vec<PatternQuery> {
@@ -84,14 +84,14 @@ pub fn batch_scaling(scale: &Scale) -> Report {
             single_bcast += one.cost.query_bytes;
             single_elapsed += one.elapsed;
         }
-        report.row([
-            format!("{q}"),
-            format!("{}", batched.cost.scan_passes),
-            format!("{single_passes}"),
-            format!("{}", batched.cost.query_bytes / 1024),
-            format!("{}", single_bcast / 1024),
-            format!("{:.3}", batched.elapsed.as_secs_f64()),
-            format!("{:.3}", single_elapsed.as_secs_f64()),
+        report.row_cells([
+            Cell::int(q as u64),
+            Cell::int(batched.cost.scan_passes),
+            Cell::int(single_passes),
+            Cell::int(batched.cost.query_bytes / 1024),
+            Cell::int(single_bcast / 1024),
+            Cell::float(batched.elapsed.as_secs_f64(), 3),
+            Cell::float(single_elapsed.as_secs_f64(), 3),
         ]);
     }
     report.note(format!(
@@ -129,12 +129,12 @@ pub fn shard_scaling(scale: &Scale) -> Report {
                 reference.cost.mode_invariant(),
                 "shard layout or mode leaked into the metered bytes"
             );
-            report.row([
-                format!("{shards}"),
-                label.to_string(),
-                format!("{}", outcome.cost.total_bytes() / 1024),
-                format!("{}", outcome.cost.scan_passes),
-                format!("{:.3}", outcome.elapsed.as_secs_f64()),
+            report.row_cells([
+                Cell::int(shards as u64),
+                Cell::text(label),
+                Cell::int(outcome.cost.total_bytes() / 1024),
+                Cell::int(outcome.cost.scan_passes),
+                Cell::float(outcome.elapsed.as_secs_f64(), 3),
             ]);
         }
     }
@@ -152,10 +152,12 @@ mod tests {
         scale.users = 200;
         let report = batch_scaling(&scale);
         assert_eq!(report.rows.len(), 4);
-        for row in &report.rows {
-            let q: u64 = row[0].parse().unwrap();
-            let batch_passes: u64 = row[1].parse().unwrap();
-            let single_passes: u64 = row[2].parse().unwrap();
+        for r in 0..report.rows.len() {
+            // Typed cells: read the measured numbers directly instead of
+            // re-parsing the rendered table strings.
+            let q = report.value(r, 0).unwrap() as u64;
+            let batch_passes = report.value(r, 1).unwrap() as u64;
+            let single_passes = report.value(r, 2).unwrap() as u64;
             assert_eq!(batch_passes, scale.stations as u64);
             assert_eq!(single_passes, q * scale.stations as u64);
         }

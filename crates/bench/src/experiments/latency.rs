@@ -24,7 +24,7 @@ use dipm_protocol::{
     run_pipeline, BatchOutcome, DiMatchingConfig, PatternQuery, PipelineOptions, Shards, Wbf,
 };
 
-use crate::report::Report;
+use crate::report::{Cell, Report};
 use crate::scale::Scale;
 
 fn queries(dataset: &Dataset, count: usize) -> Vec<PatternQuery> {
@@ -112,13 +112,13 @@ pub fn latency(scale: &Scale) -> Report {
                 .map(|s| s.report_delivered)
                 .min()
                 .unwrap_or(0);
-            report.row([
-                format!("{}", dataset.stations().len()),
-                format!("{base_ticks}"),
-                format!("{:.1}", latency.makespan_ticks as f64 / 1000.0),
-                format!("{:.1}k", slowest as f64 / 1000.0),
-                format!("{:.1}k", fastest as f64 / 1000.0),
-                format!("{}", outcome.cost.query_bytes / 1024),
+            report.row_cells([
+                Cell::int(dataset.stations().len() as u64),
+                Cell::int(base_ticks),
+                Cell::float(latency.makespan_ticks as f64 / 1000.0, 1),
+                Cell::rendered(slowest as f64, format!("{:.1}k", slowest as f64 / 1000.0)),
+                Cell::rendered(fastest as f64, format!("{:.1}k", fastest as f64 / 1000.0)),
+                Cell::int(outcome.cost.query_bytes / 1024),
             ]);
         }
     }
@@ -145,10 +145,10 @@ mod tests {
             "virtual-clock readings must reproduce exactly"
         );
         // Within each station count, makespan grows with the link budget.
-        for block in first.rows.chunks(3) {
-            let makespans: Vec<f64> = block
-                .iter()
-                .map(|row| row[2].parse::<f64>().unwrap())
+        // Typed cells carry the unrounded reading — no string re-parsing.
+        for base in (0..first.rows.len()).step_by(3) {
+            let makespans: Vec<f64> = (base..base + 3)
+                .map(|r| first.value(r, 2).unwrap())
                 .collect();
             assert!(
                 makespans.windows(2).all(|w| w[0] < w[1]),

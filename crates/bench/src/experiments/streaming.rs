@@ -26,7 +26,7 @@ use dipm_protocol::{
     DiMatchingConfig, EpochBroadcast, PatternQuery, PipelineOptions, StreamingSession,
 };
 
-use crate::report::Report;
+use crate::report::{Cell, Report};
 use crate::scale::Scale;
 
 /// Standing-query count for the sweep.
@@ -130,13 +130,14 @@ pub fn streaming(scale: &Scale) -> Report {
         let avg_delta = point.epochs.iter().map(|&(d, _, _)| d).sum::<u64>() as f64 / n;
         let avg_rebuild = point.epochs.iter().map(|&(_, r, _)| r).sum::<u64>() as f64 / n;
         let avg_entries = point.epochs.iter().map(|&(_, _, e)| e).sum::<usize>() as f64 / n;
-        report.row([
-            format!("{}", point.churn),
-            format!("{:.0}%", point.churn as f64 * 100.0 / STANDING as f64),
-            format!("{avg_entries:.0}"),
-            format!("{:.1}", avg_delta / 1024.0),
-            format!("{:.1}", avg_rebuild / 1024.0),
-            format!("{:.2}", avg_delta / avg_rebuild),
+        let rate = point.churn as f64 * 100.0 / STANDING as f64;
+        report.row_cells([
+            Cell::int(point.churn as u64),
+            Cell::rendered(rate, format!("{rate:.0}%")),
+            Cell::float(avg_entries, 0),
+            Cell::float(avg_delta / 1024.0, 1),
+            Cell::float(avg_rebuild / 1024.0, 1),
+            Cell::float(avg_delta / avg_rebuild, 2),
         ]);
     }
     report.note(format!(

@@ -20,9 +20,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod check;
 pub mod experiments;
 mod report;
 mod scale;
 
-pub use report::Report;
+pub use report::{Cell, Report};
 pub use scale::Scale;

@@ -3,8 +3,59 @@
 //! Every experiment produces a [`Report`]: the paper's claim, a table of
 //! measured rows, and free-form notes. The `repro` binary prints them; the
 //! same structures back `EXPERIMENTS.md`.
+//!
+//! Rows come in two flavours. [`Report::row`] records display strings only
+//! (the original API, still used by the paper-figure tables). Sweeps whose
+//! numbers feed later machinery — JSON emission, regression gates, unit
+//! tests — use [`Report::row_cells`] with typed [`Cell`]s instead, so the
+//! measured values survive alongside their rendering and never need to be
+//! re-parsed out of a formatted string.
 
 use std::fmt;
+
+/// One table cell: the display string plus the typed value it was rendered
+/// from (`None` for purely textual cells such as mode labels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// What the table prints.
+    pub text: String,
+    /// The number the text was formatted from, if the cell is numeric.
+    pub value: Option<f64>,
+}
+
+impl Cell {
+    /// A purely textual cell (no typed value).
+    pub fn text(text: impl Into<String>) -> Cell {
+        Cell {
+            text: text.into(),
+            value: None,
+        }
+    }
+
+    /// An integer-valued cell, displayed in plain decimal.
+    pub fn int(value: u64) -> Cell {
+        Cell {
+            text: value.to_string(),
+            value: Some(value as f64),
+        }
+    }
+
+    /// A float-valued cell displayed with `precision` decimal places.
+    pub fn float(value: f64, precision: usize) -> Cell {
+        Cell {
+            text: format!("{value:.precision$}"),
+            value: Some(value),
+        }
+    }
+
+    /// A float-valued cell with a custom rendering.
+    pub fn rendered(value: f64, text: impl Into<String>) -> Cell {
+        Cell {
+            text: text.into(),
+            value: Some(value),
+        }
+    }
+}
 
 /// One regenerated table or figure.
 #[derive(Debug, Clone, Default)]
@@ -17,8 +68,11 @@ pub struct Report {
     pub claim: String,
     /// Column headers.
     pub columns: Vec<String>,
-    /// Table rows.
+    /// Table rows (display strings).
     pub rows: Vec<Vec<String>>,
+    /// Typed mirror of [`Report::rows`]: one value per cell, `None` where
+    /// the cell is textual or the row was recorded display-only.
+    pub values: Vec<Vec<Option<f64>>>,
     /// Additional observations.
     pub notes: Vec<String>,
 }
@@ -48,20 +102,124 @@ impl Report {
         self
     }
 
-    /// Appends one row.
+    /// Appends one display-only row.
     pub fn row<I, S>(&mut self, row: I) -> &mut Report
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.rows.push(row.into_iter().map(Into::into).collect());
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        self.values.push(vec![None; row.len()]);
+        self.rows.push(row);
         self
+    }
+
+    /// Appends one typed row: the display strings and the measured values
+    /// travel together.
+    pub fn row_cells<I>(&mut self, row: I) -> &mut Report
+    where
+        I: IntoIterator<Item = Cell>,
+    {
+        let (texts, values): (Vec<String>, Vec<Option<f64>>) =
+            row.into_iter().map(|c| (c.text, c.value)).unzip();
+        self.rows.push(texts);
+        self.values.push(values);
+        self
+    }
+
+    /// The typed value of cell `(row, col)`, if that cell carries one.
+    pub fn value(&self, row: usize, col: usize) -> Option<f64> {
+        self.values.get(row)?.get(col).copied().flatten()
     }
 
     /// Appends a note line.
     pub fn note(&mut self, note: impl Into<String>) -> &mut Report {
         self.notes.push(note.into());
         self
+    }
+
+    /// Serializes the report as a JSON object: metadata plus one object per
+    /// row keyed by column header, numeric where the row was recorded with
+    /// typed cells. This is the payload of the checked-in `BENCH_*.json`
+    /// perf-trajectory files.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_string(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str(&format!("  \"claim\": {},\n", json_string(&self.claim)));
+        out.push_str("  \"columns\": [");
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(c));
+        }
+        out.push_str("],\n  \"rows\": [\n");
+        for (r, row) in self.rows.iter().enumerate() {
+            out.push_str("    {");
+            for (c, text) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push_str(", ");
+                }
+                let key = self
+                    .columns
+                    .get(c)
+                    .cloned()
+                    .unwrap_or_else(|| format!("col{c}"));
+                out.push_str(&json_string(&key));
+                out.push_str(": ");
+                match self.value(r, c) {
+                    Some(v) => out.push_str(&json_number(v)),
+                    None => out.push_str(&json_string(text)),
+                }
+            }
+            out.push('}');
+            if r + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"notes\": [");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(n));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string into a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a finite f64 as a JSON number (integers without a fraction).
+fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
     }
 }
 
@@ -129,5 +287,55 @@ mod tests {
     fn empty_report_renders() {
         let r = Report::new("id", "t", "c");
         assert!(!r.to_string().is_empty());
+    }
+
+    #[test]
+    fn typed_rows_carry_values_alongside_display() {
+        let mut r = Report::new("id", "t", "c");
+        r.columns(["n", "rate", "mode"]).row_cells([
+            Cell::int(42),
+            Cell::float(0.125, 2),
+            Cell::text("seq"),
+        ]);
+        assert_eq!(r.rows[0], vec!["42", "0.12", "seq"]);
+        assert_eq!(r.value(0, 0), Some(42.0));
+        assert_eq!(r.value(0, 1), Some(0.125), "value survives rounding");
+        assert_eq!(r.value(0, 2), None, "textual cells have no value");
+    }
+
+    #[test]
+    fn display_only_rows_have_no_values() {
+        let mut r = Report::new("id", "t", "c");
+        r.row(["1", "2"]);
+        assert_eq!(r.value(0, 0), None);
+        assert_eq!(r.value(0, 1), None);
+    }
+
+    #[test]
+    fn json_roundtrips_numbers_and_escapes_strings() {
+        let mut r = Report::new("Scan", "hot \"scan\"", "fast");
+        r.columns(["rows", "mode"])
+            .row_cells([Cell::int(1000), Cell::text("seq\n")])
+            .note("line");
+        let json = r.to_json();
+        assert!(json.contains("\"rows\": 1000"), "{json}");
+        assert!(json.contains("\\\"scan\\\""), "{json}");
+        assert!(json.contains("seq\\n"), "{json}");
+        assert!(json.contains("\"notes\": [\"line\"]"), "{json}");
+    }
+
+    #[test]
+    fn json_number_rendering() {
+        assert_eq!(json_number(3.0), "3");
+        assert_eq!(json_number(0.5), "0.5");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(1e18), "1000000000000000000");
+    }
+
+    #[test]
+    fn rendered_cell_keeps_custom_text() {
+        let c = Cell::rendered(1536.0, "1.5k");
+        assert_eq!(c.text, "1.5k");
+        assert_eq!(c.value, Some(1536.0));
     }
 }

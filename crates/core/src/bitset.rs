@@ -169,6 +169,37 @@ impl BitSet {
         Ok(())
     }
 
+    /// Tests whether *every* probed bit is set, working at word level: probe
+    /// masks landing in the same word are merged into one load, and the scan
+    /// short-circuits on the first cleared bit. This is the hot-path
+    /// membership pre-test that lets a filter miss return before any weight
+    /// table is touched.
+    ///
+    /// Indices must be in range (`debug_assert`ed); the probe sequences
+    /// produced by [`HashFamily::probes`](crate::HashFamily::probes) over
+    /// this set's length always are.
+    pub fn contains_probes<I>(&self, probes: I) -> bool
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let mut word_idx = usize::MAX;
+        let mut pending = 0u64;
+        for index in probes {
+            debug_assert!(index < self.len, "bit index {index} out of range");
+            let (word, mask) = (index / 64, 1u64 << (index % 64));
+            if word == word_idx {
+                pending |= mask;
+            } else {
+                if word_idx != usize::MAX && self.words[word_idx] & pending != pending {
+                    return false;
+                }
+                word_idx = word;
+                pending = mask;
+            }
+        }
+        word_idx == usize::MAX || self.words[word_idx] & pending == pending
+    }
+
     /// Iterates over the indices of set bits in ascending order.
     pub fn iter_ones(&self) -> Ones<'_> {
         Ones {
@@ -300,6 +331,35 @@ mod tests {
         }
         let collected: Vec<usize> = bits.iter_ones().collect();
         assert_eq!(collected, idx);
+    }
+
+    #[test]
+    fn contains_probes_matches_per_bit_gets() {
+        let mut bits = BitSet::new(300);
+        for i in [0usize, 5, 63, 64, 70, 128, 299] {
+            bits.set(i);
+        }
+        // Exhaustive small cases, including same-word repeats and duplicates.
+        let cases: Vec<Vec<usize>> = vec![
+            vec![],
+            vec![0],
+            vec![1],
+            vec![0, 5],       // same word, both set
+            vec![0, 1],       // same word, one clear
+            vec![63, 64],     // adjacent words
+            vec![0, 64, 128], // one per word
+            vec![0, 0, 5, 5], // duplicates
+            vec![299, 0, 70], // unordered
+            vec![299, 298],
+        ];
+        for probes in cases {
+            let expected = probes.iter().all(|&i| bits.get(i));
+            assert_eq!(
+                bits.contains_probes(probes.iter().copied()),
+                expected,
+                "probes {probes:?}"
+            );
+        }
     }
 
     #[test]

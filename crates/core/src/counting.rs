@@ -20,8 +20,9 @@ use std::collections::BTreeMap;
 
 use crate::error::{CoreError, Result};
 use crate::filter::FilterCore;
-use crate::hash::HashFamily;
+use crate::hash::{HashFamily, Probes};
 use crate::params::FilterParams;
+use crate::probe::{self, ProbeTable, QueryScratch};
 use crate::wbf::WeightedBloomFilter;
 use crate::weight::Weight;
 use crate::weight_set::WeightSet;
@@ -255,23 +256,19 @@ impl CountingWbf {
 
     /// Queries a single key: `None` if any probed position is empty,
     /// otherwise the intersection of the probed positions' visible weight
-    /// sets — identical semantics to [`WeightedBloomFilter::query`].
+    /// sets — identical semantics to [`WeightedBloomFilter::query`] (both
+    /// run the same shared probe core: occupancy of all positions is tested
+    /// before any weight is read).
     pub fn query(&self, key: u64) -> Option<WeightSet> {
-        let mut acc: Option<WeightSet> = None;
-        for idx in self.family.probes(key, self.bit_len) {
-            let position = self.counts.get(&(idx as u32))?;
-            let set: WeightSet = position.keys().copied().collect();
-            match &mut acc {
-                None => acc = Some(set),
-                Some(current) => {
-                    current.intersect_with(&set);
-                    if current.is_empty() {
-                        return Some(WeightSet::new());
-                    }
-                }
-            }
-        }
-        acc
+        let mut out = WeightSet::new();
+        probe::query_into(self, key, &mut out).map(|()| out)
+    }
+
+    /// Allocation-free [`CountingWbf::query`]: the intersection is written
+    /// into `out` (cleared and overwritten, capacity reused) — identical
+    /// semantics to [`WeightedBloomFilter::query_into`].
+    pub fn query_into(&self, key: u64, out: &mut WeightSet) -> Option<()> {
+        probe::query_into(self, key, out)
     }
 
     /// Queries a sequence of keys, returning the weights common to every
@@ -280,30 +277,25 @@ impl CountingWbf {
     pub fn query_sequence<I>(&self, keys: I) -> Option<WeightSet>
     where
         I: IntoIterator<Item = u64>,
+        I::IntoIter: Clone,
     {
-        let mut acc: Option<WeightSet> = None;
-        let mut saw_any = false;
-        for key in keys {
-            saw_any = true;
-            let point = self.query(key)?;
-            if point.is_empty() {
-                return Some(WeightSet::new());
-            }
-            match &mut acc {
-                None => acc = Some(point),
-                Some(current) => {
-                    current.intersect_with(&point);
-                    if current.is_empty() {
-                        return Some(WeightSet::new());
-                    }
-                }
-            }
-        }
-        if saw_any {
-            acc
-        } else {
-            None
-        }
+        let mut scratch = QueryScratch::new();
+        self.query_sequence_into(keys, &mut scratch).cloned()
+    }
+
+    /// Allocation-free [`CountingWbf::query_sequence`] — identical semantics
+    /// to [`WeightedBloomFilter::query_sequence_into`], running the same
+    /// shared probe core against the refcounted positions.
+    pub fn query_sequence_into<'s, I>(
+        &'s self,
+        keys: I,
+        scratch: &'s mut QueryScratch,
+    ) -> Option<&'s WeightSet>
+    where
+        I: IntoIterator<Item = u64>,
+        I::IntoIter: Clone,
+    {
+        probe::query_sequence_into(self, keys, scratch)
     }
 
     /// The membership projection: an ordinary [`WeightedBloomFilter`]
@@ -377,6 +369,24 @@ impl CountingWbf {
     /// The total number of live `(position, weight)` attachments.
     pub fn weight_entries(&self) -> usize {
         self.counts.values().map(BTreeMap::len).sum()
+    }
+}
+
+impl ProbeTable for CountingWbf {
+    type Weights<'a> = std::iter::Copied<std::collections::btree_map::Keys<'a, Weight, u32>>;
+
+    fn geometry(&self) -> (&HashFamily, usize) {
+        (&self.family, self.bit_len)
+    }
+
+    fn occupied(&self, mut probes: Probes) -> bool {
+        probes.all(|idx| self.counts.contains_key(&(idx as u32)))
+    }
+
+    fn weights_at(&self, idx: usize) -> Option<Self::Weights<'_>> {
+        self.counts
+            .get(&(idx as u32))
+            .map(|position| position.keys().copied())
     }
 }
 

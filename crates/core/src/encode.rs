@@ -163,7 +163,7 @@ pub fn decode_bloom(mut data: Bytes) -> Result<BloomFilter> {
 /// repeating 16-byte rationals.
 fn weight_dictionary(filter: &WeightedBloomFilter) -> Vec<Weight> {
     let mut dict = WeightSet::new();
-    for set in filter.weight_table().values() {
+    for (_, set) in filter.weight_positions() {
         dict.union_with(set);
     }
     dict.iter().collect()
@@ -187,8 +187,8 @@ fn intern(filter: &WeightedBloomFilter) -> Result<Interned> {
     }
     let mut sets: Vec<Vec<u16>> = Vec::new();
     let mut index: std::collections::HashMap<Vec<u16>, u32> = std::collections::HashMap::new();
-    let mut per_bit = Vec::with_capacity(filter.weight_table().len());
-    for set in filter.weight_table().values() {
+    let mut per_bit = Vec::with_capacity(filter.bits().count_ones());
+    for (_, set) in filter.weight_positions() {
         if set.len() > u16::MAX as usize {
             return Err(CoreError::invalid_params(
                 "more weights on one bit than the wire format supports",

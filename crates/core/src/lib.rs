@@ -59,6 +59,7 @@ mod error;
 mod filter;
 mod hash;
 mod params;
+mod probe;
 mod wbf;
 mod weight;
 mod weight_set;
@@ -70,6 +71,7 @@ pub use error::{CoreError, Result};
 pub use filter::FilterCore;
 pub use hash::{mix64, tagged_key, HashFamily, Probes};
 pub use params::{FilterParams, MAX_BITS, MAX_HASHES};
+pub use probe::QueryScratch;
 pub use wbf::WeightedBloomFilter;
 pub use weight::{sum_weights, Weight};
 pub use weight_set::WeightSet;

@@ -1,0 +1,211 @@
+//! The shared weighted-probe core (Algorithm 2, lines 3–15).
+//!
+//! [`WeightedBloomFilter`](crate::WeightedBloomFilter) and
+//! [`CountingWbf`](crate::CountingWbf) answer queries with identical
+//! semantics — reject unless every probed position is occupied and one
+//! weight is common to all of them — so the matching loop lives here once,
+//! generic over a [`ProbeTable`], instead of being maintained twice.
+//!
+//! The loop is built for the station-side scan, where almost every candidate
+//! misses:
+//!
+//! 1. **Membership first.** The *entire sequence's* occupancy is tested —
+//!    all `k` probes of every key, word-level against the bit array for the
+//!    plain filter — before any weight set is read, so a miss row costs a
+//!    few masked loads and never touches the weight table. The weight fold
+//!    only ever runs on candidates whose every sampled point is present.
+//! 2. **Borrow until a copy is forced.** The first occupied probe's weight
+//!    set is borrowed from the table; only a second, different probe forces
+//!    materializing an intersection — and that lands in the caller's
+//!    reusable [`QueryScratch`], never in a fresh allocation. With `k = 1`,
+//!    or when every probe of the sequence lands on one position, the result
+//!    is returned as a borrow of the table itself.
+//! 3. **Early reject.** Once the running intersection is empty it can never
+//!    grow, so the scan stops and reports the weight-inconsistent reject.
+//!
+//! Membership-first ordering is a deliberate (and documented) refinement of
+//! the seed implementation, which interleaved bit tests and intersections
+//! key-by-key and could answer `Some(∅)` where this core answers `None`
+//! (an empty running intersection used to exit before a later key's missing
+//! bit was seen) — both are rejects, and accepted candidates return the
+//! exact same set.
+
+use crate::hash::{HashFamily, Probes};
+use crate::weight::Weight;
+use crate::weight_set::WeightSet;
+
+/// Reusable scratch for [`query_sequence_into`] — owns the running
+/// intersection so repeated queries share one heap buffer.
+///
+/// Create it once per scan loop and pass it to every call; the buffer's
+/// capacity converges to the largest weight set encountered and the hot
+/// path stops allocating entirely.
+#[derive(Debug, Clone, Default)]
+pub struct QueryScratch {
+    pub(crate) acc: WeightSet,
+}
+
+impl QueryScratch {
+    /// Creates an empty scratch buffer.
+    pub fn new() -> QueryScratch {
+        QueryScratch::default()
+    }
+}
+
+/// A probe-addressable table of weight sets: the storage interface both
+/// filter variants expose to the shared query core.
+pub(crate) trait ProbeTable {
+    /// Sorted iterator over the weights attached at one position.
+    type Weights<'a>: Iterator<Item = Weight>
+    where
+        Self: 'a;
+
+    /// The hash family and table length defining probe sequences.
+    fn geometry(&self) -> (&HashFamily, usize);
+
+    /// Whether every probed position is occupied. Implementations should
+    /// make this the cheap path — it gates every weight-table access.
+    fn occupied(&self, probes: Probes) -> bool;
+
+    /// The weights at `idx`, ascending; `None` if the position is empty.
+    fn weights_at(&self, idx: usize) -> Option<Self::Weights<'_>>;
+
+    /// A borrowable materialized weight set at `idx`, when the table stores
+    /// one (the plain filter does; the counting filter synthesizes sets from
+    /// refcounts and returns `None`).
+    fn set_at(&self, idx: usize) -> Option<&WeightSet> {
+        let _ = idx;
+        None
+    }
+}
+
+/// The running intersection state: borrowing from the table until a second
+/// distinct probe forces an owned copy in the scratch buffer.
+enum Acc<'a> {
+    Start,
+    Borrowed(&'a WeightSet),
+    Owned,
+}
+
+/// Queries one key into `out` (cleared and overwritten). `None` if any
+/// probed position is unoccupied; otherwise `Some(())` with the probes'
+/// weight intersection in `out` (empty = weight-inconsistent reject).
+pub(crate) fn query_into<T: ProbeTable>(table: &T, key: u64, out: &mut WeightSet) -> Option<()> {
+    let (family, len) = table.geometry();
+    let probes = family.probes(key, len);
+    if !table.occupied(probes.clone()) {
+        return None;
+    }
+    // Defer reading the first probe's weights: until a second distinct
+    // position shows up, no intersection (and so no copy) is needed.
+    let mut deferred: Option<usize> = None;
+    let mut owned = false;
+    for idx in probes {
+        if owned {
+            out.intersect_with_sorted(table.weights_at(idx).expect("occupied position"));
+            if out.is_empty() {
+                return Some(());
+            }
+            continue;
+        }
+        match deferred {
+            None => deferred = Some(idx),
+            Some(first) if first == idx => {}
+            Some(first) => {
+                match table.set_at(first) {
+                    Some(set) => out.assign_intersection_sorted(
+                        set,
+                        table.weights_at(idx).expect("occupied position"),
+                    ),
+                    None => {
+                        out.assign_sorted(table.weights_at(first).expect("occupied position"));
+                        out.intersect_with_sorted(
+                            table.weights_at(idx).expect("occupied position"),
+                        );
+                    }
+                }
+                owned = true;
+                if out.is_empty() {
+                    return Some(());
+                }
+            }
+        }
+    }
+    if !owned {
+        let first = deferred.expect("hash families have at least one probe");
+        out.assign_sorted(table.weights_at(first).expect("occupied position"));
+    }
+    Some(())
+}
+
+/// Queries a key sequence (the `b` sampled points of one candidate) and
+/// returns the weights common to every point, or `None` if any point fails
+/// the membership test. The returned reference borrows from `scratch` — or
+/// directly from the table when no copy was ever forced.
+///
+/// Membership of *every* key is tested before any weight set is read
+/// (`I::IntoIter: Clone` pays for the second pass), so the dominant case —
+/// a candidate with at least one unknown point — costs only word-level bit
+/// probes, and the weight fold runs exclusively on candidates whose whole
+/// sequence is present.
+pub(crate) fn query_sequence_into<'s, T, I>(
+    table: &'s T,
+    keys: I,
+    scratch: &'s mut QueryScratch,
+) -> Option<&'s WeightSet>
+where
+    T: ProbeTable,
+    I: IntoIterator<Item = u64>,
+    I::IntoIter: Clone,
+{
+    let (family, len) = table.geometry();
+    let keys = keys.into_iter();
+    for key in keys.clone() {
+        if !table.occupied(family.probes(key, len)) {
+            return None;
+        }
+    }
+    let mut acc = Acc::Start;
+    for key in keys {
+        for idx in family.probes(key, len) {
+            match acc {
+                Acc::Start => match table.set_at(idx) {
+                    Some(set) => acc = Acc::Borrowed(set),
+                    None => {
+                        scratch
+                            .acc
+                            .assign_sorted(table.weights_at(idx).expect("occupied position"));
+                        acc = Acc::Owned;
+                    }
+                },
+                Acc::Borrowed(first) => {
+                    match table.set_at(idx) {
+                        Some(set) if std::ptr::eq(set, first) => continue,
+                        Some(set) => scratch.acc.assign_intersection(first, set),
+                        None => scratch.acc.assign_intersection_sorted(
+                            first,
+                            table.weights_at(idx).expect("occupied position"),
+                        ),
+                    }
+                    acc = Acc::Owned;
+                    if scratch.acc.is_empty() {
+                        return Some(&scratch.acc);
+                    }
+                }
+                Acc::Owned => {
+                    scratch
+                        .acc
+                        .intersect_with_sorted(table.weights_at(idx).expect("occupied position"));
+                    if scratch.acc.is_empty() {
+                        return Some(&scratch.acc);
+                    }
+                }
+            }
+        }
+    }
+    match acc {
+        Acc::Start => None,
+        Acc::Borrowed(set) => Some(set),
+        Acc::Owned => Some(&scratch.acc),
+    }
+}

@@ -16,8 +16,9 @@ use std::collections::BTreeMap;
 use crate::bitset::BitSet;
 use crate::counting::WeightDiff;
 use crate::error::{CoreError, Result};
-use crate::hash::HashFamily;
+use crate::hash::{HashFamily, Probes};
 use crate::params::FilterParams;
+use crate::probe::{self, ProbeTable, QueryScratch};
 use crate::weight::Weight;
 use crate::weight_set::WeightSet;
 
@@ -54,23 +55,31 @@ use crate::weight_set::WeightSet;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WeightedBloomFilter {
     bits: BitSet,
-    // Sparse per-bit weight sets; a BTreeMap keeps the wire encoding and
-    // Debug output deterministic.
-    weights: BTreeMap<u32, WeightSet>,
+    // Dense per-bit slot index into `sets`: the probe hot path resolves a
+    // bit's weight set with one bounds-free load instead of a tree walk.
+    // `EMPTY_SLOT` marks a bit with no weights; a slot whose set has been
+    // emptied by a delta stays allocated (tombstone) and is reused when the
+    // position refills.
+    slots: Vec<u32>,
+    sets: Vec<WeightSet>,
     family: HashFamily,
     inserted: u64,
 }
+
+/// Sentinel in `slots` for a position carrying no weights.
+const EMPTY_SLOT: u32 = u32::MAX;
 
 impl WeightedBloomFilter {
     /// Creates an empty weighted filter with the given geometry and seed.
     pub fn new(params: FilterParams, seed: u64) -> WeightedBloomFilter {
         WeightedBloomFilter {
             bits: BitSet::new(params.bits()),
-            weights: BTreeMap::new(),
+            slots: vec![EMPTY_SLOT; params.bits()],
+            sets: Vec::new(),
             family: HashFamily::new(params.hashes(), seed),
             inserted: 0,
         }
@@ -82,7 +91,9 @@ impl WeightedBloomFilter {
         family: HashFamily,
         inserted: u64,
     ) -> Result<WeightedBloomFilter> {
-        for (&idx, set) in &weights {
+        let mut slots = vec![EMPTY_SLOT; bits.len()];
+        let mut sets = Vec::with_capacity(weights.len());
+        for (idx, set) in weights {
             if idx as usize >= bits.len() {
                 return Err(CoreError::decode("weight entry beyond filter length"));
             }
@@ -92,12 +103,43 @@ impl WeightedBloomFilter {
             if set.is_empty() {
                 return Err(CoreError::decode("empty weight set entry"));
             }
+            slots[idx as usize] = sets.len() as u32;
+            sets.push(set);
         }
         Ok(WeightedBloomFilter {
             bits,
-            weights,
+            slots,
+            sets,
             family,
             inserted,
+        })
+    }
+
+    /// The weight set slot for `bit`, allocating (or reusing a tombstoned)
+    /// slot on first attachment.
+    fn set_mut_or_insert(&mut self, bit: usize) -> &mut WeightSet {
+        let slot = match self.slots[bit] {
+            EMPTY_SLOT => {
+                let slot = self.sets.len() as u32;
+                self.sets.push(WeightSet::new());
+                self.slots[bit] = slot;
+                slot
+            }
+            slot => slot,
+        };
+        &mut self.sets[slot as usize]
+    }
+
+    /// Iterates `(bit, weight set)` over every position carrying weights, in
+    /// ascending bit order — the canonical order the wire encoding and
+    /// equality rely on.
+    pub(crate) fn weight_positions(&self) -> impl Iterator<Item = (u32, &WeightSet)> {
+        self.slots.iter().enumerate().filter_map(|(idx, &slot)| {
+            if slot == EMPTY_SLOT {
+                return None;
+            }
+            let set = &self.sets[slot as usize];
+            (!set.is_empty()).then_some((idx as u32, set))
         })
     }
 
@@ -107,7 +149,7 @@ impl WeightedBloomFilter {
         let m = self.bits.len();
         for idx in self.family.probes(key, m) {
             self.bits.set(idx);
-            self.weights.entry(idx as u32).or_default().insert(weight);
+            self.set_mut_or_insert(idx).insert(weight);
         }
         self.inserted += 1;
     }
@@ -123,31 +165,23 @@ impl WeightedBloomFilter {
     /// intersection of the probed bits' weight sets (Algorithm 2, lines 4–9).
     ///
     /// An empty returned set means the bits were set but by values of
-    /// inconsistent weights — the candidate is rejected.
+    /// inconsistent weights — the candidate is rejected. Membership is
+    /// tested across *all* probed bits (word-level) before any weight set is
+    /// read, so a miss never touches the weight table.
+    ///
+    /// Allocates the result; the scan hot path uses
+    /// [`WeightedBloomFilter::query_into`] with a reused buffer instead.
     pub fn query(&self, key: u64) -> Option<WeightSet> {
-        let m = self.bits.len();
-        let mut acc: Option<WeightSet> = None;
-        for idx in self.family.probes(key, m) {
-            if !self.bits.get(idx) {
-                return None;
-            }
-            let set = self
-                .weights
-                .get(&(idx as u32))
-                .expect("set bit always has a weight entry");
-            match &mut acc {
-                None => acc = Some(set.clone()),
-                Some(current) => {
-                    current.intersect_with(set);
-                    if current.is_empty() {
-                        // Keep scanning bits for membership correctness is
-                        // unnecessary: an empty intersection can never grow.
-                        return Some(WeightSet::new());
-                    }
-                }
-            }
-        }
-        acc
+        let mut out = WeightSet::new();
+        probe::query_into(self, key, &mut out).map(|()| out)
+    }
+
+    /// Allocation-free [`WeightedBloomFilter::query`]: the intersection is
+    /// written into `out` (cleared and overwritten, capacity reused). The
+    /// first occupied probe is borrowed from the filter; only a second
+    /// distinct probe copies anything.
+    pub fn query_into(&self, key: u64, out: &mut WeightSet) -> Option<()> {
+        probe::query_into(self, key, out)
     }
 
     /// Queries a sequence of keys (the `b` sampled points of one candidate
@@ -156,33 +190,33 @@ impl WeightedBloomFilter {
     ///
     /// The caller accepts the candidate iff the result is `Some` of a
     /// non-empty set; [`WeightSet::max`] is then the reported weight.
+    ///
+    /// Allocates the result; the scan hot path uses
+    /// [`WeightedBloomFilter::query_sequence_into`] with reusable scratch.
     pub fn query_sequence<I>(&self, keys: I) -> Option<WeightSet>
     where
         I: IntoIterator<Item = u64>,
+        I::IntoIter: Clone,
     {
-        let mut acc: Option<WeightSet> = None;
-        let mut saw_any = false;
-        for key in keys {
-            saw_any = true;
-            let point = self.query(key)?;
-            if point.is_empty() {
-                return Some(WeightSet::new());
-            }
-            match &mut acc {
-                None => acc = Some(point),
-                Some(current) => {
-                    current.intersect_with(&point);
-                    if current.is_empty() {
-                        return Some(WeightSet::new());
-                    }
-                }
-            }
-        }
-        if saw_any {
-            acc
-        } else {
-            None
-        }
+        let mut scratch = QueryScratch::new();
+        self.query_sequence_into(keys, &mut scratch).cloned()
+    }
+
+    /// Allocation-free [`WeightedBloomFilter::query_sequence`]: the running
+    /// intersection lives in `scratch` (capacity reused across calls) and
+    /// the result borrows from it — or directly from the filter when a
+    /// single position's set *is* the answer, in which case nothing is
+    /// copied at all.
+    pub fn query_sequence_into<'s, I>(
+        &'s self,
+        keys: I,
+        scratch: &'s mut QueryScratch,
+    ) -> Option<&'s WeightSet>
+    where
+        I: IntoIterator<Item = u64>,
+        I::IntoIter: Clone,
+    {
+        probe::query_sequence_into(self, keys, scratch)
     }
 
     /// The number of insert operations performed.
@@ -213,13 +247,13 @@ impl WeightedBloomFilter {
     /// The total number of stored `(bit, weight)` attachments — the extra
     /// storage a WBF pays over a plain Bloom filter (Fig. 4d).
     pub fn weight_entries(&self) -> usize {
-        self.weights.values().map(WeightSet::len).sum()
+        self.sets.iter().map(WeightSet::len).sum()
     }
 
     /// The number of distinct weights across all bits.
     pub fn distinct_weights(&self) -> usize {
         let mut all = WeightSet::new();
-        for set in self.weights.values() {
+        for set in &self.sets {
             all.union_with(set);
         }
         all.len()
@@ -242,8 +276,8 @@ impl WeightedBloomFilter {
             return Err(CoreError::IncompatibleFilters);
         }
         self.bits.union_with(&other.bits)?;
-        for (&idx, set) in &other.weights {
-            self.weights.entry(idx).or_default().union_with(set);
+        for (idx, set) in other.weight_positions() {
+            self.set_mut_or_insert(idx as usize).union_with(set);
         }
         self.inserted += other.inserted;
         Ok(())
@@ -273,7 +307,10 @@ impl WeightedBloomFilter {
         if diff.is_empty() {
             return Err(CoreError::decode("empty delta entry"));
         }
-        let current = self.weights.get(&(bit)).cloned().unwrap_or_default();
+        let current = match self.slots[idx] {
+            EMPTY_SLOT => WeightSet::new(),
+            slot => self.sets[slot as usize].clone(),
+        };
         for w in &diff.removed {
             if !current.contains(w) {
                 return Err(CoreError::decode(
@@ -292,10 +329,15 @@ impl WeightedBloomFilter {
         next.union_with(&diff.added);
         if next.is_empty() {
             self.bits.unset(idx);
-            self.weights.remove(&bit);
+            // Tombstone: the slot stays allocated for reuse when the
+            // position refills; an empty set reads as "no weights".
+            let slot = self.slots[idx];
+            if slot != EMPTY_SLOT {
+                self.sets[slot as usize].clear();
+            }
         } else {
             self.bits.set(idx);
-            self.weights.insert(bit, next);
+            *self.set_mut_or_insert(idx) = next;
         }
         Ok(())
     }
@@ -304,9 +346,46 @@ impl WeightedBloomFilter {
     pub fn bits(&self) -> &BitSet {
         &self.bits
     }
+}
 
-    pub(crate) fn weight_table(&self) -> &BTreeMap<u32, WeightSet> {
-        &self.weights
+/// Equality is semantic — per-position weight sets in bit order — because
+/// the slot layout depends on attachment order: a filter built by inserts
+/// and the same filter decoded from the wire (or snapshotted from a
+/// counting filter) must compare equal.
+impl PartialEq for WeightedBloomFilter {
+    fn eq(&self, other: &WeightedBloomFilter) -> bool {
+        self.inserted == other.inserted
+            && self.family == other.family
+            && self.bits == other.bits
+            && self.weight_positions().eq(other.weight_positions())
+    }
+}
+
+impl Eq for WeightedBloomFilter {}
+
+impl ProbeTable for WeightedBloomFilter {
+    type Weights<'a> = std::iter::Copied<std::slice::Iter<'a, Weight>>;
+
+    fn geometry(&self) -> (&HashFamily, usize) {
+        (&self.family, self.bits.len())
+    }
+
+    fn occupied(&self, probes: Probes) -> bool {
+        self.bits.contains_probes(probes)
+    }
+
+    fn weights_at(&self, idx: usize) -> Option<Self::Weights<'_>> {
+        self.set_at(idx).map(WeightSet::iter)
+    }
+
+    fn set_at(&self, idx: usize) -> Option<&WeightSet> {
+        match self.slots[idx] {
+            EMPTY_SLOT => None,
+            slot => {
+                let set = &self.sets[slot as usize];
+                (!set.is_empty()).then_some(set)
+            }
+        }
     }
 }
 

@@ -95,25 +95,100 @@ impl WeightSet {
 
     /// The weights common to `self` and `other`, as a new set.
     pub fn intersection(&self, other: &WeightSet) -> WeightSet {
+        let mut out = WeightSet::new();
+        out.assign_intersection(self, other);
+        out
+    }
+
+    /// Retains only weights also present in `other` (in-place intersection).
+    ///
+    /// Allocation-free: surviving weights are compacted to the front and the
+    /// vector truncated, so the hot probe loop never touches the heap.
+    pub fn intersect_with(&mut self, other: &WeightSet) {
+        self.intersect_with_sorted(other.iter());
+    }
+
+    /// Retains only weights also produced by `other`, which must yield
+    /// weights in strictly ascending order (as all set iterators here do).
+    /// Allocation-free in-place compaction.
+    pub(crate) fn intersect_with_sorted<I>(&mut self, mut other: I)
+    where
+        I: Iterator<Item = Weight>,
+    {
+        let mut write = 0;
+        let mut candidate = other.next();
+        for read in 0..self.sorted.len() {
+            let w = self.sorted[read];
+            while let Some(c) = candidate {
+                if c < w {
+                    candidate = other.next();
+                } else {
+                    break;
+                }
+            }
+            match candidate {
+                Some(c) if c == w => {
+                    self.sorted[write] = w;
+                    write += 1;
+                    candidate = other.next();
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        self.sorted.truncate(write);
+    }
+
+    /// Empties the set, keeping its capacity for reuse.
+    pub fn clear(&mut self) {
+        self.sorted.clear();
+    }
+
+    /// Replaces this set's contents with a copy of `other`, reusing the
+    /// existing capacity.
+    pub fn copy_from(&mut self, other: &WeightSet) {
+        self.sorted.clear();
+        self.sorted.extend_from_slice(&other.sorted);
+    }
+
+    /// Replaces this set's contents with weights yielded in strictly
+    /// ascending order, reusing the existing capacity.
+    pub(crate) fn assign_sorted<I>(&mut self, weights: I)
+    where
+        I: Iterator<Item = Weight>,
+    {
+        self.sorted.clear();
+        self.sorted.extend(weights);
+        debug_assert!(self.sorted.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Replaces this set's contents with `a ∩ b`, reusing the existing
+    /// capacity.
+    pub fn assign_intersection(&mut self, a: &WeightSet, b: &WeightSet) {
+        self.sorted.clear();
         let (mut i, mut j) = (0, 0);
-        let mut out = Vec::new();
-        while i < self.sorted.len() && j < other.sorted.len() {
-            match self.sorted[i].cmp(&other.sorted[j]) {
+        while i < a.sorted.len() && j < b.sorted.len() {
+            match a.sorted[i].cmp(&b.sorted[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    out.push(self.sorted[i]);
+                    self.sorted.push(a.sorted[i]);
                     i += 1;
                     j += 1;
                 }
             }
         }
-        WeightSet { sorted: out }
     }
 
-    /// Retains only weights also present in `other` (in-place intersection).
-    pub fn intersect_with(&mut self, other: &WeightSet) {
-        *self = self.intersection(other);
+    /// Replaces this set's contents with `a` intersected with the weights
+    /// yielded by `b` in strictly ascending order, reusing capacity.
+    pub(crate) fn assign_intersection_sorted<I>(&mut self, a: &WeightSet, b: I)
+    where
+        I: Iterator<Item = Weight>,
+    {
+        self.sorted.clear();
+        self.sorted.extend_from_slice(&a.sorted);
+        self.intersect_with_sorted(b);
     }
 
     /// The weights in `self` but not in `other`, as a new set — the
@@ -263,6 +338,53 @@ mod tests {
     fn display_lists_weights() {
         let set: WeightSet = [w(1, 2), Weight::ONE].into_iter().collect();
         assert_eq!(set.to_string(), "{1/2, 1}");
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_counterparts() {
+        let a: WeightSet = [w(1, 4), w(1, 2), w(2, 3), Weight::ONE]
+            .into_iter()
+            .collect();
+        let b: WeightSet = [w(1, 2), w(3, 4), Weight::ONE].into_iter().collect();
+        let expected = a.intersection(&b);
+
+        let mut in_place = a.clone();
+        in_place.intersect_with(&b);
+        assert_eq!(in_place, expected);
+
+        let mut assigned = WeightSet::singleton(w(9, 10)); // stale content
+        assigned.assign_intersection(&a, &b);
+        assert_eq!(assigned, expected);
+
+        let mut assigned_iter = WeightSet::singleton(w(9, 10));
+        assigned_iter.assign_intersection_sorted(&a, b.iter());
+        assert_eq!(assigned_iter, expected);
+
+        let mut copied = WeightSet::new();
+        copied.copy_from(&a);
+        assert_eq!(copied, a);
+        copied.clear();
+        assert!(copied.is_empty());
+
+        let mut from_sorted = WeightSet::singleton(w(9, 10));
+        from_sorted.assign_sorted(a.iter());
+        assert_eq!(from_sorted, a);
+    }
+
+    #[test]
+    fn intersect_with_sorted_handles_exhausted_iterators() {
+        // Other runs dry mid-way: the tail of self must be dropped.
+        let mut a: WeightSet = [w(1, 4), w(1, 2), Weight::ONE].into_iter().collect();
+        a.intersect_with_sorted([w(1, 4)].into_iter());
+        assert_eq!(a.as_slice(), &[w(1, 4)]);
+        // Empty other empties self.
+        let mut b: WeightSet = [w(1, 2)].into_iter().collect();
+        b.intersect_with_sorted(std::iter::empty());
+        assert!(b.is_empty());
+        // Disjoint sets intersect to empty both ways.
+        let mut c: WeightSet = [w(1, 3)].into_iter().collect();
+        c.intersect_with_sorted([w(1, 2)].into_iter());
+        assert!(c.is_empty());
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Equivalence properties for the shared probe core.
+//!
+//! The borrowed/in-place query API (`query_into`, `query_sequence_into`)
+//! and the owned API (`query`, `query_sequence`) run through one shared
+//! core. These properties pin that core against an independent reference
+//! model — plain `BTreeSet` bookkeeping over the same `HashFamily` probes
+//! with membership-first semantics — and pin the weighted and counting
+//! filters to each other, so neither the scratch reuse nor the word-level
+//! membership fast path can drift the accepted sets.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dipm_core::{CountingWbf, FilterParams, HashFamily, QueryScratch, Weight, WeightedBloomFilter};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Independent model of the weighted filter: per-bit weight sets, probed
+/// with the same seeded family, queried membership-first.
+struct ModelFilter {
+    bits: BTreeSet<usize>,
+    weights: BTreeMap<usize, BTreeSet<Weight>>,
+    family: HashFamily,
+    m: usize,
+}
+
+impl ModelFilter {
+    fn new(params: FilterParams, seed: u64) -> ModelFilter {
+        ModelFilter {
+            bits: BTreeSet::new(),
+            weights: BTreeMap::new(),
+            family: HashFamily::new(params.hashes(), seed),
+            m: params.bits(),
+        }
+    }
+
+    fn insert(&mut self, key: u64, weight: Weight) {
+        for idx in self.family.probes(key, self.m) {
+            self.bits.insert(idx);
+            self.weights.entry(idx).or_default().insert(weight);
+        }
+    }
+
+    /// Membership first, then the weight intersection — `None` is a missing
+    /// bit, `Some(empty)` is a weight-inconsistent reject.
+    fn query(&self, key: u64) -> Option<BTreeSet<Weight>> {
+        if !self
+            .family
+            .probes(key, self.m)
+            .all(|idx| self.bits.contains(&idx))
+        {
+            return None;
+        }
+        let mut acc: Option<BTreeSet<Weight>> = None;
+        for idx in self.family.probes(key, self.m) {
+            let at = &self.weights[&idx];
+            acc = Some(match acc {
+                None => at.clone(),
+                Some(cur) => cur.intersection(at).copied().collect(),
+            });
+        }
+        acc
+    }
+
+    /// Sequence-level membership first — *every* key's bits are checked
+    /// before any weight set is read — then the fold, with the early exit
+    /// on an empty intersection.
+    fn query_sequence(&self, keys: &[u64]) -> Option<BTreeSet<Weight>> {
+        for &key in keys {
+            if !self
+                .family
+                .probes(key, self.m)
+                .all(|idx| self.bits.contains(&idx))
+            {
+                return None;
+            }
+        }
+        let mut acc: Option<BTreeSet<Weight>> = None;
+        for &key in keys {
+            let set = self.query(key).expect("membership verified above");
+            let next = match acc {
+                None => set,
+                Some(cur) => cur.intersection(&set).copied().collect(),
+            };
+            if next.is_empty() {
+                return Some(next);
+            }
+            acc = Some(next);
+        }
+        acc
+    }
+}
+
+fn arb_weight() -> impl Strategy<Value = Weight> {
+    (1u64..=12, 1u64..=12).prop_map(|(a, b)| Weight::new(a.min(b), a.max(b)).unwrap())
+}
+
+fn arb_geometry() -> impl Strategy<Value = (FilterParams, u64)> {
+    (6usize..=9, 1u16..=6, any::<u64>())
+        .prop_map(|(log2m, k, seed)| (FilterParams::new(1 << log2m, k).unwrap(), seed))
+}
+
+fn sorted(set: &dipm_core::WeightSet) -> Vec<Weight> {
+    set.iter().collect()
+}
+
+proptest! {
+    // Single-key: owned query, in-place query and the model agree exactly,
+    // including the None (missing bit) vs Some(empty) (weight clash) split.
+    #[test]
+    fn query_matches_reference_model(
+        (params, seed) in arb_geometry(),
+        inserts in vec((0u64..48, arb_weight()), 0..40),
+        probes in vec(0u64..64, 1..30),
+    ) {
+        let mut wbf = WeightedBloomFilter::new(params, seed);
+        let mut model = ModelFilter::new(params, seed);
+        for &(key, w) in &inserts {
+            wbf.insert(key, w);
+            model.insert(key, w);
+        }
+        let mut out = dipm_core::WeightSet::new();
+        for &key in &probes {
+            let expect = model.query(key);
+            let got = wbf.query(key);
+            prop_assert_eq!(
+                got.as_ref().map(sorted),
+                expect.clone().map(|s| s.into_iter().collect::<Vec<_>>()),
+                "key {}", key
+            );
+            // The in-place variant reuses `out` across probes and must agree.
+            let got_into = wbf.query_into(key, &mut out).map(|()| sorted(&out));
+            prop_assert_eq!(got_into, expect.map(|s| s.into_iter().collect::<Vec<_>>()));
+        }
+    }
+
+    // Sequences: the owned path, the scratch path (reused across calls) and
+    // the model agree, for both the weighted and the counting filter.
+    #[test]
+    fn query_sequence_into_matches_owned_and_model(
+        (params, seed) in arb_geometry(),
+        inserts in vec((0u64..48, arb_weight()), 0..40),
+        sequences in vec(vec(0u64..64, 1..8), 1..12),
+    ) {
+        let mut wbf = WeightedBloomFilter::new(params, seed);
+        let mut counting = CountingWbf::new(params, seed);
+        let mut model = ModelFilter::new(params, seed);
+        for &(key, w) in &inserts {
+            wbf.insert(key, w);
+            counting.insert(key, w).unwrap();
+            model.insert(key, w);
+        }
+        let mut scratch = QueryScratch::new();
+        let mut counting_scratch = QueryScratch::new();
+        for keys in &sequences {
+            let expect = model
+                .query_sequence(keys)
+                .map(|s| s.into_iter().collect::<Vec<_>>());
+            let owned = wbf.query_sequence(keys.iter().copied()).map(|s| sorted(&s));
+            prop_assert_eq!(&owned, &expect, "owned vs model on {:?}", keys);
+            // One scratch across every sequence: stale state must not leak.
+            let borrowed = wbf
+                .query_sequence_into(keys.iter().copied(), &mut scratch)
+                .map(sorted);
+            prop_assert_eq!(&borrowed, &expect, "scratch vs model on {:?}", keys);
+            let counted = counting
+                .query_sequence_into(keys.iter().copied(), &mut counting_scratch)
+                .map(sorted);
+            prop_assert_eq!(&counted, &expect, "counting vs model on {:?}", keys);
+        }
+    }
+}

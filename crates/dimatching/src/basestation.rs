@@ -15,10 +15,10 @@
 
 use std::collections::BTreeMap;
 
-use dipm_core::{BloomFilter, FilterCore, Weight, WeightedBloomFilter};
+use dipm_core::{BloomFilter, FilterCore, QueryScratch, Weight, WeightedBloomFilter};
 use dipm_distsim::CostMeter;
 use dipm_mobilenet::{StationId, UserId};
-use dipm_timeseries::{AccumulatedPattern, Pattern, SampledPattern};
+use dipm_timeseries::{for_each_sampled_point, Pattern};
 
 use crate::config::DiMatchingConfig;
 use crate::error::Result;
@@ -119,16 +119,30 @@ impl<'a> BaseStation<'a> {
     }
 }
 
+/// Samples one row into a reused key buffer: a single fused
+/// accumulate-and-sample pass, zero allocations once `keys` has warmed up.
+/// Returns the pattern's total volume (the final accumulated value).
+fn sample_keys_into(
+    pattern: &Pattern,
+    config: &DiMatchingConfig,
+    keys: &mut Vec<u64>,
+) -> Result<u64> {
+    keys.clear();
+    let mut total = 0u64;
+    for_each_sampled_point(pattern, config.samples, |i, point| {
+        keys.push(config.hash_scheme.key(i, point.value));
+        total = point.value;
+    })?;
+    Ok(total)
+}
+
+/// Allocating convenience wrapper over [`sample_keys_into`], for callers
+/// outside the scan hot path.
+#[cfg(test)]
 fn sample_keys(pattern: &Pattern, config: &DiMatchingConfig) -> Result<(Vec<u64>, u64)> {
-    let acc = AccumulatedPattern::from_pattern(pattern)?;
-    let sampled = SampledPattern::from_accumulated(&acc, config.samples)?;
-    let keys = sampled
-        .points()
-        .iter()
-        .enumerate()
-        .map(|(i, p)| config.hash_scheme.key(i, p.value))
-        .collect();
-    Ok((keys, sampled.max_value()))
+    let mut keys = Vec::new();
+    let total = sample_keys_into(pattern, config, &mut keys)?;
+    Ok((keys, total))
 }
 
 /// Picks the weight to report when several survive the intersection.
@@ -185,19 +199,31 @@ pub fn scan_shard_wbf(
     config: &DiMatchingConfig,
     meter: Option<&CostMeter>,
 ) -> Result<Vec<(u32, UserId, Weight)>> {
-    let mut reports = Vec::new();
+    // Reserve for a percent-level hit rate so steady-state scans never grow
+    // the report vector; reports stay rare in a miss-dominated store.
+    let mut reports = Vec::with_capacity(
+        sections
+            .len()
+            .saturating_mul(shard.len() / 64 + 1)
+            .min(1 << 16),
+    );
+    // Per-shard scratch: the key buffer and the probe core's intersection
+    // buffer are reused across every row, so the per-(row × section) probe
+    // itself is allocation-free.
+    let mut keys: Vec<u64> = Vec::with_capacity(config.samples);
+    let mut scratch = QueryScratch::new();
     for &(user, pattern) in shard {
-        let (keys, local_total) = sample_keys(pattern, config)?;
+        let local_total = sample_keys_into(pattern, config, &mut keys)?;
         let slack = config.eps.saturating_mul(pattern.len() as u64);
         for &(query, filter, query_totals) in sections {
             if let Some(m) = meter {
                 m.record_hash_ops(filter.probe_cost(keys.len()));
             }
-            if let Some(set) = filter.query_sequence(keys.iter().copied()) {
+            if let Some(set) = filter.query_sequence_into(keys.iter().copied(), &mut scratch) {
                 if let Some(m) = meter {
                     m.record_comparisons(set.len() as u64 + 1);
                 }
-                if let Some(weight) = select_weight(&set, query_totals, local_total, slack) {
+                if let Some(weight) = select_weight(set, query_totals, local_total, slack) {
                     reports.push((query, user, weight));
                 }
             }
@@ -219,9 +245,15 @@ pub fn scan_shard_bloom(
     config: &DiMatchingConfig,
     meter: Option<&CostMeter>,
 ) -> Result<Vec<(u32, UserId)>> {
-    let mut reports = Vec::new();
+    let mut reports = Vec::with_capacity(
+        sections
+            .len()
+            .saturating_mul(shard.len() / 64 + 1)
+            .min(1 << 16),
+    );
+    let mut keys: Vec<u64> = Vec::with_capacity(config.samples);
     for &(user, pattern) in shard {
-        let (keys, _) = sample_keys(pattern, config)?;
+        sample_keys_into(pattern, config, &mut keys)?;
         for &(query, filter) in sections {
             if let Some(m) = meter {
                 m.record_hash_ops(filter.probe_cost(keys.len()));

@@ -307,7 +307,9 @@ pub fn aggregate_and_rank(reports: Vec<(UserId, Weight)>, top_k: Option<usize>) 
             }
         })
         .collect();
-    ranked.sort_by(|a, b| {
+    // Comparator is a total order (user id breaks every tie), so the
+    // unstable sort is deterministic and avoids the stable sort's buffer.
+    ranked.sort_unstable_by(|a, b| {
         b.weight_sum
             .cmp(&a.weight_sum)
             .then_with(|| b.reports.cmp(&a.reports))
@@ -335,6 +337,48 @@ mod tests {
             Pattern::from([2u64, 2, 2, 0, 1, 3, 0, 2]),
         ])
         .unwrap()
+    }
+
+    #[test]
+    fn ranking_breaks_every_tie_deterministically() {
+        // The ranking sort is unstable, so the comparator must be a total
+        // order: users tying on weight sum AND report count are separated by
+        // user id, and any permutation of the incoming reports ranks
+        // identically.
+        let reports = vec![
+            (UserId(7), w(1, 2)),
+            (UserId(3), w(1, 2)),
+            (UserId(11), w(1, 2)),
+            (UserId(5), w(1, 4)),
+            (UserId(5), w(1, 4)),
+            (UserId(2), w(1, 4)),
+            (UserId(2), w(1, 4)),
+            (UserId(9), w(1, 1)),
+        ];
+        let baseline = aggregate_and_rank(reports.clone(), None);
+        let ids: Vec<u64> = baseline.iter().map(|r| r.user.0).collect();
+        // Weight 1 first; the 1/2 trio ties on (sum, reports=1) and must come
+        // out in ascending user order; likewise the 1/2-sum pair with 2
+        // reports outranks the single-report trio.
+        assert_eq!(ids, vec![9, 2, 5, 3, 7, 11]);
+        for rotation in 1..reports.len() {
+            let mut permuted = reports.clone();
+            permuted.rotate_left(rotation);
+            let last = permuted.len() - 1;
+            permuted.swap(0, rotation % last);
+            let ranked = aggregate_and_rank(permuted, None);
+            assert_eq!(
+                ranked
+                    .iter()
+                    .map(|r| (r.user, r.weight_sum, r.reports))
+                    .collect::<Vec<_>>(),
+                baseline
+                    .iter()
+                    .map(|r| (r.user, r.weight_sum, r.reports))
+                    .collect::<Vec<_>>(),
+                "rotation {rotation}"
+            );
+        }
     }
 
     #[test]

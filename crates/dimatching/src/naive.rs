@@ -123,7 +123,7 @@ impl FilterStrategy for Naive {
                     }
                 }
                 let mut distances: Vec<(UserId, u64)> = best.into_iter().collect();
-                distances.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+                distances.sort_unstable_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
                 if let Some(k) = top_k {
                     distances.truncate(k);
                 }

@@ -175,7 +175,7 @@ fn merge_verdicts(
                 }
             }
             let mut weights: Vec<RankedUser> = best.into_values().collect();
-            weights.sort_by(|a, b| {
+            weights.sort_unstable_by(|a, b| {
                 b.weight_sum
                     .cmp(&a.weight_sum)
                     .then_with(|| b.reports.cmp(&a.reports))
@@ -206,7 +206,7 @@ fn merge_verdicts(
                 }
             }
             let mut station_counts: Vec<(UserId, u32)> = best.into_iter().collect();
-            station_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            station_counts.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             if let Some(k) = top_k {
                 station_counts.truncate(k);
             }
@@ -232,7 +232,7 @@ fn merge_verdicts(
                 }
             }
             let mut distances: Vec<(UserId, u64)> = best.into_iter().collect();
-            distances.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            distances.sort_unstable_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
             if let Some(k) = top_k {
                 distances.truncate(k);
             }
@@ -274,5 +274,74 @@ mod tests {
             panic!("wrong detail variant");
         };
         assert_eq!(distances.len(), 2, "details must be cut with the ranking");
+    }
+
+    #[test]
+    fn merge_sorts_break_every_tie_deterministically() {
+        // All three merge sorts are unstable, so each comparator must reach
+        // the user-id tie-breaker: tied users come out ascending and the
+        // result is invariant under verdict order.
+        use dipm_core::Weight;
+
+        let wbf_users = |users: &[u64], num: u64, den: u64| -> QueryVerdict {
+            let weights: Vec<RankedUser> = users
+                .iter()
+                .map(|&u| RankedUser {
+                    user: UserId(u),
+                    weight_sum: Weight::new(num, den).unwrap(),
+                    reports: 2,
+                })
+                .collect();
+            QueryVerdict {
+                ranked: weights.iter().map(|r| r.user).collect(),
+                details: MethodDetails::Wbf {
+                    weights,
+                    build: BuildStats::default(),
+                },
+            }
+        };
+        let (ranked, _) = merge_verdicts(
+            Method::Wbf,
+            vec![wbf_users(&[9, 4], 1, 2), wbf_users(&[7, 2], 1, 2)],
+            None,
+        );
+        assert_eq!(ranked, vec![UserId(2), UserId(4), UserId(7), UserId(9)]);
+
+        let bloom = |counts: Vec<(u64, u32)>| -> QueryVerdict {
+            let station_counts: Vec<(UserId, u32)> =
+                counts.into_iter().map(|(u, c)| (UserId(u), c)).collect();
+            QueryVerdict {
+                ranked: station_counts.iter().map(|&(u, _)| u).collect(),
+                details: MethodDetails::Bloom {
+                    station_counts,
+                    build: BuildStats::default(),
+                },
+            }
+        };
+        let (ranked, _) = merge_verdicts(
+            Method::Bloom,
+            vec![bloom(vec![(8, 3), (1, 3)]), bloom(vec![(5, 3), (2, 9)])],
+            None,
+        );
+        assert_eq!(
+            ranked,
+            vec![UserId(2), UserId(1), UserId(5), UserId(8)],
+            "count 9 first, then the three-way count tie in user order"
+        );
+
+        let naive = |distances: Vec<(u64, u64)>| -> QueryVerdict {
+            let distances: Vec<(UserId, u64)> =
+                distances.into_iter().map(|(u, d)| (UserId(u), d)).collect();
+            QueryVerdict {
+                ranked: distances.iter().map(|&(u, _)| u).collect(),
+                details: MethodDetails::Naive { distances },
+            }
+        };
+        let (ranked, _) = merge_verdicts(
+            Method::Naive,
+            vec![naive(vec![(6, 4), (3, 4)]), naive(vec![(10, 4), (0, 1)])],
+            None,
+        );
+        assert_eq!(ranked, vec![UserId(0), UserId(3), UserId(6), UserId(10)]);
     }
 }

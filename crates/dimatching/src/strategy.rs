@@ -361,7 +361,7 @@ impl FilterStrategy for Bloom {
                     *counts.entry(user).or_insert(0) += 1;
                 }
                 let mut station_counts: Vec<(UserId, u32)> = counts.into_iter().collect();
-                station_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                station_counts.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
                 if let Some(k) = top_k {
                     station_counts.truncate(k);
                 }

@@ -61,6 +61,6 @@ pub use attributes::{AttributeRecord, AttributeSeries, AttributeWeights};
 pub use combine::{combination_count, enumerate_combinations, CombinedPattern, MAX_LOCAL_PATTERNS};
 pub use error::{Result, TimeSeriesError};
 pub use pattern::Pattern;
-pub use sample::{sample_positions, SamplePoint, SampledPattern};
+pub use sample::{for_each_sampled_point, sample_positions, SamplePoint, SampledPattern};
 pub use similarity::{chebyshev_distance, eps_match, l1_distance};
 pub use tolerance::{BandValues, ToleranceMode};

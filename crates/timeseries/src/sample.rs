@@ -9,6 +9,7 @@
 
 use crate::accumulate::AccumulatedPattern;
 use crate::error::{Result, TimeSeriesError};
+use crate::pattern::Pattern;
 
 /// One sampled point: its interval index in the original series and the
 /// accumulated value there.
@@ -58,6 +59,87 @@ pub fn sample_positions(len: usize, b: usize) -> Result<Vec<usize>> {
     // spaced, strictly increasing for b < len, and the b-th sample lands on
     // len − 1.
     Ok((1..=b).map(|i| (i * len).div_ceil(b) - 1).collect())
+}
+
+/// Accumulates and samples a raw pattern in one fused pass, without
+/// materializing the accumulated series or a position list.
+///
+/// `emit` receives `(sample_index, point)` for each of the `min(b, len)`
+/// sampled points in ascending position order — exactly the points
+/// `SampledPattern::from_accumulated(&AccumulatedPattern::from_pattern(p)?, b)?`
+/// would produce (property-tested), but with zero heap allocations. This is
+/// the station-side scan's per-row sampling primitive: one running prefix
+/// sum, positions computed on the fly.
+///
+/// # Errors
+///
+/// Returns [`TimeSeriesError::ZeroSamples`] if `b == 0`,
+/// [`TimeSeriesError::Empty`] if the pattern is empty and
+/// [`TimeSeriesError::Overflow`] if the running sum overflows.
+///
+/// # Examples
+///
+/// ```
+/// use dipm_timeseries::{for_each_sampled_point, Pattern};
+///
+/// # fn main() -> Result<(), dipm_timeseries::TimeSeriesError> {
+/// let mut seen = Vec::new();
+/// for_each_sampled_point(&Pattern::from([1u64, 2, 3, 4]), 2, |i, p| {
+///     seen.push((i, p.position, p.value));
+/// })?;
+/// assert_eq!(seen, vec![(0, 1, 3), (1, 3, 10)]); // accumulated: 1,3,6,10
+/// # Ok(())
+/// # }
+/// ```
+pub fn for_each_sampled_point<F>(pattern: &Pattern, b: usize, mut emit: F) -> Result<()>
+where
+    F: FnMut(usize, SamplePoint),
+{
+    if b == 0 {
+        return Err(TimeSeriesError::ZeroSamples);
+    }
+    let len = pattern.len();
+    if len == 0 {
+        return Err(TimeSeriesError::Empty);
+    }
+    let mut acc = 0u64;
+    if b >= len {
+        for (position, v) in pattern.iter().enumerate() {
+            acc = acc.checked_add(v).ok_or(TimeSeriesError::Overflow)?;
+            emit(
+                position,
+                SamplePoint {
+                    position,
+                    value: acc,
+                },
+            );
+        }
+        return Ok(());
+    }
+    // Next sample (1-based index i) sits at position ceil(i·len/b) − 1, the
+    // same formula as `sample_positions`; the b-th lands on len − 1, so the
+    // loop always walks the full series and checks every add for overflow.
+    let mut next_index = 1usize;
+    let mut next_position = len.div_ceil(b) - 1;
+    for (position, v) in pattern.iter().enumerate() {
+        acc = acc.checked_add(v).ok_or(TimeSeriesError::Overflow)?;
+        if position == next_position {
+            emit(
+                next_index - 1,
+                SamplePoint {
+                    position,
+                    value: acc,
+                },
+            );
+            next_index += 1;
+            if next_index > b {
+                debug_assert_eq!(position, len - 1);
+                break;
+            }
+            next_position = (next_index * len).div_ceil(b) - 1;
+        }
+    }
+    Ok(())
 }
 
 /// An accumulated pattern reduced to its `b` sampled points.
@@ -192,6 +274,46 @@ mod tests {
             let s = SampledPattern::from_accumulated(&a, b).unwrap();
             assert_eq!(Some(s.max_value()), p.total());
         }
+    }
+
+    #[test]
+    fn fused_pass_matches_two_step_pipeline() {
+        // Exhaustive over lengths × sample counts with irregular values: the
+        // fused pass must emit exactly the two-step pipeline's points.
+        for len in 1..40usize {
+            let p: Pattern = (0..len as u64).map(|i| (i * 7 + 3) % 23).collect();
+            let a = AccumulatedPattern::from_pattern(&p).unwrap();
+            for b in 1..20usize {
+                let expected = SampledPattern::from_accumulated(&a, b).unwrap();
+                let mut got = Vec::new();
+                for_each_sampled_point(&p, b, |i, pt| got.push((i, pt))).unwrap();
+                let want: Vec<(usize, SamplePoint)> =
+                    expected.points().iter().copied().enumerate().collect();
+                assert_eq!(got, want, "len={len} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_pass_propagates_errors() {
+        assert_eq!(
+            for_each_sampled_point(&Pattern::from([1u64]), 0, |_, _| {}),
+            Err(TimeSeriesError::ZeroSamples)
+        );
+        assert_eq!(
+            for_each_sampled_point(&Pattern::default(), 3, |_, _| {}),
+            Err(TimeSeriesError::Empty)
+        );
+        assert_eq!(
+            for_each_sampled_point(&Pattern::from([u64::MAX, 1]), 1, |_, _| {}),
+            Err(TimeSeriesError::Overflow)
+        );
+        // Overflow past the last sampled position is still detected when
+        // b >= len (full walk) — and the b < len walk also reaches the end.
+        assert_eq!(
+            for_each_sampled_point(&Pattern::from([1u64, u64::MAX]), 4, |_, _| {}),
+            Err(TimeSeriesError::Overflow)
+        );
     }
 
     #[test]
