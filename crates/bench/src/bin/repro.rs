@@ -2,29 +2,78 @@
 //!
 //! ```text
 //! repro [EXPERIMENT…] [--quick] [--users N] [--stations N] [--patterns A,B,C]
-//!       [--seed S] [--out DIR] [--check BASELINE.json]
+//!       [--seed S] [--out DIR] [--check BASELINE.json] [--tolerance F]
 //!
 //! experiments: fig1a fig1b fig3 convergence fig4 fig4a fig4b fig4c fig4d
-//!              table2 fpp ablation batch latency streaming scan all   (default: all)
+//!              table2 fpp ablation batch latency streaming scan topk all   (default: all)
 //! ```
 //!
-//! The sweep experiments (`batch`, `latency`, `streaming`, `scan`) also write
-//! their tables as `BENCH_<experiment>.json` into `--out` (default: the
-//! current directory) — the checked-in perf trajectory every PR updates.
-//! `scan --check BASELINE.json` additionally compares the fresh sweep's
-//! geometric-mean rows/sec against the baseline file and exits non-zero on a
-//! >30 % regression; CI's perf-smoke job runs exactly that.
+//! The sweep experiments (`batch`, `latency`, `streaming`, `scan`, `topk`)
+//! also write their tables as `BENCH_<experiment>.json` into `--out`
+//! (default: the current directory) — the checked-in perf trajectory every
+//! PR updates. `scan --check BASELINE.json` and `topk --check BASELINE.json`
+//! additionally compare the fresh sweep's geometric-mean rows/sec against
+//! the baseline file and exit non-zero on a regression past `--tolerance`
+//! (default 0.30 = fail below 70 % of baseline); CI's perf-smoke job runs
+//! exactly that. A failure names the single worst-regressed grid row, not
+//! just the geomean.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dipm_bench::{check, experiments, Report, Scale};
 
-/// Allowed fractional throughput regression before `--check` fails.
-const CHECK_TOLERANCE: f64 = 0.30;
+/// Default allowed fractional throughput regression before `--check` fails;
+/// override with `--tolerance`.
+const DEFAULT_CHECK_TOLERANCE: f64 = 0.30;
 
 fn print(report: Report) {
     println!("{report}");
+}
+
+/// Runs the `--check` regression gate for one sweep report: compares the
+/// fresh geomean of `column` against `baseline_path` and names the worst
+/// per-row regression alongside. Returns `true` when the gate fails.
+fn run_check(
+    report: &Report,
+    name: &str,
+    column: &str,
+    baseline_path: &std::path::Path,
+    tolerance: f64,
+) -> bool {
+    let fresh = check::extract_column(&report.to_json(), column);
+    let current = check::geomean(&fresh);
+    let baseline_json = match std::fs::read_to_string(baseline_path) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!(
+                "error: could not read baseline {}: {e}",
+                baseline_path.display()
+            );
+            return true;
+        }
+    };
+    let verdict = check::check_regression(&baseline_json, column, current, tolerance);
+    let worst = check::worst_ratio(&check::extract_column(&baseline_json, column), &fresh);
+    eprintln!(
+        "perf check [{name}]: baseline {:.0} {column}, current {:.0} ({:.0}% of baseline, tolerance {:.0}%) → {}",
+        verdict.baseline,
+        verdict.current,
+        verdict.ratio * 100.0,
+        tolerance * 100.0,
+        if verdict.pass { "PASS" } else { "FAIL" },
+    );
+    match worst {
+        Some((row, ratio)) => eprintln!(
+            "perf check [{name}]: worst grid row: #{row} at {:.0}% of its baseline",
+            ratio * 100.0
+        ),
+        None => eprintln!(
+            "perf check [{name}]: grids not row-comparable (baseline empty or shape changed); \
+             geomean only"
+        ),
+    }
+    !verdict.pass
 }
 
 /// Writes one experiment's reports as `BENCH_<name>.json` (a JSON array of
@@ -41,10 +90,10 @@ fn emit_json(out: &std::path::Path, name: &str, reports: &[Report]) {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [fig1a|fig1b|fig3|convergence|fig4|fig4a|fig4b|fig4c|fig4d|table2|fpp|ablation|batch|latency|streaming|scan|all]…"
+        "usage: repro [fig1a|fig1b|fig3|convergence|fig4|fig4a|fig4b|fig4c|fig4d|table2|fpp|ablation|batch|latency|streaming|scan|topk|all]…"
     );
     eprintln!("       [--quick] [--users N] [--stations N] [--patterns A,B,C] [--seed S]");
-    eprintln!("       [--out DIR] [--check BASELINE.json]");
+    eprintln!("       [--out DIR] [--check BASELINE.json] [--tolerance F]");
     ExitCode::FAILURE
 }
 
@@ -53,6 +102,7 @@ fn main() -> ExitCode {
     let mut experiments_requested: Vec<String> = Vec::new();
     let mut out_dir = PathBuf::from(".");
     let mut check_baseline: Option<PathBuf> = None;
+    let mut tolerance = DEFAULT_CHECK_TOLERANCE;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -87,6 +137,10 @@ fn main() -> ExitCode {
             "--check" => match args.next() {
                 Some(path) => check_baseline = Some(PathBuf::from(path)),
                 None => return usage(),
+            },
+            "--tolerance" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if (0.0..1.0).contains(&v) => tolerance = v,
+                _ => return usage(),
             },
             "--help" | "-h" => {
                 usage();
@@ -155,35 +209,18 @@ fn main() -> ExitCode {
                 print(report.clone());
                 emit_json(&out_dir, "scan", std::slice::from_ref(&report));
                 if let Some(baseline_path) = &check_baseline {
-                    let current =
-                        check::geomean(&check::extract_column(&report.to_json(), "rows_per_sec"));
-                    match std::fs::read_to_string(baseline_path) {
-                        Ok(baseline_json) => {
-                            let verdict = check::check_regression(
-                                &baseline_json,
-                                "rows_per_sec",
-                                current,
-                                CHECK_TOLERANCE,
-                            );
-                            eprintln!(
-                                "perf check: baseline {:.0} rows/s, current {:.0} rows/s ({:.0}% of baseline) → {}",
-                                verdict.baseline,
-                                verdict.current,
-                                verdict.ratio * 100.0,
-                                if verdict.pass { "PASS" } else { "FAIL" },
-                            );
-                            if !verdict.pass {
-                                check_failed = true;
-                            }
-                        }
-                        Err(e) => {
-                            eprintln!(
-                                "error: could not read baseline {}: {e}",
-                                baseline_path.display()
-                            );
-                            check_failed = true;
-                        }
-                    }
+                    check_failed |=
+                        run_check(&report, "scan", "rows_per_sec", baseline_path, tolerance);
+                }
+            }
+            "topk" => {
+                eprintln!("running top-k scan sweep (seed {})…", scale.seed);
+                let report = experiments::topk(&scale);
+                print(report.clone());
+                emit_json(&out_dir, "topk", std::slice::from_ref(&report));
+                if let Some(baseline_path) = &check_baseline {
+                    check_failed |=
+                        run_check(&report, "topk", "rows_per_sec", baseline_path, tolerance);
                 }
             }
             "all" => {

@@ -73,6 +73,24 @@ pub fn check_regression(
     }
 }
 
+/// The worst per-config regression: pairs `baseline` and `current` samples
+/// positionally (both come from the same deterministic sweep grid, so row i
+/// is the same configuration in both) and returns the `(row index, ratio)`
+/// of the smallest `current / baseline`. `None` when either side is empty
+/// or the lengths disagree (the grids are not comparable row-by-row).
+pub fn worst_ratio(baseline: &[f64], current: &[f64]) -> Option<(usize, f64)> {
+    if baseline.is_empty() || baseline.len() != current.len() {
+        return None;
+    }
+    baseline
+        .iter()
+        .zip(current)
+        .enumerate()
+        .filter(|&(_, (&b, _))| b > 0.0)
+        .map(|(i, (&b, &c))| (i, c / b))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +137,24 @@ mod tests {
         assert!(!fail.pass);
         assert!((fail.ratio - 0.5).abs() < 1e-9);
         assert!((fail.baseline - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_ratio_finds_the_deepest_regression() {
+        let baseline = [1000.0, 2000.0, 4000.0];
+        let current = [900.0, 1000.0, 4400.0];
+        assert_eq!(worst_ratio(&baseline, &current), Some((1, 0.5)));
+        assert_eq!(worst_ratio(&[], &[]), None);
+        assert_eq!(
+            worst_ratio(&baseline, &current[..2]),
+            None,
+            "length mismatch"
+        );
+        assert_eq!(
+            worst_ratio(&[0.0, 100.0], &[5.0, 50.0]),
+            Some((1, 0.5)),
+            "zero baselines are skipped"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@ mod latency;
 mod scan;
 mod streaming;
 mod table2;
+mod topk;
 
 pub use ablation::ablation;
 pub use batch::{batch_scaling, shard_scaling};
@@ -21,3 +22,4 @@ pub use latency::latency;
 pub use scan::{geomean_rows_per_sec, scan, scan_sweep, ScanPoint};
 pub use streaming::{churn_sweep, streaming, ChurnPoint};
 pub use table2::{score_day, table2, DayScore};
+pub use topk::{topk, topk_sweep, TopkPoint};

@@ -31,11 +31,11 @@ use crate::scale::Scale;
 
 /// Intervals per synthetic CDR pattern (a week at 6-hour resolution, the
 /// paper's Dataset-1 shape).
-const PATTERN_LEN: usize = 28;
+pub(crate) const PATTERN_LEN: usize = 28;
 
 /// One row in `HIT_STRIDE` replays a query global, so the scan always
 /// produces some reports.
-const HIT_STRIDE: usize = 64;
+pub(crate) const HIT_STRIDE: usize = 64;
 
 /// One timed sweep point.
 #[derive(Debug, Clone)]
@@ -60,14 +60,14 @@ pub struct ScanPoint {
 
 /// A deterministic synthetic pattern: `PATTERN_LEN` intervals of bursty
 /// traffic derived from `mix64`.
-fn synthetic_pattern(seed: u64, row: u64) -> Pattern {
+pub(crate) fn synthetic_pattern(seed: u64, row: u64) -> Pattern {
     (0..PATTERN_LEN as u64)
         .map(|i| mix64(seed ^ (row.wrapping_mul(0x9e37) + i)) % 50)
         .collect()
 }
 
 /// A query over two synthetic local fragments.
-fn synthetic_query(seed: u64, index: u64) -> PatternQuery {
+pub(crate) fn synthetic_query(seed: u64, index: u64) -> PatternQuery {
     let a = synthetic_pattern(seed ^ 0xA5A5, index * 2);
     let b = synthetic_pattern(seed ^ 0x5A5A, index * 2 + 1);
     PatternQuery::from_locals(vec![a, b]).expect("synthetic fragments are valid")
@@ -75,7 +75,11 @@ fn synthetic_query(seed: u64, index: u64) -> PatternQuery {
 
 /// The synthetic shard: miss-dominated rows with a deterministic 1-in-64
 /// slice replaying query globals so the hit path is exercised too.
-fn synthetic_shard(seed: u64, rows: usize, queries: &[PatternQuery]) -> Vec<(UserId, Pattern)> {
+pub(crate) fn synthetic_shard(
+    seed: u64,
+    rows: usize,
+    queries: &[PatternQuery],
+) -> Vec<(UserId, Pattern)> {
     (0..rows)
         .map(|r| {
             let pattern = if r % HIT_STRIDE == 0 {

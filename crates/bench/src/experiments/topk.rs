@@ -1,0 +1,267 @@
+//! Top-k scan microbench — the dynamic-pruning ladder against exhaustion.
+//!
+//! Drives [`scan_shard_wbf_topk`] directly (no network, no pipeline) across
+//! rows × k × [`ScanAlgorithm`], reporting rows/sec per point plus what the
+//! pruning rungs actually skipped (`rows_pruned`, `blocks_skipped`). Every
+//! point's reports are asserted equal to the `Exhaustive` rung before it is
+//! timed — the sweep measures *work avoided*, never answers changed.
+//!
+//! The workload reuses the scan microbench's miss-dominated synthetic shard:
+//! one row in [`HIT_STRIDE`] replays the query's own global pattern
+//! (weight 1), so a small-k heap fills with weight-1 entries after
+//! `k × HIT_STRIDE` rows and the threshold θ = 1 turns every later row
+//! prunable. That is exactly the pattern-popularity skew dynamic pruning
+//! exploits; large k (`k` beyond the hit population) shows where it stops
+//! paying.
+//!
+//! `repro topk` emits the table and the `BENCH_topk.json` trajectory file;
+//! `repro topk --quick --check BENCH_topk_quick.json` is the CI perf-smoke
+//! gate for this kernel.
+
+use std::time::Instant;
+
+use dipm_distsim::CostMeter;
+use dipm_mobilenet::UserId;
+use dipm_protocol::{
+    build_wbf, scan_shard_wbf_topk, DiMatchingConfig, ScanAlgorithm, WbfSectionView,
+};
+use dipm_timeseries::Pattern;
+
+use super::scan::{synthetic_query, synthetic_shard, HIT_STRIDE, PATTERN_LEN};
+use crate::report::{Cell, Report};
+use crate::scale::Scale;
+
+/// One timed sweep point.
+#[derive(Debug, Clone)]
+pub struct TopkPoint {
+    /// Stored rows in the scanned shard.
+    pub rows: usize,
+    /// Heap size: reports kept per section.
+    pub k: usize,
+    /// The scan algorithm measured.
+    pub algorithm: ScanAlgorithm,
+    /// Scanned rows per second.
+    pub rows_per_sec: f64,
+    /// Throughput relative to `Exhaustive` at the same `(rows, k)`.
+    pub speedup: f64,
+    /// Reports one pass produces (identical across algorithms).
+    pub reports: usize,
+    /// `(row × section)` evaluations skipped per pass.
+    pub rows_pruned: u64,
+    /// Whole blocks skipped per pass.
+    pub blocks_skipped: u64,
+}
+
+/// A short stable label per algorithm for report rows.
+fn algorithm_label(algorithm: ScanAlgorithm) -> &'static str {
+    match algorithm {
+        ScanAlgorithm::Exhaustive => "exhaustive",
+        ScanAlgorithm::MaxScore => "maxscore",
+        ScanAlgorithm::Wand => "wand",
+        ScanAlgorithm::BlockMaxWand => "blockmaxwand",
+    }
+}
+
+/// Times one `(rows, k, algorithm)` point against a prebuilt section and
+/// shard; `speedup` is filled in by the caller once the `Exhaustive`
+/// reference of the same `(rows, k)` is known.
+fn measure(
+    sections: &[WbfSectionView<'_>],
+    shard: &[(UserId, &Pattern)],
+    base: &DiMatchingConfig,
+    k: usize,
+    algorithm: ScanAlgorithm,
+    min_seconds: f64,
+) -> TopkPoint {
+    let config = DiMatchingConfig {
+        scan_algorithm: algorithm,
+        ..base.clone()
+    };
+    // One metered pass: the report census and the per-pass pruning counters
+    // (pure per-row/per-block decisions, so every pass records the same).
+    let meter = CostMeter::new();
+    let reports =
+        scan_shard_wbf_topk(sections, shard, &config, k, Some(&meter)).expect("topk scan runs");
+    let counters = meter.report();
+
+    let mut passes = 0u64;
+    let start = Instant::now();
+    loop {
+        let out = scan_shard_wbf_topk(sections, shard, &config, k, None).expect("topk scan runs");
+        assert_eq!(out.len(), reports.len(), "scan must be deterministic");
+        passes += 1;
+        if start.elapsed().as_secs_f64() >= min_seconds {
+            break;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    TopkPoint {
+        rows: shard.len(),
+        k,
+        algorithm,
+        rows_per_sec: shard.len() as f64 * passes as f64 / elapsed,
+        speedup: 1.0,
+        reports: reports.len(),
+        rows_pruned: counters.rows_pruned,
+        blocks_skipped: counters.blocks_skipped,
+    }
+}
+
+/// The sweep grid for one scale: `(rows, k, min_seconds)`.
+fn grid(scale: &Scale) -> (Vec<usize>, Vec<usize>, f64) {
+    if scale.users <= Scale::quick().users {
+        (vec![1_000, 4_000], vec![1, 10], 0.05)
+    } else {
+        (vec![4_000, 16_000, 64_000], vec![1, 10, 100], 0.15)
+    }
+}
+
+/// Runs the rows × k × algorithm sweep and returns the raw points, each
+/// `(rows, k)` group led by its `Exhaustive` reference.
+pub fn topk_sweep(scale: &Scale) -> Vec<TopkPoint> {
+    let (rows_axis, k_axis, min_seconds) = grid(scale);
+    let base = DiMatchingConfig::default();
+    let query = synthetic_query(scale.seed, 0);
+    let built = build_wbf(std::slice::from_ref(&query), &base).expect("synthetic query builds");
+    let sections: Vec<WbfSectionView<'_>> = vec![(0, &built.filter, built.query_totals.as_slice())];
+    let mut points = Vec::new();
+    for &rows in &rows_axis {
+        let owned = synthetic_shard(scale.seed, rows, std::slice::from_ref(&query));
+        let shard: Vec<(UserId, &Pattern)> = owned.iter().map(|&(u, ref p)| (u, p)).collect();
+        for &k in &k_axis {
+            // Conformance before timing: every rung must byte-match the
+            // exhaustive reference on this exact workload.
+            let reference = scan_shard_wbf_topk(&sections, &shard, &base, k, None)
+                .expect("exhaustive reference runs");
+            for algorithm in ScanAlgorithm::ALL {
+                let config = DiMatchingConfig {
+                    scan_algorithm: algorithm,
+                    ..base.clone()
+                };
+                let out = scan_shard_wbf_topk(&sections, &shard, &config, k, None)
+                    .expect("pruned scan runs");
+                assert_eq!(
+                    out, reference,
+                    "{algorithm:?} diverged at rows={rows} k={k}"
+                );
+            }
+            let exhaustive = measure(
+                &sections,
+                &shard,
+                &base,
+                k,
+                ScanAlgorithm::Exhaustive,
+                min_seconds,
+            );
+            let reference_rate = exhaustive.rows_per_sec;
+            points.push(exhaustive);
+            for algorithm in [
+                ScanAlgorithm::MaxScore,
+                ScanAlgorithm::Wand,
+                ScanAlgorithm::BlockMaxWand,
+            ] {
+                let mut point = measure(&sections, &shard, &base, k, algorithm, min_seconds);
+                point.speedup = point.rows_per_sec / reference_rate;
+                points.push(point);
+            }
+        }
+    }
+    points
+}
+
+/// Top-k kernel throughput across rows × k × scan algorithm.
+pub fn topk(scale: &Scale) -> Report {
+    let points = topk_sweep(scale);
+    let mut report = Report::new(
+        "Top-k scan microbench",
+        "scan_shard_wbf_topk throughput across rows × k × scan algorithm",
+        "dynamic pruning must buy real throughput once the k-th score saturates, without \
+         changing a single report",
+    );
+    report.columns([
+        "rows",
+        "k",
+        "algorithm",
+        "rows_per_sec",
+        "speedup",
+        "reports",
+        "rows_pruned",
+        "blocks_skipped",
+    ]);
+    for p in &points {
+        report.row_cells([
+            Cell::int(p.rows as u64),
+            Cell::int(p.k as u64),
+            Cell::text(algorithm_label(p.algorithm)),
+            Cell::rendered(p.rows_per_sec, format!("{:.0}", p.rows_per_sec)),
+            Cell::rendered(p.speedup, format!("{:.2}x", p.speedup)),
+            Cell::int(p.reports as u64),
+            Cell::int(p.rows_pruned),
+            Cell::int(p.blocks_skipped),
+        ]);
+    }
+    report.note(format!(
+        "miss-dominated synthetic shard ({PATTERN_LEN}-interval rows, 1 weight-1 hit per \
+         {HIT_STRIDE} rows), seed {}; every point's reports byte-match exhaustive before timing",
+        scale.seed
+    ));
+    report.note(
+        "speedup is rows/sec relative to exhaustive at the same (rows, k); blocks_skipped and \
+         rows_pruned are per scan pass"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_covers_the_ladder_and_stays_exact() {
+        let report = topk(&Scale::quick());
+        // 2 row counts × 2 k values × 4 algorithms.
+        assert_eq!(report.rows.len(), 16);
+        for group in report.rows.chunks(4) {
+            // Reports identical across the group's four algorithms.
+            let reference = &group[0];
+            for row in group {
+                assert_eq!(row[5], reference[5], "report counts must agree");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_points_never_prune() {
+        let points = topk_sweep(&Scale::quick());
+        for p in &points {
+            if p.algorithm == ScanAlgorithm::Exhaustive {
+                assert_eq!(p.rows_pruned, 0);
+                assert_eq!(p.blocks_skipped, 0);
+                assert_eq!(p.speedup, 1.0);
+            } else {
+                assert!(p.speedup > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn small_k_saturates_the_threshold_and_prunes() {
+        // rows = 4000, k = 1: the heap holds a weight-1 entry after the
+        // first hit row, so the pruning rungs must skip almost everything.
+        let points = topk_sweep(&Scale::quick());
+        let bmw = points
+            .iter()
+            .find(|p| p.rows == 4_000 && p.k == 1 && p.algorithm == ScanAlgorithm::BlockMaxWand)
+            .expect("grid point exists");
+        assert!(
+            bmw.blocks_skipped > 0,
+            "block-max wand must skip whole blocks at k = 1"
+        );
+        let wand = points
+            .iter()
+            .find(|p| p.rows == 4_000 && p.k == 1 && p.algorithm == ScanAlgorithm::Wand)
+            .expect("grid point exists");
+        assert!(wand.rows_pruned > 0, "wand must prune rows at k = 1");
+    }
+}

@@ -17,6 +17,7 @@
 //! center alone needs the counts to know when a removal retires a position.
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 use crate::error::{CoreError, Result};
 use crate::filter::FilterCore;
@@ -96,6 +97,10 @@ pub struct CountingWbf {
     /// visible weight set *as of that drain* — the baseline the next delta
     /// diffs against.
     dirty: BTreeMap<u32, WeightSet>,
+    /// Lazily computed set of every live weight — the score universe
+    /// pruning scans bound against. Derived state: [`CountingWbf::insert`]
+    /// and [`CountingWbf::remove`] reset it, equality ignores it.
+    universe: OnceLock<WeightSet>,
 }
 
 impl PartialEq for CountingWbf {
@@ -125,6 +130,7 @@ impl CountingWbf {
             family: HashFamily::new(params.hashes(), seed),
             live: 0,
             dirty: BTreeMap::new(),
+            universe: OnceLock::new(),
         }
     }
 
@@ -178,6 +184,7 @@ impl CountingWbf {
             *position.entry(weight).or_insert(0) += mult;
         }
         self.live += 1;
+        self.universe.take();
         Ok(())
     }
 
@@ -233,6 +240,7 @@ impl CountingWbf {
             }
         }
         self.live -= 1;
+        self.universe.take();
         Ok(())
     }
 
@@ -369,6 +377,26 @@ impl CountingWbf {
     /// The total number of live `(position, weight)` attachments.
     pub fn weight_entries(&self) -> usize {
         self.counts.values().map(BTreeMap::len).sum()
+    }
+
+    /// The sorted set of every live weight — the score universe a pruning
+    /// scan bounds candidates against, mirroring
+    /// [`WeightedBloomFilter::weight_universe`]. Computed once per filter
+    /// state and cached; [`CountingWbf::insert`] and [`CountingWbf::remove`]
+    /// invalidate the cache.
+    pub fn weight_universe(&self) -> &WeightSet {
+        self.universe.get_or_init(|| {
+            self.counts
+                .values()
+                .flat_map(|position| position.keys().copied())
+                .collect()
+        })
+    }
+
+    /// The largest live weight — the static score upper bound. `None` for
+    /// an empty filter.
+    pub fn max_weight(&self) -> Option<Weight> {
+        self.weight_universe().max()
     }
 }
 
@@ -579,6 +607,27 @@ mod tests {
         assert!(core.contains(42));
         assert!(core.fill_ratio() > 0.0);
         assert_eq!(core.inserted(), 1);
+    }
+
+    #[test]
+    fn weight_universe_follows_inserts_and_removes() {
+        let mut filter = CountingWbf::new(params(), 1);
+        assert!(filter.weight_universe().is_empty());
+        assert_eq!(filter.max_weight(), None);
+        filter.insert(1, w(1, 3)).unwrap();
+        filter.insert(2, w(2, 3)).unwrap();
+        assert_eq!(filter.weight_universe().as_slice(), &[w(1, 3), w(2, 3)]);
+        assert_eq!(filter.max_weight(), Some(w(2, 3)));
+        // Removing the last carrier of a weight retires it from the
+        // universe; the cached set must not go stale.
+        filter.remove(2, w(2, 3)).unwrap();
+        assert_eq!(filter.weight_universe().as_slice(), &[w(1, 3)]);
+        assert_eq!(filter.max_weight(), Some(w(1, 3)));
+        // The universe matches the snapshot's.
+        assert_eq!(
+            filter.weight_universe(),
+            filter.snapshot().weight_universe()
+        );
     }
 
     #[test]

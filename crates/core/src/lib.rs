@@ -71,7 +71,7 @@ pub use error::{CoreError, Result};
 pub use filter::FilterCore;
 pub use hash::{mix64, tagged_key, HashFamily, Probes};
 pub use params::{FilterParams, MAX_BITS, MAX_HASHES};
-pub use probe::QueryScratch;
+pub use probe::{PrecomputedProbes, QueryScratch};
 pub use wbf::WeightedBloomFilter;
 pub use weight::{sum_weights, Weight};
 pub use weight_set::WeightSet;

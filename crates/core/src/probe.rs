@@ -52,6 +52,70 @@ impl QueryScratch {
     }
 }
 
+/// One candidate row's probe set, hashed once and replayed against every
+/// query section sharing a geometry.
+///
+/// A batch scan probes each row against many filter sections; when the
+/// sections share one `(hash family, bit length)` the probe indices — and
+/// the merged word masks the membership pre-test loads — are identical for
+/// all of them, so hashing them per `(row × section)` is pure waste. A
+/// `PrecomputedProbes` is filled once per row ([`PrecomputedProbes::compute`],
+/// reusing its buffers across rows) and handed to
+/// [`WeightedBloomFilter::query_precomputed`](crate::WeightedBloomFilter::query_precomputed)
+/// per section.
+#[derive(Debug, Clone, Default)]
+pub struct PrecomputedProbes {
+    /// Flat probe indices: all `k` probes of key 0, then key 1, …
+    pub(crate) indices: Vec<u32>,
+    /// Merged `(word, mask)` groups of consecutive same-word probes — the
+    /// word-batched membership masks, mirroring the merging
+    /// [`BitSet::contains_probes`](crate::BitSet::contains_probes) performs
+    /// on the fly.
+    pub(crate) masks: Vec<(u32, u64)>,
+}
+
+impl PrecomputedProbes {
+    /// Creates an empty probe set.
+    pub fn new() -> PrecomputedProbes {
+        PrecomputedProbes::default()
+    }
+
+    /// Recomputes the probe set of `keys` against a filter geometry of
+    /// `len` bits under `family`, reusing both buffers.
+    pub fn compute(&mut self, family: &HashFamily, len: usize, keys: &[u64]) {
+        self.indices.clear();
+        self.masks.clear();
+        for &key in keys {
+            for idx in family.probes(key, len) {
+                self.indices.push(idx as u32);
+                let (word, mask) = ((idx / 64) as u32, 1u64 << (idx % 64));
+                match self.masks.last_mut() {
+                    Some(last) if last.0 == word => last.1 |= mask,
+                    _ => self.masks.push((word, mask)),
+                }
+            }
+        }
+    }
+
+    /// Reserves room for `probes` probe indices (and as many mask groups,
+    /// the no-merging worst case) so later [`PrecomputedProbes::compute`]
+    /// calls stay allocation-free.
+    pub fn reserve(&mut self, probes: usize) {
+        self.indices.reserve(probes);
+        self.masks.reserve(probes);
+    }
+
+    /// The merged `(word, mask)` membership groups.
+    pub fn masks(&self) -> &[(u32, u64)] {
+        &self.masks
+    }
+
+    /// Whether the probe set was computed from zero keys.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
 /// A probe-addressable table of weight sets: the storage interface both
 /// filter variants expose to the shared query core.
 pub(crate) trait ProbeTable {
@@ -199,6 +263,59 @@ where
                     if scratch.acc.is_empty() {
                         return Some(&scratch.acc);
                     }
+                }
+            }
+        }
+    }
+    match acc {
+        Acc::Start => None,
+        Acc::Borrowed(set) => Some(set),
+        Acc::Owned => Some(&scratch.acc),
+    }
+}
+
+/// The weight fold of [`query_sequence_into`] over probe positions hashed
+/// ahead of time, all already known to be occupied (the caller ran the
+/// mask membership pre-test). Returns `None` for an empty probe set,
+/// mirroring the empty-sequence contract.
+pub(crate) fn fold_weights_at<'s, T: ProbeTable>(
+    table: &'s T,
+    indices: &[u32],
+    scratch: &'s mut QueryScratch,
+) -> Option<&'s WeightSet> {
+    let mut acc = Acc::Start;
+    for &idx in indices {
+        let idx = idx as usize;
+        match acc {
+            Acc::Start => match table.set_at(idx) {
+                Some(set) => acc = Acc::Borrowed(set),
+                None => {
+                    scratch
+                        .acc
+                        .assign_sorted(table.weights_at(idx).expect("occupied position"));
+                    acc = Acc::Owned;
+                }
+            },
+            Acc::Borrowed(first) => {
+                match table.set_at(idx) {
+                    Some(set) if std::ptr::eq(set, first) => continue,
+                    Some(set) => scratch.acc.assign_intersection(first, set),
+                    None => scratch.acc.assign_intersection_sorted(
+                        first,
+                        table.weights_at(idx).expect("occupied position"),
+                    ),
+                }
+                acc = Acc::Owned;
+                if scratch.acc.is_empty() {
+                    return Some(&scratch.acc);
+                }
+            }
+            Acc::Owned => {
+                scratch
+                    .acc
+                    .intersect_with_sorted(table.weights_at(idx).expect("occupied position"));
+                if scratch.acc.is_empty() {
+                    return Some(&scratch.acc);
                 }
             }
         }

@@ -12,6 +12,7 @@
 //! and `{2,4,5}` hits only set bits but no consistent weight.
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 use crate::bitset::BitSet;
 use crate::counting::WeightDiff;
@@ -68,6 +69,10 @@ pub struct WeightedBloomFilter {
     sets: Vec<WeightSet>,
     family: HashFamily,
     inserted: u64,
+    // Lazily computed union of every attached weight set — the score
+    // universe dynamic-pruning scans bound against. Derived state: every
+    // mutation path resets it, equality and the wire format ignore it.
+    universe: OnceLock<WeightSet>,
 }
 
 /// Sentinel in `slots` for a position carrying no weights.
@@ -82,6 +87,7 @@ impl WeightedBloomFilter {
             sets: Vec::new(),
             family: HashFamily::new(params.hashes(), seed),
             inserted: 0,
+            universe: OnceLock::new(),
         }
     }
 
@@ -112,6 +118,7 @@ impl WeightedBloomFilter {
             sets,
             family,
             inserted,
+            universe: OnceLock::new(),
         })
     }
 
@@ -152,6 +159,7 @@ impl WeightedBloomFilter {
             self.set_mut_or_insert(idx).insert(weight);
         }
         self.inserted += 1;
+        self.universe.take();
     }
 
     /// Pure membership test (ignores weights): whether all probed bits are
@@ -219,6 +227,27 @@ impl WeightedBloomFilter {
         probe::query_sequence_into(self, keys, scratch)
     }
 
+    /// [`WeightedBloomFilter::query_sequence_into`] over a probe set hashed
+    /// once via [`PrecomputedProbes`](crate::PrecomputedProbes): membership
+    /// is tested with the precomputed word masks in one batched pass, and
+    /// the weight fold replays the stored indices — no re-hashing. Batch
+    /// scans use this to probe one row against many sections sharing this
+    /// filter's geometry.
+    ///
+    /// `pre` must have been computed against an identical `(hash family,
+    /// bit length)` geometry; results are then exactly those of
+    /// `query_sequence_into` over the same keys.
+    pub fn query_precomputed<'s>(
+        &'s self,
+        pre: &crate::probe::PrecomputedProbes,
+        scratch: &'s mut QueryScratch,
+    ) -> Option<&'s WeightSet> {
+        if pre.is_empty() || !self.bits.contains_masks(pre.masks()) {
+            return None;
+        }
+        probe::fold_weights_at(self, &pre.indices, scratch)
+    }
+
     /// The number of insert operations performed.
     pub fn inserted(&self) -> u64 {
         self.inserted
@@ -252,11 +281,35 @@ impl WeightedBloomFilter {
 
     /// The number of distinct weights across all bits.
     pub fn distinct_weights(&self) -> usize {
-        let mut all = WeightSet::new();
-        for set in &self.sets {
-            all.union_with(set);
-        }
-        all.len()
+        self.weight_universe().len()
+    }
+
+    /// The sorted set of every distinct weight attached anywhere in the
+    /// filter — the score universe a pruning scan bounds candidates
+    /// against. Any weight a query of this filter can ever report is drawn
+    /// from this set, so its maximum is the section's score upper bound.
+    ///
+    /// Computed once per filter state and cached; [`insert`], [`union_with`]
+    /// and [`apply_diff`] invalidate the cache.
+    ///
+    /// [`insert`]: WeightedBloomFilter::insert
+    /// [`union_with`]: WeightedBloomFilter::union_with
+    /// [`apply_diff`]: WeightedBloomFilter::apply_diff
+    pub fn weight_universe(&self) -> &WeightSet {
+        self.universe.get_or_init(|| {
+            let mut all = WeightSet::new();
+            for set in &self.sets {
+                all.union_with(set);
+            }
+            all
+        })
+    }
+
+    /// The largest weight any candidate could report — the static
+    /// per-section score upper bound. `None` for a filter with no attached
+    /// weights.
+    pub fn max_weight(&self) -> Option<Weight> {
+        self.weight_universe().max()
     }
 
     /// Theoretical false-positive probability of the *membership* layer at
@@ -280,6 +333,7 @@ impl WeightedBloomFilter {
             self.set_mut_or_insert(idx as usize).union_with(set);
         }
         self.inserted += other.inserted;
+        self.universe.take();
         Ok(())
     }
 
@@ -339,6 +393,7 @@ impl WeightedBloomFilter {
             self.bits.set(idx);
             *self.set_mut_or_insert(idx) = next;
         }
+        self.universe.take();
         Ok(())
     }
 
@@ -492,6 +547,76 @@ mod tests {
         wbf.insert(2, w(2, 3));
         wbf.insert(3, w(1, 3));
         assert_eq!(wbf.distinct_weights(), 2);
+    }
+
+    #[test]
+    fn weight_universe_tracks_every_mutation_path() {
+        let mut wbf = WeightedBloomFilter::new(params(), 1);
+        assert!(wbf.weight_universe().is_empty());
+        assert_eq!(wbf.max_weight(), None);
+
+        // Insert invalidates the cached (empty) universe.
+        wbf.insert(1, w(1, 3));
+        assert_eq!(wbf.weight_universe().as_slice(), &[w(1, 3)]);
+        assert_eq!(wbf.max_weight(), Some(w(1, 3)));
+
+        // Union invalidates it again.
+        let mut other = WeightedBloomFilter::new(params(), 1);
+        other.insert(9, w(2, 3));
+        wbf.union_with(&other).unwrap();
+        assert_eq!(wbf.weight_universe().as_slice(), &[w(1, 3), w(2, 3)]);
+
+        // Delta application does too — replay a counting filter's churn.
+        let mut counting = crate::counting::CountingWbf::new(params(), 1);
+        counting.insert(5, Weight::ONE).unwrap();
+        let mut replayed = counting.snapshot();
+        assert_eq!(replayed.max_weight(), Some(Weight::ONE));
+        counting.drain_dirty();
+        counting.remove(5, Weight::ONE).unwrap();
+        for (bit, diff) in counting.drain_dirty() {
+            replayed.apply_diff(bit, &diff).unwrap();
+        }
+        assert!(replayed.weight_universe().is_empty());
+
+        // A clone carries an independent, consistent cache.
+        let cloned = wbf.clone();
+        assert_eq!(cloned.weight_universe(), wbf.weight_universe());
+    }
+
+    #[test]
+    fn precomputed_probes_match_query_sequence() {
+        use crate::probe::PrecomputedProbes;
+        let mut wbf = WeightedBloomFilter::new(params(), 5);
+        for v in [1u64, 2, 3] {
+            wbf.insert(v, w(1, 2));
+        }
+        for v in [2u64, 4, 5] {
+            wbf.insert(v, w(1, 4));
+        }
+        let mut pre = PrecomputedProbes::new();
+        let mut scratch_a = QueryScratch::new();
+        let mut scratch_b = QueryScratch::new();
+        let cases: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![1, 2, 3],   // genuine match
+            vec![2, 4, 5],   // genuine match, other weight
+            vec![1, 4, 5],   // stitched: bits set, empty intersection
+            vec![9, 10, 11], // miss
+            vec![1, 9],      // partial miss
+            vec![2, 2, 2],   // repeated key
+        ];
+        for keys in cases {
+            pre.compute(
+                &HashFamily::new(wbf.hashes(), wbf.seed()),
+                wbf.bit_len(),
+                &keys,
+            );
+            let fast = wbf.query_precomputed(&pre, &mut scratch_a).cloned();
+            let slow = wbf
+                .query_sequence_into(keys.iter().copied(), &mut scratch_b)
+                .cloned();
+            assert_eq!(fast, slow, "keys {keys:?}");
+        }
     }
 
     #[test]

@@ -13,15 +13,22 @@
 //! unsharded convenience API: thin wrappers over the same shard-scan core
 //! the generic pipeline uses.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BinaryHeap};
 
-use dipm_core::{BloomFilter, FilterCore, QueryScratch, Weight, WeightedBloomFilter};
+use dipm_core::{
+    BloomFilter, FilterCore, HashFamily, PrecomputedProbes, QueryScratch, Weight, WeightSet,
+    WeightedBloomFilter,
+};
 use dipm_distsim::CostMeter;
 use dipm_mobilenet::{StationId, UserId};
 use dipm_timeseries::{for_each_sampled_point, Pattern};
 
-use crate::config::DiMatchingConfig;
+use crate::config::{DiMatchingConfig, ScanAlgorithm};
 use crate::error::Result;
+
+/// Rows per block-max metadata entry: the granularity at which
+/// `ScanAlgorithm::BlockMaxWand` skips whole runs of a shard.
+pub const BLOCK_ROWS: usize = 64;
 
 /// One station's candidate report: a user and the weight their pattern
 /// matched with.
@@ -179,6 +186,106 @@ fn select_weight(
     set.iter().find(|&w| !w.is_zero() && plausible(w))
 }
 
+/// The largest nonzero universe weight plausible for *some* volume in
+/// `[vmin, vmax]` under `slack` — the score upper bound dynamic pruning
+/// tests against. `None` proves no row in that volume window can pass
+/// [`select_weight`] for this section, whatever its probe intersection:
+/// the intersection is a subset of the filter's weight universe, and the
+/// plausibility window below is exactly `select_weight`'s when
+/// `vmin == vmax` (the interval form bounds whole blocks). Saturating
+/// arithmetic can only over-admit a weight near the `u128` edge — it never
+/// prunes a plausible one.
+fn max_plausible_weight(
+    universe: &WeightSet,
+    query_totals: &[u64],
+    vmin: u64,
+    vmax: u64,
+    slack: u64,
+) -> Option<Weight> {
+    let plausible = |w: Weight| -> bool {
+        if query_totals.is_empty() {
+            return true;
+        }
+        query_totals.iter().any(|&t| {
+            let implied = w.numerator() as u128 * t as u128;
+            let lo = vmin as u128 * w.denominator() as u128;
+            let hi = vmax as u128 * w.denominator() as u128;
+            let s = slack as u128 * w.denominator() as u128;
+            implied.saturating_add(s) >= lo && implied <= hi.saturating_add(s)
+        })
+    };
+    // Sorted ascending: the last plausible nonzero weight is the bound.
+    universe
+        .as_slice()
+        .iter()
+        .rev()
+        .copied()
+        .find(|&w| !w.is_zero() && plausible(w))
+}
+
+/// Per-section state derived once per shard pass: the weight universe the
+/// score bounds come from, and whether the section is statically dead (no
+/// nonzero weight anywhere, so [`select_weight`] can never accept).
+struct SectionScan<'a> {
+    query: u32,
+    filter: &'a WeightedBloomFilter,
+    query_totals: &'a [u64],
+    universe: &'a WeightSet,
+    dead: bool,
+}
+
+fn section_states<'a>(sections: &[WbfSectionView<'a>]) -> Vec<SectionScan<'a>> {
+    sections
+        .iter()
+        .map(|&(query, filter, query_totals)| {
+            let universe = filter.weight_universe();
+            SectionScan {
+                query,
+                filter,
+                query_totals,
+                universe,
+                dead: universe.as_slice().iter().all(|w| w.is_zero()),
+            }
+        })
+        .collect()
+}
+
+/// The hash family shared by every section, when they all agree on
+/// `(bits, hashes, seed)` — the precondition for hashing each row's probe
+/// set once and replaying it per section.
+fn shared_geometry(sections: &[WbfSectionView<'_>]) -> Option<HashFamily> {
+    let (_, first, _) = *sections.first()?;
+    let geometry = (first.bit_len(), first.hashes(), first.seed());
+    sections
+        .iter()
+        .all(|&(_, f, _)| (f.bit_len(), f.hashes(), f.seed()) == geometry)
+        .then(|| HashFamily::new(first.hashes(), first.seed()))
+}
+
+/// The `(vmin, vmax, slack_max)` envelope of one row block, or `None` if
+/// any row is malformed (empty pattern, overflowing total, or zero
+/// configured samples) — a malformed row must reach the sampler so its
+/// error surfaces exactly as under an exhaustive scan, so its block can
+/// never be skipped.
+fn block_stats(block: &[(UserId, &Pattern)], config: &DiMatchingConfig) -> Option<(u64, u64, u64)> {
+    if config.samples == 0 {
+        return None;
+    }
+    let mut vmin = u64::MAX;
+    let mut vmax = 0u64;
+    let mut max_len = 0u64;
+    for &(_, pattern) in block {
+        if pattern.is_empty() {
+            return None;
+        }
+        let total = pattern.total()?;
+        vmin = vmin.min(total);
+        vmax = vmax.max(total);
+        max_len = max_len.max(pattern.len() as u64);
+    }
+    Some((vmin, vmax, config.eps.saturating_mul(max_len)))
+}
+
 /// One WBF query section as a station sees it: the filter plus the query
 /// volumes it was broadcast with, tagged with the batch-frame query id.
 pub type WbfSectionView<'a> = (u32, &'a WeightedBloomFilter, &'a [u64]);
@@ -187,6 +294,13 @@ pub type WbfSectionView<'a> = (u32, &'a WeightedBloomFilter, &'a [u64]);
 /// and hashed once, then probed against every WBF query section. Returns
 /// `(query, user, weight)` for each section that accepts a pattern with a
 /// consistent, plausible weight, in `(row, section)` visit order.
+///
+/// `config.scan_algorithm` selects the pruning rung. Every rung is
+/// result-exact — only `(row, section)` pairs whose score bound proves they
+/// cannot pass [`select_weight`] are skipped, so the report list is
+/// byte-identical to [`ScanAlgorithm::Exhaustive`]; only the work (and the
+/// `rows_pruned` / `blocks_skipped` meters) differs. Block skipping never
+/// covers a malformed row, so errors surface identically on every rung.
 ///
 /// `meter`, when given, records the hash and comparison work performed.
 ///
@@ -199,6 +313,9 @@ pub fn scan_shard_wbf(
     config: &DiMatchingConfig,
     meter: Option<&CostMeter>,
 ) -> Result<Vec<(u32, UserId, Weight)>> {
+    let algorithm: ScanAlgorithm = config.scan_algorithm;
+    let states = section_states(sections);
+    let family = shared_geometry(sections);
     // Reserve for a percent-level hit rate so steady-state scans never grow
     // the report vector; reports stay rare in a miss-dominated store.
     let mut reports = Vec::with_capacity(
@@ -207,27 +324,273 @@ pub fn scan_shard_wbf(
             .saturating_mul(shard.len() / 64 + 1)
             .min(1 << 16),
     );
-    // Per-shard scratch: the key buffer and the probe core's intersection
-    // buffer are reused across every row, so the per-(row × section) probe
-    // itself is allocation-free.
+    // Per-shard scratch: the key buffer, the probe core's intersection
+    // buffer and the precomputed probe set are reused across every row, so
+    // the per-(row × section) probe itself is allocation-free.
     let mut keys: Vec<u64> = Vec::with_capacity(config.samples);
     let mut scratch = QueryScratch::new();
-    for &(user, pattern) in shard {
-        let local_total = sample_keys_into(pattern, config, &mut keys)?;
-        let slack = config.eps.saturating_mul(pattern.len() as u64);
-        for &(query, filter, query_totals) in sections {
-            if let Some(m) = meter {
-                m.record_hash_ops(filter.probe_cost(keys.len()));
-            }
-            if let Some(set) = filter.query_sequence_into(keys.iter().copied(), &mut scratch) {
-                if let Some(m) = meter {
-                    m.record_comparisons(set.len() as u64 + 1);
-                }
-                if let Some(weight) = select_weight(set, query_totals, local_total, slack) {
-                    reports.push((query, user, weight));
+    let mut pre = PrecomputedProbes::new();
+    if family.is_some() {
+        pre.reserve(
+            config
+                .samples
+                .saturating_mul(usize::from(sections[0].1.hashes())),
+        );
+    }
+    for block in shard.chunks(BLOCK_ROWS) {
+        if algorithm.prunes_blocks() && !states.is_empty() {
+            if let Some((vmin, vmax, smax)) = block_stats(block, config) {
+                let unreportable = states.iter().all(|s| {
+                    s.dead
+                        || max_plausible_weight(s.universe, s.query_totals, vmin, vmax, smax)
+                            .is_none()
+                });
+                if unreportable {
+                    if let Some(m) = meter {
+                        m.record_blocks_skipped(1);
+                    }
+                    continue;
                 }
             }
         }
+        for &(user, pattern) in block {
+            let local_total = sample_keys_into(pattern, config, &mut keys)?;
+            let slack = config.eps.saturating_mul(pattern.len() as u64);
+            let mut probes_ready = false;
+            for s in &states {
+                if algorithm.prunes_sections() && s.dead {
+                    if let Some(m) = meter {
+                        m.record_rows_pruned(1);
+                    }
+                    continue;
+                }
+                if algorithm.prunes_rows()
+                    && max_plausible_weight(
+                        s.universe,
+                        s.query_totals,
+                        local_total,
+                        local_total,
+                        slack,
+                    )
+                    .is_none()
+                {
+                    if let Some(m) = meter {
+                        m.record_rows_pruned(1);
+                    }
+                    continue;
+                }
+                if let Some(m) = meter {
+                    m.record_hash_ops(s.filter.probe_cost(keys.len()));
+                }
+                let set = match &family {
+                    Some(fam) => {
+                        if !probes_ready {
+                            pre.compute(fam, s.filter.bit_len(), &keys);
+                            probes_ready = true;
+                        }
+                        s.filter.query_precomputed(&pre, &mut scratch)
+                    }
+                    None => s
+                        .filter
+                        .query_sequence_into(keys.iter().copied(), &mut scratch),
+                };
+                if let Some(set) = set {
+                    if let Some(m) = meter {
+                        m.record_comparisons(set.len() as u64 + 1);
+                    }
+                    if let Some(weight) = select_weight(set, s.query_totals, local_total, slack) {
+                        reports.push((s.query, user, weight));
+                    }
+                }
+            }
+        }
+    }
+    Ok(reports)
+}
+
+/// An entry of a per-section top-k heap, ordered so the **worst-ranked**
+/// entry is the heap maximum (rank order: weight descending, then user
+/// ascending — [`aggregate_and_rank`](crate::aggregate_and_rank)'s final
+/// tiebreak). `peek()` is therefore the k-th score threshold θ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Worst(Weight, UserId);
+
+impl Ord for Worst {
+    fn cmp(&self, other: &Worst) -> std::cmp::Ordering {
+        other.0.cmp(&self.0).then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Worst) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Top-k variant of [`scan_shard_wbf`]: keeps only each section's k
+/// best-ranked reports (weight descending, user ascending) in a local
+/// threshold heap, and — on the pruning rungs — skips rows and blocks whose
+/// score upper bound cannot beat the running k-th score θ.
+///
+/// The θ-skip is exact, not approximate: shard rows ascend by user and rank
+/// ties break toward the *smaller* user, so a later candidate whose bound is
+/// ≤ θ loses to every current heap entry and could never have entered the
+/// heap under [`ScanAlgorithm::Exhaustive`] either. All four rungs return
+/// bit-identical results; each local heap is merged at the center, never a
+/// shared mutable threshold across shards or modes.
+///
+/// Reports are grouped by section in input order, each group best-first.
+/// `k == 0` returns no reports without touching the shard (uniformly across
+/// rungs, so error behavior stays identical).
+///
+/// # Errors
+///
+/// Propagates pattern-transformation errors (overflow, zero samples).
+pub fn scan_shard_wbf_topk(
+    sections: &[WbfSectionView<'_>],
+    shard: &[(UserId, &Pattern)],
+    config: &DiMatchingConfig,
+    k: usize,
+    meter: Option<&CostMeter>,
+) -> Result<Vec<(u32, UserId, Weight)>> {
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let algorithm = config.scan_algorithm;
+    let states = section_states(sections);
+    let family = shared_geometry(sections);
+    // Static per-section bound: the largest nonzero weight the section's
+    // universe can ever produce (None ⇔ dead).
+    let static_bounds: Vec<Option<Weight>> = states
+        .iter()
+        .map(|s| {
+            s.universe
+                .as_slice()
+                .iter()
+                .rev()
+                .copied()
+                .find(|w| !w.is_zero())
+        })
+        .collect();
+    let mut heaps: Vec<BinaryHeap<Worst>> = states
+        .iter()
+        .map(|_| BinaryHeap::with_capacity(k + 1))
+        .collect();
+    let mut keys: Vec<u64> = Vec::with_capacity(config.samples);
+    let mut scratch = QueryScratch::new();
+    let mut pre = PrecomputedProbes::new();
+    if family.is_some() {
+        pre.reserve(
+            config
+                .samples
+                .saturating_mul(usize::from(sections[0].1.hashes())),
+        );
+    }
+    for block in shard.chunks(BLOCK_ROWS) {
+        if algorithm.prunes_blocks() && !states.is_empty() {
+            if let Some((vmin, vmax, smax)) = block_stats(block, config) {
+                let skippable = states.iter().enumerate().all(|(i, s)| {
+                    if s.dead {
+                        return true;
+                    }
+                    match max_plausible_weight(s.universe, s.query_totals, vmin, vmax, smax) {
+                        None => true,
+                        Some(bound) => {
+                            heaps[i].len() == k
+                                && heaps[i].peek().is_some_and(|worst| bound <= worst.0)
+                        }
+                    }
+                });
+                if skippable {
+                    if let Some(m) = meter {
+                        m.record_blocks_skipped(1);
+                    }
+                    continue;
+                }
+            }
+        }
+        for &(user, pattern) in block {
+            let local_total = sample_keys_into(pattern, config, &mut keys)?;
+            let slack = config.eps.saturating_mul(pattern.len() as u64);
+            let mut probes_ready = false;
+            for (i, s) in states.iter().enumerate() {
+                let threshold = (heaps[i].len() == k)
+                    .then(|| heaps[i].peek().map(|w| w.0))
+                    .flatten();
+                if algorithm.prunes_sections() {
+                    if s.dead {
+                        if let Some(m) = meter {
+                            m.record_rows_pruned(1);
+                        }
+                        continue;
+                    }
+                    if let (Some(theta), Some(bound)) = (threshold, static_bounds[i]) {
+                        if bound <= theta {
+                            if let Some(m) = meter {
+                                m.record_rows_pruned(1);
+                            }
+                            continue;
+                        }
+                    }
+                }
+                if algorithm.prunes_rows() {
+                    let row_bound = max_plausible_weight(
+                        s.universe,
+                        s.query_totals,
+                        local_total,
+                        local_total,
+                        slack,
+                    );
+                    let beatable = match row_bound {
+                        None => false,
+                        Some(bound) => !threshold.is_some_and(|theta| bound <= theta),
+                    };
+                    if !beatable {
+                        if let Some(m) = meter {
+                            m.record_rows_pruned(1);
+                        }
+                        continue;
+                    }
+                }
+                if let Some(m) = meter {
+                    m.record_hash_ops(s.filter.probe_cost(keys.len()));
+                }
+                let set = match &family {
+                    Some(fam) => {
+                        if !probes_ready {
+                            pre.compute(fam, s.filter.bit_len(), &keys);
+                            probes_ready = true;
+                        }
+                        s.filter.query_precomputed(&pre, &mut scratch)
+                    }
+                    None => s
+                        .filter
+                        .query_sequence_into(keys.iter().copied(), &mut scratch),
+                };
+                if let Some(set) = set {
+                    if let Some(m) = meter {
+                        m.record_comparisons(set.len() as u64 + 1);
+                    }
+                    if let Some(weight) = select_weight(set, s.query_totals, local_total, slack) {
+                        let entry = Worst(weight, user);
+                        let heap = &mut heaps[i];
+                        if heap.len() < k {
+                            heap.push(entry);
+                        } else if heap.peek().is_some_and(|&worst| entry < worst) {
+                            heap.pop();
+                            heap.push(entry);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut reports = Vec::with_capacity(heaps.iter().map(BinaryHeap::len).sum());
+    for (s, heap) in states.iter().zip(heaps) {
+        let mut entries = heap.into_vec();
+        // Ascending `Worst` order is best-first.
+        entries.sort_unstable();
+        reports.extend(entries.into_iter().map(|Worst(w, u)| (s.query, u, w)));
     }
     Ok(reports)
 }
@@ -518,6 +881,148 @@ mod tests {
         let patterns = station(vec![(5, query.global().clone())]);
         let ids = scan_station_bloom(&bf, &patterns, &config, None).unwrap();
         assert_eq!(ids, vec![UserId(5)]);
+    }
+
+    /// A store mixing the demo query's global (weight 1), its first local
+    /// fragment (fractional weight) and distant non-matches.
+    fn mixed_store(non_matches: u64) -> BTreeMap<UserId, Pattern> {
+        let query = demo_query();
+        let mut patterns = vec![(3, query.global().clone()), (8, query.locals()[0].clone())];
+        for i in 0..non_matches {
+            let far: Pattern = query.global().iter().map(|v| v + 50 + i).collect();
+            patterns.push((100 + i, far));
+        }
+        station(patterns)
+    }
+
+    #[test]
+    fn every_algorithm_matches_exhaustive_reports() {
+        let query = demo_query();
+        let config = DiMatchingConfig::default();
+        let built = build_wbf(std::slice::from_ref(&query), &config).unwrap();
+        let patterns = mixed_store(200);
+        let shard = single_shard(&patterns);
+        let sections: Vec<WbfSectionView<'_>> = vec![
+            (0, &built.filter, built.query_totals.as_slice()),
+            (1, &built.filter, built.query_totals.as_slice()),
+        ];
+        let reference = scan_shard_wbf(&sections, &shard, &config, None).unwrap();
+        assert!(!reference.is_empty());
+        for algorithm in crate::config::ScanAlgorithm::ALL {
+            let pruned_config = DiMatchingConfig {
+                scan_algorithm: algorithm,
+                ..config.clone()
+            };
+            let meter = CostMeter::new();
+            let reports = scan_shard_wbf(&sections, &shard, &pruned_config, Some(&meter)).unwrap();
+            assert_eq!(reports, reference, "{algorithm:?} diverged");
+            if algorithm == crate::config::ScanAlgorithm::Exhaustive {
+                let report = meter.report();
+                assert_eq!(report.rows_pruned, 0);
+                assert_eq!(report.blocks_skipped, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_section_is_pruned_without_hashing() {
+        // A filter with no insertions has an empty weight universe: the
+        // MaxScore rung must skip every row of it without hash work.
+        let query = demo_query();
+        let config = DiMatchingConfig {
+            scan_algorithm: crate::config::ScanAlgorithm::MaxScore,
+            ..DiMatchingConfig::default()
+        };
+        let built = build_wbf(std::slice::from_ref(&query), &config).unwrap();
+        let empty = WeightedBloomFilter::new(
+            dipm_core::FilterParams::new(built.filter.bit_len(), built.filter.hashes()).unwrap(),
+            config.seed,
+        );
+        let patterns = mixed_store(10);
+        let shard = single_shard(&patterns);
+        let sections: Vec<WbfSectionView<'_>> = vec![(0, &empty, &[])];
+        let meter = CostMeter::new();
+        let reports = scan_shard_wbf(&sections, &shard, &config, Some(&meter)).unwrap();
+        assert!(reports.is_empty());
+        let report = meter.report();
+        assert_eq!(report.hash_ops, 0, "dead section must not hash");
+        assert_eq!(report.rows_pruned, shard.len() as u64);
+    }
+
+    #[test]
+    fn block_max_wand_skips_far_blocks() {
+        // Non-matching rows with totals far outside every plausible-weight
+        // window: whole blocks must be skipped, and results must not change.
+        let query = demo_query();
+        let exhaustive = DiMatchingConfig::default();
+        let built = build_wbf(std::slice::from_ref(&query), &exhaustive).unwrap();
+        let far = station(
+            (0..(4 * BLOCK_ROWS as u64))
+                .map(|i| {
+                    let p: Pattern = query.global().iter().map(|v| v * 100 + i).collect();
+                    (i, p)
+                })
+                .collect(),
+        );
+        let shard = single_shard(&far);
+        let sections: Vec<WbfSectionView<'_>> =
+            vec![(0, &built.filter, built.query_totals.as_slice())];
+        let reference = scan_shard_wbf(&sections, &shard, &exhaustive, None).unwrap();
+        let bmw = DiMatchingConfig {
+            scan_algorithm: crate::config::ScanAlgorithm::BlockMaxWand,
+            ..exhaustive
+        };
+        let meter = CostMeter::new();
+        let reports = scan_shard_wbf(&sections, &shard, &bmw, Some(&meter)).unwrap();
+        assert_eq!(reports, reference);
+        assert!(
+            meter.report().blocks_skipped > 0,
+            "far-off blocks must be skipped whole"
+        );
+    }
+
+    #[test]
+    fn topk_kernel_matches_exhaustive_for_every_algorithm_and_k() {
+        let query = demo_query();
+        let base = DiMatchingConfig::default();
+        let built = build_wbf(std::slice::from_ref(&query), &base).unwrap();
+        let patterns = mixed_store(150);
+        let shard = single_shard(&patterns);
+        let sections: Vec<WbfSectionView<'_>> = vec![
+            (0, &built.filter, built.query_totals.as_slice()),
+            (7, &built.filter, built.query_totals.as_slice()),
+        ];
+        for k in [0usize, 1, 2, 3, 1000] {
+            let reference = scan_shard_wbf_topk(&sections, &shard, &base, k, None).unwrap();
+            for algorithm in crate::config::ScanAlgorithm::ALL {
+                let config = DiMatchingConfig {
+                    scan_algorithm: algorithm,
+                    ..base.clone()
+                };
+                let reports = scan_shard_wbf_topk(&sections, &shard, &config, k, None).unwrap();
+                assert_eq!(reports, reference, "{algorithm:?} k={k} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn topk_kernel_keeps_the_best_ranked_entries() {
+        let query = demo_query();
+        let config = DiMatchingConfig::default();
+        let built = build_wbf(std::slice::from_ref(&query), &config).unwrap();
+        let patterns = mixed_store(0); // users 3 (weight 1) and 8 (fraction)
+        let shard = single_shard(&patterns);
+        let sections: Vec<WbfSectionView<'_>> =
+            vec![(0, &built.filter, built.query_totals.as_slice())];
+        let all = scan_shard_wbf_topk(&sections, &shard, &config, 10, None).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].1, UserId(3), "weight-1 match ranks first");
+        assert!(all[0].2.is_one());
+        let top1 = scan_shard_wbf_topk(&sections, &shard, &config, 1, None).unwrap();
+        assert_eq!(top1, all[..1]);
+        assert!(scan_shard_wbf_topk(&sections, &shard, &config, 0, None)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -309,14 +309,28 @@ pub fn aggregate_and_rank(reports: Vec<(UserId, Weight)>, top_k: Option<usize>) 
         .collect();
     // Comparator is a total order (user id breaks every tie), so the
     // unstable sort is deterministic and avoids the stable sort's buffer.
-    ranked.sort_unstable_by(|a, b| {
+    fn rank_order(a: &RankedUser, b: &RankedUser) -> std::cmp::Ordering {
         b.weight_sum
             .cmp(&a.weight_sum)
             .then_with(|| b.reports.cmp(&a.reports))
             .then_with(|| a.user.cmp(&b.user))
-    });
-    if let Some(k) = top_k {
-        ranked.truncate(k);
+    }
+    match top_k {
+        Some(0) => ranked.clear(),
+        // Small-k cutoffs dominate in practice: partition the k best to the
+        // front in O(n), then sort only them — O(n + k log k) total. Past
+        // n/2 the partition stops paying for itself.
+        Some(k) if k < ranked.len() / 2 => {
+            ranked.select_nth_unstable_by(k - 1, rank_order);
+            ranked.truncate(k);
+            ranked.sort_unstable_by(rank_order);
+        }
+        _ => {
+            ranked.sort_unstable_by(rank_order);
+            if let Some(k) = top_k {
+                ranked.truncate(k);
+            }
+        }
     }
     ranked
 }
@@ -337,6 +351,27 @@ mod tests {
             Pattern::from([2u64, 2, 2, 0, 1, 3, 0, 2]),
         ])
         .unwrap()
+    }
+
+    #[test]
+    fn top_k_selection_matches_full_sort_for_every_k() {
+        // The select-then-sort fast path must agree with plain
+        // sort-and-truncate for every cutoff, including the boundary cases
+        // around the n/2 switch, ties everywhere, and k past the end.
+        let reports: Vec<(UserId, Weight)> = (0..60u64)
+            .map(|i| (UserId(i), w(1 + i % 5, 7 + i % 3)))
+            .filter(|(_, weight)| weight.cmp_one() != std::cmp::Ordering::Greater)
+            .collect();
+        let full = aggregate_and_rank(reports.clone(), None);
+        for k in 0..=full.len() + 2 {
+            let mut expect = full.clone();
+            expect.truncate(k);
+            assert_eq!(
+                aggregate_and_rank(reports.clone(), Some(k)),
+                expect,
+                "k = {k}"
+            );
+        }
     }
 
     #[test]

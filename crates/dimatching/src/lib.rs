@@ -66,10 +66,10 @@ mod streaming;
 pub mod wire;
 
 pub use basestation::{
-    scan_shard_bloom, scan_shard_wbf, scan_station, scan_station_bloom, BaseStation, Shards,
-    WbfSectionView, WeightReport,
+    scan_shard_bloom, scan_shard_wbf, scan_shard_wbf_topk, scan_station, scan_station_bloom,
+    BaseStation, Shards, WbfSectionView, WeightReport, BLOCK_ROWS,
 };
-pub use config::{DiMatchingConfig, HashScheme};
+pub use config::{DiMatchingConfig, HashScheme, ScanAlgorithm};
 pub use datacenter::{
     aggregate_and_rank, build_bloom, build_wbf, BuildStats, BuiltBloom, BuiltFilter, RankedUser,
 };

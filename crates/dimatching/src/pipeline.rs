@@ -11,6 +11,13 @@
 //! aggregates one ranking per query (Algorithm 3) — metering every byte and
 //! operation along the way.
 //!
+//! [`DiMatchingConfig::scan_algorithm`] threads through unchanged to the
+//! shard-scan cores: every station scans under the same dynamic-pruning
+//! rung (`Exhaustive`/`MaxScore`/`Wand`/`BlockMaxWand`), and because the
+//! pipeline-context scan prunes only provably reportless work, rankings
+//! and byte meters are bit-identical across all rungs in every execution
+//! mode.
+//!
 //! [`run_wbf`] and [`run_bloom`] are thin wrappers:
 //! `run_pipeline::<Wbf>` / `run_pipeline::<Bloom>` with an unsharded layout,
 //! merged into the legacy single-outcome shape (as is

@@ -27,6 +27,11 @@
 //! state byte-matches a from-scratch [`run_pipeline`](crate::run_pipeline)
 //! over the surviving query set at the same geometry — asserted across all
 //! four execution modes by the streaming conformance suite.
+//!
+//! Epoch scans honor [`DiMatchingConfig::scan_algorithm`] like the batch
+//! pipeline: the dynamic-pruning rungs skip only provably reportless work,
+//! and the counting filter's cached score-bound universe is invalidated by
+//! every insert/remove, so churn can never leave a stale bound behind.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;

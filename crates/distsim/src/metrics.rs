@@ -49,6 +49,8 @@ pub struct CostMeter {
     hash_ops: AtomicU64,
     comparisons: AtomicU64,
     scan_passes: AtomicU64,
+    rows_pruned: AtomicU64,
+    blocks_skipped: AtomicU64,
     makespan_ticks: AtomicU64,
 }
 
@@ -89,6 +91,25 @@ impl CostMeter {
         self.scan_passes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `count` candidate `(row × section)` evaluations skipped by a
+    /// dynamic-pruning scan's score bound before any hashing or weight fold.
+    ///
+    /// Pruning decisions are pure functions of the row, the section and the
+    /// scan algorithm, so within one algorithm this counter is as
+    /// mode-invariant as `hash_ops`; it stays zero under exhaustive scans.
+    pub fn record_rows_pruned(&self, count: u64) {
+        self.rows_pruned.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Records `count` whole row blocks skipped by block-max metadata.
+    ///
+    /// Only `ScanAlgorithm::BlockMaxWand` produces these. The block
+    /// partition follows the shard layout, so the count is comparable across
+    /// execution modes but not across different shard counts.
+    pub fn record_blocks_skipped(&self, count: u64) {
+        self.blocks_skipped.fetch_add(count, Ordering::Relaxed);
+    }
+
     /// Records a completion time on the virtual clock; the report keeps the
     /// maximum seen (the run's makespan).
     ///
@@ -112,6 +133,8 @@ impl CostMeter {
             hash_ops: self.hash_ops.load(Ordering::Relaxed),
             comparisons: self.comparisons.load(Ordering::Relaxed),
             scan_passes: self.scan_passes.load(Ordering::Relaxed),
+            rows_pruned: self.rows_pruned.load(Ordering::Relaxed),
+            blocks_skipped: self.blocks_skipped.load(Ordering::Relaxed),
             makespan_ticks: self.makespan_ticks.load(Ordering::Relaxed),
         }
     }
@@ -126,6 +149,8 @@ impl CostMeter {
         self.hash_ops.store(0, Ordering::Relaxed);
         self.comparisons.store(0, Ordering::Relaxed);
         self.scan_passes.store(0, Ordering::Relaxed);
+        self.rows_pruned.store(0, Ordering::Relaxed);
+        self.blocks_skipped.store(0, Ordering::Relaxed);
         self.makespan_ticks.store(0, Ordering::Relaxed);
     }
 }
@@ -152,6 +177,12 @@ pub struct CostReport {
     /// Full passes over a station's local store (one per station per batch
     /// in the batch-aware pipeline).
     pub scan_passes: u64,
+    /// Candidate `(row × section)` evaluations a dynamic-pruning scan
+    /// skipped via score bounds (zero under `ScanAlgorithm::Exhaustive`).
+    pub rows_pruned: u64,
+    /// Whole row blocks skipped via block-max metadata (nonzero only under
+    /// `ScanAlgorithm::BlockMaxWand`).
+    pub blocks_skipped: u64,
     /// Virtual-clock makespan of the run: the latest modeled report
     /// delivery tick. Zero outside `ExecutionMode::Async` (wall time is not
     /// modeled there); deterministic under a fixed latency model and seed.
@@ -249,6 +280,20 @@ mod tests {
         assert_eq!(report.hash_ops, 12);
         assert_eq!(report.comparisons, 3);
         assert_eq!(report.scan_passes, 2);
+    }
+
+    #[test]
+    fn pruning_counters_accumulate_and_reset() {
+        let meter = CostMeter::new();
+        meter.record_rows_pruned(64);
+        meter.record_rows_pruned(3);
+        meter.record_blocks_skipped(2);
+        let report = meter.report();
+        assert_eq!(report.rows_pruned, 67);
+        assert_eq!(report.blocks_skipped, 2);
+        assert_eq!(report.mode_invariant().rows_pruned, 67);
+        meter.reset();
+        assert_eq!(meter.report(), CostReport::default());
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Property tests for the dynamic-pruning scan ladder: on *arbitrary*
+//! workloads (random fragments, random stores, duplicate all-ties rows,
+//! any k including 0 and beyond the candidate population), every
+//! `ScanAlgorithm` rung must return exactly what `Exhaustive` returns —
+//! for the full shard scan and for the top-k kernel — and `Exhaustive`
+//! must never touch the pruning meters.
+
+use dipm::distsim::CostMeter;
+use dipm::mobilenet::UserId;
+use dipm::prelude::*;
+use dipm::protocol::{scan_shard_wbf, scan_shard_wbf_topk, BuiltFilter, WbfSectionView};
+use dipm::timeseries::Pattern;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One generated workload: a query decomposition, a store of candidate
+/// rows, and a top-k cutoff.
+#[derive(Debug, Clone)]
+struct Workload {
+    fragments: Vec<Vec<u64>>,
+    noise: Vec<Vec<u64>>,
+    /// How many extra rows replay the query's own global pattern — exact
+    /// duplicates, so their reports all carry the same weight (the
+    /// all-ties case the heap's user-id tie-break must get right).
+    ties: usize,
+    k: usize,
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    // Rows are drawn at the maximum interval count and truncated to a
+    // shared `len` (the vendored proptest has no flat-map to make row
+    // width depend on another draw). `k_sel` folds the edge cutoffs into
+    // one axis: 0 stays 0, 9 maps far beyond any candidate population.
+    (
+        2usize..=7,
+        vec(vec(0u64..30, 7..=7), 1..4),
+        vec(vec(0u64..60, 7..=7), 0..24),
+        0usize..6,
+        0usize..10,
+    )
+        .prop_map(|(len, mut fragments, mut noise, ties, k_sel)| {
+            for row in fragments.iter_mut().chain(noise.iter_mut()) {
+                row.truncate(len);
+            }
+            // A query needs positive global volume.
+            fragments[0][0] += 1;
+            let k = match k_sel {
+                0 => 0,
+                9 => 10_000,
+                v => v,
+            };
+            Workload {
+                fragments,
+                noise,
+                ties,
+                k,
+            }
+        })
+}
+
+/// Builds the single-section filter and the row store for one workload.
+/// Rows ascend by unique user id, exactly like a real [`BaseStation`]
+/// shard. The store mixes the query's own fragments and global (guaranteed
+/// matches), the tie rows, and the noise.
+fn build(workload: &Workload) -> (BuiltFilter, Vec<(UserId, Pattern)>, DiMatchingConfig) {
+    let config = DiMatchingConfig::default();
+    let fragments: Vec<Pattern> = workload
+        .fragments
+        .iter()
+        .map(|v| Pattern::new(v.clone()))
+        .collect();
+    let query = PatternQuery::from_locals(fragments.clone()).expect("positive-volume query");
+    let global = query.global().clone();
+    let built = build_wbf(std::slice::from_ref(&query), &config).expect("filter builds");
+    let mut rows: Vec<Pattern> = fragments;
+    rows.push(global.clone());
+    rows.extend(std::iter::repeat(global).take(workload.ties));
+    rows.extend(workload.noise.iter().map(|v| Pattern::new(v.clone())));
+    let store = rows
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (UserId(i as u64), p))
+        .collect();
+    (built, store, config)
+}
+
+fn with_algorithm(config: &DiMatchingConfig, algorithm: ScanAlgorithm) -> DiMatchingConfig {
+    DiMatchingConfig {
+        scan_algorithm: algorithm,
+        ..config.clone()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn full_scan_ladder_is_result_exact_on_arbitrary_stores(workload in arb_workload()) {
+        let (built, store, config) = build(&workload);
+        let sections: Vec<WbfSectionView<'_>> =
+            vec![(0, &built.filter, built.query_totals.as_slice())];
+        let shard: Vec<(UserId, &Pattern)> = store.iter().map(|&(u, ref p)| (u, p)).collect();
+        let reference = scan_shard_wbf(&sections, &shard, &config, None).expect("scan runs");
+        // The store contains the query's own rows, so the pass cannot be
+        // vacuously empty.
+        prop_assert!(!reference.is_empty());
+        for algorithm in ScanAlgorithm::ALL {
+            let pruned =
+                scan_shard_wbf(&sections, &shard, &with_algorithm(&config, algorithm), None)
+                    .expect("pruned scan runs");
+            prop_assert_eq!(&pruned, &reference, "{:?} diverged", algorithm);
+        }
+    }
+
+    #[test]
+    fn topk_ladder_matches_exhaustive_for_arbitrary_k(workload in arb_workload()) {
+        let (built, store, config) = build(&workload);
+        let sections: Vec<WbfSectionView<'_>> =
+            vec![(0, &built.filter, built.query_totals.as_slice())];
+        let shard: Vec<(UserId, &Pattern)> = store.iter().map(|&(u, ref p)| (u, p)).collect();
+        let k = workload.k;
+        let reference =
+            scan_shard_wbf_topk(&sections, &shard, &config, k, None).expect("reference runs");
+        prop_assert!(reference.len() <= k, "top-k kernel kept more than k");
+        for algorithm in ScanAlgorithm::ALL {
+            let pruned = scan_shard_wbf_topk(
+                &sections,
+                &shard,
+                &with_algorithm(&config, algorithm),
+                k,
+                None,
+            )
+            .expect("pruned scan runs");
+            // Result set AND rank order: the report vectors are compared
+            // entry for entry.
+            prop_assert_eq!(&pruned, &reference, "{:?} diverged at k = {}", algorithm, k);
+        }
+        // The kept entries are exactly the best-ranked prefix of the full
+        // scan's reports under the (weight desc, user asc) rank order.
+        let full = scan_shard_wbf(&sections, &shard, &config, None).expect("full scan runs");
+        let mut ranked = full;
+        ranked.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.1.cmp(&b.1)));
+        ranked.truncate(k);
+        prop_assert_eq!(reference, ranked, "top-k is not the best-ranked prefix");
+    }
+
+    #[test]
+    fn exhaustive_never_touches_the_pruning_meters(workload in arb_workload()) {
+        let (built, store, config) = build(&workload);
+        let sections: Vec<WbfSectionView<'_>> =
+            vec![(0, &built.filter, built.query_totals.as_slice())];
+        let shard: Vec<(UserId, &Pattern)> = store.iter().map(|&(u, ref p)| (u, p)).collect();
+        let meter = CostMeter::new();
+        scan_shard_wbf(&sections, &shard, &config, Some(&meter)).expect("scan runs");
+        scan_shard_wbf_topk(&sections, &shard, &config, workload.k, Some(&meter))
+            .expect("topk scan runs");
+        let report = meter.report();
+        prop_assert_eq!(report.rows_pruned, 0, "exhaustive pruned rows");
+        prop_assert_eq!(report.blocks_skipped, 0, "exhaustive skipped blocks");
+    }
+}
