@@ -5,18 +5,21 @@
 //!       [--seed S] [--out DIR] [--check BASELINE.json] [--tolerance F]
 //!
 //! experiments: fig1a fig1b fig3 convergence fig4 fig4a fig4b fig4c fig4d
-//!              table2 fpp ablation batch latency streaming scan topk all   (default: all)
+//!              table2 fpp ablation batch latency streaming scan topk
+//!              routing all   (default: all)
 //! ```
 //!
-//! The sweep experiments (`batch`, `latency`, `streaming`, `scan`, `topk`)
-//! also write their tables as `BENCH_<experiment>.json` into `--out`
-//! (default: the current directory) — the checked-in perf trajectory every
-//! PR updates. `scan --check BASELINE.json` and `topk --check BASELINE.json`
-//! additionally compare the fresh sweep's geometric-mean rows/sec against
-//! the baseline file and exit non-zero on a regression past `--tolerance`
-//! (default 0.30 = fail below 70 % of baseline); CI's perf-smoke job runs
-//! exactly that. A failure names the single worst-regressed grid row, not
-//! just the geomean.
+//! The sweep experiments (`batch`, `latency`, `streaming`, `scan`, `topk`,
+//! `routing`) also write their tables as `BENCH_<experiment>.json` into
+//! `--out` (default: the current directory) — the checked-in perf
+//! trajectory every PR updates. `scan`/`topk`/`routing` with
+//! `--check BASELINE.json` additionally compare the fresh sweep's
+//! geometric-mean gate column against the baseline file and exit non-zero
+//! on a regression past `--tolerance` (default 0.30 = fail below 70 % of
+//! baseline); CI's perf-smoke job runs exactly that. The gate also walks
+//! the grids row by row: any single row below `1 − 2×tolerance` of its
+//! baseline fails the check even when the geomean still clears, so one
+//! collapsed configuration cannot hide behind the others.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -63,17 +66,27 @@ fn run_check(
         tolerance * 100.0,
         if verdict.pass { "PASS" } else { "FAIL" },
     );
+    // A single collapsed grid row can hide behind a healthy geomean, so the
+    // gate also fails when any one row drops past twice the tolerance.
+    let row_floor = 1.0 - 2.0 * tolerance;
+    let mut row_failed = false;
     match worst {
-        Some((row, ratio)) => eprintln!(
-            "perf check [{name}]: worst grid row: #{row} at {:.0}% of its baseline",
-            ratio * 100.0
-        ),
+        Some((row, ratio)) => {
+            row_failed = ratio < row_floor;
+            eprintln!(
+                "perf check [{name}]: worst grid row: #{row} at {:.0}% of its baseline \
+                 (row floor {:.0}%) → {}",
+                ratio * 100.0,
+                row_floor * 100.0,
+                if row_failed { "FAIL" } else { "PASS" },
+            );
+        }
         None => eprintln!(
             "perf check [{name}]: grids not row-comparable (baseline empty or shape changed); \
              geomean only"
         ),
     }
-    !verdict.pass
+    !verdict.pass || row_failed
 }
 
 /// Writes one experiment's reports as `BENCH_<name>.json` (a JSON array of
@@ -90,7 +103,7 @@ fn emit_json(out: &std::path::Path, name: &str, reports: &[Report]) {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [fig1a|fig1b|fig3|convergence|fig4|fig4a|fig4b|fig4c|fig4d|table2|fpp|ablation|batch|latency|streaming|scan|topk|all]…"
+        "usage: repro [fig1a|fig1b|fig3|convergence|fig4|fig4a|fig4b|fig4c|fig4d|table2|fpp|ablation|batch|latency|streaming|scan|topk|routing|all]…"
     );
     eprintln!("       [--quick] [--users N] [--stations N] [--patterns A,B,C] [--seed S]");
     eprintln!("       [--out DIR] [--check BASELINE.json] [--tolerance F]");
@@ -223,6 +236,19 @@ fn main() -> ExitCode {
                         run_check(&report, "topk", "rows_per_sec", baseline_path, tolerance);
                 }
             }
+            "routing" => {
+                eprintln!(
+                    "running query-routing sweep: {} users, seed {}…",
+                    scale.users, scale.seed
+                );
+                let report = experiments::routing(&scale);
+                print(report.clone());
+                emit_json(&out_dir, "routing", std::slice::from_ref(&report));
+                if let Some(baseline_path) = &check_baseline {
+                    check_failed |=
+                        run_check(&report, "routing", "saved_bytes", baseline_path, tolerance);
+                }
+            }
             "all" => {
                 print(experiments::fig1a());
                 print(experiments::fig1b(&scale));
@@ -254,6 +280,9 @@ fn main() -> ExitCode {
                 let streaming = experiments::streaming(&scale);
                 print(streaming.clone());
                 emit_json(&out_dir, "streaming", std::slice::from_ref(&streaming));
+                let routing = experiments::routing(&scale);
+                print(routing.clone());
+                emit_json(&out_dir, "routing", std::slice::from_ref(&routing));
             }
             _ => return usage(),
         }

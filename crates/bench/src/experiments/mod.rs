@@ -7,6 +7,7 @@ mod fig1;
 mod fig4;
 mod fpp;
 mod latency;
+mod routing;
 mod scan;
 mod streaming;
 mod table2;
@@ -19,6 +20,7 @@ pub use fig1::{fig1a, fig1b, fig3};
 pub use fig4::{fig4a, fig4b, fig4c, fig4d, sweep, MethodPoint, SweepPoint};
 pub use fpp::fpp;
 pub use latency::latency;
+pub use routing::{routing, routing_sweep, RoutingPoint};
 pub use scan::{geomean_rows_per_sec, scan, scan_sweep, ScanPoint};
 pub use streaming::{churn_sweep, streaming, ChurnPoint};
 pub use table2::{score_day, table2, DayScore};

@@ -123,6 +123,29 @@ impl BloomFilter {
         Ok(())
     }
 
+    /// Merges this filter into `dst` — the union direction a routing tree
+    /// uses when folding children into their parent summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IncompatibleFilters`](crate::CoreError) if the
+    /// geometry or seed differs.
+    pub fn union_into(&self, dst: &mut BloomFilter) -> Result<()> {
+        dst.union_with(self)
+    }
+
+    /// Whether **any** of `keys` may have been inserted — the routing-tree
+    /// subtree test. No false negatives: if any key was inserted into this
+    /// filter (or any filter unioned into it), this returns `true`.
+    ///
+    /// An empty key set trivially matches nothing.
+    pub fn may_contain_any<I>(&self, keys: I) -> bool
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        keys.into_iter().any(|key| self.contains(key))
+    }
+
     /// Borrows the underlying bit set.
     pub fn bits(&self) -> &BitSet {
         &self.bits
@@ -207,6 +230,27 @@ mod tests {
         let mut a = small();
         let b = BloomFilter::new(FilterParams::new(1 << 11, 4).unwrap(), 11);
         assert!(a.union_with(&b).is_err());
+    }
+
+    #[test]
+    fn may_contain_any_is_an_existential_contains() {
+        let mut f = small();
+        f.insert(10);
+        f.insert(20);
+        assert!(f.may_contain_any([999, 20]));
+        assert!(f.may_contain_any([10]));
+        assert!(
+            !f.may_contain_any([] as [u64; 0]),
+            "empty set matches nothing"
+        );
+        // A union keeps every constituent reachable.
+        let mut g = small();
+        g.insert(30);
+        g.union_into(&mut f).unwrap();
+        assert!(f.may_contain_any([30]));
+        // Incompatible union direction errors symmetrically.
+        let other_seed = BloomFilter::new(FilterParams::new(1 << 12, 4).unwrap(), 99);
+        assert!(other_seed.union_into(&mut f).is_err());
     }
 
     #[test]

@@ -129,7 +129,9 @@ impl<'a> BaseStation<'a> {
 /// Samples one row into a reused key buffer: a single fused
 /// accumulate-and-sample pass, zero allocations once `keys` has warmed up.
 /// Returns the pattern's total volume (the final accumulated value).
-fn sample_keys_into(
+/// Shared with the routing tree, whose station summaries must hold exactly
+/// the keys the scan would probe.
+pub(crate) fn sample_keys_into(
     pattern: &Pattern,
     config: &DiMatchingConfig,
     keys: &mut Vec<u64>,

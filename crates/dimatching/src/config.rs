@@ -84,6 +84,44 @@ impl ScanAlgorithm {
     }
 }
 
+/// How the data center decides which stations receive a query broadcast.
+///
+/// Orthogonal to `FilterStrategy` × `ExecutionMode` × [`ScanAlgorithm`]:
+/// routing is a center-side decision made **before** any station work is
+/// scheduled, so it is mode-invariant by construction, and every policy is
+/// conformance-pinned to produce the same rankings as broadcasting to all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RoutingPolicy {
+    /// Every station receives every query broadcast — the paper's cost
+    /// model (default).
+    #[default]
+    BroadcastAll,
+    /// A Bloofi-style tree of OR-merged station summary filters: the center
+    /// descends only into subtrees whose union summary can match the
+    /// query's probe keys, and only the surviving leaf stations receive the
+    /// broadcast. Falls back to broadcast when the tree is degenerate
+    /// (fewer than two stations).
+    Tree {
+        /// Children per interior node; must be at least 2.
+        fanout: usize,
+    },
+}
+
+impl RoutingPolicy {
+    /// Both policies, broadcast first.
+    pub const ALL: [RoutingPolicy; 2] = [
+        RoutingPolicy::BroadcastAll,
+        RoutingPolicy::Tree { fanout: 4 },
+    ];
+
+    /// Whether this policy can exclude stations from a broadcast.
+    #[inline]
+    pub fn prunes_stations(self) -> bool {
+        matches!(self, RoutingPolicy::Tree { .. })
+    }
+}
+
 /// Configuration of one DI-matching run.
 ///
 /// A passive parameter block: fields are public and a [`Default`] matching
@@ -126,6 +164,9 @@ pub struct DiMatchingConfig {
     /// How the shard scan bounds and prunes its work (result-exact; the
     /// default scores everything).
     pub scan_algorithm: ScanAlgorithm,
+    /// How the center decides which stations receive a query broadcast
+    /// (result-exact; the default broadcasts to all).
+    pub routing: RoutingPolicy,
     /// Seed for the filter's hash family; broadcast in the filter header.
     pub seed: u64,
 }
@@ -141,6 +182,7 @@ impl Default for DiMatchingConfig {
             hash_scheme: HashScheme::ValueOnly,
             tolerance: ToleranceMode::Accumulated,
             scan_algorithm: ScanAlgorithm::Exhaustive,
+            routing: RoutingPolicy::BroadcastAll,
             seed: 0xD1_4A7C,
         }
     }
@@ -164,6 +206,13 @@ impl DiMatchingConfig {
         }
         if self.min_bits == 0 {
             return Err(ProtocolError::invalid_config("min_bits must be non-zero"));
+        }
+        if let RoutingPolicy::Tree { fanout } = self.routing {
+            if fanout < 2 {
+                return Err(ProtocolError::invalid_config(
+                    "routing tree fanout must be at least 2",
+                ));
+            }
         }
         Ok(())
     }
@@ -207,6 +256,32 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+
+        for fanout in [0, 1] {
+            let c = DiMatchingConfig {
+                routing: RoutingPolicy::Tree { fanout },
+                ..Default::default()
+            };
+            assert!(c.validate().is_err(), "fanout {fanout} must be rejected");
+        }
+    }
+
+    #[test]
+    fn routing_policy_axis() {
+        assert_eq!(RoutingPolicy::default(), RoutingPolicy::BroadcastAll);
+        assert_eq!(
+            DiMatchingConfig::default().routing,
+            RoutingPolicy::BroadcastAll
+        );
+        assert!(!RoutingPolicy::BroadcastAll.prunes_stations());
+        assert!(RoutingPolicy::Tree { fanout: 2 }.prunes_stations());
+        for policy in RoutingPolicy::ALL {
+            let c = DiMatchingConfig {
+                routing: policy,
+                ..Default::default()
+            };
+            assert!(c.validate().is_ok(), "{policy:?} must validate");
+        }
     }
 
     #[test]

@@ -57,6 +57,11 @@ pub struct BuiltFilter {
     /// ambiguous surviving weights, the one whose implied combination volume
     /// matches the candidate's observed volume.
     pub query_totals: Vec<u64>,
+    /// The distinct probe keys inserted, ascending. A station can genuinely
+    /// report against this section only if at least one of these keys is in
+    /// its local key population — the test the routing tree makes against
+    /// each station's summary filter.
+    pub probe_keys: Vec<u64>,
     /// Construction statistics.
     pub stats: BuildStats,
 }
@@ -80,18 +85,17 @@ pub(crate) struct PreparedBuild {
 }
 
 impl PreparedBuild {
-    /// The number of distinct probe keys (the quantity filters are sized
-    /// by: identical `(key, weight)` pairs set identical bits).
-    pub(crate) fn distinct_keys(&self) -> usize {
-        let mut count = 0usize;
-        let mut prev = None;
+    /// The distinct probe keys, ascending (the quantity filters are sized
+    /// by — identical `(key, weight)` pairs set identical bits — and the
+    /// set routing probes station summaries with).
+    pub(crate) fn probe_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = Vec::new();
         for &(key, _) in &self.pairs {
-            if prev != Some(key) {
-                count += 1;
-                prev = Some(key);
+            if keys.last() != Some(&key) {
+                keys.push(key);
             }
         }
-        count
+        keys
     }
 }
 
@@ -197,7 +201,8 @@ fn prepare_queries(
 pub fn build_wbf(queries: &[PatternQuery], config: &DiMatchingConfig) -> Result<BuiltFilter> {
     config.validate()?;
     let build = prepare_build(queries, config)?;
-    let params = sized_params(build.distinct_keys(), config)?;
+    let probe_keys = build.probe_keys();
+    let params = sized_params(probe_keys.len(), config)?;
     let mut filter = WeightedBloomFilter::new(params, config.seed);
     for &(key, weight) in &build.pairs {
         filter.insert(key, weight);
@@ -206,6 +211,7 @@ pub fn build_wbf(queries: &[PatternQuery], config: &DiMatchingConfig) -> Result<
     Ok(BuiltFilter {
         filter,
         query_totals: build.query_totals,
+        probe_keys,
         stats,
     })
 }
@@ -217,6 +223,9 @@ pub fn build_wbf(queries: &[PatternQuery], config: &DiMatchingConfig) -> Result<
 pub struct BuiltBloom {
     /// The unweighted filter.
     pub filter: dipm_core::BloomFilter,
+    /// The distinct probe keys inserted, ascending (see
+    /// [`BuiltFilter::probe_keys`]).
+    pub probe_keys: Vec<u64>,
     /// Construction statistics.
     pub stats: BuildStats,
 }
@@ -231,14 +240,18 @@ pub fn build_bloom(queries: &[PatternQuery], config: &DiMatchingConfig) -> Resul
     config.validate()?;
     let build = prepare_build(queries, config)?;
     // The weight layer is dropped: only the distinct keys are inserted.
-    let keys: BTreeSet<u64> = build.pairs.iter().map(|&(key, _)| key).collect();
-    let params = sized_params(keys.len(), config)?;
+    let probe_keys = build.probe_keys();
+    let params = sized_params(probe_keys.len(), config)?;
     let mut filter = dipm_core::BloomFilter::new(params, config.seed);
-    for &key in &keys {
+    for &key in &probe_keys {
         filter.insert(key);
     }
-    let stats = BuildStats::for_filter(build.combinations, keys.len() as u64, &filter);
-    Ok(BuiltBloom { filter, stats })
+    let stats = BuildStats::for_filter(build.combinations, probe_keys.len() as u64, &filter);
+    Ok(BuiltBloom {
+        filter,
+        probe_keys,
+        stats,
+    })
 }
 
 /// A ranked answer entry: a user and their aggregated weight sum.

@@ -61,6 +61,7 @@ mod naive;
 mod pipeline;
 mod query;
 mod result;
+mod routing;
 mod strategy;
 mod streaming;
 pub mod wire;
@@ -69,7 +70,7 @@ pub use basestation::{
     scan_shard_bloom, scan_shard_wbf, scan_shard_wbf_topk, scan_station, scan_station_bloom,
     BaseStation, Shards, WbfSectionView, WeightReport, BLOCK_ROWS,
 };
-pub use config::{DiMatchingConfig, HashScheme, ScanAlgorithm};
+pub use config::{DiMatchingConfig, HashScheme, RoutingPolicy, ScanAlgorithm};
 pub use datacenter::{
     aggregate_and_rank, build_bloom, build_wbf, BuildStats, BuiltBloom, BuiltFilter, RankedUser,
 };
@@ -79,6 +80,7 @@ pub use naive::{run_naive, Naive};
 pub use pipeline::{run_bloom, run_pipeline, run_wbf, PipelineOptions, SectionGrouping};
 pub use query::PatternQuery;
 pub use result::{BatchOutcome, Method, MethodDetails, QueryOutcome, QueryVerdict};
+pub use routing::RoutingTree;
 pub use strategy::{Bloom, FilterStrategy, Wbf, WbfStationView};
 pub use streaming::{
     run_streaming, EpochBroadcast, EpochOutcome, StreamQueryId, StreamingSession, StreamingUpdate,

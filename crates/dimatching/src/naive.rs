@@ -41,6 +41,12 @@ impl FilterStrategy for Naive {
         Ok(queries.iter().map(|q| q.global().clone()).collect())
     }
 
+    fn routing_keys(_built: &Self::BuiltFilter) -> &[u64] {
+        // The oracle broadcasts nothing, so there is nothing to route: every
+        // station ships its data whatever the query set.
+        &[]
+    }
+
     fn encode_filter(_built: &Self::BuiltFilter) -> Result<Bytes> {
         Ok(Bytes::new())
     }

@@ -35,10 +35,11 @@ use dipm_distsim::{
 use dipm_mobilenet::{Dataset, StationId};
 
 use crate::basestation::{BaseStation, Shards};
-use crate::config::DiMatchingConfig;
+use crate::config::{DiMatchingConfig, RoutingPolicy};
 use crate::error::{ProtocolError, Result};
 use crate::query::PatternQuery;
 use crate::result::{BatchOutcome, QueryOutcome};
+use crate::routing;
 use crate::strategy::{Bloom, FilterStrategy, Wbf};
 use crate::wire;
 
@@ -255,6 +256,32 @@ pub fn run_pipeline<S: FilterStrategy>(
         .iter()
         .map(|group| S::build(group, config))
         .collect::<Result<_>>()?;
+
+    // Query routing: under a tree policy the center unions the batch's probe
+    // keys, probes the Bloofi tree of station summaries, and broadcasts only
+    // to stations whose subtree can possibly match. `None` means broadcast
+    // to all — the default, and the only option for a strategy that ships no
+    // filter (there is nothing to route by).
+    let routed: Option<Vec<bool>> = match config.routing {
+        RoutingPolicy::Tree { fanout } if S::BROADCASTS => {
+            let keys: Vec<u64> = sections
+                .iter()
+                .flat_map(|s| S::routing_keys(s).iter().copied())
+                .collect::<std::collections::BTreeSet<u64>>()
+                .into_iter()
+                .collect();
+            Some(routing::route_batch(
+                dataset,
+                &keys,
+                fanout,
+                config,
+                network.meter(),
+            )?)
+        }
+        _ => None,
+    };
+    let active = |i: usize| routed.as_ref().map_or(true, |mask| mask[i]);
+
     if S::BROADCASTS {
         let payloads: Vec<(u32, bytes::Bytes)> = sections
             .iter()
@@ -262,16 +289,22 @@ pub fn run_pipeline<S: FilterStrategy>(
             .map(|(i, s)| Ok((i as u32, S::encode_filter(s)?)))
             .collect::<Result<_>>()?;
         let frame = wire::encode_batch_broadcast(&payloads)?;
+        let recipients: Vec<NodeId> = stations
+            .iter()
+            .filter(|&&(i, _, _)| active(i))
+            .map(|&(_, _, node)| node)
+            .collect();
         network.broadcast(
             DATA_CENTER,
-            stations.iter().map(|&(_, _, node)| node),
+            recipients.iter().copied(),
             TrafficClass::Query,
             &frame,
         )?;
-        // Each station holds a copy of the batch frame while it is live.
+        // Each targeted station holds a copy of the batch frame while it is
+        // live; pruned stations never see (or store) it.
         network
             .meter()
-            .record_storage(frame.len() as u64 * stations.len() as u64);
+            .record_storage(frame.len() as u64 * recipients.len() as u64);
     }
 
     // Station side: every station receives and decodes the frame once and
@@ -298,6 +331,7 @@ pub fn run_pipeline<S: FilterStrategy>(
             let futures: Vec<_> = mailboxes
                 .into_iter()
                 .enumerate()
+                .filter(|&(i, _)| active(i))
                 .map(|(i, mailbox)| {
                     let network = network.clone();
                     let clock = Arc::clone(clock);
@@ -366,28 +400,36 @@ pub fn run_pipeline<S: FilterStrategy>(
             }
         }
         mode => {
-            let decoded: Vec<Vec<(u32, S::Decoded)>> = if S::BROADCASTS {
-                // Each station decodes its own copy of the frame, under the
-                // same execution mode the scans will use (decoding is
-                // station-side work, not the center's).
-                run_stations(mode, &mailboxes, |_, mailbox| {
+            let mut decoded: Vec<Vec<(u32, S::Decoded)>> =
+                stations.iter().map(|_| Vec::new()).collect();
+            if S::BROADCASTS {
+                // Each targeted station decodes its own copy of the frame,
+                // under the same execution mode the scans will use (decoding
+                // is station-side work, not the center's). Pruned stations
+                // received nothing, so their mailboxes must never be polled.
+                let targeted: Vec<(usize, &dipm_distsim::Mailbox)> = mailboxes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| active(i))
+                    .collect();
+                let results = run_stations(mode, &targeted, |_, &(_, mailbox)| {
                     let envelope = mailbox.recv()?;
                     wire::decode_batch_broadcast(envelope.payload)?
                         .into_iter()
                         .map(|(query, bytes)| Ok((query, S::decode_filter(bytes)?)))
                         .collect::<Result<Vec<_>>>()
-                })
-                .into_iter()
-                .collect::<Result<_>>()?
-            } else {
-                stations.iter().map(|_| Vec::new()).collect()
-            };
+                });
+                for (result, &(i, _)) in results.into_iter().zip(&targeted) {
+                    decoded[i] = result?;
+                }
+            }
 
-            // Algorithm 2: one scan pass per station per batch, fanned out
-            // over the flattened (station, shard) grid.
+            // Algorithm 2: one scan pass per targeted station per batch,
+            // fanned out over the flattened (station, shard) grid.
             let grid: Vec<(usize, usize)> = layouts
                 .iter()
                 .enumerate()
+                .filter(|&(i, _)| active(i))
                 .flat_map(|(i, layout)| (0..layout.shard_count()).map(move |shard| (i, shard)))
                 .collect();
             let scanned = run_station_shards(mode, &grid, |_, &(station, shard)| {
@@ -403,7 +445,7 @@ pub fn run_pipeline<S: FilterStrategy>(
             // order — the report bytes are identical whatever the shard
             // layout — and send.
             let mut shard_results = scanned.into_iter();
-            for (i, layout) in layouts.iter().enumerate() {
+            for (i, layout) in layouts.iter().enumerate().filter(|&(i, _)| active(i)) {
                 let mut merged: Vec<S::StationReport> = Vec::new();
                 for _ in 0..layout.shard_count() {
                     merged.extend(shard_results.next().expect("one result per grid entry")?);

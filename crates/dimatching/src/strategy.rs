@@ -81,6 +81,12 @@ pub trait FilterStrategy {
     /// Propagates configuration, pattern and filter errors.
     fn build(queries: &[PatternQuery], config: &DiMatchingConfig) -> Result<Self::BuiltFilter>;
 
+    /// The section's distinct probe keys — what a routing tree tests
+    /// station summaries against to decide which stations can possibly
+    /// report. An empty slice disables routing for the section (the naive
+    /// oracle ships raw data regardless of the query set).
+    fn routing_keys(built: &Self::BuiltFilter) -> &[u64];
+
     /// Serializes a built section for the batch broadcast frame.
     ///
     /// # Errors
@@ -203,6 +209,10 @@ impl FilterStrategy for Wbf {
         build_wbf(queries, config)
     }
 
+    fn routing_keys(built: &Self::BuiltFilter) -> &[u64] {
+        &built.probe_keys
+    }
+
     fn encode_filter(built: &Self::BuiltFilter) -> Result<Bytes> {
         let filter_bytes = encode::encode_wbf(&built.filter).map_err(ProtocolError::Core)?;
         wire::encode_filter_broadcast(&built.query_totals, filter_bytes)
@@ -295,6 +305,10 @@ impl FilterStrategy for Bloom {
 
     fn build(queries: &[PatternQuery], config: &DiMatchingConfig) -> Result<Self::BuiltFilter> {
         build_bloom(queries, config)
+    }
+
+    fn routing_keys(built: &Self::BuiltFilter) -> &[u64] {
+        &built.probe_keys
     }
 
     fn encode_filter(built: &Self::BuiltFilter) -> Result<Bytes> {

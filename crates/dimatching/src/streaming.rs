@@ -39,18 +39,19 @@ use std::time::Instant;
 
 use dipm_core::{encode, CountingWbf, FilterParams, Weight, WeightedBloomFilter};
 use dipm_distsim::{
-    block_on_all, run_station_shards, run_stations, ExecutionMode, Network, NodeId, TrafficClass,
-    VirtualClock, DATA_CENTER,
+    block_on_all, run_station_shards, run_stations, CostMeter, ExecutionMode, Network, NodeId,
+    TrafficClass, VirtualClock, DATA_CENTER,
 };
-use dipm_mobilenet::Dataset;
+use dipm_mobilenet::{Dataset, UserId};
 
 use crate::basestation::{scan_shard_wbf, BaseStation};
-use crate::config::DiMatchingConfig;
+use crate::config::{DiMatchingConfig, RoutingPolicy};
 use crate::datacenter::{aggregate_and_rank, prepare_build, sized_params, BuildStats};
 use crate::error::{ProtocolError, Result};
 use crate::pipeline::{collect_station_reports, PipelineOptions};
 use crate::query::PatternQuery;
 use crate::result::{Method, MethodDetails, QueryOutcome};
+use crate::routing::{self, RoutingTree};
 use crate::strategy::CENTER_ENTRY_BYTES;
 use crate::wire::{self, FilterDelta, StationUpdate};
 
@@ -67,6 +68,16 @@ struct LiveQuery {
     pairs: Vec<(u64, Weight)>,
     total: u64,
     combinations: usize,
+}
+
+/// The session's standing routing state under a tree policy: the hot
+/// Bloofi tree plus the per-station row keys it currently holds — the base
+/// each epoch's dataset is diffed against, so only changed rows touch the
+/// tree and only changed stations re-upload summaries.
+#[derive(Debug)]
+struct SessionRouting {
+    tree: RoutingTree,
+    rows: Vec<BTreeMap<UserId, Vec<u64>>>,
 }
 
 /// One base station's cross-epoch state: its decoded filter, the live
@@ -151,10 +162,12 @@ pub struct EpochOutcome {
     pub epoch: u64,
     /// The merged WBF verdict over this epoch's dataset.
     pub outcome: QueryOutcome,
-    /// How the filter state was disseminated.
+    /// How the filter state was disseminated to up-to-date stations. A
+    /// routed delta epoch may additionally resync re-targeted stale
+    /// stations (pruned in an earlier epoch) with a full frame.
     pub broadcast: EpochBroadcast,
-    /// Bytes this epoch's dissemination actually moved (frame × stations —
-    /// equals the outcome's `query_bytes` meter).
+    /// Bytes this epoch's dissemination actually moved (each frame × its
+    /// recipients — equals the outcome's `query_bytes` meter).
     pub broadcast_bytes: u64,
     /// Bytes a full rebuild broadcast would have moved this epoch — the
     /// rebuild-vs-delta economics `repro streaming` reports.
@@ -215,6 +228,12 @@ pub struct StreamingSession {
     /// yardstick). Invalidated on query churn, so idle CDR-churn epochs
     /// skip the snapshot-and-intern pass entirely.
     cached_full_len: Option<usize>,
+    /// The standing routing tree under [`RoutingPolicy::Tree`]; built
+    /// lazily on the first routed epoch (geometry pinned there, like the
+    /// session filter) and kept hot by per-epoch row diffs. Dropped by a
+    /// failed epoch, which may have left the diff half-applied — the next
+    /// epoch rebuilds it from scratch.
+    routing: Option<SessionRouting>,
     /// The virtual tick the session has reached (async mode): each epoch's
     /// broadcast is stamped from the previous epoch's makespan, so modeled
     /// time flows monotonically across the session.
@@ -261,6 +280,7 @@ impl StreamingSession {
             stations: Vec::new(),
             needs_full: true,
             cached_full_len: None,
+            routing: None,
             clock_base: 0,
         };
         for build in prepared {
@@ -379,8 +399,80 @@ impl StreamingSession {
         let result = self.run_epoch_inner(dataset);
         if result.is_err() {
             self.needs_full = true;
+            // The failure may have struck mid-diff, leaving the tree out of
+            // step with its recorded rows; rebuild it next epoch.
+            self.routing = None;
         }
         result
+    }
+
+    /// Keeps the routing tree synchronized with this epoch's dataset —
+    /// built whole on the first routed epoch, row-diffed against the
+    /// previous epoch after — then routes the union of the live queries'
+    /// probe keys through it. Summary refreshes (changed stations only) and
+    /// the routed plan are pushed through the wire codecs and metered.
+    /// Returns the per-station active mask.
+    fn route_epoch(
+        &mut self,
+        dataset: &Dataset,
+        fanout: usize,
+        meter: &CostMeter,
+    ) -> Result<Vec<bool>> {
+        let rows = routing::station_row_keys(dataset, &self.config)?;
+        let station_count = rows.len();
+        let changed: Vec<usize> = match &mut self.routing {
+            None => {
+                let params = routing::summary_params(&rows)?;
+                let mut tree = RoutingTree::new(station_count, fanout, params, self.config.seed)?;
+                for (station, station_rows) in rows.iter().enumerate() {
+                    for keys in station_rows.values() {
+                        tree.insert_row(station, keys)?;
+                    }
+                }
+                self.routing = Some(SessionRouting { tree, rows });
+                (0..station_count).collect()
+            }
+            Some(routing_state) => {
+                let mut touched = Vec::new();
+                for (station, new_rows) in rows.iter().enumerate() {
+                    let old_rows = &routing_state.rows[station];
+                    let mut station_touched = false;
+                    for (user, old_keys) in old_rows {
+                        if new_rows.get(user) != Some(old_keys) {
+                            routing_state.tree.remove_row(station, old_keys)?;
+                            station_touched = true;
+                        }
+                    }
+                    for (user, new_keys) in new_rows {
+                        if old_rows.get(user) != Some(new_keys) {
+                            routing_state.tree.insert_row(station, new_keys)?;
+                            station_touched = true;
+                        }
+                    }
+                    if station_touched {
+                        touched.push(station);
+                    }
+                }
+                routing_state.rows = rows;
+                touched
+            }
+        };
+        let routing_state = self.routing.as_ref().expect("tree built above");
+        let mut routing_bytes = 0u64;
+        for &station in &changed {
+            routing_bytes += routing::summary_upload_bytes(&routing_state.tree, station)?;
+        }
+        let keys: Vec<u64> = self
+            .live
+            .values()
+            .flat_map(|q| q.pairs.iter().map(|&(key, _)| key))
+            .collect::<std::collections::BTreeSet<u64>>()
+            .into_iter()
+            .collect();
+        let (active, plan_bytes) = routing::metered_route(&routing_state.tree, &keys)?;
+        meter.record_routing_bytes(routing_bytes + plan_bytes);
+        meter.record_stations_pruned(active.iter().filter(|&&a| !a).count() as u64);
+        Ok(active)
     }
 
     fn run_epoch_inner(&mut self, dataset: &Dataset) -> Result<EpochOutcome> {
@@ -394,41 +486,6 @@ impl StreamingSession {
         }
         let epoch = self.epoch;
         let totals = self.totals();
-
-        // The rebuild-economics yardstick: what a full broadcast would
-        // weigh this epoch. Computed without serializing the frame, and
-        // cached until query churn invalidates it — a pure CDR-churn epoch
-        // pays neither the snapshot nor the interning pass.
-        let full_frame_len = match self.cached_full_len {
-            Some(len) => len,
-            None => {
-                let len =
-                    1 + 8 + 4 + totals.len() * 8 + encode::encoded_wbf_len(&self.center.snapshot());
-                self.cached_full_len = Some(len);
-                len
-            }
-        };
-        let (frame, broadcast) = if self.needs_full {
-            self.center.drain_dirty(); // the full frame carries everything
-            let frame = wire::encode_station_update(&StationUpdate::Full {
-                epoch,
-                query_totals: totals,
-                filter: encode::encode_wbf(&self.center.snapshot())?,
-            })?;
-            debug_assert_eq!(frame.len(), full_frame_len);
-            (frame, EpochBroadcast::Full)
-        } else {
-            let delta = FilterDelta {
-                entries: self.center.drain_dirty(),
-            };
-            let entries = delta.entries.len();
-            let frame = wire::encode_station_update(&StationUpdate::Delta {
-                epoch,
-                query_totals: totals,
-                delta,
-            })?;
-            (frame, EpochBroadcast::Delta { entries })
-        };
 
         if self.stations.is_empty() {
             self.stations = (0..station_count)
@@ -454,17 +511,101 @@ impl StreamingSession {
             .iter()
             .map(|&node| network.register(node))
             .collect::<dipm_distsim::Result<Vec<_>>>()?;
-        network.broadcast_at(
-            DATA_CENTER,
-            nodes.iter().copied(),
-            TrafficClass::Query,
-            &frame,
-            self.clock_base,
-        )?;
-        // Each station holds its copy of the update frame while it is live.
-        network
-            .meter()
-            .record_storage(frame.len() as u64 * station_count as u64);
+
+        // Query routing: keep the Bloofi tree hot against this epoch's CDR
+        // churn and target only stations whose summaries can match the live
+        // query set. `None` means broadcast to all (the default).
+        let routed: Option<Vec<bool>> = match self.config.routing {
+            RoutingPolicy::Tree { fanout } => {
+                Some(self.route_epoch(dataset, fanout, network.meter())?)
+            }
+            RoutingPolicy::BroadcastAll => None,
+        };
+        let active = |i: usize| routed.as_ref().map_or(true, |mask| mask[i]);
+
+        // The rebuild-economics yardstick: what a full broadcast would
+        // weigh this epoch. Computed without serializing the frame, and
+        // cached until query churn invalidates it — a pure CDR-churn epoch
+        // pays neither the snapshot nor the interning pass.
+        let full_frame_len = match self.cached_full_len {
+            Some(len) => len,
+            None => {
+                let len =
+                    1 + 8 + 4 + totals.len() * 8 + encode::encoded_wbf_len(&self.center.snapshot());
+                self.cached_full_len = Some(len);
+                len
+            }
+        };
+
+        // Drain the pending diff exactly once per epoch. Stations on the
+        // delta path are exactly those synced to the previous drain point
+        // (they applied the last epoch, and every epoch before it, to a
+        // full base), so the drained entries extend their state; everyone
+        // else — session start, post-failure resync, or a station an
+        // earlier epoch's routing pruned and this one re-targets — gets
+        // this epoch's full snapshot instead.
+        let delta = FilterDelta {
+            entries: self.center.drain_dirty(),
+        };
+        let delta_entries = delta.entries.len();
+        let mut full_nodes: Vec<NodeId> = Vec::new();
+        let mut delta_nodes: Vec<NodeId> = Vec::new();
+        for (i, state) in self.stations.iter().enumerate() {
+            if !active(i) {
+                continue;
+            }
+            let on_delta_path =
+                !self.needs_full && state.filter.is_some() && state.applied_epoch + 1 == epoch;
+            if on_delta_path {
+                delta_nodes.push(nodes[i]);
+            } else {
+                full_nodes.push(nodes[i]);
+            }
+        }
+        let broadcast = if self.needs_full {
+            EpochBroadcast::Full
+        } else {
+            EpochBroadcast::Delta {
+                entries: delta_entries,
+            }
+        };
+        let full_frame = if full_nodes.is_empty() {
+            None
+        } else {
+            let frame = wire::encode_station_update(&StationUpdate::Full {
+                epoch,
+                query_totals: totals.clone(),
+                filter: encode::encode_wbf(&self.center.snapshot())?,
+            })?;
+            debug_assert_eq!(frame.len(), full_frame_len);
+            Some(frame)
+        };
+        let delta_frame = if delta_nodes.is_empty() {
+            None
+        } else {
+            Some(wire::encode_station_update(&StationUpdate::Delta {
+                epoch,
+                query_totals: totals,
+                delta,
+            })?)
+        };
+        let mut broadcast_bytes = 0u64;
+        for (frame, recipients) in [(&full_frame, &full_nodes), (&delta_frame, &delta_nodes)] {
+            if let Some(frame) = frame {
+                network.broadcast_at(
+                    DATA_CENTER,
+                    recipients.iter().copied(),
+                    TrafficClass::Query,
+                    frame,
+                    self.clock_base,
+                )?;
+                // Each recipient holds its copy of the frame while live.
+                network
+                    .meter()
+                    .record_storage(frame.len() as u64 * recipients.len() as u64);
+                broadcast_bytes += frame.len() as u64 * recipients.len() as u64;
+            }
+        }
 
         let empty = BTreeMap::new();
         let layouts: Vec<BaseStation<'_>> = dataset
@@ -490,6 +631,7 @@ impl StreamingSession {
                     .into_iter()
                     .zip(self.stations.iter_mut())
                     .enumerate()
+                    .filter(|(i, _)| active(*i))
                     .map(|(i, (mailbox, state))| {
                         let network = network.clone();
                         let clock = Arc::clone(clock);
@@ -539,22 +681,31 @@ impl StreamingSession {
                 }
             }
             mode => {
-                // Station-side decode under the epoch's execution mode…
-                let updates: Vec<StationUpdate> = run_stations(mode, &mailboxes, |_, mailbox| {
-                    let envelope = mailbox.recv()?;
-                    wire::decode_station_update(envelope.payload)
-                })
-                .into_iter()
-                .collect::<Result<_>>()?;
+                // Station-side decode under the epoch's execution mode —
+                // only targeted stations received a frame, and a pruned
+                // station's mailbox must never be polled…
+                let targeted: Vec<(usize, &dipm_distsim::Mailbox)> = mailboxes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| active(i))
+                    .collect();
+                let updates: Vec<StationUpdate> =
+                    run_stations(mode, &targeted, |_, &(_, mailbox)| {
+                        let envelope = mailbox.recv()?;
+                        wire::decode_station_update(envelope.payload)
+                    })
+                    .into_iter()
+                    .collect::<Result<_>>()?;
                 // …apply shard-locally (cheap, deterministic)…
-                for (state, update) in self.stations.iter_mut().zip(updates) {
-                    state.apply(update, epoch)?;
+                for (&(i, _), update) in targeted.iter().zip(updates) {
+                    self.stations[i].apply(update, epoch)?;
                 }
-                // …then one scan pass per station over the (station, shard)
-                // grid, identical to the batch pipeline.
+                // …then one scan pass per targeted station over the
+                // (station, shard) grid, identical to the batch pipeline.
                 let grid: Vec<(usize, usize)> = layouts
                     .iter()
                     .enumerate()
+                    .filter(|&(i, _)| active(i))
                     .flat_map(|(i, layout)| (0..layout.shard_count()).map(move |shard| (i, shard)))
                     .collect();
                 let stations = &self.stations;
@@ -569,7 +720,7 @@ impl StreamingSession {
                     )
                 });
                 let mut shard_results = scanned.into_iter();
-                for (i, layout) in layouts.iter().enumerate() {
+                for (i, layout) in layouts.iter().enumerate().filter(|&(i, _)| active(i)) {
                     let mut merged: Vec<(u32, dipm_mobilenet::UserId, Weight)> = Vec::new();
                     for _ in 0..layout.shard_count() {
                         merged.extend(shard_results.next().expect("one result per grid entry")?);
@@ -631,7 +782,7 @@ impl StreamingSession {
         Ok(EpochOutcome {
             epoch,
             broadcast,
-            broadcast_bytes: frame.len() as u64 * station_count as u64,
+            broadcast_bytes,
             rebuild_bytes: full_frame_len as u64 * station_count as u64,
             latency,
             outcome,

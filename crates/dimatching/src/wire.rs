@@ -18,7 +18,7 @@
 //!   by their inner decoders).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use dipm_core::{Weight, WeightDiff, WeightSet};
+use dipm_core::{encode, BloomFilter, Weight, WeightDiff, WeightSet};
 use dipm_mobilenet::UserId;
 use dipm_timeseries::Pattern;
 
@@ -954,6 +954,186 @@ pub fn decode_station_update(mut data: Bytes) -> Result<StationUpdate> {
     }
 }
 
+/// Encodes one station's routing-summary upload: `u32` station index
+/// followed by the station's encoded summary Bloom filter. The data center
+/// unions these into the routing tree.
+pub fn encode_routing_summary(station: u32, filter: &BloomFilter) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + encode::encoded_bloom_len(filter));
+    buf.put_u32_le(station);
+    buf.extend_from_slice(&encode::encode_bloom(filter));
+    buf.freeze()
+}
+
+/// Decodes a routing-summary upload.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedReport`] on a truncated header and
+/// propagates the filter decoder's exhaustive validation (which also
+/// rejects trailing bytes) for the rest.
+pub fn decode_routing_summary(mut data: Bytes) -> Result<(u32, BloomFilter)> {
+    if data.remaining() < 4 {
+        return Err(ProtocolError::malformed_report(
+            "truncated routing summary header",
+        ));
+    }
+    let station = data.get_u32_le();
+    let filter = encode::decode_bloom(data)?;
+    Ok((station, filter))
+}
+
+/// One surviving bottom-level subtree of the routing tree: the leaf range
+/// `[lo, hi)` it claims and the target stations inside it, strictly
+/// ascending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutedProbes {
+    /// First station index the subtree covers (inclusive).
+    pub lo: u32,
+    /// One past the last station index the subtree covers.
+    pub hi: u32,
+    /// The stations the query's probe keys route to, strictly ascending,
+    /// all within `[lo, hi)`.
+    pub targets: Vec<u32>,
+}
+
+fn check_routed_probes(lo: u32, hi: u32, targets: &[u32]) -> Result<()> {
+    if lo > hi {
+        return Err(ProtocolError::malformed_report(format!(
+            "routed probe range [{lo}, {hi}) is inverted"
+        )));
+    }
+    let mut prev: Option<u32> = None;
+    for &target in targets {
+        if target < lo || target >= hi {
+            return Err(ProtocolError::malformed_report(format!(
+                "routed target {target} outside claimed range [{lo}, {hi})"
+            )));
+        }
+        if prev.is_some_and(|p| p >= target) {
+            return Err(ProtocolError::malformed_report(
+                "routed targets must be strictly ascending (no duplicate station ids)",
+            ));
+        }
+        prev = Some(target);
+    }
+    Ok(())
+}
+
+/// Encodes one routed-probe frame: `u32` range lo, `u32` range hi, `u32`
+/// target count, then the target station indices. The encoder enforces the
+/// same invariants the decoder checks (range not inverted, targets strictly
+/// ascending within the range) so a malformed frame cannot be produced.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedReport`] on an invalid range or
+/// target list.
+pub fn encode_routed_probes(lo: u32, hi: u32, targets: &[u32]) -> Result<Bytes> {
+    check_routed_probes(lo, hi, targets)?;
+    let mut buf = BytesMut::with_capacity(12 + targets.len() * 4);
+    buf.put_u32_le(lo);
+    buf.put_u32_le(hi);
+    buf.put_u32_le(frame_count(targets.len())?);
+    for &target in targets {
+        buf.put_u32_le(target);
+    }
+    Ok(buf.freeze())
+}
+
+/// Decodes one routed-probe frame, validating structure exhaustively: the
+/// count is bounded by the claimed range before any allocation, targets
+/// must be strictly ascending inside `[lo, hi)` (duplicate station ids are
+/// rejected), and trailing bytes are refused.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedReport`] on any malformed input.
+pub fn decode_routed_probes(mut data: Bytes) -> Result<RoutedProbes> {
+    if data.remaining() < 12 {
+        return Err(ProtocolError::malformed_report(
+            "truncated routed probe header",
+        ));
+    }
+    let lo = data.get_u32_le();
+    let hi = data.get_u32_le();
+    let count = data.get_u32_le() as usize;
+    if lo > hi {
+        return Err(ProtocolError::malformed_report(format!(
+            "routed probe range [{lo}, {hi}) is inverted"
+        )));
+    }
+    if count > (hi - lo) as usize {
+        return Err(ProtocolError::malformed_report(format!(
+            "routed probe frame claims {count} targets in a range of {}",
+            hi - lo
+        )));
+    }
+    if data.remaining() < count.saturating_mul(4) {
+        return Err(ProtocolError::malformed_report(
+            "truncated routed probe targets",
+        ));
+    }
+    let targets: Vec<u32> = (0..count).map(|_| data.get_u32_le()).collect();
+    expect_consumed(&data, "routed probe")?;
+    check_routed_probes(lo, hi, targets.as_slice())?;
+    Ok(RoutedProbes { lo, hi, targets })
+}
+
+/// Assembles a batch's routed-probe frames into the final recipient set,
+/// rejecting plans whose subtree claims overlap: each station index may be
+/// covered by at most one claimed range, so no station can be targeted (or
+/// skipped) twice.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingPlan {
+    station_count: u32,
+    claims: Vec<(u32, u32)>,
+    targets: Vec<u32>,
+}
+
+impl RoutingPlan {
+    /// An empty plan over `station_count` stations.
+    pub fn new(station_count: u32) -> RoutingPlan {
+        RoutingPlan {
+            station_count,
+            claims: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+
+    /// Admits one decoded frame's claim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::MalformedReport`] if the claim reaches past
+    /// the deployment's station count or overlaps a previously admitted
+    /// claim.
+    pub fn claim(&mut self, frame: &RoutedProbes) -> Result<()> {
+        if frame.hi > self.station_count {
+            return Err(ProtocolError::malformed_report(format!(
+                "subtree claim [{}, {}) exceeds the {} deployed stations",
+                frame.lo, frame.hi, self.station_count
+            )));
+        }
+        for &(lo, hi) in &self.claims {
+            if frame.lo < hi && lo < frame.hi {
+                return Err(ProtocolError::malformed_report(format!(
+                    "subtree claim [{}, {}) overlaps earlier claim [{lo}, {hi})",
+                    frame.lo, frame.hi
+                )));
+            }
+        }
+        self.claims.push((frame.lo, frame.hi));
+        self.targets.extend_from_slice(&frame.targets);
+        Ok(())
+    }
+
+    /// The assembled recipient set, ascending.
+    pub fn into_targets(mut self) -> Vec<u32> {
+        self.targets.sort_unstable();
+        self.targets
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1393,5 +1573,135 @@ mod tests {
         let shipment = encode_station_data(vec![(UserId(1), &long)]).unwrap();
         let report = encode_weight_reports(&[(UserId(1), Weight::ONE)]).unwrap();
         assert!(report.len() * 50 < shipment.len());
+    }
+
+    #[test]
+    fn routing_summary_roundtrip() {
+        let params = dipm_core::FilterParams::new(256, 3).unwrap();
+        let mut filter = BloomFilter::new(params, 9);
+        filter.insert(42);
+        filter.insert(77);
+        let frame = encode_routing_summary(6, &filter);
+        let (station, decoded) = decode_routing_summary(frame).unwrap();
+        assert_eq!(station, 6);
+        assert_eq!(decoded, filter);
+    }
+
+    #[test]
+    fn routing_summary_rejects_truncation_and_trailing_bytes() {
+        let params = dipm_core::FilterParams::new(256, 3).unwrap();
+        let filter = BloomFilter::new(params, 9);
+        let frame = encode_routing_summary(0, &filter);
+        // Truncation anywhere — mid-header and mid-filter.
+        for cut in [0, 3, 4, 20, frame.len() - 1] {
+            assert!(
+                decode_routing_summary(frame.slice(..cut)).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        // Trailing garbage after a valid filter payload.
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&frame);
+        buf.put_u8(0xEE);
+        assert!(decode_routing_summary(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn routed_probes_roundtrip() {
+        let frame = encode_routed_probes(4, 8, &[4, 6, 7]).unwrap();
+        assert_eq!(
+            decode_routed_probes(frame).unwrap(),
+            RoutedProbes {
+                lo: 4,
+                hi: 8,
+                targets: vec![4, 6, 7],
+            }
+        );
+        // Empty target lists and empty ranges are legal (nothing routed).
+        let frame = encode_routed_probes(0, 0, &[]).unwrap();
+        let probes = decode_routed_probes(frame).unwrap();
+        assert!(probes.targets.is_empty());
+    }
+
+    #[test]
+    fn routed_probes_encoder_and_decoder_reject_the_same_invariants() {
+        // Encoder-side: inverted range, out-of-range and duplicate ids.
+        assert!(encode_routed_probes(8, 4, &[]).is_err());
+        assert!(encode_routed_probes(4, 8, &[3]).is_err());
+        assert!(encode_routed_probes(4, 8, &[8]).is_err());
+        assert!(encode_routed_probes(4, 8, &[5, 5]).is_err());
+        assert!(encode_routed_probes(4, 8, &[6, 5]).is_err());
+        // Decoder-side: the same frames hand-built hostile.
+        let hostile = |lo: u32, hi: u32, ids: &[u32]| {
+            let mut buf = BytesMut::new();
+            buf.put_u32_le(lo);
+            buf.put_u32_le(hi);
+            buf.put_u32_le(frame_count(ids.len()).unwrap());
+            for &id in ids {
+                buf.put_u32_le(id);
+            }
+            buf.freeze()
+        };
+        assert!(decode_routed_probes(hostile(8, 4, &[])).is_err());
+        assert!(decode_routed_probes(hostile(4, 8, &[3])).is_err());
+        assert!(decode_routed_probes(hostile(4, 8, &[8])).is_err());
+        assert!(decode_routed_probes(hostile(4, 8, &[5, 5])).is_err());
+        assert!(decode_routed_probes(hostile(4, 8, &[6, 5])).is_err());
+        // A count larger than the claimed range is rejected before any
+        // allocation, however large it lies.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0);
+        buf.put_u32_le(4);
+        buf.put_u32_le(u32::MAX);
+        assert!(decode_routed_probes(buf.freeze()).is_err());
+        // Truncation and trailing bytes.
+        let frame = encode_routed_probes(0, 4, &[1, 2]).unwrap();
+        for cut in [0, 3, 11, frame.len() - 1] {
+            assert!(decode_routed_probes(frame.slice(..cut)).is_err());
+        }
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&frame);
+        buf.put_u8(0xEE);
+        assert!(decode_routed_probes(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn routing_plan_rejects_overlapping_subtree_claims() {
+        let mut plan = RoutingPlan::new(12);
+        plan.claim(&RoutedProbes {
+            lo: 0,
+            hi: 4,
+            targets: vec![1, 3],
+        })
+        .unwrap();
+        plan.claim(&RoutedProbes {
+            lo: 8,
+            hi: 12,
+            targets: vec![9],
+        })
+        .unwrap();
+        // Overlaps an admitted claim (even partially) → rejected.
+        let overlap = RoutedProbes {
+            lo: 3,
+            hi: 6,
+            targets: vec![5],
+        };
+        assert!(plan.claim(&overlap).is_err());
+        // Reaches past the deployment → rejected.
+        let beyond = RoutedProbes {
+            lo: 4,
+            hi: 13,
+            targets: vec![4],
+        };
+        assert!(plan.claim(&beyond).is_err());
+        // The gap in between is still claimable, and targets assemble
+        // ascending whatever the claim order.
+        plan.claim(&RoutedProbes {
+            lo: 4,
+            hi: 8,
+            targets: vec![4],
+        })
+        .unwrap();
+        assert_eq!(plan.into_targets(), vec![1, 3, 4, 9]);
     }
 }

@@ -359,3 +359,160 @@ proptest! {
         }
     }
 }
+
+/// A populated summary filter for routing-frame fuzzing.
+fn summary_filter(keys: &[u64], seed: u64) -> dipm_core::BloomFilter {
+    let params = dipm_core::FilterParams::new(1 << 10, 3).unwrap();
+    let mut filter = dipm_core::BloomFilter::new(params, seed);
+    for &key in keys {
+        filter.insert(key);
+    }
+    filter
+}
+
+/// A structurally valid routed-probes target list inside `[lo, hi)`:
+/// strictly ascending station ids derived from arbitrary offsets.
+fn targets_in(lo: u32, span: u32, offsets: &[u32]) -> Vec<u32> {
+    let mut targets: Vec<u32> = offsets.iter().map(|&o| lo + o % span.max(1)).collect();
+    targets.sort_unstable();
+    targets.dedup();
+    targets
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_bytes_never_panic_routing_decoders(raw in vec(any::<u8>(), 0..400)) {
+        let bytes = Bytes::from(raw);
+        let _ = wire::decode_routing_summary(bytes.clone());
+        let _ = wire::decode_routed_probes(bytes);
+    }
+
+    #[test]
+    fn routing_frames_roundtrip(
+        keys in vec(any::<u64>(), 0..40),
+        seed in any::<u64>(),
+        station in any::<u32>(),
+        lo in 0u32..1_000,
+        span in 1u32..64,
+        offsets in vec(any::<u32>(), 0..32),
+    ) {
+        let filter = summary_filter(&keys, seed);
+        let framed = wire::encode_routing_summary(station, &filter);
+        let (decoded_station, decoded_filter) = wire::decode_routing_summary(framed).unwrap();
+        prop_assert_eq!(decoded_station, station);
+        prop_assert_eq!(decoded_filter, filter);
+
+        let targets = targets_in(lo, span, &offsets);
+        let framed = wire::encode_routed_probes(lo, lo + span, &targets).unwrap();
+        let probes = wire::decode_routed_probes(framed).unwrap();
+        prop_assert_eq!((probes.lo, probes.hi), (lo, lo + span));
+        prop_assert_eq!(probes.targets, targets);
+    }
+
+    #[test]
+    fn truncated_routing_frames_error_never_panic(
+        keys in vec(any::<u64>(), 1..20),
+        lo in 0u32..100,
+        span in 1u32..16,
+        offsets in vec(any::<u32>(), 1..16),
+        cut_permille in 0usize..1000,
+    ) {
+        // Any strict prefix — including cuts inside the fixed headers —
+        // must error cleanly, never panic or mis-decode.
+        let summary = wire::encode_routing_summary(7, &summary_filter(&keys, 3));
+        let cut = summary.len() * cut_permille / 1000;
+        prop_assert!(wire::decode_routing_summary(summary.slice(0..cut)).is_err());
+
+        let targets = targets_in(lo, span, &offsets);
+        let probes = wire::encode_routed_probes(lo, lo + span, &targets).unwrap();
+        let cut = probes.len() * cut_permille / 1000;
+        prop_assume!(cut < probes.len());
+        prop_assert!(wire::decode_routed_probes(probes.slice(0..cut)).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected_on_routing_frames(
+        keys in vec(any::<u64>(), 0..20),
+        lo in 0u32..100,
+        span in 1u32..16,
+        offsets in vec(any::<u32>(), 0..16),
+        garbage in vec(any::<u8>(), 1..8),
+    ) {
+        let mut raw = wire::encode_routing_summary(1, &summary_filter(&keys, 9)).to_vec();
+        raw.extend_from_slice(&garbage);
+        prop_assert!(wire::decode_routing_summary(Bytes::from(raw)).is_err());
+
+        let targets = targets_in(lo, span, &offsets);
+        let mut raw = wire::encode_routed_probes(lo, lo + span, &targets).unwrap().to_vec();
+        raw.extend_from_slice(&garbage);
+        prop_assert!(wire::decode_routed_probes(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn duplicate_station_ids_are_rejected_by_encoder_and_decoder(
+        lo in 0u32..100,
+        span in 1u32..16,
+        offset in any::<u32>(),
+    ) {
+        let station = lo + offset % span;
+        // The encoder refuses to frame a duplicated target...
+        prop_assert!(wire::encode_routed_probes(lo, lo + span, &[station, station]).is_err());
+        // ...and the decoder rejects a hand-built frame carrying one.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&lo.to_le_bytes());
+        raw.extend_from_slice(&(lo + span).to_le_bytes());
+        raw.extend_from_slice(&2u32.to_le_bytes());
+        raw.extend_from_slice(&station.to_le_bytes());
+        raw.extend_from_slice(&station.to_le_bytes());
+        prop_assert!(wire::decode_routed_probes(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn huge_routed_probe_counts_are_rejected_not_allocated(count in 1_000u32..u32::MAX) {
+        // A frame claiming `count` targets inside a one-station range with
+        // a tiny body: rejected on the range bound before any allocation.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&0u32.to_le_bytes());
+        raw.extend_from_slice(&1u32.to_le_bytes());
+        raw.extend_from_slice(&count.to_le_bytes());
+        raw.extend_from_slice(&[0u8; 8]);
+        prop_assert!(wire::decode_routed_probes(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn overlapping_subtree_claims_are_rejected(
+        lo in 0u32..50,
+        span_a in 1u32..16,
+        overlap in 0u32..16,
+        span_b in 1u32..16,
+    ) {
+        let station_count = 200u32;
+        // Two claims sharing leaf range: the second must be rejected and
+        // leave the plan's accepted targets untouched.
+        let a = wire::decode_routed_probes(
+            wire::encode_routed_probes(lo, lo + span_a, &[lo]).unwrap()
+        ).unwrap();
+        let b_lo = lo + overlap % span_a; // starts inside a's range
+        let b = wire::decode_routed_probes(
+            wire::encode_routed_probes(b_lo, b_lo + span_b, &[b_lo]).unwrap()
+        ).unwrap();
+        let mut plan = wire::RoutingPlan::new(station_count);
+        plan.claim(&a).unwrap();
+        prop_assert!(plan.claim(&b).is_err());
+        // A disjoint claim is still welcome afterwards.
+        let c_lo = lo + span_a.max(b_lo + span_b - lo);
+        let c = wire::decode_routed_probes(
+            wire::encode_routed_probes(c_lo, c_lo + 1, &[c_lo]).unwrap()
+        ).unwrap();
+        plan.claim(&c).unwrap();
+        prop_assert_eq!(plan.into_targets(), vec![lo, c_lo]);
+        // Claims past the deployment edge are structural lies.
+        let edge = wire::decode_routed_probes(
+            wire::encode_routed_probes(station_count - 1, station_count + 1,
+                &[station_count - 1]).unwrap()
+        ).unwrap();
+        prop_assert!(wire::RoutingPlan::new(station_count).claim(&edge).is_err());
+    }
+}

@@ -51,6 +51,8 @@ pub struct CostMeter {
     scan_passes: AtomicU64,
     rows_pruned: AtomicU64,
     blocks_skipped: AtomicU64,
+    stations_pruned: AtomicU64,
+    routing_bytes: AtomicU64,
     makespan_ticks: AtomicU64,
 }
 
@@ -110,6 +112,26 @@ impl CostMeter {
         self.blocks_skipped.fetch_add(count, Ordering::Relaxed);
     }
 
+    /// Records `count` stations a routing tree excluded from a query
+    /// broadcast — stations whose summary filter proved the query cannot
+    /// match anything they hold, so they neither receive, scan nor report.
+    ///
+    /// Routing decisions are made center-side before any station work is
+    /// scheduled, so the count is mode-invariant; it stays zero under
+    /// `RoutingPolicy::BroadcastAll`.
+    pub fn record_stations_pruned(&self, count: u64) {
+        self.stations_pruned.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` of routing-maintenance traffic: station summary
+    /// uploads and routed-probe plan frames. Kept out of the per-class
+    /// message meters so query/report traffic stays directly comparable
+    /// between routed and broadcast runs; it still counts toward
+    /// [`CostReport::total_bytes`].
+    pub fn record_routing_bytes(&self, bytes: u64) {
+        self.routing_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Records a completion time on the virtual clock; the report keeps the
     /// maximum seen (the run's makespan).
     ///
@@ -135,6 +157,8 @@ impl CostMeter {
             scan_passes: self.scan_passes.load(Ordering::Relaxed),
             rows_pruned: self.rows_pruned.load(Ordering::Relaxed),
             blocks_skipped: self.blocks_skipped.load(Ordering::Relaxed),
+            stations_pruned: self.stations_pruned.load(Ordering::Relaxed),
+            routing_bytes: self.routing_bytes.load(Ordering::Relaxed),
             makespan_ticks: self.makespan_ticks.load(Ordering::Relaxed),
         }
     }
@@ -151,6 +175,8 @@ impl CostMeter {
         self.scan_passes.store(0, Ordering::Relaxed);
         self.rows_pruned.store(0, Ordering::Relaxed);
         self.blocks_skipped.store(0, Ordering::Relaxed);
+        self.stations_pruned.store(0, Ordering::Relaxed);
+        self.routing_bytes.store(0, Ordering::Relaxed);
         self.makespan_ticks.store(0, Ordering::Relaxed);
     }
 }
@@ -183,6 +209,15 @@ pub struct CostReport {
     /// Whole row blocks skipped via block-max metadata (nonzero only under
     /// `ScanAlgorithm::BlockMaxWand`).
     pub blocks_skipped: u64,
+    /// Stations a routing tree excluded from a query broadcast (zero under
+    /// `RoutingPolicy::BroadcastAll`). Decided center-side before any
+    /// station work is scheduled, hence mode-invariant.
+    pub stations_pruned: u64,
+    /// Bytes of routing-maintenance traffic (station summary uploads and
+    /// routed-probe plan frames), metered separately from the per-class
+    /// message meters so routed and broadcast query traffic stay directly
+    /// comparable.
+    pub routing_bytes: u64,
     /// Virtual-clock makespan of the run: the latest modeled report
     /// delivery tick. Zero outside `ExecutionMode::Async` (wall time is not
     /// modeled there); deterministic under a fixed latency model and seed.
@@ -190,9 +225,14 @@ pub struct CostReport {
 }
 
 impl CostReport {
-    /// Total communication bytes across all classes.
+    /// Total communication bytes across all classes, routing maintenance
+    /// included.
     pub fn total_bytes(&self) -> u64 {
-        self.query_bytes + self.report_bytes + self.data_bytes + self.control_bytes
+        self.query_bytes
+            + self.report_bytes
+            + self.data_bytes
+            + self.control_bytes
+            + self.routing_bytes
     }
 
     /// The mode-invariant projection: every byte, storage and operation
@@ -292,6 +332,26 @@ mod tests {
         assert_eq!(report.rows_pruned, 67);
         assert_eq!(report.blocks_skipped, 2);
         assert_eq!(report.mode_invariant().rows_pruned, 67);
+        meter.reset();
+        assert_eq!(meter.report(), CostReport::default());
+    }
+
+    #[test]
+    fn routing_counters_accumulate_and_join_totals() {
+        let meter = CostMeter::new();
+        meter.record_stations_pruned(5);
+        meter.record_stations_pruned(2);
+        meter.record_routing_bytes(300);
+        meter.record_message(TrafficClass::Query, 100);
+        let report = meter.report();
+        assert_eq!(report.stations_pruned, 7);
+        assert_eq!(report.routing_bytes, 300);
+        // Routing bytes count toward the grand total but not query traffic.
+        assert_eq!(report.query_bytes, 100);
+        assert_eq!(report.total_bytes(), 400);
+        // Both are mode-invariant dimensions.
+        assert_eq!(report.mode_invariant().stations_pruned, 7);
+        assert_eq!(report.mode_invariant().routing_bytes, 300);
         meter.reset();
         assert_eq!(meter.report(), CostReport::default());
     }

@@ -67,8 +67,8 @@ pub mod prelude {
         aggregate_and_rank, build_wbf, evaluate, run_bloom, run_naive, run_pipeline, run_streaming,
         run_wbf, BatchOutcome, Bloom, DiMatchingConfig, EpochBroadcast, EpochOutcome,
         FilterStrategy, HashScheme, Method, Naive, PatternQuery, PipelineOptions, QueryOutcome,
-        QueryVerdict, ScanAlgorithm, SectionGrouping, Shards, StreamQueryId, StreamingSession,
-        StreamingUpdate, Wbf,
+        QueryVerdict, RoutingPolicy, RoutingTree, ScanAlgorithm, SectionGrouping, Shards,
+        StreamQueryId, StreamingSession, StreamingUpdate, Wbf,
     };
     pub use dipm_timeseries::{
         eps_match, AccumulatedPattern, Pattern, SampledPattern, ToleranceMode,
