@@ -6,7 +6,7 @@ use dipm_distsim::ExecutionMode;
 use dipm_mobilenet::{Dataset, UserId};
 use dipm_protocol::{
     aggregate_and_rank, build_wbf, run_pipeline, run_wbf, scan_station, DiMatchingConfig,
-    PatternQuery, PipelineOptions, Shards, Wbf,
+    PatternQuery, PipelineOptions, Service, Shards, TenantId, Wbf,
 };
 
 fn queries(dataset: &Dataset, count: usize) -> Vec<PatternQuery> {
@@ -79,6 +79,21 @@ fn bench_protocol(c: &mut Criterion) {
             ..PipelineOptions::default()
         };
         b.iter(|| run_pipeline::<Wbf>(&dataset, &batch, &config, &options).expect("pipeline runs"));
+    });
+
+    // One multiplexed service epoch: three standing tenants interleaved
+    // over the shared executor and station links (epoch 0 full broadcasts
+    // run once in setup, so the measured epoch is the steady-state delta
+    // path).
+    group.bench_function("service_epoch_3_tenants", |b| {
+        let mut service = Service::new(PipelineOptions::default());
+        for t in 0..3u64 {
+            service
+                .register(TenantId(t), &queries(&dataset, 3), config.clone())
+                .expect("tenant registers");
+        }
+        service.run_epoch(&dataset).expect("first epoch runs");
+        b.iter(|| service.run_epoch(&dataset).expect("epoch runs"));
     });
 
     group.finish();

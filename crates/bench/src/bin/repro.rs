@@ -5,14 +5,15 @@
 //!       [--seed S] [--out DIR] [--check BASELINE.json] [--tolerance F]
 //!
 //! experiments: fig1a fig1b fig3 convergence fig4 fig4a fig4b fig4c fig4d
-//!              table2 fpp ablation batch latency streaming scan topk
-//!              routing all   (default: all)
+//!              table2 fpp ablation batch latency streaming service scan
+//!              topk routing all   (default: all)
 //! ```
 //!
-//! The sweep experiments (`batch`, `latency`, `streaming`, `scan`, `topk`,
-//! `routing`) also write their tables as `BENCH_<experiment>.json` into
-//! `--out` (default: the current directory) — the checked-in perf
-//! trajectory every PR updates. `scan`/`topk`/`routing` with
+//! The sweep experiments (`batch`, `latency`, `streaming`, `service`,
+//! `scan`, `topk`, `routing`) also write their tables as
+//! `BENCH_<experiment>.json` into `--out` (default: the current directory)
+//! — the checked-in perf trajectory every PR updates.
+//! `scan`/`topk`/`routing`/`service` with
 //! `--check BASELINE.json` additionally compare the fresh sweep's
 //! geometric-mean gate column against the baseline file and exit non-zero
 //! on a regression past `--tolerance` (default 0.30 = fail below 70 % of
@@ -103,7 +104,7 @@ fn emit_json(out: &std::path::Path, name: &str, reports: &[Report]) {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [fig1a|fig1b|fig3|convergence|fig4|fig4a|fig4b|fig4c|fig4d|table2|fpp|ablation|batch|latency|streaming|scan|topk|routing|all]…"
+        "usage: repro [fig1a|fig1b|fig3|convergence|fig4|fig4a|fig4b|fig4c|fig4d|table2|fpp|ablation|batch|latency|streaming|service|scan|topk|routing|all]…"
     );
     eprintln!("       [--quick] [--users N] [--stations N] [--patterns A,B,C] [--seed S]");
     eprintln!("       [--out DIR] [--check BASELINE.json] [--tolerance F]");
@@ -216,6 +217,19 @@ fn main() -> ExitCode {
                 print(report.clone());
                 emit_json(&out_dir, "streaming", std::slice::from_ref(&report));
             }
+            "service" => {
+                eprintln!(
+                    "running multi-tenant service crash-and-recover sweep: {} users, seed {}…",
+                    scale.users, scale.seed
+                );
+                let report = experiments::service(&scale);
+                print(report.clone());
+                emit_json(&out_dir, "service", std::slice::from_ref(&report));
+                if let Some(baseline_path) = &check_baseline {
+                    check_failed |=
+                        run_check(&report, "service", "saved_bytes", baseline_path, tolerance);
+                }
+            }
             "scan" => {
                 eprintln!("running scan microbench sweep (seed {})…", scale.seed);
                 let report = experiments::scan(&scale);
@@ -280,6 +294,9 @@ fn main() -> ExitCode {
                 let streaming = experiments::streaming(&scale);
                 print(streaming.clone());
                 emit_json(&out_dir, "streaming", std::slice::from_ref(&streaming));
+                let service = experiments::service(&scale);
+                print(service.clone());
+                emit_json(&out_dir, "service", std::slice::from_ref(&service));
                 let routing = experiments::routing(&scale);
                 print(routing.clone());
                 emit_json(&out_dir, "routing", std::slice::from_ref(&routing));

@@ -9,6 +9,7 @@ mod fpp;
 mod latency;
 mod routing;
 mod scan;
+mod service;
 mod streaming;
 mod table2;
 mod topk;
@@ -22,6 +23,7 @@ pub use fpp::fpp;
 pub use latency::latency;
 pub use routing::{routing, routing_sweep, RoutingPoint};
 pub use scan::{geomean_rows_per_sec, scan, scan_sweep, ScanPoint};
+pub use service::{service, service_sweep, ServicePoint};
 pub use streaming::{churn_sweep, streaming, ChurnPoint};
 pub use table2::{score_day, table2, DayScore};
 pub use topk::{topk, topk_sweep, TopkPoint};

@@ -1,0 +1,303 @@
+//! Multi-tenant service — checkpoint-resync vs full re-broadcast economics.
+//!
+//! A center crash is the streaming design's stress test: the naive restart
+//! re-broadcasts every tenant's full filter to every station, paying the
+//! Fig. 4c dissemination cost all over again. The service instead persists
+//! a [`checkpoint`](dipm_protocol::Service::checkpoint) (the counting
+//! filter's refcounts plus the pending-delta baselines — center state
+//! only, station filters stay on the stations) and, on recovery, resyncs
+//! each station with exactly the delta the crashed center would have sent.
+//!
+//! This experiment sweeps tenants × per-tenant query churn × station count
+//! and, at each point, crashes the whole service between two epochs: every
+//! tenant is checkpointed, deregistered into its stations' retained
+//! memories, and recovered into a fresh service that then runs the next
+//! epoch. Two claims the table backs:
+//!
+//! * resync bytes stay far below the full re-broadcast a restart would
+//!   ship, for any tenant count, at modest (≤ 10 %) churn;
+//! * the checkpoint is a *local* durability cost (one write to the
+//!   center's disk, refcount-verbose but never broadcast) traded against
+//!   a *network* cost paid once per station — the table reports both so
+//!   the trade stays visible.
+
+use std::collections::BTreeMap;
+
+use dipm_mobilenet::Dataset;
+use dipm_protocol::{wire, DiMatchingConfig, PatternQuery, PipelineOptions, Service, TenantId};
+
+use crate::report::{Cell, Report};
+use crate::scale::Scale;
+
+/// Standing queries per tenant.
+const STANDING: usize = 10;
+
+fn snapshot(scale: &Scale, stations: u32, epoch: u64) -> Dataset {
+    Dataset::city_slice(scale.users, stations, scale.seed + epoch).expect("valid preset")
+}
+
+fn query_for(dataset: &Dataset, index: usize) -> PatternQuery {
+    let user = dataset.users()[index % dataset.users().len()];
+    PatternQuery::from_fragments(dataset.fragments(user.id).expect("traffic")).expect("valid query")
+}
+
+/// One `(tenants, churn, stations)` point's crash-and-recover economics.
+pub struct ServicePoint {
+    /// Concurrent tenants multiplexed over the shared stations.
+    pub tenants: usize,
+    /// Queries replaced per tenant at the crash boundary.
+    pub churn: usize,
+    /// Base stations shared by all tenants.
+    pub stations: u32,
+    /// Bytes of the persisted service checkpoint (all tenants, one frame).
+    pub checkpoint_bytes: u64,
+    /// Bytes the recovered epoch actually broadcast (all tenants): the
+    /// resync deltas against the filters the stations retained.
+    pub resync_bytes: u64,
+    /// Bytes a restart-from-scratch would have broadcast that epoch: every
+    /// tenant's full filter to every station.
+    pub rebroadcast_bytes: u64,
+}
+
+/// Runs the crash-and-recover sweep and returns the raw measurements.
+pub fn service_sweep(scale: &Scale) -> Vec<ServicePoint> {
+    // 0 %, 10 % and 30 % of each tenant's standing set at the crash.
+    let churn_counts = [0usize, STANDING / 10, 3 * STANDING / 10];
+    let tenant_counts = [1usize, 2, 4];
+    let station_counts = [scale.stations, scale.stations * 2];
+
+    let mut points = Vec::new();
+    for &stations in &station_counts {
+        let day0 = snapshot(scale, stations, 0);
+        let day1 = snapshot(scale, stations, 1);
+        // Pin geometry with 2× headroom over a representative initial set
+        // so churned-in queries never force a resize mid-sweep (recovery
+        // requires the pinned geometry to match the checkpoint's).
+        let sized = dipm_protocol::build_wbf(
+            &(0..STANDING)
+                .map(|i| query_for(&day0, i * 13))
+                .collect::<Vec<_>>(),
+            &DiMatchingConfig::default(),
+        )
+        .expect("initial build")
+        .stats;
+        let config = DiMatchingConfig {
+            fixed_geometry: Some(
+                dipm_core::FilterParams::new(sized.bits * 2, sized.hashes).expect("valid geometry"),
+            ),
+            ..DiMatchingConfig::default()
+        };
+        for &tenants in &tenant_counts {
+            for &churn in &churn_counts {
+                let options = PipelineOptions::default();
+                let mut live = Service::new(options);
+                for t in 0..tenants {
+                    let initial: Vec<PatternQuery> = (0..STANDING)
+                        .map(|i| query_for(&day0, (t * 997 + i) * 13))
+                        .collect();
+                    live.register(TenantId(t as u64), &initial, config.clone())
+                        .expect("tenant registers");
+                }
+                // Epoch 0: every tenant's one-time full broadcast.
+                live.run_epoch(&day0).expect("first epoch runs");
+                // Churn each tenant's standing set; the pending delta now
+                // rides the checkpoint as undrained baselines.
+                let mut next_user = tenants * 997 * 13;
+                for t in 0..tenants {
+                    let id = TenantId(t as u64);
+                    let retired: Vec<_> = live
+                        .session(id)
+                        .expect("tenant is live")
+                        .live_queries()
+                        .into_iter()
+                        .take(churn)
+                        .collect();
+                    for query in retired {
+                        live.remove_query(id, query).expect("live query removes");
+                    }
+                    for _ in 0..churn {
+                        let query = query_for(&day0, next_user);
+                        next_user += 13;
+                        live.insert_query(id, &query).expect("query inserts");
+                    }
+                }
+                // The crash: persist one service frame, dissolve every
+                // session into the memories its stations retain, then
+                // recover each tenant into a brand-new center.
+                let frame = live.checkpoint().expect("checkpoint encodes");
+                let checkpoint_bytes = frame.len() as u64;
+                let mut memories = BTreeMap::new();
+                for id in live.tenants() {
+                    let session = live.deregister(id).expect("tenant is live");
+                    memories.insert(id, session.release_stations());
+                }
+                let mut restarted = Service::new(options);
+                for (id, tenant_frame) in
+                    wire::decode_service_checkpoint(frame).expect("checkpoint decodes")
+                {
+                    let id = TenantId(id);
+                    restarted
+                        .recover_tenant(
+                            id,
+                            tenant_frame,
+                            memories.remove(&id).expect("memories survive"),
+                            config.clone(),
+                        )
+                        .expect("tenant recovers");
+                }
+                // The recovered epoch: deltas against retained filters vs
+                // the full re-broadcast a cold restart would have shipped.
+                let epoch = restarted.run_epoch(&day1).expect("recovered epoch runs");
+                assert!(epoch.deferred.is_empty());
+                let resync_bytes = epoch
+                    .outcomes
+                    .values()
+                    .map(|o| o.broadcast_bytes)
+                    .sum::<u64>();
+                let rebroadcast_bytes = epoch
+                    .outcomes
+                    .values()
+                    .map(|o| o.rebuild_bytes)
+                    .sum::<u64>();
+                points.push(ServicePoint {
+                    tenants,
+                    churn,
+                    stations,
+                    checkpoint_bytes,
+                    resync_bytes,
+                    rebroadcast_bytes,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Checkpoint-resync vs full re-broadcast bytes across tenants × churn ×
+/// stations.
+pub fn service(scale: &Scale) -> Report {
+    let mut report = Report::new(
+        "Multi-tenant service recovery",
+        "checkpoint-resync bytes vs the full re-broadcast a center restart would ship, across \
+         tenant count, per-tenant query churn and station count",
+        "a crashed center recovers from its checkpoint by resyncing stations with deltas against \
+         the filters they retained — a small fraction of re-broadcasting every tenant's filter",
+    );
+    report.columns([
+        "tenants",
+        "churn/tenant",
+        "rate",
+        "stations",
+        "ckpt KB",
+        "resync KB",
+        "rebroadcast KB",
+        "resync/rebroadcast",
+        "saved_bytes",
+    ]);
+    for p in service_sweep(scale) {
+        let rate = p.churn as f64 * 100.0 / STANDING as f64;
+        report.row_cells([
+            Cell::int(p.tenants as u64),
+            Cell::int(p.churn as u64),
+            Cell::rendered(rate, format!("{rate:.0}%")),
+            Cell::int(u64::from(p.stations)),
+            Cell::float(p.checkpoint_bytes as f64 / 1024.0, 1),
+            Cell::float(p.resync_bytes as f64 / 1024.0, 1),
+            Cell::float(p.rebroadcast_bytes as f64 / 1024.0, 1),
+            Cell::float(p.resync_bytes as f64 / p.rebroadcast_bytes as f64, 3),
+            Cell::int(p.rebroadcast_bytes.saturating_sub(p.resync_bytes)),
+        ]);
+    }
+    report.note(format!(
+        "{STANDING} standing queries per tenant over {} users, churn applied at the crash \
+         boundary so the pending delta rides the checkpoint, geometry pinned at 2× headroom, \
+         seed {}",
+        scale.users, scale.seed
+    ));
+    report.note(
+        "the crash dissolves every session into its stations' retained memories and recovers \
+         each tenant into a fresh center from one service checkpoint frame"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check;
+
+    #[test]
+    fn resync_stays_far_below_rebroadcast_at_modest_churn() {
+        let mut scale = Scale::quick();
+        scale.users = 300;
+        scale.stations = 6;
+        let points = service_sweep(&scale);
+        assert_eq!(
+            points.len(),
+            18,
+            "3 tenant counts × 3 churn rates × 2 station counts"
+        );
+        for p in &points {
+            let rate = p.churn as f64 / STANDING as f64;
+            if rate <= 0.10 {
+                assert!(
+                    p.resync_bytes * 2 < p.rebroadcast_bytes,
+                    "{} tenants, churn {}, {} stations: resync {} must be far below \
+                     re-broadcast {}",
+                    p.tenants,
+                    p.churn,
+                    p.stations,
+                    p.resync_bytes,
+                    p.rebroadcast_bytes
+                );
+            }
+            // The checkpoint is local state, never broadcast; the table
+            // reports its size so the durability trade stays visible.
+            assert!(p.checkpoint_bytes > 0);
+        }
+        // Zero churn resyncs near-free: the delta carries no entries.
+        for p in points.iter().filter(|p| p.churn == 0) {
+            assert!(
+                p.resync_bytes * 20 < p.rebroadcast_bytes,
+                "idle resync {} vs re-broadcast {}",
+                p.resync_bytes,
+                p.rebroadcast_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn service_report_is_deterministic() {
+        let mut scale = Scale::quick();
+        scale.users = 300;
+        scale.stations = 6;
+        let first = service(&scale);
+        let second = service(&scale);
+        assert_eq!(first.rows, second.rows);
+    }
+
+    /// The checked-in trajectory must itself witness the claim: every
+    /// ≤ 10 %-churn row of `BENCH_service.json` resyncs in well under half
+    /// the re-broadcast bytes.
+    #[test]
+    fn checked_in_trajectory_backs_the_resync_claim() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+        let json = std::fs::read_to_string(path).expect("BENCH_service.json is checked in");
+        let rates = check::extract_column(&json, "rate");
+        let resync = check::extract_column(&json, "resync KB");
+        let rebroadcast = check::extract_column(&json, "rebroadcast KB");
+        assert_eq!(rates.len(), resync.len());
+        assert_eq!(rates.len(), rebroadcast.len());
+        assert!(!rates.is_empty(), "trajectory has rows");
+        for ((rate, resync), rebroadcast) in rates.iter().zip(&resync).zip(&rebroadcast) {
+            if *rate <= 10.0 {
+                assert!(
+                    resync * 2.0 < *rebroadcast,
+                    "checked-in row at {rate}% churn: resync {resync} KB vs re-broadcast \
+                     {rebroadcast} KB"
+                );
+            }
+        }
+    }
+}

@@ -122,6 +122,44 @@ impl RoutingPolicy {
     }
 }
 
+/// Admission backpressure for the multi-tenant [`Service`](crate::Service):
+/// how much update traffic each station's downlink accepts per service
+/// epoch.
+///
+/// Admission is decided center-side before any frame flies, from each
+/// tenant's *planned* update bytes (routing-blind, so the budget holds even
+/// if every station ends up targeted). A tenant that does not fit is
+/// **deferred, never dropped**: its session is left untouched — pending
+/// query churn simply accumulates into the next epoch's delta — and the
+/// deferral is recorded on its [`deferred_epochs`] meter.
+///
+/// [`deferred_epochs`]: dipm_distsim::CostReport::deferred_epochs
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AdmissionPolicy {
+    /// Per-station in-flight budget in bytes per service epoch. `None`
+    /// (the default) admits every tenant. The first tenant claiming an
+    /// idle station link is always admitted even over budget, so an
+    /// over-sized full broadcast still makes progress; each further tenant
+    /// is admitted only if every station link stays within budget.
+    pub per_station_budget_bytes: Option<u64>,
+}
+
+impl AdmissionPolicy {
+    /// A policy with a per-station budget of `bytes` per epoch.
+    pub fn per_station(bytes: u64) -> AdmissionPolicy {
+        AdmissionPolicy {
+            per_station_budget_bytes: Some(bytes),
+        }
+    }
+
+    /// Whether this policy can defer tenants at all.
+    #[inline]
+    pub fn limits(&self) -> bool {
+        self.per_station_budget_bytes.is_some()
+    }
+}
+
 /// Configuration of one DI-matching run.
 ///
 /// A passive parameter block: fields are public and a [`Default`] matching

@@ -48,6 +48,25 @@ pub enum ProtocolError {
         /// The referenced query id.
         id: u64,
     },
+    /// A service registration reused a [`TenantId`](crate::TenantId) that is
+    /// already live. The existing tenant is left untouched.
+    DuplicateTenant {
+        /// The conflicting tenant id.
+        id: u64,
+    },
+    /// A service operation referenced a [`TenantId`](crate::TenantId) that
+    /// is not registered.
+    UnknownTenant {
+        /// The referenced tenant id.
+        id: u64,
+    },
+    /// A checkpoint could not be recovered: its recorded epoch, geometry or
+    /// filter state disagrees with the state offered alongside it (retained
+    /// station memories, session config). Nothing is rebuilt on rejection.
+    CheckpointMismatch {
+        /// Human-readable reason the checkpoint was rejected.
+        reason: String,
+    },
 }
 
 impl ProtocolError {
@@ -65,6 +84,12 @@ impl ProtocolError {
 
     pub(crate) fn frame_too_large(reason: impl Into<String>) -> Self {
         ProtocolError::FrameTooLarge {
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn checkpoint_mismatch(reason: impl Into<String>) -> Self {
+        ProtocolError::CheckpointMismatch {
             reason: reason.into(),
         }
     }
@@ -91,6 +116,15 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::UnknownStreamQuery { id } => {
                 write!(f, "streaming query {id} is not live")
+            }
+            ProtocolError::DuplicateTenant { id } => {
+                write!(f, "tenant {id} is already registered")
+            }
+            ProtocolError::UnknownTenant { id } => {
+                write!(f, "tenant {id} is not registered")
+            }
+            ProtocolError::CheckpointMismatch { reason } => {
+                write!(f, "checkpoint cannot be recovered: {reason}")
             }
         }
     }
@@ -141,5 +175,18 @@ mod tests {
         assert!(ProtocolError::ZeroQueryVolume.to_string().contains("zero"));
         let err = ProtocolError::invalid_config("b must be non-zero");
         assert!(err.to_string().contains("b must be non-zero"));
+    }
+
+    #[test]
+    fn service_errors_name_their_tenant() {
+        assert!(ProtocolError::DuplicateTenant { id: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(ProtocolError::UnknownTenant { id: 9 }
+            .to_string()
+            .contains('9'));
+        let err = ProtocolError::checkpoint_mismatch("epoch 3 behind station epoch 5");
+        assert!(err.to_string().contains("epoch 3 behind station epoch 5"));
+        assert!(err.source().is_none());
     }
 }

@@ -62,6 +62,7 @@ mod pipeline;
 mod query;
 mod result;
 mod routing;
+mod service;
 mod strategy;
 mod streaming;
 pub mod wire;
@@ -70,7 +71,7 @@ pub use basestation::{
     scan_shard_bloom, scan_shard_wbf, scan_shard_wbf_topk, scan_station, scan_station_bloom,
     BaseStation, Shards, WbfSectionView, WeightReport, BLOCK_ROWS,
 };
-pub use config::{DiMatchingConfig, HashScheme, RoutingPolicy, ScanAlgorithm};
+pub use config::{AdmissionPolicy, DiMatchingConfig, HashScheme, RoutingPolicy, ScanAlgorithm};
 pub use datacenter::{
     aggregate_and_rank, build_bloom, build_wbf, BuildStats, BuiltBloom, BuiltFilter, RankedUser,
 };
@@ -81,7 +82,9 @@ pub use pipeline::{run_bloom, run_pipeline, run_wbf, PipelineOptions, SectionGro
 pub use query::PatternQuery;
 pub use result::{BatchOutcome, Method, MethodDetails, QueryOutcome, QueryVerdict};
 pub use routing::RoutingTree;
+pub use service::{Service, ServiceEpoch, TenantId};
 pub use strategy::{Bloom, FilterStrategy, Wbf, WbfStationView};
 pub use streaming::{
-    run_streaming, EpochBroadcast, EpochOutcome, StreamQueryId, StreamingSession, StreamingUpdate,
+    run_streaming, EpochBroadcast, EpochOutcome, StationMemory, StreamQueryId, StreamingSession,
+    StreamingUpdate,
 };

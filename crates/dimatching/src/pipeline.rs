@@ -61,6 +61,11 @@ pub enum SectionGrouping {
 
 /// Deployment knobs of one pipeline run — how the fixed protocol executes,
 /// as opposed to [`DiMatchingConfig`], which fixes *what* is computed.
+///
+/// A multi-tenant [`Service`](crate::Service) holds exactly one of these
+/// for all its tenants: mode, shard layout and latency model describe the
+/// shared deployment (one executor, one simulated network), while each
+/// tenant's `DiMatchingConfig` stays per-session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineOptions {
     /// How station shards are scheduled.

@@ -37,10 +37,11 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use dipm_core::{encode, CountingWbf, FilterParams, Weight, WeightedBloomFilter};
+use bytes::Bytes;
+use dipm_core::{encode, CountingWbf, FilterParams, Weight, WeightSet, WeightedBloomFilter};
 use dipm_distsim::{
-    block_on_all, run_station_shards, run_stations, CostMeter, ExecutionMode, Network, NodeId,
-    TrafficClass, VirtualClock, DATA_CENTER,
+    block_on_all, run_station_shards, run_stations, CostMeter, ExecutionMode, LatencyModel,
+    Mailbox, Network, NodeId, TrafficClass, VirtualClock, DATA_CENTER,
 };
 use dipm_mobilenet::{Dataset, UserId};
 
@@ -139,6 +140,28 @@ impl StationState {
             .ok_or_else(|| ProtocolError::malformed_report("station scanned before any update"))?;
         Ok((filter, &self.totals))
     }
+}
+
+/// One tenant's epoch, planned but not yet executed: the encoded update
+/// frames, who gets which, and the bookkeeping the finish phase needs.
+/// Produced by `plan_epoch`, consumed by `finish_epoch`; between the two,
+/// the interleaved engine broadcasts and executes any number of tenants'
+/// plans over shared station links.
+#[derive(Debug)]
+struct EpochPlan {
+    epoch: u64,
+    clock_base: u64,
+    start: Instant,
+    /// Per-station routing mask (all `true` under broadcast-all).
+    active: Vec<bool>,
+    broadcast: EpochBroadcast,
+    full_frame: Option<Bytes>,
+    delta_frame: Option<Bytes>,
+    full_stations: Vec<usize>,
+    delta_stations: Vec<usize>,
+    full_frame_len: usize,
+    /// Filled by the broadcast phase.
+    broadcast_bytes: u64,
 }
 
 /// How one epoch's filter state reached the stations.
@@ -396,14 +419,12 @@ impl StreamingSession {
     /// and rejects a dataset whose station count differs from the epoch
     /// that initialized the session.
     pub fn run_epoch(&mut self, dataset: &Dataset) -> Result<EpochOutcome> {
-        let result = self.run_epoch_inner(dataset);
-        if result.is_err() {
-            self.needs_full = true;
-            // The failure may have struck mid-diff, leaving the tree out of
-            // step with its recorded rows; rebuild it next epoch.
-            self.routing = None;
-        }
-        result
+        // A solo session is the one-tenant case of the interleaved engine:
+        // fresh per-epoch link state means every frame is stamped straight
+        // from `clock_base`, exactly as a lone center would.
+        let mut links = Vec::new();
+        let mut outcomes = run_interleaved_epochs(&mut [self], dataset, &mut links)?;
+        Ok(outcomes.pop().expect("one outcome per session"))
     }
 
     /// Keeps the routing tree synchronized with this epoch's dataset —
@@ -475,7 +496,11 @@ impl StreamingSession {
         Ok(active)
     }
 
-    fn run_epoch_inner(&mut self, dataset: &Dataset) -> Result<EpochOutcome> {
+    /// Phase 1 of an epoch: everything the center decides *before* any
+    /// frame flies — guards, lazy station init, routing, the pending-diff
+    /// drain and the encoded update frames. Pure center-side work, so a
+    /// service can plan every tenant before any of them executes.
+    fn plan_epoch(&mut self, dataset: &Dataset, meter: &CostMeter) -> Result<EpochPlan> {
         let start = Instant::now();
         let station_count = dataset.stations().len();
         if !self.stations.is_empty() && self.stations.len() != station_count {
@@ -493,49 +518,19 @@ impl StreamingSession {
                 .collect();
         }
 
-        // One fresh network per epoch (nodes re-register), one shared clock
-        // timeline across epochs via `clock_base`.
-        let (clock, network) = match self.options.mode {
-            ExecutionMode::Async { .. } => {
-                let clock = Arc::new(VirtualClock::new());
-                let network = Network::with_latency(self.options.latency, Arc::clone(&clock));
-                (Some(clock), network)
-            }
-            _ => (None, Network::new()),
-        };
-        let center = network.register(DATA_CENTER)?;
-        let nodes: Vec<NodeId> = (0..station_count)
-            .map(|i| NodeId::base_station(i as u32))
-            .collect();
-        let mailboxes = nodes
-            .iter()
-            .map(|&node| network.register(node))
-            .collect::<dipm_distsim::Result<Vec<_>>>()?;
-
         // Query routing: keep the Bloofi tree hot against this epoch's CDR
         // churn and target only stations whose summaries can match the live
-        // query set. `None` means broadcast to all (the default).
-        let routed: Option<Vec<bool>> = match self.config.routing {
-            RoutingPolicy::Tree { fanout } => {
-                Some(self.route_epoch(dataset, fanout, network.meter())?)
-            }
-            RoutingPolicy::BroadcastAll => None,
+        // query set. The default broadcasts to all.
+        let active: Vec<bool> = match self.config.routing {
+            RoutingPolicy::Tree { fanout } => self.route_epoch(dataset, fanout, meter)?,
+            RoutingPolicy::BroadcastAll => vec![true; station_count],
         };
-        let active = |i: usize| routed.as_ref().map_or(true, |mask| mask[i]);
 
         // The rebuild-economics yardstick: what a full broadcast would
         // weigh this epoch. Computed without serializing the frame, and
         // cached until query churn invalidates it — a pure CDR-churn epoch
         // pays neither the snapshot nor the interning pass.
-        let full_frame_len = match self.cached_full_len {
-            Some(len) => len,
-            None => {
-                let len =
-                    1 + 8 + 4 + totals.len() * 8 + encode::encoded_wbf_len(&self.center.snapshot());
-                self.cached_full_len = Some(len);
-                len
-            }
-        };
+        let full_frame_len = self.full_frame_len(&totals);
 
         // Drain the pending diff exactly once per epoch. Stations on the
         // delta path are exactly those synced to the previous drain point
@@ -548,18 +543,18 @@ impl StreamingSession {
             entries: self.center.drain_dirty(),
         };
         let delta_entries = delta.entries.len();
-        let mut full_nodes: Vec<NodeId> = Vec::new();
-        let mut delta_nodes: Vec<NodeId> = Vec::new();
+        let mut full_stations: Vec<usize> = Vec::new();
+        let mut delta_stations: Vec<usize> = Vec::new();
         for (i, state) in self.stations.iter().enumerate() {
-            if !active(i) {
+            if !active[i] {
                 continue;
             }
             let on_delta_path =
                 !self.needs_full && state.filter.is_some() && state.applied_epoch + 1 == epoch;
             if on_delta_path {
-                delta_nodes.push(nodes[i]);
+                delta_stations.push(i);
             } else {
-                full_nodes.push(nodes[i]);
+                full_stations.push(i);
             }
         }
         let broadcast = if self.needs_full {
@@ -569,7 +564,7 @@ impl StreamingSession {
                 entries: delta_entries,
             }
         };
-        let full_frame = if full_nodes.is_empty() {
+        let full_frame = if full_stations.is_empty() {
             None
         } else {
             let frame = wire::encode_station_update(&StationUpdate::Full {
@@ -580,7 +575,7 @@ impl StreamingSession {
             debug_assert_eq!(frame.len(), full_frame_len);
             Some(frame)
         };
-        let delta_frame = if delta_nodes.is_empty() {
+        let delta_frame = if delta_stations.is_empty() {
             None
         } else {
             Some(wire::encode_station_update(&StationUpdate::Delta {
@@ -589,164 +584,89 @@ impl StreamingSession {
                 delta,
             })?)
         };
-        let mut broadcast_bytes = 0u64;
-        for (frame, recipients) in [(&full_frame, &full_nodes), (&delta_frame, &delta_nodes)] {
-            if let Some(frame) = frame {
-                network.broadcast_at(
-                    DATA_CENTER,
-                    recipients.iter().copied(),
-                    TrafficClass::Query,
-                    frame,
-                    self.clock_base,
-                )?;
-                // Each recipient holds its copy of the frame while live.
-                network
-                    .meter()
-                    .record_storage(frame.len() as u64 * recipients.len() as u64);
-                broadcast_bytes += frame.len() as u64 * recipients.len() as u64;
+        Ok(EpochPlan {
+            epoch,
+            clock_base: self.clock_base,
+            start,
+            active,
+            broadcast,
+            full_frame,
+            delta_frame,
+            full_stations,
+            delta_stations,
+            full_frame_len,
+            broadcast_bytes: 0,
+        })
+    }
+
+    /// The cached full-broadcast frame length (see `cached_full_len`).
+    fn full_frame_len(&mut self, totals: &[u64]) -> usize {
+        match self.cached_full_len {
+            Some(len) => len,
+            None => {
+                let len =
+                    1 + 8 + 4 + totals.len() * 8 + encode::encoded_wbf_len(&self.center.snapshot());
+                self.cached_full_len = Some(len);
+                len
             }
         }
+    }
 
-        let empty = BTreeMap::new();
-        let layouts: Vec<BaseStation<'_>> = dataset
-            .stations()
-            .iter()
-            .map(|&station| {
-                let locals = dataset.station_locals(station).unwrap_or(&empty);
-                BaseStation::from_locals(station, locals, self.options.shards)
+    /// What the *next* epoch would send each of `station_count` stations,
+    /// in bytes — the admission currency of
+    /// [`Service`](crate::Service) backpressure. Previews the pending diff
+    /// without draining it and mutates nothing observable (only the
+    /// full-frame length cache), so a deferred tenant's session is exactly
+    /// as it was. Routing-blind on purpose: admission budgets against the
+    /// worst case where every station is targeted.
+    pub(crate) fn planned_station_bytes(&mut self, station_count: usize) -> Result<Vec<u64>> {
+        let totals = self.totals();
+        let full_len = self.full_frame_len(&totals) as u64;
+        let delta_len = wire::encode_station_update(&StationUpdate::Delta {
+            epoch: self.epoch,
+            query_totals: totals,
+            delta: FilterDelta {
+                entries: self.center.pending_dirty(),
+            },
+        })?
+        .len() as u64;
+        let epoch = self.epoch;
+        Ok((0..station_count)
+            .map(|i| {
+                let on_delta_path = !self.needs_full
+                    && self
+                        .stations
+                        .get(i)
+                        .is_some_and(|s| s.filter.is_some() && s.applied_epoch + 1 == epoch);
+                if on_delta_path {
+                    delta_len
+                } else {
+                    full_len
+                }
             })
-            .collect();
-        let shard_count = self.options.shards.count() as u32;
+            .collect())
+    }
 
-        match self.options.mode {
-            ExecutionMode::Async { workers } => {
-                // One future per station, exactly like the batch pipeline's
-                // async arm — but the update is applied to the station's
-                // *retained* filter before the scan, on the station's own
-                // virtual timeline.
-                let clock = clock.as_ref().expect("async mode builds a clock");
-                let model = self.options.latency;
-                let config = &self.config;
-                let futures: Vec<_> = mailboxes
-                    .into_iter()
-                    .zip(self.stations.iter_mut())
-                    .enumerate()
-                    .filter(|(i, _)| active(*i))
-                    .map(|(i, (mailbox, state))| {
-                        let network = network.clone();
-                        let clock = Arc::clone(clock);
-                        let layout = &layouts[i];
-                        async move {
-                            let envelope = mailbox.recv()?;
-                            let mut station_now = envelope.deliver_at;
-                            clock.sleep_until(station_now).await;
-                            state.apply(wire::decode_station_update(envelope.payload)?, epoch)?;
-                            let (filter, totals) = state.view()?;
-                            let mut merged: Vec<(u32, dipm_mobilenet::UserId, Weight)> = Vec::new();
-                            for shard_index in 0..layout.shard_count() {
-                                let shard = layout.shard(shard_index);
-                                station_now =
-                                    station_now.saturating_add(model.scan_ticks(shard.len()));
-                                clock.sleep_until(station_now).await;
-                                merged.extend(scan_shard_wbf(
-                                    &[(0, filter, totals)],
-                                    shard,
-                                    config,
-                                    Some(network.meter()),
-                                )?);
-                                dipm_distsim::yield_now().await;
-                            }
-                            merged.sort_by_key(|&(q, user, _)| (q, user));
-                            network.meter().record_scan_pass();
-                            let payload = wire::encode_batch_reports(
-                                shard_count,
-                                i as u32,
-                                station_now,
-                                wire::encode_tagged_weight_reports(&merged)?,
-                            );
-                            network.send_at(
-                                NodeId::base_station(i as u32),
-                                DATA_CENTER,
-                                TrafficClass::Report,
-                                payload,
-                                station_now,
-                            )?;
-                            Ok::<(), ProtocolError>(())
-                        }
-                    })
-                    .collect();
-                let (results, _run) = block_on_all(workers, clock, futures);
-                for result in results {
-                    result?;
-                }
-            }
-            mode => {
-                // Station-side decode under the epoch's execution mode —
-                // only targeted stations received a frame, and a pruned
-                // station's mailbox must never be polled…
-                let targeted: Vec<(usize, &dipm_distsim::Mailbox)> = mailboxes
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| active(i))
-                    .collect();
-                let updates: Vec<StationUpdate> =
-                    run_stations(mode, &targeted, |_, &(_, mailbox)| {
-                        let envelope = mailbox.recv()?;
-                        wire::decode_station_update(envelope.payload)
-                    })
-                    .into_iter()
-                    .collect::<Result<_>>()?;
-                // …apply shard-locally (cheap, deterministic)…
-                for (&(i, _), update) in targeted.iter().zip(updates) {
-                    self.stations[i].apply(update, epoch)?;
-                }
-                // …then one scan pass per targeted station over the
-                // (station, shard) grid, identical to the batch pipeline.
-                let grid: Vec<(usize, usize)> = layouts
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| active(i))
-                    .flat_map(|(i, layout)| (0..layout.shard_count()).map(move |shard| (i, shard)))
-                    .collect();
-                let stations = &self.stations;
-                let config = &self.config;
-                let scanned = run_station_shards(mode, &grid, |_, &(station, shard)| {
-                    let (filter, totals) = stations[station].view()?;
-                    scan_shard_wbf(
-                        &[(0, filter, totals)],
-                        layouts[station].shard(shard),
-                        config,
-                        Some(network.meter()),
-                    )
-                });
-                let mut shard_results = scanned.into_iter();
-                for (i, layout) in layouts.iter().enumerate().filter(|&(i, _)| active(i)) {
-                    let mut merged: Vec<(u32, dipm_mobilenet::UserId, Weight)> = Vec::new();
-                    for _ in 0..layout.shard_count() {
-                        merged.extend(shard_results.next().expect("one result per grid entry")?);
-                    }
-                    merged.sort_by_key(|&(q, user, _)| (q, user));
-                    network.meter().record_scan_pass();
-                    let payload = wire::encode_batch_reports(
-                        shard_count,
-                        i as u32,
-                        0,
-                        wire::encode_tagged_weight_reports(&merged)?,
-                    );
-                    network.send(
-                        NodeId::base_station(i as u32),
-                        DATA_CENTER,
-                        TrafficClass::Report,
-                        payload,
-                    )?;
-                }
-            }
-        }
+    /// The split borrow the execution phase needs: every station's mutable
+    /// state next to the scan configuration.
+    fn exec_parts(&mut self) -> (&mut [StationState], &DiMatchingConfig) {
+        (&mut self.stations, &self.config)
+    }
 
-        // Algorithm 3 intake, shared with the batch pipeline.
+    /// Phase 4 of an epoch: Algorithm 3 intake (shared with the batch
+    /// pipeline), aggregation, and the epoch-advance bookkeeping.
+    fn finish_epoch(
+        &mut self,
+        plan: EpochPlan,
+        center: &Mailbox,
+        network: &Network,
+        shard_count: u32,
+        station_count: usize,
+    ) -> Result<EpochOutcome> {
         let collected =
-            collect_station_reports(&center, &network, shard_count, station_count as u32)?;
-        let latency = clock.map(|_| collected.latency_report());
+            collect_station_reports(center, network, shard_count, station_count as u32)?;
+        let latency = matches!(self.options.mode, ExecutionMode::Async { .. })
+            .then(|| collected.latency_report());
         let mut reports: Vec<(dipm_mobilenet::UserId, Weight)> = Vec::new();
         for (report_frame, _) in &collected.frames {
             for (query, user, weight) in
@@ -773,17 +693,17 @@ impl StreamingSession {
                 build: self.build_stats(),
             },
             cost,
-            elapsed: start.elapsed(),
+            elapsed: plan.start.elapsed(),
         };
         self.clock_base = self.clock_base.max(collected.makespan);
         self.epoch += 1;
         self.needs_full = false;
 
         Ok(EpochOutcome {
-            epoch,
-            broadcast,
-            broadcast_bytes,
-            rebuild_bytes: full_frame_len as u64 * station_count as u64,
+            epoch: plan.epoch,
+            broadcast: plan.broadcast,
+            broadcast_bytes: plan.broadcast_bytes,
+            rebuild_bytes: plan.full_frame_len as u64 * station_count as u64,
             latency,
             outcome,
         })
@@ -795,6 +715,510 @@ impl StreamingSession {
     pub fn clock_base(&self) -> u64 {
         self.clock_base
     }
+
+    /// Serializes the center's entire session state into one versioned
+    /// [`SessionCheckpoint`](crate::wire::SessionCheckpoint) frame: the
+    /// live-query registry, the counting filter's refcounts, the pending
+    /// delta baselines and the per-station protocol positions.
+    ///
+    /// Station filters are deliberately absent — stations retain their own
+    /// state across a center crash, and [`StreamingSession::recover`]
+    /// resyncs them via the next delta instead of a full re-broadcast.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wire-encoding errors.
+    pub fn checkpoint(&self) -> Result<Bytes> {
+        wire::encode_session_checkpoint(&wire::SessionCheckpoint {
+            epoch: self.epoch,
+            clock_base: self.clock_base,
+            needs_full: self.needs_full,
+            bits: self.params.bits() as u64,
+            hashes: self.params.hashes(),
+            seed: self.config.seed,
+            next_id: self.next_id,
+            queries: self
+                .live
+                .iter()
+                .map(|(id, query)| wire::CheckpointQuery {
+                    id: id.0,
+                    total: query.total,
+                    combinations: query.combinations as u64,
+                    pairs: query.pairs.clone(),
+                })
+                .collect(),
+            counts: self.center.counts_snapshot(),
+            baselines: self
+                .center
+                .dirty_baselines()
+                .iter()
+                .map(|(&pos, set)| (pos, set.clone()))
+                .collect(),
+            stations: self
+                .stations
+                .iter()
+                .map(|state| wire::CheckpointStation {
+                    has_filter: state.filter.is_some(),
+                    applied_epoch: state.applied_epoch,
+                })
+                .collect(),
+        })
+    }
+
+    /// Dissolves the session into its stations' retained memories — the
+    /// state that *survives* a center crash (each base station holds its
+    /// own filter). Pair with [`StreamingSession::checkpoint`] to model a
+    /// crash: the checkpoint is what the center persisted, the memories
+    /// are what the stations still hold.
+    pub fn release_stations(self) -> Vec<StationMemory> {
+        self.stations.into_iter().map(StationMemory).collect()
+    }
+
+    /// Rebuilds a center from a [`checkpoint`](StreamingSession::checkpoint)
+    /// frame and the stations' retained memories, resuming the session
+    /// exactly where it stopped: the next epoch drains the same delta the
+    /// crashed center would have, so the resumed run's station results and
+    /// wire bytes are identical to an uninterrupted one.
+    ///
+    /// The counting filter is rebuilt by replaying the recorded queries and
+    /// verified against the checkpoint's recorded refcounts, so a frame
+    /// whose registry and counts disagree is rejected whole. Under
+    /// [`RoutingPolicy::Tree`] the standing Bloofi tree is *not* part of
+    /// the checkpoint — the first recovered epoch rebuilds it from the
+    /// epoch's dataset and re-uploads station summaries (routing bytes are
+    /// re-paid; filter dissemination stays delta-priced).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::MalformedReport`] for a frame that fails
+    /// wire validation and [`ProtocolError::CheckpointMismatch`] when the
+    /// frame disagrees with `config` (seed, pinned geometry) or with the
+    /// offered station memories (count, filter presence or geometry,
+    /// applied epochs). Nothing is rebuilt on rejection.
+    pub fn recover(
+        frame: Bytes,
+        stations: Vec<StationMemory>,
+        config: DiMatchingConfig,
+        options: PipelineOptions,
+    ) -> Result<StreamingSession> {
+        let checkpoint = wire::decode_session_checkpoint(frame)?;
+        config.validate()?;
+        if checkpoint.seed != config.seed {
+            return Err(ProtocolError::checkpoint_mismatch(format!(
+                "checkpoint hashed with seed {}, config hashes with {}",
+                checkpoint.seed, config.seed
+            )));
+        }
+        let params = FilterParams::new(checkpoint.bits as usize, checkpoint.hashes)?;
+        if let Some(fixed) = config.fixed_geometry {
+            if fixed != params {
+                return Err(ProtocolError::checkpoint_mismatch(format!(
+                    "checkpoint geometry {}x{} disagrees with pinned geometry {}x{}",
+                    checkpoint.bits,
+                    checkpoint.hashes,
+                    fixed.bits(),
+                    fixed.hashes()
+                )));
+            }
+        }
+        if stations.len() != checkpoint.stations.len() {
+            return Err(ProtocolError::checkpoint_mismatch(format!(
+                "checkpoint records {} stations, {} memories offered",
+                checkpoint.stations.len(),
+                stations.len()
+            )));
+        }
+        for (i, (memory, recorded)) in stations.iter().zip(&checkpoint.stations).enumerate() {
+            if memory.0.filter.is_some() != recorded.has_filter {
+                return Err(ProtocolError::checkpoint_mismatch(format!(
+                    "station {i} filter presence disagrees with the checkpoint"
+                )));
+            }
+            if memory.0.applied_epoch != recorded.applied_epoch {
+                return Err(ProtocolError::checkpoint_mismatch(format!(
+                    "station {i} applied epoch {}, checkpoint records {}",
+                    memory.0.applied_epoch, recorded.applied_epoch
+                )));
+            }
+            if let Some(filter) = &memory.0.filter {
+                if filter.bit_len() as u64 != checkpoint.bits
+                    || filter.hashes() != checkpoint.hashes
+                {
+                    return Err(ProtocolError::checkpoint_mismatch(format!(
+                        "station {i} filter geometry disagrees with the checkpoint"
+                    )));
+                }
+            }
+        }
+        let mut center = CountingWbf::new(params, config.seed);
+        let mut live = BTreeMap::new();
+        for query in &checkpoint.queries {
+            for &(key, weight) in &query.pairs {
+                center.insert(key, weight)?;
+            }
+            live.insert(
+                StreamQueryId(query.id),
+                LiveQuery {
+                    pairs: query.pairs.clone(),
+                    total: query.total,
+                    combinations: query.combinations as usize,
+                },
+            );
+        }
+        if center.counts_snapshot() != checkpoint.counts {
+            return Err(ProtocolError::checkpoint_mismatch(
+                "replaying the recorded queries does not reproduce the recorded filter state",
+            ));
+        }
+        let baselines: BTreeMap<u32, WeightSet> = checkpoint.baselines.into_iter().collect();
+        center
+            .restore_dirty(baselines)
+            .map_err(ProtocolError::Core)?;
+        Ok(StreamingSession {
+            config,
+            options,
+            params,
+            center,
+            live,
+            next_id: checkpoint.next_id,
+            epoch: checkpoint.epoch,
+            stations: stations.into_iter().map(|memory| memory.0).collect(),
+            needs_full: checkpoint.needs_full,
+            cached_full_len: None,
+            routing: None,
+            clock_base: checkpoint.clock_base,
+        })
+    }
+}
+
+/// One base station's state as it survives a center crash: its decoded
+/// filter and the last epoch it applied. Produced by
+/// [`StreamingSession::release_stations`], consumed by
+/// [`StreamingSession::recover`].
+#[derive(Debug)]
+pub struct StationMemory(StationState);
+
+impl StationMemory {
+    /// The last epoch this station applied.
+    pub fn applied_epoch(&self) -> u64 {
+        self.0.applied_epoch
+    }
+
+    /// Whether the station holds a decoded filter.
+    pub fn has_filter(&self) -> bool {
+        self.0.filter.is_some()
+    }
+}
+
+/// Phase 2 of an epoch: schedules the plan's frames onto the shared
+/// per-station downlinks. Each station's link serializes: a frame's send
+/// tick is the later of the tenant's clock and the tick the link finished
+/// its previous frame, so concurrent tenants queue behind each other
+/// exactly as they would on real station radios. With fresh (all-zero)
+/// links — the solo case — every frame is stamped straight from the
+/// tenant's `clock_base`, byte-identically to a lone session.
+fn broadcast_plan(
+    plan: &mut EpochPlan,
+    latency: &LatencyModel,
+    network: &Network,
+    links: &mut [u64],
+) -> Result<()> {
+    let frames = [
+        (&plan.full_frame, &plan.full_stations),
+        (&plan.delta_frame, &plan.delta_stations),
+    ];
+    for (frame, stations) in frames {
+        if let Some(frame) = frame {
+            let serialize = latency.ticks_per_byte.saturating_mul(frame.len() as u64);
+            let targets: Vec<(NodeId, u64)> = stations
+                .iter()
+                .map(|&i| {
+                    let tick = plan.clock_base.max(links[i]);
+                    links[i] = tick.saturating_add(serialize);
+                    (NodeId::base_station(i as u32), tick)
+                })
+                .collect();
+            network.broadcast_each_at(DATA_CENTER, targets, TrafficClass::Query, frame)?;
+            // Each recipient holds its copy of the frame while live.
+            network
+                .meter()
+                .record_storage(frame.len() as u64 * stations.len() as u64);
+            plan.broadcast_bytes += frame.len() as u64 * stations.len() as u64;
+        }
+    }
+    Ok(())
+}
+
+/// Per-tenant per-epoch runtime: the tenant's private network (its own
+/// meter — isolation is structural) and its planned epoch.
+struct TenantEpoch {
+    network: Network,
+    center: Mailbox,
+    mailboxes: Vec<Mailbox>,
+    plan: EpochPlan,
+}
+
+/// Runs one epoch for every session, interleaved over the shared executor
+/// and the shared per-station links.
+///
+/// This is *the* epoch engine: a solo [`StreamingSession::run_epoch`] is
+/// the one-session call of the same code, which is what makes tenant
+/// isolation a structural guarantee rather than a property to test into
+/// existence — each tenant runs on its own [`Network`] (own meter, own
+/// mailboxes), so its byte and operation accounting cannot observe its
+/// neighbors. Only modeled *time* couples tenants: under
+/// [`ExecutionMode::Async`] all tenants share one [`VirtualClock`] and the
+/// `links` vector serializes each station's downlink across tenants.
+///
+/// All sessions must share the same [`PipelineOptions`] (the service
+/// guarantees this); the first session's options drive the executor.
+///
+/// On error every session is marked for a full resync — the failure may
+/// have struck mid-protocol for any of them.
+pub(crate) fn run_interleaved_epochs(
+    sessions: &mut [&mut StreamingSession],
+    dataset: &Dataset,
+    links: &mut Vec<u64>,
+) -> Result<Vec<EpochOutcome>> {
+    let result = interleaved_epochs_inner(sessions, dataset, links);
+    if result.is_err() {
+        for session in sessions.iter_mut() {
+            session.needs_full = true;
+            // The failure may have struck mid-diff, leaving the tree out of
+            // step with its recorded rows; rebuild it next epoch.
+            session.routing = None;
+        }
+    }
+    result
+}
+
+fn interleaved_epochs_inner(
+    sessions: &mut [&mut StreamingSession],
+    dataset: &Dataset,
+    links: &mut Vec<u64>,
+) -> Result<Vec<EpochOutcome>> {
+    if sessions.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mode = sessions[0].options.mode;
+    let latency = sessions[0].options.latency;
+    let shards = sessions[0].options.shards;
+    let station_count = dataset.stations().len();
+    if links.len() < station_count {
+        links.resize(station_count, 0);
+    }
+
+    // One shared clock timeline across all tenants (async); each tenant
+    // still gets a fresh network per epoch so nodes re-register and meters
+    // stay private.
+    let clock = match mode {
+        ExecutionMode::Async { .. } => Some(Arc::new(VirtualClock::new())),
+        _ => None,
+    };
+
+    // Phases 1+2 per tenant, in registration order: plan, then claim the
+    // shared downlinks. The first tenant's frames are stamped exactly as a
+    // solo run's; later tenants queue behind it.
+    let mut tenants: Vec<TenantEpoch> = Vec::with_capacity(sessions.len());
+    for session in sessions.iter_mut() {
+        let network = match &clock {
+            Some(clock) => Network::with_latency(session.options.latency, Arc::clone(clock)),
+            None => Network::new(),
+        };
+        let center = network.register(DATA_CENTER)?;
+        let mailboxes = (0..station_count)
+            .map(|i| network.register(NodeId::base_station(i as u32)))
+            .collect::<dipm_distsim::Result<Vec<_>>>()?;
+        let mut plan = session.plan_epoch(dataset, network.meter())?;
+        broadcast_plan(&mut plan, &latency, &network, links)?;
+        tenants.push(TenantEpoch {
+            network,
+            center,
+            mailboxes,
+            plan,
+        });
+    }
+
+    // Phase 3: execution. The dataset (and so the shard layout) is shared
+    // across tenants — it is the same physical traffic every tenant's
+    // standing queries watch.
+    let empty = BTreeMap::new();
+    let layouts: Vec<BaseStation<'_>> = dataset
+        .stations()
+        .iter()
+        .map(|&station| {
+            let locals = dataset.station_locals(station).unwrap_or(&empty);
+            BaseStation::from_locals(station, locals, shards)
+        })
+        .collect();
+    let shard_count = shards.count() as u32;
+
+    match mode {
+        ExecutionMode::Async { workers } => {
+            // One future per (tenant, active station), all on one executor
+            // and one virtual clock — tenants' epochs genuinely interleave.
+            // The update is applied to the station's *retained* filter
+            // before the scan, on the station's own virtual timeline.
+            let clock = clock.as_ref().expect("async mode builds a clock");
+            let mut futures = Vec::new();
+            for (session, tenant) in sessions.iter_mut().zip(tenants.iter_mut()) {
+                let epoch = tenant.plan.epoch;
+                let mailboxes = std::mem::take(&mut tenant.mailboxes);
+                let tenant_network = tenant.network.clone();
+                let active = &tenant.plan.active;
+                let (stations, config) = session.exec_parts();
+                for (i, (mailbox, state)) in
+                    mailboxes.into_iter().zip(stations.iter_mut()).enumerate()
+                {
+                    if !active[i] {
+                        continue;
+                    }
+                    let network = tenant_network.clone();
+                    let clock = Arc::clone(clock);
+                    let layout = &layouts[i];
+                    let model = latency;
+                    futures.push(async move {
+                        let envelope = mailbox.recv()?;
+                        let mut station_now = envelope.deliver_at;
+                        clock.sleep_until(station_now).await;
+                        state.apply(wire::decode_station_update(envelope.payload)?, epoch)?;
+                        let (filter, totals) = state.view()?;
+                        let mut merged: Vec<(u32, dipm_mobilenet::UserId, Weight)> = Vec::new();
+                        for shard_index in 0..layout.shard_count() {
+                            let shard = layout.shard(shard_index);
+                            station_now = station_now.saturating_add(model.scan_ticks(shard.len()));
+                            clock.sleep_until(station_now).await;
+                            merged.extend(scan_shard_wbf(
+                                &[(0, filter, totals)],
+                                shard,
+                                config,
+                                Some(network.meter()),
+                            )?);
+                            dipm_distsim::yield_now().await;
+                        }
+                        merged.sort_by_key(|&(q, user, _)| (q, user));
+                        network.meter().record_scan_pass();
+                        let payload = wire::encode_batch_reports(
+                            shard_count,
+                            i as u32,
+                            station_now,
+                            wire::encode_tagged_weight_reports(&merged)?,
+                        );
+                        network.send_at(
+                            NodeId::base_station(i as u32),
+                            DATA_CENTER,
+                            TrafficClass::Report,
+                            payload,
+                            station_now,
+                        )?;
+                        Ok::<(), ProtocolError>(())
+                    });
+                }
+            }
+            let (results, _run) = block_on_all(workers, clock, futures);
+            for result in results {
+                result?;
+            }
+        }
+        mode => {
+            // Station-side decode under the epoch's execution mode, over
+            // the union of every tenant's targeted stations — a pruned
+            // station's mailbox must never be polled…
+            let targeted: Vec<(usize, usize, &Mailbox)> = tenants
+                .iter()
+                .enumerate()
+                .flat_map(|(t, tenant)| {
+                    tenant
+                        .mailboxes
+                        .iter()
+                        .enumerate()
+                        .filter(move |&(i, _)| tenant.plan.active[i])
+                        .map(move |(i, mailbox)| (t, i, mailbox))
+                })
+                .collect();
+            let updates: Vec<StationUpdate> =
+                run_stations(mode, &targeted, |_, &(_, _, mailbox)| {
+                    let envelope = mailbox.recv()?;
+                    wire::decode_station_update(envelope.payload)
+                })
+                .into_iter()
+                .collect::<Result<_>>()?;
+            // …apply shard-locally (cheap, deterministic)…
+            for (&(t, i, _), update) in targeted.iter().zip(updates) {
+                sessions[t].stations[i].apply(update, tenants[t].plan.epoch)?;
+            }
+            // …then one scan pass per (tenant, station) over the union
+            // (tenant, station, shard) grid, identical to the batch
+            // pipeline within each tenant.
+            let grid: Vec<(usize, usize, usize)> = tenants
+                .iter()
+                .enumerate()
+                .flat_map(|(t, tenant)| {
+                    layouts
+                        .iter()
+                        .enumerate()
+                        .filter(move |&(i, _)| tenant.plan.active[i])
+                        .flat_map(move |(i, layout)| {
+                            (0..layout.shard_count()).map(move |shard| (t, i, shard))
+                        })
+                })
+                .collect();
+            let views: Vec<(&[StationState], &DiMatchingConfig)> = sessions
+                .iter()
+                .map(|session| (&session.stations[..], &session.config))
+                .collect();
+            let meters: Vec<&CostMeter> = tenants.iter().map(|t| t.network.meter()).collect();
+            let scanned = run_station_shards(mode, &grid, |_, &(t, station, shard)| {
+                let (filter, totals) = views[t].0[station].view()?;
+                scan_shard_wbf(
+                    &[(0, filter, totals)],
+                    layouts[station].shard(shard),
+                    views[t].1,
+                    Some(meters[t]),
+                )
+            });
+            let mut shard_results = scanned.into_iter();
+            for tenant in &tenants {
+                for (i, layout) in layouts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| tenant.plan.active[i])
+                {
+                    let mut merged: Vec<(u32, dipm_mobilenet::UserId, Weight)> = Vec::new();
+                    for _ in 0..layout.shard_count() {
+                        merged.extend(shard_results.next().expect("one result per grid entry")?);
+                    }
+                    merged.sort_by_key(|&(q, user, _)| (q, user));
+                    tenant.network.meter().record_scan_pass();
+                    let payload = wire::encode_batch_reports(
+                        shard_count,
+                        i as u32,
+                        0,
+                        wire::encode_tagged_weight_reports(&merged)?,
+                    );
+                    tenant.network.send(
+                        NodeId::base_station(i as u32),
+                        DATA_CENTER,
+                        TrafficClass::Report,
+                        payload,
+                    )?;
+                }
+            }
+        }
+    }
+
+    // Phase 4 per tenant.
+    let mut outcomes = Vec::with_capacity(sessions.len());
+    for (session, tenant) in sessions.iter_mut().zip(tenants) {
+        outcomes.push(session.finish_epoch(
+            tenant.plan,
+            &tenant.center,
+            &tenant.network,
+            shard_count,
+            station_count,
+        )?);
+    }
+    Ok(outcomes)
 }
 
 /// One epoch's query churn for [`run_streaming`].

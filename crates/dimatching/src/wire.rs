@@ -1134,6 +1134,581 @@ impl RoutingPlan {
     }
 }
 
+/// Magic prefix of a session checkpoint frame (`DIPC`).
+const CHECKPOINT_MAGIC: u32 = 0x4449_5043;
+/// Magic prefix of a service checkpoint frame (`DIPS`).
+const SERVICE_MAGIC: u32 = 0x4449_5053;
+/// Version byte both checkpoint frame families currently carry.
+const CHECKPOINT_VERSION: u8 = 1;
+
+/// One live query as a checkpoint records it: the exact pairs the center
+/// inserted, so recovery can replay them and removal keeps working.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointQuery {
+    /// The query's [`StreamQueryId`](crate::StreamQueryId) value.
+    pub id: u64,
+    /// The query's global volume.
+    pub total: u64,
+    /// The query's combination count (build statistics).
+    pub combinations: u64,
+    /// The `(key, weight)` pairs inserted for this query, in insertion
+    /// order.
+    pub pairs: Vec<(u64, Weight)>,
+}
+
+/// One base station's cross-epoch protocol position as the center records
+/// it: whether the station holds a filter, and the last epoch it applied.
+///
+/// The filter itself is deliberately **not** in the checkpoint — stations
+/// retain their own state across a center crash, and resyncing them via the
+/// next delta instead of re-shipping filters is the entire economic point
+/// of recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStation {
+    /// Whether the station holds a decoded filter.
+    pub has_filter: bool,
+    /// The last epoch the station applied.
+    pub applied_epoch: u64,
+}
+
+/// A versioned serialization of one streaming session's center state: the
+/// counting filter (refcounts never cross the wire otherwise), the pending
+/// per-position delta baselines, the live-query registry and the epoch
+/// bookkeeping.
+///
+/// A center rebuilt from this frame plus the stations' retained memories
+/// continues the session exactly where it stopped: the next epoch drains
+/// the same delta the crashed center would have (see
+/// [`StreamingSession::recover`](crate::StreamingSession::recover)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionCheckpoint {
+    /// The next epoch the session will run.
+    pub epoch: u64,
+    /// The virtual tick the session has reached (async latency modeling).
+    pub clock_base: u64,
+    /// Whether the next epoch must broadcast the full filter.
+    pub needs_full: bool,
+    /// Filter length in positions.
+    pub bits: u64,
+    /// Number of hash functions.
+    pub hashes: u16,
+    /// Hash seed shared between center and stations.
+    pub seed: u64,
+    /// The next [`StreamQueryId`](crate::StreamQueryId) to assign.
+    pub next_id: u64,
+    /// The live queries, in ascending id order.
+    pub queries: Vec<CheckpointQuery>,
+    /// The counting filter's refcounted state: each occupied position with
+    /// its `(weight, count)` entries, positions and weights strictly
+    /// ascending.
+    pub counts: Vec<(u32, Vec<(Weight, u32)>)>,
+    /// The pending dirty baselines: each dirtied position mapped to its
+    /// visible weight set as of the last drain, positions strictly
+    /// ascending. Restoring these makes the recovered center's next delta
+    /// byte-identical to the crashed one's.
+    pub baselines: Vec<(u32, WeightSet)>,
+    /// Per-station protocol positions (empty before the first epoch
+    /// initializes stations).
+    pub stations: Vec<CheckpointStation>,
+}
+
+fn put_checkpoint_weight(buf: &mut BytesMut, weight: Weight) {
+    buf.put_u64_le(weight.numerator());
+    buf.put_u64_le(weight.denominator());
+}
+
+fn take_checkpoint_weight(data: &mut Bytes) -> Result<Weight> {
+    let num = data.get_u64_le();
+    let den = data.get_u64_le();
+    Weight::new(num, den).map_err(|_| ProtocolError::malformed_report("zero weight denominator"))
+}
+
+/// The structural rules shared by the checkpoint encoder and decoder, so a
+/// buggy caller errors as loudly as hostile bytes.
+fn validate_session_checkpoint(checkpoint: &SessionCheckpoint) -> Result<()> {
+    if checkpoint.bits == 0 || checkpoint.bits > u64::from(u32::MAX) {
+        return Err(ProtocolError::malformed_report(format!(
+            "checkpoint filter length {} outside (0, u32::MAX]",
+            checkpoint.bits
+        )));
+    }
+    if checkpoint.hashes == 0 || checkpoint.hashes > dipm_core::MAX_HASHES {
+        return Err(ProtocolError::malformed_report(format!(
+            "checkpoint hash count {} outside (0, {}]",
+            checkpoint.hashes,
+            dipm_core::MAX_HASHES
+        )));
+    }
+    let mut previous: Option<u64> = None;
+    for query in &checkpoint.queries {
+        if previous.is_some_and(|p| p >= query.id) {
+            return Err(ProtocolError::malformed_report(
+                "checkpoint query ids must be strictly ascending",
+            ));
+        }
+        previous = Some(query.id);
+        if query.id >= checkpoint.next_id {
+            return Err(ProtocolError::malformed_report(format!(
+                "checkpoint query id {} not below next id {}",
+                query.id, checkpoint.next_id
+            )));
+        }
+        if query.total == 0 {
+            return Err(ProtocolError::malformed_report(
+                "checkpoint query with zero global volume",
+            ));
+        }
+        if query.pairs.is_empty() {
+            return Err(ProtocolError::malformed_report(
+                "checkpoint query with no pairs",
+            ));
+        }
+    }
+    let mut previous: Option<u32> = None;
+    for (pos, entries) in &checkpoint.counts {
+        if previous.is_some_and(|p| p >= *pos) {
+            return Err(ProtocolError::malformed_report(
+                "checkpoint count positions must be strictly ascending",
+            ));
+        }
+        previous = Some(*pos);
+        if u64::from(*pos) >= checkpoint.bits {
+            return Err(ProtocolError::malformed_report(format!(
+                "checkpoint count position {pos} outside filter of {} positions",
+                checkpoint.bits
+            )));
+        }
+        if entries.is_empty() {
+            return Err(ProtocolError::malformed_report(
+                "checkpoint position with no weight entries",
+            ));
+        }
+        let mut prev_weight: Option<Weight> = None;
+        for &(weight, count) in entries {
+            if prev_weight.is_some_and(|p| p >= weight) {
+                return Err(ProtocolError::malformed_report(
+                    "checkpoint position weights must be strictly ascending",
+                ));
+            }
+            prev_weight = Some(weight);
+            if count == 0 {
+                return Err(ProtocolError::malformed_report(
+                    "checkpoint weight with zero count",
+                ));
+            }
+        }
+    }
+    let mut previous: Option<u32> = None;
+    for (pos, _) in &checkpoint.baselines {
+        if previous.is_some_and(|p| p >= *pos) {
+            return Err(ProtocolError::malformed_report(
+                "checkpoint baseline positions must be strictly ascending",
+            ));
+        }
+        previous = Some(*pos);
+        if u64::from(*pos) >= checkpoint.bits {
+            return Err(ProtocolError::malformed_report(format!(
+                "checkpoint baseline position {pos} outside filter of {} positions",
+                checkpoint.bits
+            )));
+        }
+    }
+    for (station, state) in checkpoint.stations.iter().enumerate() {
+        // An epoch regression: the center can never trail a station it
+        // itself updated.
+        if state.applied_epoch > checkpoint.epoch {
+            return Err(ProtocolError::malformed_report(format!(
+                "station {station} applied epoch {} beyond checkpoint epoch {}",
+                state.applied_epoch, checkpoint.epoch
+            )));
+        }
+        // A filter is only ever installed by applying an update; a station
+        // that never applied one cannot hold state.
+        if !state.has_filter && state.applied_epoch != 0 {
+            return Err(ProtocolError::malformed_report(format!(
+                "station {station} applied epoch {} without holding a filter",
+                state.applied_epoch
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Frames one streaming session's checkpoint.
+///
+/// Layout: `magic u32` (`DIPC`), `version u8`, `epoch u64`,
+/// `clock_base u64`, `needs_full u8`, `bits u64`, `hashes u16`, `seed u64`,
+/// `next_id u64`, then the query registry, the refcounted counts, the
+/// pending baselines and the per-station protocol positions, each behind a
+/// `u32` count.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedReport`] if the checkpoint violates
+/// the structural rules the decoder enforces (disorder, zero counts,
+/// out-of-range positions, station epoch regressions) and
+/// [`ProtocolError::FrameTooLarge`] if any count exceeds its wire prefix.
+pub fn encode_session_checkpoint(checkpoint: &SessionCheckpoint) -> Result<Bytes> {
+    validate_session_checkpoint(checkpoint)?;
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(CHECKPOINT_MAGIC);
+    buf.put_u8(CHECKPOINT_VERSION);
+    buf.put_u64_le(checkpoint.epoch);
+    buf.put_u64_le(checkpoint.clock_base);
+    buf.put_u8(u8::from(checkpoint.needs_full));
+    buf.put_u64_le(checkpoint.bits);
+    buf.put_u16_le(checkpoint.hashes);
+    buf.put_u64_le(checkpoint.seed);
+    buf.put_u64_le(checkpoint.next_id);
+    buf.put_u32_le(frame_count(checkpoint.queries.len())?);
+    for query in &checkpoint.queries {
+        buf.put_u64_le(query.id);
+        buf.put_u64_le(query.total);
+        buf.put_u64_le(query.combinations);
+        buf.put_u32_le(frame_count(query.pairs.len())?);
+        for &(key, weight) in &query.pairs {
+            buf.put_u64_le(key);
+            put_checkpoint_weight(&mut buf, weight);
+        }
+    }
+    buf.put_u32_le(frame_count(checkpoint.counts.len())?);
+    for (pos, entries) in &checkpoint.counts {
+        if entries.len() > u16::MAX as usize {
+            return Err(ProtocolError::frame_too_large(
+                "more weights at one position than the checkpoint format's u16 count",
+            ));
+        }
+        buf.put_u32_le(*pos);
+        buf.put_u16_le(entries.len() as u16);
+        for &(weight, count) in entries {
+            put_checkpoint_weight(&mut buf, weight);
+            buf.put_u32_le(count);
+        }
+    }
+    buf.put_u32_le(frame_count(checkpoint.baselines.len())?);
+    for (pos, baseline) in &checkpoint.baselines {
+        if baseline.len() > u16::MAX as usize {
+            return Err(ProtocolError::frame_too_large(
+                "more baseline weights than the checkpoint format's u16 count",
+            ));
+        }
+        buf.put_u32_le(*pos);
+        buf.put_u16_le(baseline.len() as u16);
+        for weight in baseline.iter() {
+            put_checkpoint_weight(&mut buf, weight);
+        }
+    }
+    buf.put_u32_le(frame_count(checkpoint.stations.len())?);
+    for state in &checkpoint.stations {
+        buf.put_u8(u8::from(state.has_filter));
+        buf.put_u64_le(state.applied_epoch);
+    }
+    Ok(buf.freeze())
+}
+
+/// Decodes one streaming session's checkpoint, enforcing every structural
+/// rule the encoder promises: counts bounded against the remaining buffer
+/// before allocation, strictly ascending positions/ids/weights, positions
+/// inside the declared geometry, station epochs never beyond the session
+/// epoch, and no trailing bytes.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedReport`] on any malformed input.
+pub fn decode_session_checkpoint(mut data: Bytes) -> Result<SessionCheckpoint> {
+    // magic + version + epoch + clock + needs_full + bits + hashes + seed
+    // + next_id.
+    if data.remaining() < 4 + 1 + 8 + 8 + 1 + 8 + 2 + 8 + 8 {
+        return Err(ProtocolError::malformed_report(
+            "truncated checkpoint header",
+        ));
+    }
+    let magic = data.get_u32_le();
+    if magic != CHECKPOINT_MAGIC {
+        return Err(ProtocolError::malformed_report(format!(
+            "bad checkpoint magic {magic:#010x}"
+        )));
+    }
+    let version = data.get_u8();
+    if version != CHECKPOINT_VERSION {
+        return Err(ProtocolError::malformed_report(format!(
+            "unsupported checkpoint version {version}"
+        )));
+    }
+    let epoch = data.get_u64_le();
+    let clock_base = data.get_u64_le();
+    let needs_full = match data.get_u8() {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(ProtocolError::malformed_report(format!(
+                "checkpoint needs-full byte {other} is not a boolean"
+            )))
+        }
+    };
+    let bits = data.get_u64_le();
+    let hashes = data.get_u16_le();
+    let seed = data.get_u64_le();
+    let next_id = data.get_u64_le();
+
+    if data.remaining() < 4 {
+        return Err(ProtocolError::malformed_report(
+            "truncated checkpoint query count",
+        ));
+    }
+    let query_count = data.get_u32_le() as usize;
+    // Every query takes at least 28 header bytes; bound before allocating.
+    if data.remaining() < query_count.saturating_mul(28) {
+        return Err(ProtocolError::malformed_report(
+            "truncated checkpoint queries",
+        ));
+    }
+    let mut queries = Vec::with_capacity(query_count);
+    for _ in 0..query_count {
+        if data.remaining() < 28 {
+            return Err(ProtocolError::malformed_report(
+                "truncated checkpoint query header",
+            ));
+        }
+        let id = data.get_u64_le();
+        let total = data.get_u64_le();
+        let combinations = data.get_u64_le();
+        let pair_count = data.get_u32_le() as usize;
+        if data.remaining() < pair_count.saturating_mul(24) {
+            return Err(ProtocolError::malformed_report(
+                "truncated checkpoint query pairs",
+            ));
+        }
+        let mut pairs = Vec::with_capacity(pair_count);
+        for _ in 0..pair_count {
+            let key = data.get_u64_le();
+            let weight = take_checkpoint_weight(&mut data)?;
+            pairs.push((key, weight));
+        }
+        queries.push(CheckpointQuery {
+            id,
+            total,
+            combinations,
+            pairs,
+        });
+    }
+
+    if data.remaining() < 4 {
+        return Err(ProtocolError::malformed_report(
+            "truncated checkpoint count table",
+        ));
+    }
+    let position_count = data.get_u32_le() as usize;
+    // Every position takes at least 4 + 2 + 20 bytes.
+    if data.remaining() < position_count.saturating_mul(26) {
+        return Err(ProtocolError::malformed_report(
+            "truncated checkpoint counts",
+        ));
+    }
+    let mut counts = Vec::with_capacity(position_count);
+    for _ in 0..position_count {
+        if data.remaining() < 6 {
+            return Err(ProtocolError::malformed_report(
+                "truncated checkpoint position header",
+            ));
+        }
+        let pos = data.get_u32_le();
+        let entry_count = data.get_u16_le() as usize;
+        if data.remaining() < entry_count.saturating_mul(20) {
+            return Err(ProtocolError::malformed_report(
+                "truncated checkpoint position entries",
+            ));
+        }
+        let mut entries = Vec::with_capacity(entry_count);
+        for _ in 0..entry_count {
+            let weight = take_checkpoint_weight(&mut data)?;
+            let count = data.get_u32_le();
+            entries.push((weight, count));
+        }
+        counts.push((pos, entries));
+    }
+
+    if data.remaining() < 4 {
+        return Err(ProtocolError::malformed_report(
+            "truncated checkpoint baseline table",
+        ));
+    }
+    let baseline_count = data.get_u32_le() as usize;
+    // Every baseline takes at least 4 + 2 bytes (the set may be empty: a
+    // position unoccupied at the last drain).
+    if data.remaining() < baseline_count.saturating_mul(6) {
+        return Err(ProtocolError::malformed_report(
+            "truncated checkpoint baselines",
+        ));
+    }
+    let mut baselines = Vec::with_capacity(baseline_count);
+    for _ in 0..baseline_count {
+        if data.remaining() < 6 {
+            return Err(ProtocolError::malformed_report(
+                "truncated checkpoint baseline header",
+            ));
+        }
+        let pos = data.get_u32_le();
+        let weight_count = data.get_u16_le() as usize;
+        if data.remaining() < weight_count.saturating_mul(16) {
+            return Err(ProtocolError::malformed_report(
+                "truncated checkpoint baseline weights",
+            ));
+        }
+        let mut baseline = WeightSet::new();
+        let mut prev_weight: Option<Weight> = None;
+        for _ in 0..weight_count {
+            let weight = take_checkpoint_weight(&mut data)?;
+            if prev_weight.is_some_and(|p| p >= weight) {
+                return Err(ProtocolError::malformed_report(
+                    "checkpoint baseline weights must be strictly ascending",
+                ));
+            }
+            prev_weight = Some(weight);
+            baseline.insert(weight);
+        }
+        baselines.push((pos, baseline));
+    }
+
+    if data.remaining() < 4 {
+        return Err(ProtocolError::malformed_report(
+            "truncated checkpoint station table",
+        ));
+    }
+    let station_count = data.get_u32_le() as usize;
+    if data.remaining() < station_count.saturating_mul(9) {
+        return Err(ProtocolError::malformed_report(
+            "truncated checkpoint stations",
+        ));
+    }
+    let mut stations = Vec::with_capacity(station_count);
+    for station in 0..station_count {
+        let has_filter = match data.get_u8() {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(ProtocolError::malformed_report(format!(
+                    "station {station} has-filter byte {other} is not a boolean"
+                )))
+            }
+        };
+        let applied_epoch = data.get_u64_le();
+        stations.push(CheckpointStation {
+            has_filter,
+            applied_epoch,
+        });
+    }
+    expect_consumed(&data, "session checkpoint")?;
+
+    let checkpoint = SessionCheckpoint {
+        epoch,
+        clock_base,
+        needs_full,
+        bits,
+        hashes,
+        seed,
+        next_id,
+        queries,
+        counts,
+        baselines,
+        stations,
+    };
+    validate_session_checkpoint(&checkpoint)?;
+    Ok(checkpoint)
+}
+
+/// Frames a whole service's checkpoint: every tenant's session checkpoint
+/// behind its tenant id, ids strictly ascending (`magic u32` `DIPS`,
+/// `version u8`, `u32` tenant count, then per tenant `{id u64, len u32,
+/// bytes×len}`).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedReport`] if tenant ids repeat or
+/// regress and [`ProtocolError::FrameTooLarge`] if any count exceeds its
+/// wire prefix.
+pub fn encode_service_checkpoint(tenants: &[(u64, Bytes)]) -> Result<Bytes> {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(SERVICE_MAGIC);
+    buf.put_u8(CHECKPOINT_VERSION);
+    buf.put_u32_le(frame_count(tenants.len())?);
+    let mut previous: Option<u64> = None;
+    for (tenant, frame) in tenants {
+        if previous.is_some_and(|p| p >= *tenant) {
+            return Err(ProtocolError::malformed_report(
+                "service checkpoint tenant ids must be strictly ascending",
+            ));
+        }
+        previous = Some(*tenant);
+        buf.put_u64_le(*tenant);
+        buf.put_u32_le(frame_count(frame.len())?);
+        buf.extend_from_slice(frame);
+    }
+    Ok(buf.freeze())
+}
+
+/// Decodes a service checkpoint into `(tenant id, session frame)` pairs.
+///
+/// Tenant ids must be strictly ascending — a duplicated or regressing id
+/// is rejected (two checkpoints for one tenant would make recovery
+/// ambiguous). The per-tenant frames stay opaque here; feed each to
+/// [`decode_session_checkpoint`].
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedReport`] on any malformed input.
+pub fn decode_service_checkpoint(mut data: Bytes) -> Result<Vec<(u64, Bytes)>> {
+    if data.remaining() < 4 + 1 + 4 {
+        return Err(ProtocolError::malformed_report(
+            "truncated service checkpoint header",
+        ));
+    }
+    let magic = data.get_u32_le();
+    if magic != SERVICE_MAGIC {
+        return Err(ProtocolError::malformed_report(format!(
+            "bad service checkpoint magic {magic:#010x}"
+        )));
+    }
+    let version = data.get_u8();
+    if version != CHECKPOINT_VERSION {
+        return Err(ProtocolError::malformed_report(format!(
+            "unsupported service checkpoint version {version}"
+        )));
+    }
+    let tenant_count = data.get_u32_le() as usize;
+    // Every tenant takes at least 12 header bytes; bound before allocating.
+    if data.remaining() < tenant_count.saturating_mul(12) {
+        return Err(ProtocolError::malformed_report(
+            "truncated service checkpoint tenants",
+        ));
+    }
+    let mut tenants = Vec::with_capacity(tenant_count);
+    let mut previous: Option<u64> = None;
+    for _ in 0..tenant_count {
+        if data.remaining() < 12 {
+            return Err(ProtocolError::malformed_report(
+                "truncated service checkpoint tenant header",
+            ));
+        }
+        let tenant = data.get_u64_le();
+        if previous.is_some_and(|p| p >= tenant) {
+            return Err(ProtocolError::malformed_report(
+                "service checkpoint tenant ids must be strictly ascending",
+            ));
+        }
+        previous = Some(tenant);
+        let len = data.get_u32_le() as usize;
+        if data.remaining() < len {
+            return Err(ProtocolError::malformed_report(
+                "truncated service checkpoint tenant frame",
+            ));
+        }
+        tenants.push((tenant, Bytes::from(data.take_bytes(len).to_vec())));
+    }
+    expect_consumed(&data, "service checkpoint")?;
+    Ok(tenants)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1703,5 +2278,169 @@ mod tests {
         })
         .unwrap();
         assert_eq!(plan.into_targets(), vec![1, 3, 4, 9]);
+    }
+
+    fn sample_checkpoint() -> SessionCheckpoint {
+        let mut baseline = WeightSet::new();
+        baseline.insert(w(1, 4));
+        baseline.insert(w(3, 4));
+        SessionCheckpoint {
+            epoch: 5,
+            clock_base: 940,
+            needs_full: false,
+            bits: 1 << 12,
+            hashes: 4,
+            seed: 0xfeed,
+            next_id: 3,
+            queries: vec![
+                CheckpointQuery {
+                    id: 0,
+                    total: 40,
+                    combinations: 12,
+                    pairs: vec![(11, w(1, 4)), (7, w(3, 4))],
+                },
+                CheckpointQuery {
+                    id: 2,
+                    total: 9,
+                    combinations: 1,
+                    pairs: vec![(99, w(9, 9))],
+                },
+            ],
+            counts: vec![
+                (3, vec![(w(1, 4), 2), (w(3, 4), 1)]),
+                (700, vec![(w(9, 9), 4)]),
+            ],
+            baselines: vec![(3, baseline), (701, WeightSet::new())],
+            stations: vec![
+                CheckpointStation {
+                    has_filter: true,
+                    applied_epoch: 4,
+                },
+                CheckpointStation {
+                    has_filter: false,
+                    applied_epoch: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn session_checkpoint_roundtrips() {
+        let checkpoint = sample_checkpoint();
+        let frame = encode_session_checkpoint(&checkpoint).unwrap();
+        let decoded = decode_session_checkpoint(frame).unwrap();
+        assert_eq!(decoded, checkpoint);
+    }
+
+    #[test]
+    fn session_checkpoint_rejects_truncation_everywhere() {
+        let frame = encode_session_checkpoint(&sample_checkpoint()).unwrap();
+        for len in 0..frame.len() {
+            assert!(
+                decode_session_checkpoint(frame.slice(..len)).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn session_checkpoint_rejects_trailing_bytes() {
+        let frame = encode_session_checkpoint(&sample_checkpoint()).unwrap();
+        let mut padded = BytesMut::new();
+        padded.extend_from_slice(&frame);
+        padded.put_u8(0);
+        let err = decode_session_checkpoint(padded.freeze()).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn session_checkpoint_rejects_structural_violations() {
+        // The decoder re-runs the same validation, so rejecting these on
+        // encode proves both directions.
+        let mut c = sample_checkpoint();
+        c.stations[1].applied_epoch = 9;
+        c.stations[1].has_filter = true;
+        let err = encode_session_checkpoint(&c).unwrap_err();
+        assert!(err.to_string().contains("beyond checkpoint epoch"), "{err}");
+
+        let mut c = sample_checkpoint();
+        c.stations[1].applied_epoch = 2;
+        let err = encode_session_checkpoint(&c).unwrap_err();
+        assert!(
+            err.to_string().contains("without holding a filter"),
+            "{err}"
+        );
+
+        let mut c = sample_checkpoint();
+        c.queries[1].id = 0;
+        assert!(encode_session_checkpoint(&c).is_err());
+
+        let mut c = sample_checkpoint();
+        c.queries[1].id = 77;
+        let err = encode_session_checkpoint(&c).unwrap_err();
+        assert!(err.to_string().contains("not below next id"), "{err}");
+
+        let mut c = sample_checkpoint();
+        c.counts[1].0 = 1 << 12;
+        let err = encode_session_checkpoint(&c).unwrap_err();
+        assert!(err.to_string().contains("outside filter"), "{err}");
+
+        let mut c = sample_checkpoint();
+        c.counts[0].1[1].1 = 0;
+        let err = encode_session_checkpoint(&c).unwrap_err();
+        assert!(err.to_string().contains("zero count"), "{err}");
+
+        let mut c = sample_checkpoint();
+        c.baselines[0].0 = 701;
+        let err = encode_session_checkpoint(&c).unwrap_err();
+        assert!(err.to_string().contains("strictly ascending"), "{err}");
+    }
+
+    #[test]
+    fn session_checkpoint_rejects_huge_declared_counts() {
+        let frame = encode_session_checkpoint(&sample_checkpoint()).unwrap();
+        // The query count lives right after the 48-byte fixed header;
+        // inflate it far beyond the remaining bytes.
+        let mut bytes = frame.to_vec();
+        bytes[48..52].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_session_checkpoint(Bytes::from(bytes)).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn session_checkpoint_rejects_bad_magic_and_version() {
+        let frame = encode_session_checkpoint(&sample_checkpoint()).unwrap();
+        let mut bytes = frame.to_vec();
+        bytes[0] ^= 0xff;
+        assert!(decode_session_checkpoint(Bytes::from(bytes.clone())).is_err());
+        bytes[0] ^= 0xff;
+        bytes[4] = 2;
+        let err = decode_session_checkpoint(Bytes::from(bytes)).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn service_checkpoint_roundtrips_and_rejects_disorder() {
+        let frames = vec![
+            (1u64, Bytes::from_static(b"alpha")),
+            (4, Bytes::from_static(b"")),
+            (9, Bytes::from_static(b"gamma")),
+        ];
+        let encoded = encode_service_checkpoint(&frames).unwrap();
+        assert_eq!(decode_service_checkpoint(encoded.clone()).unwrap(), frames);
+
+        for len in 0..encoded.len() {
+            assert!(
+                decode_service_checkpoint(encoded.slice(..len)).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+
+        let duplicated = vec![
+            (4u64, Bytes::from_static(b"a")),
+            (4, Bytes::from_static(b"b")),
+        ];
+        let err = encode_service_checkpoint(&duplicated).unwrap_err();
+        assert!(err.to_string().contains("ascending"), "{err}");
     }
 }

@@ -516,3 +516,204 @@ proptest! {
         prop_assert!(wire::RoutingPlan::new(station_count).claim(&edge).is_err());
     }
 }
+
+/// A structurally valid session checkpoint derived from arbitrary seeds:
+/// ascending ids/positions, nonzero counts, stations consistent with the
+/// epoch.
+fn checkpoint_from(
+    epoch: u64,
+    query_seeds: &[u64],
+    position_seeds: &[u32],
+    station_count: usize,
+) -> wire::SessionCheckpoint {
+    let bits = 1u64 << 12;
+    let mut ids: Vec<u64> = query_seeds.iter().map(|&s| s % 500).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let queries: Vec<wire::CheckpointQuery> = ids
+        .iter()
+        .map(|&id| wire::CheckpointQuery {
+            id,
+            total: id + 1,
+            combinations: id % 7,
+            pairs: vec![(id * 31, Weight::new(id % 5 + 1, 9).unwrap())],
+        })
+        .collect();
+    let mut positions: Vec<u32> = position_seeds.iter().map(|&p| p % (bits as u32)).collect();
+    positions.sort_unstable();
+    positions.dedup();
+    let counts: Vec<(u32, Vec<(Weight, u32)>)> = positions
+        .iter()
+        .map(|&pos| {
+            (
+                pos,
+                vec![(Weight::new(pos as u64 % 6 + 1, 11).unwrap(), pos + 1)],
+            )
+        })
+        .collect();
+    let baselines: Vec<(u32, WeightSet)> = positions
+        .iter()
+        .map(|&pos| {
+            let mut set = WeightSet::new();
+            if pos % 2 == 0 {
+                set.insert(Weight::new(pos as u64 % 6 + 1, 11).unwrap());
+            }
+            (pos, set)
+        })
+        .collect();
+    let stations: Vec<wire::CheckpointStation> = (0..station_count)
+        .map(|i| {
+            let has_filter = epoch > 0 && i % 3 != 2;
+            wire::CheckpointStation {
+                has_filter,
+                applied_epoch: if has_filter {
+                    epoch.saturating_sub(1)
+                } else {
+                    0
+                },
+            }
+        })
+        .collect();
+    wire::SessionCheckpoint {
+        epoch,
+        clock_base: epoch * 100,
+        needs_full: epoch == 0,
+        bits,
+        hashes: 4,
+        seed: 0xFEED,
+        next_id: 500,
+        queries,
+        counts,
+        baselines,
+        stations,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_bytes_never_panic_checkpoint_decoders(raw in vec(any::<u8>(), 0..400)) {
+        let bytes = Bytes::from(raw);
+        let _ = wire::decode_session_checkpoint(bytes.clone());
+        let _ = wire::decode_service_checkpoint(bytes);
+    }
+
+    #[test]
+    fn session_checkpoints_roundtrip(
+        epoch in 0u64..50,
+        query_seeds in vec(any::<u64>(), 0..12),
+        position_seeds in vec(any::<u32>(), 0..16),
+        station_count in 0usize..12,
+    ) {
+        let checkpoint = checkpoint_from(epoch, &query_seeds, &position_seeds, station_count);
+        let framed = wire::encode_session_checkpoint(&checkpoint).unwrap();
+        prop_assert_eq!(wire::decode_session_checkpoint(framed).unwrap(), checkpoint);
+    }
+
+    #[test]
+    fn truncated_checkpoints_error_never_panic(
+        epoch in 0u64..50,
+        query_seeds in vec(any::<u64>(), 1..8),
+        position_seeds in vec(any::<u32>(), 1..8),
+        cut_permille in 0usize..1000,
+    ) {
+        // Any strict prefix — cuts inside the 48-byte fixed header
+        // included — must error cleanly, never panic or mis-decode.
+        let checkpoint = checkpoint_from(epoch, &query_seeds, &position_seeds, 4);
+        let framed = wire::encode_session_checkpoint(&checkpoint).unwrap();
+        let cut = framed.len() * cut_permille / 1000;
+        prop_assume!(cut < framed.len());
+        prop_assert!(wire::decode_session_checkpoint(framed.slice(0..cut)).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected_on_checkpoint_frames(
+        epoch in 0u64..50,
+        query_seeds in vec(any::<u64>(), 0..8),
+        garbage in vec(any::<u8>(), 1..8),
+    ) {
+        let checkpoint = checkpoint_from(epoch, &query_seeds, &[3, 9], 3);
+        let mut raw = wire::encode_session_checkpoint(&checkpoint).unwrap().to_vec();
+        raw.extend_from_slice(&garbage);
+        prop_assert!(wire::decode_session_checkpoint(Bytes::from(raw)).is_err());
+
+        let session = wire::encode_session_checkpoint(&checkpoint).unwrap();
+        let mut raw = wire::encode_service_checkpoint(&[(1, session)]).unwrap().to_vec();
+        raw.extend_from_slice(&garbage);
+        prop_assert!(wire::decode_service_checkpoint(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn station_epoch_regressions_are_rejected(
+        epoch in 0u64..50,
+        excess in 1u64..100,
+        station in 0usize..4,
+    ) {
+        // A station claiming to have applied an epoch the center has not
+        // yet run is a regression of the *center's* recorded epoch: the
+        // checkpoint cannot be older than the stations it produced.
+        let mut checkpoint = checkpoint_from(epoch.max(1), &[1, 2], &[5], 4);
+        checkpoint.stations[station] = wire::CheckpointStation {
+            has_filter: true,
+            applied_epoch: checkpoint.epoch + excess,
+        };
+        prop_assert!(wire::encode_session_checkpoint(&checkpoint).is_err());
+    }
+
+    #[test]
+    fn huge_declared_checkpoint_counts_are_rejected_not_allocated(count in 1_000u32..u32::MAX) {
+        // A frame declaring `count` queries/positions/tenants with a tiny
+        // body must be rejected on length before any allocation.
+        let checkpoint = checkpoint_from(1, &[1], &[2], 2);
+        let framed = wire::encode_session_checkpoint(&checkpoint).unwrap();
+        // The query count sits right after the 48-byte fixed header.
+        let mut raw = framed.to_vec();
+        raw[48..52].copy_from_slice(&count.to_le_bytes());
+        raw.truncate(60);
+        prop_assert!(wire::decode_session_checkpoint(Bytes::from(raw)).is_err());
+
+        // Service wrapper: magic + version + count, then nothing.
+        let mut raw = wire::encode_service_checkpoint(&[]).unwrap().to_vec();
+        let at = raw.len() - 4;
+        raw[at..].copy_from_slice(&count.to_le_bytes());
+        prop_assert!(wire::decode_service_checkpoint(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn duplicate_tenant_ids_are_rejected_by_encoder_and_decoder(
+        tenant in any::<u64>(),
+        body in vec(any::<u8>(), 0..16),
+    ) {
+        let frames = vec![
+            (tenant, Bytes::from(body.clone())),
+            (tenant, Bytes::from(body.clone())),
+        ];
+        // The encoder refuses to frame a duplicated tenant...
+        prop_assert!(wire::encode_service_checkpoint(&frames).is_err());
+        // ...and the decoder rejects a hand-built frame carrying one.
+        let single = wire::encode_service_checkpoint(&[(tenant, Bytes::from(body.clone()))])
+            .unwrap()
+            .to_vec();
+        let mut raw = single.clone();
+        // Bump the tenant count from 1 to 2 (it sits after magic+version)
+        // and append the same tenant entry again.
+        raw[5..9].copy_from_slice(&2u32.to_le_bytes());
+        raw.extend_from_slice(&single[9..]);
+        prop_assert!(wire::decode_service_checkpoint(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn service_checkpoints_roundtrip(
+        tenant_seeds in vec((any::<u64>(), vec(any::<u8>(), 0..24)), 0..8),
+    ) {
+        let mut frames: Vec<(u64, Bytes)> = tenant_seeds
+            .into_iter()
+            .map(|(id, body)| (id, Bytes::from(body)))
+            .collect();
+        frames.sort_by_key(|&(id, _)| id);
+        frames.dedup_by_key(|&mut (id, _)| id);
+        let encoded = wire::encode_service_checkpoint(&frames).unwrap();
+        prop_assert_eq!(wire::decode_service_checkpoint(encoded).unwrap(), frames);
+    }
+}

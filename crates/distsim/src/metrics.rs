@@ -53,6 +53,7 @@ pub struct CostMeter {
     blocks_skipped: AtomicU64,
     stations_pruned: AtomicU64,
     routing_bytes: AtomicU64,
+    deferred_epochs: AtomicU64,
     makespan_ticks: AtomicU64,
 }
 
@@ -132,6 +133,49 @@ impl CostMeter {
         self.routing_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Records one epoch an admission policy deferred: the tenant's update
+    /// was held back to the next epoch instead of broadcast (never dropped —
+    /// the pending churn stays queued at the center).
+    ///
+    /// Admission decisions are made center-side from planned frame sizes
+    /// before any station work is scheduled, so the count is mode-invariant;
+    /// it stays zero for a session running outside a service or under a
+    /// service with no delta budget.
+    pub fn record_deferred_epoch(&self) {
+        self.deferred_epochs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds a finished run's [`CostReport`] into this meter: every additive
+    /// counter is added, and the makespan joins via maximum like
+    /// [`CostMeter::record_makespan`]. This is how a service accumulates one
+    /// lifetime cost ledger per tenant out of its per-epoch reports.
+    pub fn absorb(&self, report: &CostReport) {
+        self.messages.fetch_add(report.messages, Ordering::Relaxed);
+        self.bytes[0].fetch_add(report.query_bytes, Ordering::Relaxed);
+        self.bytes[1].fetch_add(report.report_bytes, Ordering::Relaxed);
+        self.bytes[2].fetch_add(report.data_bytes, Ordering::Relaxed);
+        self.bytes[3].fetch_add(report.control_bytes, Ordering::Relaxed);
+        self.storage_bytes
+            .fetch_add(report.storage_bytes, Ordering::Relaxed);
+        self.hash_ops.fetch_add(report.hash_ops, Ordering::Relaxed);
+        self.comparisons
+            .fetch_add(report.comparisons, Ordering::Relaxed);
+        self.scan_passes
+            .fetch_add(report.scan_passes, Ordering::Relaxed);
+        self.rows_pruned
+            .fetch_add(report.rows_pruned, Ordering::Relaxed);
+        self.blocks_skipped
+            .fetch_add(report.blocks_skipped, Ordering::Relaxed);
+        self.stations_pruned
+            .fetch_add(report.stations_pruned, Ordering::Relaxed);
+        self.routing_bytes
+            .fetch_add(report.routing_bytes, Ordering::Relaxed);
+        self.deferred_epochs
+            .fetch_add(report.deferred_epochs, Ordering::Relaxed);
+        self.makespan_ticks
+            .fetch_max(report.makespan_ticks, Ordering::Relaxed);
+    }
+
     /// Records a completion time on the virtual clock; the report keeps the
     /// maximum seen (the run's makespan).
     ///
@@ -159,6 +203,7 @@ impl CostMeter {
             blocks_skipped: self.blocks_skipped.load(Ordering::Relaxed),
             stations_pruned: self.stations_pruned.load(Ordering::Relaxed),
             routing_bytes: self.routing_bytes.load(Ordering::Relaxed),
+            deferred_epochs: self.deferred_epochs.load(Ordering::Relaxed),
             makespan_ticks: self.makespan_ticks.load(Ordering::Relaxed),
         }
     }
@@ -177,6 +222,7 @@ impl CostMeter {
         self.blocks_skipped.store(0, Ordering::Relaxed);
         self.stations_pruned.store(0, Ordering::Relaxed);
         self.routing_bytes.store(0, Ordering::Relaxed);
+        self.deferred_epochs.store(0, Ordering::Relaxed);
         self.makespan_ticks.store(0, Ordering::Relaxed);
     }
 }
@@ -218,6 +264,11 @@ pub struct CostReport {
     /// message meters so routed and broadcast query traffic stay directly
     /// comparable.
     pub routing_bytes: u64,
+    /// Epochs an admission policy deferred this tenant's update to the next
+    /// epoch (zero outside a service, or under a service with no delta
+    /// budget). Decided center-side from planned frame sizes, hence
+    /// mode-invariant.
+    pub deferred_epochs: u64,
     /// Virtual-clock makespan of the run: the latest modeled report
     /// delivery tick. Zero outside `ExecutionMode::Async` (wall time is not
     /// modeled there); deterministic under a fixed latency model and seed.
@@ -389,6 +440,49 @@ mod tests {
         assert_eq!(invariant.scan_passes, 1);
         assert_ne!(report, invariant);
         assert_eq!(report.mode_invariant(), invariant.mode_invariant());
+    }
+
+    #[test]
+    fn deferred_epochs_accumulate_and_stay_mode_invariant() {
+        let meter = CostMeter::new();
+        meter.record_deferred_epoch();
+        meter.record_deferred_epoch();
+        let report = meter.report();
+        assert_eq!(report.deferred_epochs, 2);
+        assert_eq!(report.mode_invariant().deferred_epochs, 2);
+        meter.reset();
+        assert_eq!(meter.report(), CostReport::default());
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_joins_makespan() {
+        let meter = CostMeter::new();
+        meter.record_message(TrafficClass::Query, 10);
+        meter.record_makespan(100);
+        let epoch = CostReport {
+            messages: 3,
+            query_bytes: 7,
+            report_bytes: 5,
+            storage_bytes: 11,
+            deferred_epochs: 1,
+            makespan_ticks: 60,
+            ..CostReport::default()
+        };
+        meter.absorb(&epoch);
+        let ledger = meter.report();
+        assert_eq!(ledger.messages, 4);
+        assert_eq!(ledger.query_bytes, 17);
+        assert_eq!(ledger.report_bytes, 5);
+        assert_eq!(ledger.storage_bytes, 11);
+        assert_eq!(ledger.deferred_epochs, 1);
+        // Makespan joins by maximum: the ledger keeps the latest tick
+        // reached, not a sum of per-epoch makespans.
+        assert_eq!(ledger.makespan_ticks, 100);
+        meter.absorb(&CostReport {
+            makespan_ticks: 250,
+            ..CostReport::default()
+        });
+        assert_eq!(meter.report().makespan_ticks, 250);
     }
 
     #[test]

@@ -349,6 +349,38 @@ impl Network {
         Ok(delivered)
     }
 
+    /// Broadcasts the same payload with a *per-recipient* send tick,
+    /// metering each copy separately.
+    ///
+    /// This is the dissemination primitive of a multi-tenant service
+    /// epoch: concurrent tenants share each station's downlink, so the
+    /// second tenant's frame cannot start its flight until the link
+    /// finished serializing the first — its copy is stamped from a later
+    /// tick than a lone tenant's would be. The stagger is pure simulation
+    /// metadata, exactly like [`Network::broadcast_at`]'s single stamp:
+    /// byte accounting is identical whatever ticks the copies carry.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first unknown or disconnected target.
+    pub fn broadcast_each_at<I>(
+        &self,
+        from: NodeId,
+        targets: I,
+        class: TrafficClass,
+        payload: &Bytes,
+    ) -> Result<usize>
+    where
+        I: IntoIterator<Item = (NodeId, u64)>,
+    {
+        let mut delivered = 0;
+        for (node, sent_at) in targets {
+            self.send_at(from, node, class, payload.clone(), sent_at)?;
+            delivered += 1;
+        }
+        Ok(delivered)
+    }
+
     /// The number of registered mailboxes.
     pub fn node_count(&self) -> usize {
         self.inner.mailboxes.lock().len()
@@ -490,6 +522,38 @@ mod tests {
         assert_eq!(env.sent_at, 500);
         assert_eq!(env.deliver_at, 510);
         assert_eq!(net.meter().report().query_bytes, 5);
+    }
+
+    #[test]
+    fn broadcast_each_at_staggers_per_recipient_stamps() {
+        let model = LatencyModel {
+            base_ticks: 10,
+            ticks_per_byte: 1,
+            ticks_per_row: 0,
+            jitter_ticks: 0,
+            seed: 0,
+        };
+        let clock = Arc::new(VirtualClock::new());
+        let net = Network::with_latency(model, Arc::clone(&clock));
+        let a = net.register(NodeId(1)).unwrap();
+        let b = net.register(NodeId(2)).unwrap();
+        let payload = Bytes::from_static(b"frame");
+        let delivered = net
+            .broadcast_each_at(
+                DATA_CENTER,
+                [(NodeId(1), 100), (NodeId(2), 105)],
+                TrafficClass::Query,
+                &payload,
+            )
+            .unwrap();
+        assert_eq!(delivered, 2);
+        let first = a.recv().unwrap();
+        let second = b.recv().unwrap();
+        assert_eq!((first.sent_at, first.deliver_at), (100, 115));
+        assert_eq!((second.sent_at, second.deliver_at), (105, 120));
+        // Byte accounting ignores the stamps: two metered copies.
+        assert_eq!(net.meter().report().query_bytes, 10);
+        assert_eq!(net.meter().report().messages, 2);
     }
 
     #[test]

@@ -65,10 +65,11 @@ pub mod prelude {
     pub use dipm_mobilenet::{Category, Dataset, StationId, TraceConfig, UserId, UserSpec};
     pub use dipm_protocol::{
         aggregate_and_rank, build_wbf, evaluate, run_bloom, run_naive, run_pipeline, run_streaming,
-        run_wbf, BatchOutcome, Bloom, DiMatchingConfig, EpochBroadcast, EpochOutcome,
-        FilterStrategy, HashScheme, Method, Naive, PatternQuery, PipelineOptions, QueryOutcome,
-        QueryVerdict, RoutingPolicy, RoutingTree, ScanAlgorithm, SectionGrouping, Shards,
-        StreamQueryId, StreamingSession, StreamingUpdate, Wbf,
+        run_wbf, AdmissionPolicy, BatchOutcome, Bloom, DiMatchingConfig, EpochBroadcast,
+        EpochOutcome, FilterStrategy, HashScheme, Method, Naive, PatternQuery, PipelineOptions,
+        QueryOutcome, QueryVerdict, RoutingPolicy, RoutingTree, ScanAlgorithm, SectionGrouping,
+        Service, ServiceEpoch, Shards, StationMemory, StreamQueryId, StreamingSession,
+        StreamingUpdate, TenantId, Wbf,
     };
     pub use dipm_timeseries::{
         eps_match, AccumulatedPattern, Pattern, SampledPattern, ToleranceMode,
