@@ -45,7 +45,8 @@ fn run_check(
     baseline_path: &std::path::Path,
     tolerance: f64,
 ) -> bool {
-    let fresh = check::extract_column(&report.to_json(), column);
+    let fresh_json = report.to_json();
+    let fresh = check::extract_column(&fresh_json, column);
     let current = check::geomean(&fresh);
     let baseline_json = match std::fs::read_to_string(baseline_path) {
         Ok(json) => json,
@@ -57,6 +58,22 @@ fn run_check(
             return true;
         }
     };
+    // Like-for-like only: when both sides record which probe kernel they
+    // ran (the `probe kernel: …` note), a mismatch means the numbers are
+    // not comparable — a forced-scalar CI arm must not "regress" against an
+    // AVX2 baseline, nor may a vectorized run claim a win over scalar here.
+    let baseline_kernel = check::extract_note(&baseline_json, "probe kernel: ");
+    let current_kernel = check::extract_note(&fresh_json, "probe kernel: ");
+    if let (Some(base), Some(cur)) = (&baseline_kernel, &current_kernel) {
+        if base != cur {
+            eprintln!(
+                "perf check [{name}]: baseline kernel `{base}` ≠ current kernel `{cur}`; \
+                 cross-kernel comparison skipped (not like-for-like)"
+            );
+            return false;
+        }
+        eprintln!("perf check [{name}]: probe kernel `{cur}` on both sides");
+    }
     let verdict = check::check_regression(&baseline_json, column, current, tolerance);
     let worst = check::worst_ratio(&check::extract_column(&baseline_json, column), &fresh);
     eprintln!(

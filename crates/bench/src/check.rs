@@ -22,6 +22,18 @@ pub fn extract_column(json: &str, column: &str) -> Vec<f64> {
     values
 }
 
+/// Extracts the remainder of the first note whose text starts with
+/// `prefix` from a `BENCH_*.json` payload (notes are plain strings in the
+/// report's `"notes"` array). Returns `None` when no note carries the
+/// prefix — e.g. a baseline recorded before the note existed.
+pub fn extract_note(json: &str, prefix: &str) -> Option<String> {
+    let needle = format!("\"{prefix}");
+    let at = json.find(&needle)?;
+    let rest = &json[at + needle.len()..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
 /// The geometric mean of strictly positive samples; `0.0` when empty.
 pub fn geomean(values: &[f64]) -> f64 {
     let positive: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0).collect();
@@ -119,6 +131,21 @@ mod tests {
         assert_eq!(extract_column(&json, "rows"), vec![500.0, 2000.0]);
         assert!(extract_column(&json, "mode").is_empty(), "strings skipped");
         assert!(extract_column(&json, "absent").is_empty());
+    }
+
+    #[test]
+    fn extracts_note_remainder_by_prefix() {
+        let mut r = Report::new("Scan", "t", "c");
+        r.columns(["rows"]).row_cells([Cell::int(1)]);
+        r.note("geomean rows/sec: 1000");
+        r.note("probe kernel: avx2");
+        let json = r.to_json();
+        assert_eq!(
+            extract_note(&json, "probe kernel: "),
+            Some("avx2".to_string())
+        );
+        assert_eq!(extract_note(&json, "absent note: "), None);
+        assert_eq!(extract_note("{}", "probe kernel: "), None);
     }
 
     #[test]

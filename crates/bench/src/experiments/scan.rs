@@ -19,10 +19,10 @@
 
 use std::time::Instant;
 
-use dipm_core::{mix64, FilterParams};
+use dipm_core::{mix64, FilterParams, Kernel};
 use dipm_mobilenet::UserId;
 use dipm_protocol::{
-    build_wbf, scan_shard_wbf, wire, DiMatchingConfig, PatternQuery, WbfSectionView,
+    build_wbf, scan_shard_wbf, wire, DiMatchingConfig, PatternQuery, WbfScanSection,
 };
 use dipm_timeseries::Pattern;
 
@@ -115,7 +115,7 @@ fn measure(seed: u64, rows: usize, sections: usize, hashes: u16, min_seconds: f6
         .iter()
         .map(|q| build_wbf(std::slice::from_ref(q), &config).expect("section builds"))
         .collect();
-    let views: Vec<WbfSectionView<'_>> = built
+    let views: Vec<WbfScanSection<'_>> = built
         .iter()
         .enumerate()
         .map(|(i, b)| (i as u32, &b.filter, b.query_totals.as_slice()))
@@ -209,6 +209,8 @@ pub fn scan(scale: &Scale) -> Report {
         "the per-row scan is the hot path every feature multiplies; its cost must be flat per \
          (row × section) probe and allocation-free on the hit-free path",
     );
+    // The kernel column comes LAST: downstream tooling (and this crate's
+    // own tests) addresses the numeric columns positionally.
     report.columns([
         "rows",
         "sections",
@@ -218,7 +220,9 @@ pub fn scan(scale: &Scale) -> Report {
         "reports",
         "report_bytes",
         "filter_bytes",
+        "kernel",
     ]);
+    let kernel = Kernel::active().name();
     for p in &points {
         report.row_cells([
             Cell::int(p.rows as u64),
@@ -229,12 +233,14 @@ pub fn scan(scale: &Scale) -> Report {
             Cell::int(p.reports as u64),
             Cell::int(p.report_bytes),
             Cell::int(p.filter_bytes),
+            Cell::text(kernel),
         ]);
     }
     report.note(format!(
         "geomean rows/sec: {:.0}",
         geomean_rows_per_sec(&points)
     ));
+    report.note(format!("probe kernel: {kernel}"));
     report.note(format!(
         "miss-dominated synthetic shard ({PATTERN_LEN}-interval rows, 1 hit per {HIT_STRIDE} \
          rows), seed {}; one row = accumulate + sample + probe every section",
@@ -261,7 +267,18 @@ mod tests {
                 throughput * report.value(r, 1).unwrap(),
                 "probes/sec = rows/sec × sections"
             );
+            // The dispatch column is appended last and stays textual so the
+            // numeric gate columns keep their positions.
+            assert_eq!(report.rows[r].last().unwrap(), Kernel::active().name());
+            assert_eq!(report.value(r, 8), None, "kernel cell carries no value");
         }
+        assert_eq!(report.columns.last().unwrap(), "kernel");
+        let kernel_note = format!("probe kernel: {}", Kernel::active().name());
+        assert!(
+            report.notes.iter().any(|n| n == &kernel_note),
+            "dispatch must be recorded in the notes: {:?}",
+            report.notes
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::time::Instant;
 use dipm_distsim::CostMeter;
 use dipm_mobilenet::UserId;
 use dipm_protocol::{
-    build_wbf, scan_shard_wbf_topk, DiMatchingConfig, ScanAlgorithm, WbfSectionView,
+    build_wbf, scan_shard_wbf_topk, DiMatchingConfig, ScanAlgorithm, WbfScanSection,
 };
 use dipm_timeseries::Pattern;
 
@@ -66,7 +66,7 @@ fn algorithm_label(algorithm: ScanAlgorithm) -> &'static str {
 /// shard; `speedup` is filled in by the caller once the `Exhaustive`
 /// reference of the same `(rows, k)` is known.
 fn measure(
-    sections: &[WbfSectionView<'_>],
+    sections: &[WbfScanSection<'_>],
     shard: &[(UserId, &Pattern)],
     base: &DiMatchingConfig,
     k: usize,
@@ -123,7 +123,7 @@ pub fn topk_sweep(scale: &Scale) -> Vec<TopkPoint> {
     let base = DiMatchingConfig::default();
     let query = synthetic_query(scale.seed, 0);
     let built = build_wbf(std::slice::from_ref(&query), &base).expect("synthetic query builds");
-    let sections: Vec<WbfSectionView<'_>> = vec![(0, &built.filter, built.query_totals.as_slice())];
+    let sections: Vec<WbfScanSection<'_>> = vec![(0, &built.filter, built.query_totals.as_slice())];
     let mut points = Vec::new();
     for &rows in &rows_axis {
         let owned = synthetic_shard(scale.seed, rows, std::slice::from_ref(&query));

@@ -1,11 +1,21 @@
 //! A fixed-length bit array backing both filter variants.
 //!
 //! Implemented from scratch (no external bit-vector dependency) on `u64`
-//! words, with a running ones counter so fill-ratio queries are O(1).
+//! words, with a running ones counter so fill-ratio queries are O(1). The
+//! words live in cache-line-aligned storage ([`AlignedWords`]) and the
+//! multi-probe membership tests dispatch through the process-wide
+//! [`Kernel`](crate::Kernel) so batched probes run vectorized where the
+//! host supports it.
 
 use std::fmt;
 
 use crate::error::{CoreError, Result};
+use crate::kernel::{AlignedWords, Kernel};
+
+/// Probe batch size flushed through the kernel in one call: large enough
+/// that any single key's probes (≤ [`MAX_HASHES`](crate::MAX_HASHES)) fit
+/// in one batch on the stack.
+const PROBE_BATCH: usize = 64;
 
 /// A fixed-length array of bits.
 ///
@@ -23,7 +33,7 @@ use crate::error::{CoreError, Result};
 #[derive(Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BitSet {
-    words: Vec<u64>,
+    words: AlignedWords,
     len: usize,
     ones: usize,
 }
@@ -36,9 +46,8 @@ impl BitSet {
     /// Panics if `len` is zero; filters always have at least one bit.
     pub fn new(len: usize) -> BitSet {
         assert!(len > 0, "bit set length must be non-zero");
-        let words = vec![0u64; len.div_ceil(64)];
         BitSet {
-            words,
+            words: AlignedWords::zeroed(len.div_ceil(64)),
             len,
             ones: 0,
         }
@@ -62,7 +71,11 @@ impl BitSet {
             }
         }
         let ones = words.iter().map(|w| w.count_ones() as usize).sum();
-        Ok(BitSet { words, len, ones })
+        Ok(BitSet {
+            words: AlignedWords::from_words(&words),
+            len,
+            ones,
+        })
     }
 
     /// The number of bits in the set.
@@ -94,8 +107,9 @@ impl BitSet {
     pub fn set(&mut self, index: usize) -> bool {
         assert!(index < self.len, "bit index {index} out of range");
         let (word, mask) = (index / 64, 1u64 << (index % 64));
-        let newly = self.words[word] & mask == 0;
-        self.words[word] |= mask;
+        let words = self.words.as_mut_slice();
+        let newly = words[word] & mask == 0;
+        words[word] |= mask;
         if newly {
             self.ones += 1;
         }
@@ -113,8 +127,9 @@ impl BitSet {
     pub fn unset(&mut self, index: usize) -> bool {
         assert!(index < self.len, "bit index {index} out of range");
         let (word, mask) = (index / 64, 1u64 << (index % 64));
-        let was = self.words[word] & mask != 0;
-        self.words[word] &= !mask;
+        let words = self.words.as_mut_slice();
+        let was = words[word] & mask != 0;
+        words[word] &= !mask;
         if was {
             self.ones -= 1;
         }
@@ -128,12 +143,12 @@ impl BitSet {
     /// Panics if `index >= len`.
     pub fn get(&self, index: usize) -> bool {
         assert!(index < self.len, "bit index {index} out of range");
-        self.words[index / 64] & (1u64 << (index % 64)) != 0
+        self.words.as_slice()[index / 64] & (1u64 << (index % 64)) != 0
     }
 
     /// Clears every bit.
     pub fn clear(&mut self) {
-        self.words.iter_mut().for_each(|w| *w = 0);
+        self.words.as_mut_slice().fill(0);
         self.ones = 0;
     }
 
@@ -146,10 +161,11 @@ impl BitSet {
         if self.len != other.len {
             return Err(CoreError::IncompatibleFilters);
         }
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        let words = self.words.as_mut_slice();
+        for (a, b) in words.iter_mut().zip(other.words.as_slice()) {
             *a |= b;
         }
-        self.ones = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        self.ones = words.iter().map(|w| w.count_ones() as usize).sum();
         Ok(())
     }
 
@@ -162,18 +178,19 @@ impl BitSet {
         if self.len != other.len {
             return Err(CoreError::IncompatibleFilters);
         }
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        let words = self.words.as_mut_slice();
+        for (a, b) in words.iter_mut().zip(other.words.as_slice()) {
             *a &= b;
         }
-        self.ones = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        self.ones = words.iter().map(|w| w.count_ones() as usize).sum();
         Ok(())
     }
 
     /// Tests whether *every* probed bit is set, working at word level: probe
-    /// masks landing in the same word are merged into one load, and the scan
-    /// short-circuits on the first cleared bit. This is the hot-path
-    /// membership pre-test that lets a filter miss return before any weight
-    /// table is touched.
+    /// masks landing in the same word are merged into one load and groups
+    /// are flushed through the active probe [`Kernel`] in SIMD-width
+    /// batches. This is the hot-path membership pre-test that lets a filter
+    /// miss return before any weight table is touched.
     ///
     /// Indices must be in range (`debug_assert`ed); the probe sequences
     /// produced by [`HashFamily::probes`](crate::HashFamily::probes) over
@@ -182,40 +199,65 @@ impl BitSet {
     where
         I: IntoIterator<Item = usize>,
     {
-        let mut word_idx = usize::MAX;
-        let mut pending = 0u64;
+        let words = self.words.as_slice();
+        let kernel = Kernel::active();
+        let mut idx = [0u32; PROBE_BATCH];
+        let mut masks = [0u64; PROBE_BATCH];
+        let mut pending = 0usize;
+        let mut last_word = usize::MAX;
         for index in probes {
             debug_assert!(index < self.len, "bit index {index} out of range");
             let (word, mask) = (index / 64, 1u64 << (index % 64));
-            if word == word_idx {
-                pending |= mask;
+            if word == last_word && pending > 0 {
+                masks[pending - 1] |= mask;
             } else {
-                if word_idx != usize::MAX && self.words[word_idx] & pending != pending {
-                    return false;
+                if pending == PROBE_BATCH {
+                    if !kernel.all_set(words, &idx, &masks) {
+                        return false;
+                    }
+                    pending = 0;
                 }
-                word_idx = word;
-                pending = mask;
+                idx[pending] = word as u32;
+                masks[pending] = mask;
+                pending += 1;
+                last_word = word;
             }
         }
-        word_idx == usize::MAX || self.words[word_idx] & pending == pending
+        pending == 0 || kernel.all_set(words, &idx[..pending], &masks[..pending])
+    }
+
+    /// Tests whether every probed bit behind precomputed parallel word/mask
+    /// arrays is set, in one pass through the active probe [`Kernel`] — the
+    /// batched form of [`BitSet::contains_probes`] for scans that hash a
+    /// row's probes once and replay the merged masks against many filters
+    /// sharing one geometry
+    /// ([`PrecomputedProbes`](crate::PrecomputedProbes) produces exactly
+    /// this layout).
+    ///
+    /// `words` and `masks` must have equal length; word indices must be in
+    /// range for this set's backing words (out-of-range indices panic like
+    /// slice indexing).
+    pub fn contains_probes_simd(&self, words: &[u32], masks: &[u64]) -> bool {
+        Kernel::active().all_set(self.words.as_slice(), words, masks)
     }
 
     /// Tests whether every probed bit behind a precomputed `(word, mask)`
-    /// group is set — the word-batched form of
-    /// [`BitSet::contains_probes`] for scans that hash a row's probes once
-    /// and replay the merged masks against many filters sharing one
-    /// geometry. Short-circuits on the first group with a cleared bit.
+    /// group is set — the pair-slice form of
+    /// [`BitSet::contains_probes_simd`], kept for callers holding
+    /// interleaved groups. Short-circuits on the first group with a cleared
+    /// bit.
     ///
     /// Word indices must be in range for this set's backing words
     /// (`debug_assert`ed); masks computed against an equal bit length
     /// always are.
     pub fn contains_masks(&self, masks: &[(u32, u64)]) -> bool {
+        let words = self.words.as_slice();
         masks.iter().all(|&(word, mask)| {
             debug_assert!(
-                (word as usize) < self.words.len(),
+                (word as usize) < words.len(),
                 "mask word {word} out of range"
             );
-            self.words[word as usize] & mask == mask
+            words[word as usize] & mask == mask
         })
     }
 
@@ -224,13 +266,13 @@ impl BitSet {
         Ones {
             bits: self,
             word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
+            current: self.words.as_slice().first().copied().unwrap_or(0),
         }
     }
 
     /// The raw backing words (little-endian bit order within each word).
     pub fn as_words(&self) -> &[u64] {
-        &self.words
+        self.words.as_slice()
     }
 
     /// The number of bytes needed to transmit the raw bit payload.
@@ -260,6 +302,7 @@ impl Iterator for Ones<'_> {
     type Item = usize;
 
     fn next(&mut self) -> Option<usize> {
+        let words = self.bits.words.as_slice();
         loop {
             if self.current != 0 {
                 let tz = self.current.trailing_zeros() as usize;
@@ -267,10 +310,10 @@ impl Iterator for Ones<'_> {
                 return Some(self.word_idx * 64 + tz);
             }
             self.word_idx += 1;
-            if self.word_idx >= self.bits.words.len() {
+            if self.word_idx >= words.len() {
                 return None;
             }
-            self.current = self.bits.words[self.word_idx];
+            self.current = words[self.word_idx];
         }
     }
 }
@@ -419,6 +462,62 @@ mod tests {
                 "probes {probes:?}"
             );
         }
+    }
+
+    #[test]
+    fn contains_probes_simd_matches_contains_probes() {
+        let mut bits = BitSet::new(1 << 10);
+        for i in 0..1 << 10 {
+            if crate::hash::mix64(i as u64) & 3 == 0 {
+                bits.set(i);
+            }
+        }
+        let family = crate::hash::HashFamily::new(8, 5);
+        for key in 0..200u64 {
+            let mut words = Vec::new();
+            let mut masks: Vec<u64> = Vec::new();
+            for bit in family.probes(key, bits.len()) {
+                let (w, m) = ((bit / 64) as u32, 1u64 << (bit % 64));
+                match words.last() {
+                    Some(&last) if last == w => *masks.last_mut().unwrap() |= m,
+                    _ => {
+                        words.push(w);
+                        masks.push(m);
+                    }
+                }
+            }
+            assert_eq!(
+                bits.contains_probes_simd(&words, &masks),
+                bits.contains_probes(family.probes(key, bits.len())),
+                "key {key}"
+            );
+        }
+        assert!(bits.contains_probes_simd(&[], &[]));
+    }
+
+    #[test]
+    fn probe_batches_larger_than_the_flush_size_still_short_circuit() {
+        // More distinct words than one kernel batch (64) forces the
+        // mid-iteration flush path in contains_probes.
+        let mut bits = BitSet::new(65 * 64);
+        for w in 0..65 {
+            bits.set(w * 64);
+        }
+        let all: Vec<usize> = (0..65).map(|w| w * 64).collect();
+        assert!(bits.contains_probes(all.iter().copied()));
+        let mut one_clear = all.clone();
+        one_clear[10] += 1; // bit never set
+        assert!(!bits.contains_probes(one_clear.into_iter()));
+        // A cleared bit past the first flush must also fail.
+        let mut late_clear = all;
+        late_clear[64] += 1;
+        assert!(!bits.contains_probes(late_clear.into_iter()));
+    }
+
+    #[test]
+    fn backing_words_are_cache_line_aligned() {
+        let bits = BitSet::new(1 << 12);
+        assert_eq!(bits.as_words().as_ptr() as usize % 64, 0);
     }
 
     #[test]

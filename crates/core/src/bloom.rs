@@ -71,9 +71,14 @@ impl BloomFilter {
     }
 
     /// Whether `key` may have been inserted (no false negatives).
+    ///
+    /// Probes at word level through the active
+    /// [`Kernel`](crate::Kernel), so routing-tree descent
+    /// ([`may_contain_any`](BloomFilter::may_contain_any)) inherits the
+    /// vectorized membership test.
     pub fn contains(&self, key: u64) -> bool {
         let m = self.bits.len();
-        self.family.probes(key, m).all(|idx| self.bits.get(idx))
+        self.bits.contains_probes(self.family.probes(key, m))
     }
 
     /// The number of insert operations performed.

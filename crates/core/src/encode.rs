@@ -276,18 +276,25 @@ pub fn encoded_wbf_len(filter: &WeightedBloomFilter) -> usize {
         + interned.per_bit.len() * 4
 }
 
-/// Decodes a weighted Bloom filter.
-///
-/// # Errors
-///
-/// Returns [`CoreError::Decode`] on any malformed input, including weight
-/// indices outside the dictionary.
-pub fn decode_wbf(mut data: Bytes) -> Result<WeightedBloomFilter> {
-    let header = take_header(&mut data)?;
+/// Everything of a weighted wire frame up to (but not including) the
+/// per-bit set-id region: the shared first stage of the owned decoder and
+/// the zero-copy view decoder, which diverge only in how they consume the
+/// set ids.
+pub(crate) struct WbfWireBody {
+    pub(crate) bits: BitSet,
+    pub(crate) family: HashFamily,
+    pub(crate) inserted: u64,
+    pub(crate) sets: Vec<WeightSet>,
+}
+
+/// Parses header, bit array, weight dictionary and set table, leaving
+/// `data` positioned at the per-bit set-id region.
+pub(crate) fn take_wbf_body(data: &mut Bytes) -> Result<WbfWireBody> {
+    let header = take_header(data)?;
     if header.kind != KIND_WEIGHTED {
         return Err(CoreError::decode("expected a weighted bloom filter"));
     }
-    let bits = take_bits(&mut data, header.bits)?;
+    let bits = take_bits(data, header.bits)?;
     FilterParams::new(header.bits, header.hashes)?;
     if data.remaining() < 4 {
         return Err(CoreError::decode("truncated weight dictionary length"));
@@ -311,7 +318,11 @@ pub fn decode_wbf(mut data: Bytes) -> Result<WeightedBloomFilter> {
         return Err(CoreError::decode("truncated weight set table length"));
     }
     let sets_len = data.get_u32_le() as usize;
-    let mut sets: Vec<WeightSet> = Vec::with_capacity(sets_len);
+    // The declared count is attacker-controlled; every encoded set costs at
+    // least 4 bytes (u16 length + one u16 id), so clamp the up-front
+    // reservation to what the remaining payload could possibly hold and let
+    // the per-entry truncation checks reject the lie.
+    let mut sets: Vec<WeightSet> = Vec::with_capacity(sets_len.min(data.remaining() / 4));
     for _ in 0..sets_len {
         if data.remaining() < 2 {
             return Err(CoreError::decode("truncated weight set header"));
@@ -334,13 +345,30 @@ pub fn decode_wbf(mut data: Bytes) -> Result<WeightedBloomFilter> {
         }
         sets.push(set);
     }
+    Ok(WbfWireBody {
+        bits,
+        family: HashFamily::new(header.hashes, header.seed),
+        inserted: header.inserted,
+        sets,
+    })
+}
+
+/// Decodes a weighted Bloom filter.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Decode`] on any malformed input, including weight
+/// indices outside the dictionary.
+pub fn decode_wbf(mut data: Bytes) -> Result<WeightedBloomFilter> {
+    let body = take_wbf_body(&mut data)?;
     let mut table = BTreeMap::new();
-    for bit in bits.iter_ones() {
+    for bit in body.bits.iter_ones() {
         if data.remaining() < 4 {
             return Err(CoreError::decode("truncated per-bit set id"));
         }
         let set_id = data.get_u32_le() as usize;
-        let set = sets
+        let set = body
+            .sets
             .get(set_id)
             .cloned()
             .ok_or_else(|| CoreError::decode("set id outside set table"))?;
@@ -349,8 +377,21 @@ pub fn decode_wbf(mut data: Bytes) -> Result<WeightedBloomFilter> {
     if data.remaining() > 0 {
         return Err(CoreError::decode("trailing bytes after filter payload"));
     }
-    let family = HashFamily::new(header.hashes, header.seed);
-    WeightedBloomFilter::from_parts(bits, table, family, header.inserted)
+    WeightedBloomFilter::from_parts(body.bits, table, body.family, body.inserted)
+}
+
+/// Decodes a weighted frame into a zero-copy [`WbfFrameView`]: same
+/// validation and same accept/reject verdicts (and error messages) as
+/// [`decode_wbf`], but the per-bit set-id region is kept as a borrowed
+/// byte slice of `data` and indexed on demand instead of being exploded
+/// into an owned per-bit table.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Decode`] on any malformed input — exactly the
+/// inputs [`decode_wbf`] rejects.
+pub fn view_wbf(data: Bytes) -> Result<crate::WbfFrameView> {
+    crate::view::parse_frame(data)
 }
 
 #[cfg(test)]

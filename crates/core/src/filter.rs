@@ -8,6 +8,7 @@
 //! types.
 
 use crate::bloom::BloomFilter;
+use crate::view::WbfFrameView;
 use crate::wbf::WeightedBloomFilter;
 
 /// Read-only operations every filter variant supports.
@@ -91,6 +92,32 @@ impl FilterCore for WeightedBloomFilter {
     }
 }
 
+impl FilterCore for WbfFrameView {
+    fn bit_len(&self) -> usize {
+        WbfFrameView::bit_len(self)
+    }
+
+    fn hashes(&self) -> u16 {
+        WbfFrameView::hashes(self)
+    }
+
+    fn seed(&self) -> u64 {
+        WbfFrameView::seed(self)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        WbfFrameView::contains(self, key)
+    }
+
+    fn fill_ratio(&self) -> f64 {
+        WbfFrameView::fill_ratio(self)
+    }
+
+    fn inserted(&self) -> u64 {
+        WbfFrameView::inserted(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +145,10 @@ mod tests {
         assert_core_surface(&wbf, 42);
         assert_eq!(FilterCore::seed(&wbf), 7);
         assert_eq!(FilterCore::seed(&bloom), 7);
+
+        // The zero-copy frame view shares the same read surface.
+        let view = crate::encode::view_wbf(crate::encode::encode_wbf(&wbf).unwrap()).unwrap();
+        assert_core_surface(&view, 42);
+        assert_eq!(FilterCore::seed(&view), 7);
     }
 }

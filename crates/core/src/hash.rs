@@ -102,23 +102,44 @@ impl HashFamily {
         assert!(m > 0, "table size must be non-zero");
         let (h1, h2) = self.base_hashes(key);
         Probes {
-            h1,
             h2,
             m: m as u64,
             next: 0,
             total: self.hashes,
+            full: h1,
+            r: 0,
+            r2: 0,
+            neg_wrap: 0,
+            strided: false,
         }
     }
 }
 
 /// Iterator over probe indices, created by [`HashFamily::probes`].
+///
+/// Uses strength-reduced stepping: the running sum `h1 + i·h2` is kept both
+/// as a full 64-bit value (for exact Kirsch–Mitzenmacher wrap-around
+/// semantics) and as a residue modulo `m`, so after the first probe each
+/// step costs an add and a couple of conditional subtracts instead of a
+/// 64-bit division. On the 2^64 wrap the residue is corrected by
+/// `-(2^64 mod m) mod m`, keeping every index bit-identical to the direct
+/// formula `(h1 + i·h2 mod 2^64) mod m` — pinned by `probes_match_probe`.
 #[derive(Debug, Clone)]
 pub struct Probes {
-    h1: u64,
     h2: u64,
     m: u64,
     next: u16,
     total: u16,
+    /// `(h1 + next·h2) mod 2^64`.
+    full: u64,
+    /// `full % m`, valid once the first probe has been produced.
+    r: u64,
+    /// `h2 % m`, computed lazily on the first strided step.
+    r2: u64,
+    /// `(-(2^64 mod m)) mod m` — the residue correction applied when `full`
+    /// wraps around 2^64.
+    neg_wrap: u64,
+    strided: bool,
 }
 
 impl Iterator for Probes {
@@ -129,9 +150,37 @@ impl Iterator for Probes {
         if self.next >= self.total {
             return None;
         }
-        let i = self.next as u64;
+        if self.next == 0 {
+            self.r = self.full % self.m;
+        } else {
+            let (full, carry) = self.full.overflowing_add(self.h2);
+            self.full = full;
+            if self.m <= u64::from(u32::MAX) {
+                // Residues stay below 2^32, so the three-term sum cannot
+                // overflow and at most two subtractions reduce it below m.
+                if !self.strided {
+                    self.r2 = self.h2 % self.m;
+                    let wrap = 0u64.wrapping_sub(self.m) % self.m; // 2^64 mod m
+                    self.neg_wrap = if wrap == 0 { 0 } else { self.m - wrap };
+                    self.strided = true;
+                }
+                let mut r = self.r + self.r2;
+                if carry {
+                    r += self.neg_wrap;
+                }
+                if r >= self.m {
+                    r -= self.m;
+                }
+                if r >= self.m {
+                    r -= self.m;
+                }
+                self.r = r;
+            } else {
+                self.r = self.full % self.m;
+            }
+        }
         self.next += 1;
-        Some((self.h1.wrapping_add(i.wrapping_mul(self.h2)) % self.m) as usize)
+        Some(self.r as usize)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -158,6 +207,47 @@ mod tests {
         let via_iter: Vec<usize> = family.probes(555, 300).collect();
         let via_index: Vec<usize> = (0..7).map(|i| family.probe(555, i, 300)).collect();
         assert_eq!(via_iter, via_index);
+    }
+
+    #[test]
+    fn strided_stepping_matches_direct_formula_across_sizes() {
+        // The strength-reduced iterator must stay bit-identical to the
+        // direct `(h1 + i·h2 mod 2^64) mod m` formula for every table size
+        // class: tiny, odd, power-of-two, the u32 fast-path boundary and the
+        // >u32 slow path.
+        let sizes = [
+            1usize,
+            2,
+            3,
+            101,
+            1 << 16,
+            (1 << 16) - 1,
+            u32::MAX as usize,
+            u32::MAX as usize + 1,
+            1 << 40,
+        ];
+        for &m in &sizes {
+            let family = HashFamily::new(16, 0xDEAD ^ m as u64);
+            for key in 0..64u64 {
+                let via_iter: Vec<usize> = family.probes(mix64(key), m).collect();
+                let via_index: Vec<usize> =
+                    (0..16).map(|i| family.probe(mix64(key), i, m)).collect();
+                assert_eq!(via_iter, via_index, "diverged at m={m} key={key}");
+            }
+        }
+    }
+
+    #[test]
+    fn cloned_probes_resume_mid_iteration() {
+        let family = HashFamily::new(8, 7);
+        let mut it = family.probes(42, 1013);
+        let head: Vec<usize> = it.by_ref().take(3).collect();
+        let resumed: Vec<usize> = it.clone().collect();
+        let tail: Vec<usize> = it.collect();
+        assert_eq!(resumed, tail);
+        let full: Vec<usize> = family.probes(42, 1013).collect();
+        assert_eq!(full[..3], head[..]);
+        assert_eq!(full[3..], tail[..]);
     }
 
     #[test]

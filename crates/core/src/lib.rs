@@ -49,7 +49,9 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; only the probe kernel (SIMD intrinsics and
+// aligned word storage) opts back in, in `kernel.rs`.
+#![deny(unsafe_code)]
 
 mod bitset;
 mod bloom;
@@ -58,8 +60,10 @@ pub mod encode;
 mod error;
 mod filter;
 mod hash;
+mod kernel;
 mod params;
 mod probe;
+mod view;
 mod wbf;
 mod weight;
 mod weight_set;
@@ -70,8 +74,10 @@ pub use counting::{CountingWbf, WeightDiff};
 pub use error::{CoreError, Result};
 pub use filter::FilterCore;
 pub use hash::{mix64, tagged_key, HashFamily, Probes};
+pub use kernel::{AlignedWords, Kernel};
 pub use params::{FilterParams, MAX_BITS, MAX_HASHES};
 pub use probe::{PrecomputedProbes, QueryScratch};
+pub use view::WbfFrameView;
 pub use wbf::WeightedBloomFilter;
 pub use weight::{sum_weights, Weight};
 pub use weight_set::WeightSet;

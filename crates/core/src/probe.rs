@@ -59,19 +59,32 @@ impl QueryScratch {
 /// sections share one `(hash family, bit length)` the probe indices — and
 /// the merged word masks the membership pre-test loads — are identical for
 /// all of them, so hashing them per `(row × section)` is pure waste. A
-/// `PrecomputedProbes` is filled once per row ([`PrecomputedProbes::compute`],
-/// reusing its buffers across rows) and handed to
-/// [`WeightedBloomFilter::query_precomputed`](crate::WeightedBloomFilter::query_precomputed)
-/// per section.
+/// `PrecomputedProbes` is filled once per row (key by key via
+/// [`PrecomputedProbes::push_key`], or in one shot via
+/// [`PrecomputedProbes::compute`], reusing its buffers across rows) and
+/// replayed per section — whole through
+/// [`WeightedBloomFilter::query_precomputed`](crate::WeightedBloomFilter::query_precomputed),
+/// or key by key through [`PrecomputedProbes::key_masks`] +
+/// [`BitSet::contains_probes_simd`](crate::BitSet::contains_probes_simd)
+/// when the scan wants to drop a section on its first missing key without
+/// hashing the rest of the row.
+///
+/// Masks are stored as parallel word/mask arrays (not interleaved pairs) so
+/// they feed the SIMD membership kernel directly.
 #[derive(Debug, Clone, Default)]
 pub struct PrecomputedProbes {
     /// Flat probe indices: all `k` probes of key 0, then key 1, …
     pub(crate) indices: Vec<u32>,
-    /// Merged `(word, mask)` groups of consecutive same-word probes — the
-    /// word-batched membership masks, mirroring the merging
+    /// Word index per merged mask group, parallel to `mask_bits`.
+    mask_words: Vec<u32>,
+    /// Merged bit masks of consecutive same-word probes — the word-batched
+    /// membership masks, mirroring the merging
     /// [`BitSet::contains_probes`](crate::BitSet::contains_probes) performs
-    /// on the fly.
-    pub(crate) masks: Vec<(u32, u64)>,
+    /// on the fly. Groups never merge across key boundaries, so each key's
+    /// groups form a contiguous, independently replayable run.
+    mask_bits: Vec<u64>,
+    /// Exclusive end offset of each key's mask-group run.
+    key_ends: Vec<u32>,
 }
 
 impl PrecomputedProbes {
@@ -81,20 +94,37 @@ impl PrecomputedProbes {
     }
 
     /// Recomputes the probe set of `keys` against a filter geometry of
-    /// `len` bits under `family`, reusing both buffers.
+    /// `len` bits under `family`, reusing all buffers.
     pub fn compute(&mut self, family: &HashFamily, len: usize, keys: &[u64]) {
-        self.indices.clear();
-        self.masks.clear();
+        self.clear();
         for &key in keys {
-            for idx in family.probes(key, len) {
-                self.indices.push(idx as u32);
-                let (word, mask) = ((idx / 64) as u32, 1u64 << (idx % 64));
-                match self.masks.last_mut() {
-                    Some(last) if last.0 == word => last.1 |= mask,
-                    _ => self.masks.push((word, mask)),
-                }
+            self.push_key(family, len, key);
+        }
+    }
+
+    /// Clears the probe set without releasing its buffers.
+    pub fn clear(&mut self) {
+        self.indices.clear();
+        self.mask_words.clear();
+        self.mask_bits.clear();
+        self.key_ends.clear();
+    }
+
+    /// Appends one key's `k` probes, merging consecutive same-word probes
+    /// within the key into one mask group.
+    pub fn push_key(&mut self, family: &HashFamily, len: usize, key: u64) {
+        let start = self.mask_words.len();
+        for idx in family.probes(key, len) {
+            self.indices.push(idx as u32);
+            let (word, mask) = ((idx / 64) as u32, 1u64 << (idx % 64));
+            if self.mask_words.len() > start && *self.mask_words.last().unwrap() == word {
+                *self.mask_bits.last_mut().unwrap() |= mask;
+            } else {
+                self.mask_words.push(word);
+                self.mask_bits.push(mask);
             }
         }
+        self.key_ends.push(self.mask_words.len() as u32);
     }
 
     /// Reserves room for `probes` probe indices (and as many mask groups,
@@ -102,15 +132,51 @@ impl PrecomputedProbes {
     /// calls stay allocation-free.
     pub fn reserve(&mut self, probes: usize) {
         self.indices.reserve(probes);
-        self.masks.reserve(probes);
+        self.mask_words.reserve(probes);
+        self.mask_bits.reserve(probes);
+        self.key_ends.reserve(probes);
     }
 
-    /// The merged `(word, mask)` membership groups.
-    pub fn masks(&self) -> &[(u32, u64)] {
-        &self.masks
+    /// The merged mask groups' word indices, parallel to
+    /// [`PrecomputedProbes::mask_bits`].
+    pub fn words(&self) -> &[u32] {
+        &self.mask_words
     }
 
-    /// Whether the probe set was computed from zero keys.
+    /// The merged mask groups' bit masks, parallel to
+    /// [`PrecomputedProbes::words`].
+    pub fn mask_bits(&self) -> &[u64] {
+        &self.mask_bits
+    }
+
+    /// The flat probe indices (all `k` probes of key 0, then key 1, …).
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The number of keys pushed.
+    pub fn key_count(&self) -> usize {
+        self.key_ends.len()
+    }
+
+    /// The `key`-th key's merged `(words, masks)` run — the membership test
+    /// for exactly that key, for scans that probe key by key and stop at
+    /// the first miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key >= key_count()`.
+    pub fn key_masks(&self, key: usize) -> (&[u32], &[u64]) {
+        let end = self.key_ends[key] as usize;
+        let start = if key == 0 {
+            0
+        } else {
+            self.key_ends[key - 1] as usize
+        };
+        (&self.mask_words[start..end], &self.mask_bits[start..end])
+    }
+
+    /// Whether the probe set holds no probes (computed from zero keys).
     pub fn is_empty(&self) -> bool {
         self.indices.is_empty()
     }
@@ -324,5 +390,43 @@ pub(crate) fn fold_weights_at<'s, T: ProbeTable>(
         Acc::Start => None,
         Acc::Borrowed(set) => Some(set),
         Acc::Owned => Some(&scratch.acc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_key_matches_compute_and_partitions_by_key() {
+        let family = HashFamily::new(6, 9);
+        let keys = [3u64, 17, 17, 99];
+        let mut whole = PrecomputedProbes::new();
+        whole.compute(&family, 4096, &keys);
+        let mut incremental = PrecomputedProbes::new();
+        for &k in &keys {
+            incremental.push_key(&family, 4096, k);
+        }
+        assert_eq!(whole.indices(), incremental.indices());
+        assert_eq!(whole.words(), incremental.words());
+        assert_eq!(whole.mask_bits(), incremental.mask_bits());
+        assert_eq!(whole.key_count(), keys.len());
+        // Per-key runs tile the arrays and reproduce each key's own probes,
+        // independent of what was pushed before them.
+        let mut at = 0;
+        for (j, &k) in keys.iter().enumerate() {
+            let (w, m) = whole.key_masks(j);
+            assert_eq!(w.len(), m.len());
+            assert_eq!(w, &whole.words()[at..at + w.len()]);
+            at += w.len();
+            let mut solo = PrecomputedProbes::new();
+            solo.push_key(&family, 4096, k);
+            assert_eq!(w, solo.words());
+            assert_eq!(m, solo.mask_bits());
+        }
+        assert_eq!(at, whole.words().len());
+        whole.clear();
+        assert!(whole.is_empty());
+        assert_eq!(whole.key_count(), 0);
     }
 }

@@ -73,6 +73,27 @@ pub struct WeightedBloomFilter {
     // universe dynamic-pruning scans bound against. Derived state: every
     // mutation path resets it, equality and the wire format ignore it.
     universe: OnceLock<WeightSet>,
+    // Lazily computed fold acceleration (see `FoldTable`). Derived state
+    // like `universe`: reset on every mutation, ignored by equality and the
+    // wire format. `None` inside the cell means the universe is too wide
+    // for the mask representation and folds take the generic path.
+    fold: OnceLock<Option<FoldTable>>,
+}
+
+/// Fold acceleration for the scan hot path: each weight-set slot reduced to
+/// a bitmask over the filter's (sorted) weight universe, so the per-row
+/// weight fold — intersect the weight sets of every probed position — is a
+/// chain of `AND`s over one `u64` with a zero early-exit, instead of up to
+/// `b × k` sorted-set merges. Only built while the universe holds at most
+/// 64 distinct weights; wider filters (rare — the universe is one entry per
+/// distinct pattern weight) keep the generic merge fold.
+#[derive(Debug, Clone)]
+struct FoldTable {
+    /// The sorted weight universe the mask bits index into.
+    universe: WeightSet,
+    /// One mask per slot in `sets`, parallel to it: bit `i` set iff the
+    /// slot's set contains `universe.as_slice()[i]`.
+    masks: Vec<u64>,
 }
 
 /// Sentinel in `slots` for a position carrying no weights.
@@ -88,6 +109,7 @@ impl WeightedBloomFilter {
             family: HashFamily::new(params.hashes(), seed),
             inserted: 0,
             universe: OnceLock::new(),
+            fold: OnceLock::new(),
         }
     }
 
@@ -119,6 +141,7 @@ impl WeightedBloomFilter {
             family,
             inserted,
             universe: OnceLock::new(),
+            fold: OnceLock::new(),
         })
     }
 
@@ -160,13 +183,14 @@ impl WeightedBloomFilter {
         }
         self.inserted += 1;
         self.universe.take();
+        self.fold.take();
     }
 
     /// Pure membership test (ignores weights): whether all probed bits are
     /// set. Matches classic Bloom semantics — no false negatives.
     pub fn contains(&self, key: u64) -> bool {
         let m = self.bits.len();
-        self.family.probes(key, m).all(|idx| self.bits.get(idx))
+        self.bits.contains_probes(self.family.probes(key, m))
     }
 
     /// Queries a single key: `None` if any probed bit is unset, otherwise the
@@ -242,10 +266,79 @@ impl WeightedBloomFilter {
         pre: &crate::probe::PrecomputedProbes,
         scratch: &'s mut QueryScratch,
     ) -> Option<&'s WeightSet> {
-        if pre.is_empty() || !self.bits.contains_masks(pre.masks()) {
+        if pre.is_empty() || !self.bits.contains_probes_simd(pre.words(), pre.mask_bits()) {
             return None;
         }
-        probe::fold_weights_at(self, &pre.indices, scratch)
+        self.fold_weights_precomputed(pre, scratch)
+    }
+
+    /// The weight fold of [`WeightedBloomFilter::query_precomputed`] alone,
+    /// for scans that already verified membership of every key (e.g. key by
+    /// key via [`PrecomputedProbes::key_masks`](crate::PrecomputedProbes::key_masks)
+    /// and [`BitSet::contains_probes_simd`](crate::BitSet::contains_probes_simd)).
+    /// Returns `None` for an empty probe set.
+    ///
+    /// # Panics
+    ///
+    /// May panic if any precomputed probe index is unoccupied — run the
+    /// membership test first.
+    pub fn fold_weights_precomputed<'s>(
+        &'s self,
+        pre: &crate::probe::PrecomputedProbes,
+        scratch: &'s mut QueryScratch,
+    ) -> Option<&'s WeightSet> {
+        let indices = pre.indices();
+        if let Some(table) = self.fold_table() {
+            if indices.is_empty() {
+                return None;
+            }
+            // Every probed position's set as one mask over the universe:
+            // the whole fold is an AND chain with a zero early-exit, and
+            // the surviving intersection materializes straight from the
+            // sorted universe.
+            let mut mask = u64::MAX;
+            for &idx in indices {
+                mask &= table.masks[self.slots[idx as usize] as usize];
+                if mask == 0 {
+                    break;
+                }
+            }
+            scratch.acc.assign_mask(&table.universe, mask);
+            return Some(&scratch.acc);
+        }
+        probe::fold_weights_at(self, indices, scratch)
+    }
+
+    /// The lazily built fold acceleration table, or `None` when the weight
+    /// universe exceeds the 64-weight mask width.
+    fn fold_table(&self) -> Option<&FoldTable> {
+        self.fold
+            .get_or_init(|| {
+                let universe = self.weight_universe();
+                if universe.len() > 64 {
+                    return None;
+                }
+                let masks = self
+                    .sets
+                    .iter()
+                    .map(|set| {
+                        let mut mask = 0u64;
+                        for w in set.iter() {
+                            let pos = universe
+                                .as_slice()
+                                .binary_search(&w)
+                                .expect("universe contains every attached weight");
+                            mask |= 1u64 << pos;
+                        }
+                        mask
+                    })
+                    .collect();
+                Some(FoldTable {
+                    universe: universe.clone(),
+                    masks,
+                })
+            })
+            .as_ref()
     }
 
     /// The number of insert operations performed.
@@ -334,6 +427,7 @@ impl WeightedBloomFilter {
         }
         self.inserted += other.inserted;
         self.universe.take();
+        self.fold.take();
         Ok(())
     }
 
@@ -394,6 +488,7 @@ impl WeightedBloomFilter {
             *self.set_mut_or_insert(idx) = next;
         }
         self.universe.take();
+        self.fold.take();
         Ok(())
     }
 

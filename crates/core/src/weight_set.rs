@@ -162,6 +162,19 @@ impl WeightSet {
         debug_assert!(self.sorted.windows(2).all(|w| w[0] < w[1]));
     }
 
+    /// Replaces this set's contents with the weights of `universe` selected
+    /// by `mask` (bit `i` selects `universe.as_slice()[i]`), reusing the
+    /// existing capacity. Ascending bit order over a sorted universe keeps
+    /// the result sorted.
+    pub(crate) fn assign_mask(&mut self, universe: &WeightSet, mut mask: u64) {
+        self.sorted.clear();
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            self.sorted.push(universe.sorted[i]);
+            mask &= mask - 1;
+        }
+    }
+
     /// Replaces this set's contents with `a ∩ b`, reusing the existing
     /// capacity.
     pub fn assign_intersection(&mut self, a: &WeightSet, b: &WeightSet) {

@@ -10,7 +10,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use dipm_core::{CountingWbf, FilterParams, HashFamily, QueryScratch, Weight, WeightedBloomFilter};
+use dipm_core::{
+    CountingWbf, FilterParams, HashFamily, Kernel, PrecomputedProbes, QueryScratch, Weight,
+    WeightedBloomFilter,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -166,6 +169,53 @@ proptest! {
                 .query_sequence_into(keys.iter().copied(), &mut counting_scratch)
                 .map(sorted);
             prop_assert_eq!(&counted, &expect, "counting vs model on {:?}", keys);
+        }
+    }
+
+    // The batched membership path — precomputed probes tested through the
+    // runtime-dispatched kernel — agrees with the model, with the sequence
+    // path, and (at the raw predicate level) with the forced-scalar kernel,
+    // whatever SIMD variant dispatch picked on this machine.
+    #[test]
+    fn precomputed_simd_path_matches_sequence_and_forced_scalar(
+        (params, seed) in arb_geometry(),
+        inserts in vec((0u64..48, arb_weight()), 0..40),
+        sequences in vec(vec(0u64..64, 1..8), 1..12),
+    ) {
+        let mut wbf = WeightedBloomFilter::new(params, seed);
+        let mut model = ModelFilter::new(params, seed);
+        for &(key, w) in &inserts {
+            wbf.insert(key, w);
+            model.insert(key, w);
+        }
+        let family = HashFamily::new(params.hashes(), seed);
+        let mut scratch = QueryScratch::new();
+        let mut pre = PrecomputedProbes::new();
+        for keys in &sequences {
+            pre.compute(&family, params.bits(), keys);
+            let expect = model
+                .query_sequence(keys)
+                .map(|s| s.into_iter().collect::<Vec<_>>());
+            let got = wbf.query_precomputed(&pre, &mut scratch).map(sorted);
+            prop_assert_eq!(&got, &expect, "precomputed vs model on {:?}", keys);
+            // The dispatched kernel's batch predicate must be bit-identical
+            // to the scalar kernel's on the same (word, mask) run.
+            let words = wbf.bits().as_words();
+            prop_assert_eq!(
+                Kernel::active().all_set(words, pre.words(), pre.mask_bits()),
+                Kernel::Scalar.all_set(words, pre.words(), pre.mask_bits()),
+                "kernel {} disagrees with scalar", Kernel::active().name()
+            );
+            // Per-key batches partition the run: each key's own (word, mask)
+            // group must reproduce the single-key membership test.
+            for (j, &key) in keys.iter().enumerate() {
+                let (kw, km) = pre.key_masks(j);
+                prop_assert_eq!(
+                    wbf.bits().contains_probes_simd(kw, km),
+                    wbf.contains(key),
+                    "key {} batch vs single-key membership", key
+                );
+            }
         }
     }
 }

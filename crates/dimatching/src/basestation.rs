@@ -16,8 +16,8 @@
 use std::collections::{BTreeMap, BinaryHeap};
 
 use dipm_core::{
-    BloomFilter, FilterCore, HashFamily, PrecomputedProbes, QueryScratch, Weight, WeightSet,
-    WeightedBloomFilter,
+    BloomFilter, FilterCore, HashFamily, PrecomputedProbes, QueryScratch, WbfFrameView, Weight,
+    WeightSet, WeightedBloomFilter,
 };
 use dipm_distsim::CostMeter;
 use dipm_mobilenet::{StationId, UserId};
@@ -225,18 +225,102 @@ fn max_plausible_weight(
         .find(|&w| !w.is_zero() && plausible(w))
 }
 
+/// The query surface a WBF-style filter must expose for the station scan
+/// kernels — implemented by the owned [`WeightedBloomFilter`] and by the
+/// zero-copy [`WbfFrameView`], so a station can scan straight out of a
+/// received broadcast frame without materializing an owned filter.
+pub trait WbfScanFilter: FilterCore {
+    /// The sorted universe of every distinct weight attached in the filter.
+    fn weight_universe(&self) -> &WeightSet;
+
+    /// Whether every probed bit named by the `(word, mask)` run is set —
+    /// the batched membership predicate the SIMD kernel accelerates.
+    fn passes_masks(&self, words: &[u32], masks: &[u64]) -> bool;
+
+    /// The weight-intersection fold over probe positions already known to
+    /// be occupied (membership must have been established via
+    /// [`passes_masks`](WbfScanFilter::passes_masks) first).
+    fn fold_weights_precomputed<'s>(
+        &'s self,
+        pre: &PrecomputedProbes,
+        scratch: &'s mut QueryScratch,
+    ) -> Option<&'s WeightSet>;
+
+    /// The full sequence query (membership + fold), hashing keys on the
+    /// fly — the fallback when sections disagree on geometry.
+    fn query_sequence_scratch<'s>(
+        &'s self,
+        keys: &[u64],
+        scratch: &'s mut QueryScratch,
+    ) -> Option<&'s WeightSet>;
+}
+
+impl WbfScanFilter for WeightedBloomFilter {
+    fn weight_universe(&self) -> &WeightSet {
+        WeightedBloomFilter::weight_universe(self)
+    }
+
+    fn passes_masks(&self, words: &[u32], masks: &[u64]) -> bool {
+        self.bits().contains_probes_simd(words, masks)
+    }
+
+    fn fold_weights_precomputed<'s>(
+        &'s self,
+        pre: &PrecomputedProbes,
+        scratch: &'s mut QueryScratch,
+    ) -> Option<&'s WeightSet> {
+        WeightedBloomFilter::fold_weights_precomputed(self, pre, scratch)
+    }
+
+    fn query_sequence_scratch<'s>(
+        &'s self,
+        keys: &[u64],
+        scratch: &'s mut QueryScratch,
+    ) -> Option<&'s WeightSet> {
+        self.query_sequence_into(keys.iter().copied(), scratch)
+    }
+}
+
+impl WbfScanFilter for WbfFrameView {
+    fn weight_universe(&self) -> &WeightSet {
+        WbfFrameView::weight_universe(self)
+    }
+
+    fn passes_masks(&self, words: &[u32], masks: &[u64]) -> bool {
+        self.bits().contains_probes_simd(words, masks)
+    }
+
+    fn fold_weights_precomputed<'s>(
+        &'s self,
+        pre: &PrecomputedProbes,
+        scratch: &'s mut QueryScratch,
+    ) -> Option<&'s WeightSet> {
+        WbfFrameView::fold_weights_precomputed(self, pre, scratch)
+    }
+
+    fn query_sequence_scratch<'s>(
+        &'s self,
+        keys: &[u64],
+        scratch: &'s mut QueryScratch,
+    ) -> Option<&'s WeightSet> {
+        self.query_sequence_into(keys.iter().copied(), scratch)
+    }
+}
+
 /// Per-section state derived once per shard pass: the weight universe the
 /// score bounds come from, and whether the section is statically dead (no
 /// nonzero weight anywhere, so [`select_weight`] can never accept).
-struct SectionScan<'a> {
+struct SectionScan<'a, F> {
     query: u32,
-    filter: &'a WeightedBloomFilter,
+    filter: &'a F,
     query_totals: &'a [u64],
     universe: &'a WeightSet,
     dead: bool,
 }
 
-fn section_states<'a>(sections: &[WbfSectionView<'a>]) -> Vec<SectionScan<'a>> {
+fn section_states<'a, F: WbfScanFilter>(
+    sections: &[WbfScanSection<'a, F>],
+) -> Vec<SectionScan<'a, F>> {
     sections
         .iter()
         .map(|&(query, filter, query_totals)| {
@@ -255,7 +339,7 @@ fn section_states<'a>(sections: &[WbfSectionView<'a>]) -> Vec<SectionScan<'a>> {
 /// The hash family shared by every section, when they all agree on
 /// `(bits, hashes, seed)` — the precondition for hashing each row's probe
 /// set once and replaying it per section.
-fn shared_geometry(sections: &[WbfSectionView<'_>]) -> Option<HashFamily> {
+fn shared_geometry<F: WbfScanFilter>(sections: &[WbfScanSection<'_, F>]) -> Option<HashFamily> {
     let (_, first, _) = *sections.first()?;
     let geometry = (first.bit_len(), first.hashes(), first.seed());
     sections
@@ -288,9 +372,12 @@ fn block_stats(block: &[(UserId, &Pattern)], config: &DiMatchingConfig) -> Optio
     Some((vmin, vmax, config.eps.saturating_mul(max_len)))
 }
 
-/// One WBF query section as a station sees it: the filter plus the query
-/// volumes it was broadcast with, tagged with the batch-frame query id.
-pub type WbfSectionView<'a> = (u32, &'a WeightedBloomFilter, &'a [u64]);
+/// One WBF query section as the scan kernels see it: the filter plus the
+/// query volumes it was broadcast with, tagged with the batch-frame query
+/// id. The filter slot is generic over [`WbfScanFilter`] so the same scan
+/// runs against owned filters and zero-copy wire views; it defaults to the
+/// owned [`WeightedBloomFilter`].
+pub type WbfScanSection<'a, F = WeightedBloomFilter> = (u32, &'a F, &'a [u64]);
 
 /// Algorithm 2 over one shard, batch-first: every stored pattern is sampled
 /// and hashed once, then probed against every WBF query section. Returns
@@ -309,8 +396,8 @@ pub type WbfSectionView<'a> = (u32, &'a WeightedBloomFilter, &'a [u64]);
 /// # Errors
 ///
 /// Propagates pattern-transformation errors (overflow, zero samples).
-pub fn scan_shard_wbf(
-    sections: &[WbfSectionView<'_>],
+pub fn scan_shard_wbf<F: WbfScanFilter>(
+    sections: &[WbfScanSection<'_, F>],
     shard: &[(UserId, &Pattern)],
     config: &DiMatchingConfig,
     meter: Option<&CostMeter>,
@@ -332,6 +419,7 @@ pub fn scan_shard_wbf(
     let mut keys: Vec<u64> = Vec::with_capacity(config.samples);
     let mut scratch = QueryScratch::new();
     let mut pre = PrecomputedProbes::new();
+    let mut alive: Vec<usize> = Vec::with_capacity(states.len());
     if family.is_some() {
         pre.reserve(
             config
@@ -358,8 +446,13 @@ pub fn scan_shard_wbf(
         for &(user, pattern) in block {
             let local_total = sample_keys_into(pattern, config, &mut keys)?;
             let slack = config.eps.saturating_mul(pattern.len() as u64);
-            let mut probes_ready = false;
-            for s in &states {
+            // Stage 1: score-bound pruning picks the candidate sections.
+            // The meter charges each candidate its full probe cost here —
+            // the work an exhaustive probe of that section would do — so
+            // the recorded cost model is identical on every rung however
+            // early stage 2 cuts the actual hashing short.
+            alive.clear();
+            for (i, s) in states.iter().enumerate() {
                 if algorithm.prunes_sections() && s.dead {
                     if let Some(m) = meter {
                         m.record_rows_pruned(1);
@@ -384,17 +477,38 @@ pub fn scan_shard_wbf(
                 if let Some(m) = meter {
                     m.record_hash_ops(s.filter.probe_cost(keys.len()));
                 }
-                let set = match &family {
-                    Some(fam) => {
-                        if !probes_ready {
-                            pre.compute(fam, s.filter.bit_len(), &keys);
-                            probes_ready = true;
-                        }
-                        s.filter.query_precomputed(&pre, &mut scratch)
+                alive.push(i);
+            }
+            if alive.is_empty() {
+                continue;
+            }
+            // Stage 2 (shared geometry): hash each sampled key once and
+            // test it against every still-alive section as one SIMD batch,
+            // dropping sections the moment a key misses. Hashing stops as
+            // soon as no candidate survives — in a miss-dominated store
+            // most rows die on the first key or two.
+            if let Some(fam) = &family {
+                pre.clear();
+                let bit_len = states[alive[0]].filter.bit_len();
+                for (key_ordinal, &key) in keys.iter().enumerate() {
+                    pre.push_key(fam, bit_len, key);
+                    let (words, masks) = pre.key_masks(key_ordinal);
+                    alive.retain(|&i| states[i].filter.passes_masks(words, masks));
+                    if alive.is_empty() {
+                        break;
                     }
-                    None => s
-                        .filter
-                        .query_sequence_into(keys.iter().copied(), &mut scratch),
+                }
+            }
+            // Stage 3: survivors fold their weight sets. Under a shared
+            // geometry membership is already proven, so only the weight
+            // intersection remains; otherwise each section runs the full
+            // per-section sequence query.
+            for &i in &alive {
+                let s = &states[i];
+                let set = if family.is_some() {
+                    s.filter.fold_weights_precomputed(&pre, &mut scratch)
+                } else {
+                    s.filter.query_sequence_scratch(&keys, &mut scratch)
                 };
                 if let Some(set) = set {
                     if let Some(m) = meter {
@@ -448,8 +562,8 @@ impl PartialOrd for Worst {
 /// # Errors
 ///
 /// Propagates pattern-transformation errors (overflow, zero samples).
-pub fn scan_shard_wbf_topk(
-    sections: &[WbfSectionView<'_>],
+pub fn scan_shard_wbf_topk<F: WbfScanFilter>(
+    sections: &[WbfScanSection<'_, F>],
     shard: &[(UserId, &Pattern)],
     config: &DiMatchingConfig,
     k: usize,
@@ -481,6 +595,7 @@ pub fn scan_shard_wbf_topk(
     let mut keys: Vec<u64> = Vec::with_capacity(config.samples);
     let mut scratch = QueryScratch::new();
     let mut pre = PrecomputedProbes::new();
+    let mut alive: Vec<usize> = Vec::with_capacity(states.len());
     if family.is_some() {
         pre.reserve(
             config
@@ -514,7 +629,14 @@ pub fn scan_shard_wbf_topk(
         for &(user, pattern) in block {
             let local_total = sample_keys_into(pattern, config, &mut keys)?;
             let slack = config.eps.saturating_mul(pattern.len() as u64);
-            let mut probes_ready = false;
+            // Stage 1: θ-pruning picks candidates. Each heap belongs to one
+            // section and only mutates in stage 3 of the same row, after
+            // every candidate was chosen — so splitting selection from
+            // probing cannot change which rows each threshold sees, and
+            // results stay bit-identical to the interleaved form. The
+            // meter charges full probe cost per candidate (see
+            // [`scan_shard_wbf`]).
+            alive.clear();
             for (i, s) in states.iter().enumerate() {
                 let threshold = (heaps[i].len() == k)
                     .then(|| heaps[i].peek().map(|w| w.0))
@@ -557,17 +679,32 @@ pub fn scan_shard_wbf_topk(
                 if let Some(m) = meter {
                     m.record_hash_ops(s.filter.probe_cost(keys.len()));
                 }
-                let set = match &family {
-                    Some(fam) => {
-                        if !probes_ready {
-                            pre.compute(fam, s.filter.bit_len(), &keys);
-                            probes_ready = true;
-                        }
-                        s.filter.query_precomputed(&pre, &mut scratch)
+                alive.push(i);
+            }
+            if alive.is_empty() {
+                continue;
+            }
+            // Stage 2 (shared geometry): incremental hash-and-test, exactly
+            // as in [`scan_shard_wbf`].
+            if let Some(fam) = &family {
+                pre.clear();
+                let bit_len = states[alive[0]].filter.bit_len();
+                for (key_ordinal, &key) in keys.iter().enumerate() {
+                    pre.push_key(fam, bit_len, key);
+                    let (words, masks) = pre.key_masks(key_ordinal);
+                    alive.retain(|&i| states[i].filter.passes_masks(words, masks));
+                    if alive.is_empty() {
+                        break;
                     }
-                    None => s
-                        .filter
-                        .query_sequence_into(keys.iter().copied(), &mut scratch),
+                }
+            }
+            // Stage 3: survivors fold weights and feed their section heap.
+            for &i in &alive {
+                let s = &states[i];
+                let set = if family.is_some() {
+                    s.filter.fold_weights_precomputed(&pre, &mut scratch)
+                } else {
+                    s.filter.query_sequence_scratch(&keys, &mut scratch)
                 };
                 if let Some(set) = set {
                     if let Some(m) = meter {
@@ -828,7 +965,7 @@ mod tests {
         let built = build_wbf(std::slice::from_ref(&query), &config).unwrap();
         let patterns = station(vec![(5, query.global().clone())]);
         let shard = single_shard(&patterns);
-        let sections: Vec<WbfSectionView<'_>> = vec![
+        let sections: Vec<WbfScanSection<'_>> = vec![
             (0, &built.filter, built.query_totals.as_slice()),
             (9, &built.filter, built.query_totals.as_slice()),
         ];
@@ -904,7 +1041,7 @@ mod tests {
         let built = build_wbf(std::slice::from_ref(&query), &config).unwrap();
         let patterns = mixed_store(200);
         let shard = single_shard(&patterns);
-        let sections: Vec<WbfSectionView<'_>> = vec![
+        let sections: Vec<WbfScanSection<'_>> = vec![
             (0, &built.filter, built.query_totals.as_slice()),
             (1, &built.filter, built.query_totals.as_slice()),
         ];
@@ -942,7 +1079,7 @@ mod tests {
         );
         let patterns = mixed_store(10);
         let shard = single_shard(&patterns);
-        let sections: Vec<WbfSectionView<'_>> = vec![(0, &empty, &[])];
+        let sections: Vec<WbfScanSection<'_>> = vec![(0, &empty, &[])];
         let meter = CostMeter::new();
         let reports = scan_shard_wbf(&sections, &shard, &config, Some(&meter)).unwrap();
         assert!(reports.is_empty());
@@ -967,7 +1104,7 @@ mod tests {
                 .collect(),
         );
         let shard = single_shard(&far);
-        let sections: Vec<WbfSectionView<'_>> =
+        let sections: Vec<WbfScanSection<'_>> =
             vec![(0, &built.filter, built.query_totals.as_slice())];
         let reference = scan_shard_wbf(&sections, &shard, &exhaustive, None).unwrap();
         let bmw = DiMatchingConfig {
@@ -990,7 +1127,7 @@ mod tests {
         let built = build_wbf(std::slice::from_ref(&query), &base).unwrap();
         let patterns = mixed_store(150);
         let shard = single_shard(&patterns);
-        let sections: Vec<WbfSectionView<'_>> = vec![
+        let sections: Vec<WbfScanSection<'_>> = vec![
             (0, &built.filter, built.query_totals.as_slice()),
             (7, &built.filter, built.query_totals.as_slice()),
         ];
@@ -1014,7 +1151,7 @@ mod tests {
         let built = build_wbf(std::slice::from_ref(&query), &config).unwrap();
         let patterns = mixed_store(0); // users 3 (weight 1) and 8 (fraction)
         let shard = single_shard(&patterns);
-        let sections: Vec<WbfSectionView<'_>> =
+        let sections: Vec<WbfScanSection<'_>> =
             vec![(0, &built.filter, built.query_totals.as_slice())];
         let all = scan_shard_wbf_topk(&sections, &shard, &config, 10, None).unwrap();
         assert_eq!(all.len(), 2);

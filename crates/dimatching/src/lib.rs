@@ -69,7 +69,7 @@ pub mod wire;
 
 pub use basestation::{
     scan_shard_bloom, scan_shard_wbf, scan_shard_wbf_topk, scan_station, scan_station_bloom,
-    BaseStation, Shards, WbfSectionView, WeightReport, BLOCK_ROWS,
+    BaseStation, Shards, WbfScanFilter, WbfScanSection, WeightReport, BLOCK_ROWS,
 };
 pub use config::{AdmissionPolicy, DiMatchingConfig, HashScheme, RoutingPolicy, ScanAlgorithm};
 pub use datacenter::{

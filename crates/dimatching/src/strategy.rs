@@ -19,7 +19,7 @@ use dipm_distsim::{CostMeter, TrafficClass};
 use dipm_mobilenet::UserId;
 use dipm_timeseries::Pattern;
 
-use crate::basestation::{scan_shard_bloom, scan_shard_wbf, WbfSectionView};
+use crate::basestation::{scan_shard_bloom, scan_shard_wbf, WbfScanSection};
 use crate::config::DiMatchingConfig;
 use crate::datacenter::{aggregate_and_rank, build_bloom, build_wbf, BuiltBloom, BuiltFilter};
 use crate::error::{ProtocolError, Result};
@@ -186,8 +186,13 @@ pub(crate) fn bucket_by_query<R>(
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Wbf;
 
-/// A station's decoded view of one WBF broadcast section: the filter plus
-/// the query volumes it shipped with.
+/// A station's **owned** decode of one WBF broadcast section: the filter
+/// plus the query volumes it shipped with.
+///
+/// The batch scan path no longer uses this — stations scan straight out of
+/// the received bytes via the zero-copy [`wire::WbfSectionView`]. The owned
+/// form remains for paths that must mutate filter state after decode:
+/// streaming delta application and checkpoint recovery.
 #[derive(Debug, Clone)]
 pub struct WbfStationView {
     /// The weighted filter to probe.
@@ -202,7 +207,7 @@ impl FilterStrategy for Wbf {
     const REPORT_CLASS: TrafficClass = TrafficClass::Report;
 
     type BuiltFilter = BuiltFilter;
-    type Decoded = WbfStationView;
+    type Decoded = wire::WbfSectionView;
     type StationReport = (u32, UserId, Weight);
 
     fn build(queries: &[PatternQuery], config: &DiMatchingConfig) -> Result<Self::BuiltFilter> {
@@ -219,12 +224,10 @@ impl FilterStrategy for Wbf {
     }
 
     fn decode_filter(bytes: Bytes) -> Result<Self::Decoded> {
-        let (query_totals, filter_bytes) = wire::decode_filter_broadcast(bytes)?;
-        let filter = encode::decode_wbf(filter_bytes)?;
-        Ok(WbfStationView {
-            filter,
-            query_totals,
-        })
+        // Zero-copy: validate the frame once, then probe in place. The
+        // view borrows the broadcast bytes instead of rebuilding an owned
+        // filter structure per station.
+        wire::view_filter_broadcast(bytes)
     }
 
     fn scan_shard(
@@ -233,7 +236,7 @@ impl FilterStrategy for Wbf {
         config: &DiMatchingConfig,
         meter: Option<&CostMeter>,
     ) -> Result<Vec<Self::StationReport>> {
-        let views: Vec<WbfSectionView<'_>> = sections
+        let views: Vec<WbfScanSection<'_, dipm_core::WbfFrameView>> = sections
             .iter()
             .map(|(query, view)| (*query, &view.filter, view.query_totals.as_slice()))
             .collect();
@@ -300,7 +303,7 @@ impl FilterStrategy for Bloom {
     const REPORT_CLASS: TrafficClass = TrafficClass::Report;
 
     type BuiltFilter = BuiltBloom;
-    type Decoded = BloomFilter;
+    type Decoded = wire::BloomSectionView;
     type StationReport = (u32, UserId);
 
     fn build(queries: &[PatternQuery], config: &DiMatchingConfig) -> Result<Self::BuiltFilter> {
@@ -316,7 +319,7 @@ impl FilterStrategy for Bloom {
     }
 
     fn decode_filter(bytes: Bytes) -> Result<Self::Decoded> {
-        Ok(encode::decode_bloom(bytes)?)
+        wire::view_bloom_section(bytes)
     }
 
     fn scan_shard(
@@ -325,8 +328,10 @@ impl FilterStrategy for Bloom {
         config: &DiMatchingConfig,
         meter: Option<&CostMeter>,
     ) -> Result<Vec<Self::StationReport>> {
-        let views: Vec<(u32, &BloomFilter)> =
-            sections.iter().map(|(query, f)| (*query, f)).collect();
+        let views: Vec<(u32, &BloomFilter)> = sections
+            .iter()
+            .map(|(query, v)| (*query, &v.filter))
+            .collect();
         scan_shard_bloom(&views, shard, config, meter)
     }
 
@@ -415,12 +420,14 @@ mod tests {
         let config = DiMatchingConfig::default();
         let built = Wbf::build(std::slice::from_ref(&query), &config).unwrap();
         let view = Wbf::decode_filter(Wbf::encode_filter(&built).unwrap()).unwrap();
+        // The station-side decode is a zero-copy frame view; semantic
+        // equality against the built owned filter is the roundtrip check.
         assert_eq!(view.filter, built.filter);
         assert_eq!(view.query_totals, built.query_totals);
 
         let bloom = Bloom::build(&[query], &config).unwrap();
-        let filter = Bloom::decode_filter(Bloom::encode_filter(&bloom).unwrap()).unwrap();
-        assert_eq!(filter, bloom.filter);
+        let section = Bloom::decode_filter(Bloom::encode_filter(&bloom).unwrap()).unwrap();
+        assert_eq!(section.filter, bloom.filter);
     }
 
     #[test]

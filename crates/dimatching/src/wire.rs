@@ -18,7 +18,7 @@
 //!   by their inner decoders).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use dipm_core::{encode, BloomFilter, Weight, WeightDiff, WeightSet};
+use dipm_core::{encode, BloomFilter, WbfFrameView, Weight, WeightDiff, WeightSet};
 use dipm_mobilenet::UserId;
 use dipm_timeseries::Pattern;
 
@@ -410,6 +410,66 @@ pub fn decode_filter_broadcast(mut data: Bytes) -> Result<(Vec<u64>, Bytes)> {
     }
     let totals = (0..count).map(|_| data.get_u64_le()).collect();
     Ok((totals, data))
+}
+
+/// A station's zero-copy view of one WBF broadcast section: the query
+/// volumes plus a [`WbfFrameView`] that borrows the received frame bytes —
+/// validated once at decode time, then probed in place. The batch scan
+/// path uses this instead of materializing an owned
+/// [`WeightedBloomFilter`](dipm_core::WeightedBloomFilter), so a broadcast
+/// frame is never copied bit-by-bit into station-side structures. Owned
+/// decode remains for paths that must *mutate* filter state (streaming
+/// delta application, checkpoints).
+#[derive(Debug, Clone)]
+pub struct WbfSectionView {
+    /// The zero-copy filter view to probe.
+    pub filter: WbfFrameView,
+    /// The query group's global volumes (the weight-plausibility anchors).
+    pub query_totals: Vec<u64>,
+}
+
+/// Decodes a filter broadcast into a zero-copy [`WbfSectionView`].
+///
+/// Accepts and rejects exactly the frames the owned path
+/// ([`decode_filter_broadcast`] + [`decode_wbf`](encode::decode_wbf))
+/// does, with identical error messages — property-checked in the
+/// `wire_fuzz` suite.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedReport`] on a truncated broadcast
+/// header and propagates the frame-view parser's exhaustive validation for
+/// the filter bytes.
+pub fn view_filter_broadcast(data: Bytes) -> Result<WbfSectionView> {
+    let (query_totals, filter_bytes) = decode_filter_broadcast(data)?;
+    let filter = encode::view_wbf(filter_bytes)?;
+    Ok(WbfSectionView {
+        filter,
+        query_totals,
+    })
+}
+
+/// A station's decoded view of one Bloom broadcast section.
+///
+/// The plain filter has no per-bit weight tables, so its decode is already
+/// a single aligned copy of the bit words; the wrapper exists so the
+/// station-side decode surface is uniform across filter families.
+#[derive(Debug, Clone)]
+pub struct BloomSectionView {
+    /// The decoded baseline filter.
+    pub filter: BloomFilter,
+}
+
+/// Decodes a Bloom section broadcast into a [`BloomSectionView`].
+///
+/// # Errors
+///
+/// Propagates the filter decoder's exhaustive validation (truncation,
+/// geometry, trailing bytes).
+pub fn view_bloom_section(data: Bytes) -> Result<BloomSectionView> {
+    Ok(BloomSectionView {
+        filter: encode::decode_bloom(data)?,
+    })
 }
 
 /// Encodes `(user, weight)` reports: `u32` count then

@@ -9,8 +9,11 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use dipm_core::WbfFrameView;
 use dipm_mobilenet::UserId;
-use dipm_protocol::{build_wbf, scan_shard_wbf, DiMatchingConfig, PatternQuery, WbfSectionView};
+use dipm_protocol::{
+    build_wbf, scan_shard_wbf, wire, DiMatchingConfig, PatternQuery, WbfScanFilter, WbfScanSection,
+};
 use dipm_timeseries::Pattern;
 
 /// `System` wrapped with an allocation counter; frees are not counted —
@@ -56,7 +59,11 @@ fn query() -> PatternQuery {
     .expect("valid query")
 }
 
-fn measure_scan(sections: &[WbfSectionView<'_>], rows: usize, config: &DiMatchingConfig) -> u64 {
+fn measure_scan<F: WbfScanFilter>(
+    sections: &[WbfScanSection<'_, F>],
+    rows: usize,
+    config: &DiMatchingConfig,
+) -> u64 {
     let patterns: Vec<(UserId, Pattern)> = (0..rows as u64)
         .map(|r| (UserId(r), miss_pattern(r)))
         .collect();
@@ -75,9 +82,9 @@ fn measure_scan(sections: &[WbfSectionView<'_>], rows: usize, config: &DiMatchin
 fn scan_allocations_do_not_grow_with_rows_or_sections() {
     let config = DiMatchingConfig::default();
     let built = build_wbf(&[query()], &config).expect("filter builds");
-    let one_section: Vec<WbfSectionView<'_>> =
+    let one_section: Vec<WbfScanSection<'_>> =
         vec![(0, &built.filter, built.query_totals.as_slice())];
-    let four_sections: Vec<WbfSectionView<'_>> = (0..4)
+    let four_sections: Vec<WbfScanSection<'_>> = (0..4)
         .map(|i| (i as u32, &built.filter, built.query_totals.as_slice()))
         .collect();
 
@@ -105,5 +112,52 @@ fn scan_allocations_do_not_grow_with_rows_or_sections() {
     assert_eq!(
         tall, huge,
         "4× the sections over 16× the rows must stay at the setup cost"
+    );
+}
+
+#[test]
+fn zero_copy_wire_view_scan_holds_the_same_allocation_contract() {
+    // The station-side hot path: sections opened as zero-copy frame views
+    // straight from received broadcast bytes. Once the views exist, the
+    // per-(row × section) probe must allocate nothing, exactly like the
+    // owned-filter path above.
+    let config = DiMatchingConfig::default();
+    let built = build_wbf(&[query()], &config).expect("filter builds");
+    let frame = wire::encode_filter_broadcast(
+        &built.query_totals,
+        dipm_core::encode::encode_wbf(&built.filter).expect("filter encodes"),
+    )
+    .expect("broadcast frames");
+    let views: Vec<wire::WbfSectionView> = (0..4)
+        .map(|_| wire::view_filter_broadcast(frame.clone()).expect("broadcast views"))
+        .collect();
+    let one_section: Vec<WbfScanSection<'_, WbfFrameView>> =
+        vec![(0, &views[0].filter, views[0].query_totals.as_slice())];
+    let four_sections: Vec<WbfScanSection<'_, WbfFrameView>> = views
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i as u32, &v.filter, v.query_totals.as_slice()))
+        .collect();
+
+    let small = measure_scan(&one_section, 64, &config);
+    let wide = measure_scan(&four_sections, 64, &config);
+    let tall = measure_scan(&one_section, 1024, &config);
+    let huge = measure_scan(&four_sections, 1024, &config);
+
+    assert!(
+        small <= 8,
+        "per-call setup should be a handful of allocations, got {small}"
+    );
+    assert!(
+        tall <= small + 1,
+        "16× the rows may at most warm the probe scratch once: {small} -> {tall}"
+    );
+    assert_eq!(
+        small, wide,
+        "4× the view sections must not add allocations (probe path is alloc-free)"
+    );
+    assert_eq!(
+        tall, huge,
+        "4× the view sections over 16× the rows must stay at the setup cost"
     );
 }

@@ -48,6 +48,8 @@ proptest! {
         let _ = wire::decode_id_reports(bytes.clone());
         let _ = wire::decode_station_data(bytes.clone());
         let _ = wire::decode_filter_broadcast(bytes.clone());
+        let _ = wire::view_filter_broadcast(bytes.clone());
+        let _ = wire::view_bloom_section(bytes.clone());
         let _ = wire::decode_batch_broadcast(bytes.clone());
         let _ = wire::decode_tagged_weight_reports(bytes.clone());
         let _ = wire::decode_tagged_id_reports(bytes.clone());
@@ -357,6 +359,82 @@ proptest! {
         if collector.accept(Bytes::from(raw), delivered).is_err() {
             prop_assert_eq!(collector.accepted(), before);
         }
+    }
+}
+
+/// The owned WBF broadcast decode path, with its error rendered to a
+/// string so rejection *messages* can be compared against the view path.
+fn owned_wbf_decode(bytes: Bytes) -> std::result::Result<(), String> {
+    let (_totals, filter_bytes) =
+        wire::decode_filter_broadcast(bytes).map_err(|e| e.to_string())?;
+    dipm_core::encode::decode_wbf(filter_bytes)
+        .map(|_| ())
+        .map_err(|e| dipm_protocol::ProtocolError::from(e).to_string())
+}
+
+/// The zero-copy view decode path, same error rendering.
+fn view_wbf_decode(bytes: Bytes) -> std::result::Result<(), String> {
+    wire::view_filter_broadcast(bytes)
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The zero-copy view decoder must accept exactly the frames the owned
+    // decoder accepts and reject exactly what it rejects — with identical
+    // error messages — across truncation at every offset, trailing bytes,
+    // and hostile declared counts. A frame the view would admit but the
+    // owned path refuses (or vice versa) would let stations disagree about
+    // a broadcast's validity.
+    #[test]
+    fn view_and_owned_wbf_broadcast_decode_agree_on_every_mutation(
+        inserts in vec((any::<u64>(), 1u64..6), 1..24),
+        totals in vec(any::<u64>(), 0..4),
+        garbage in vec(any::<u8>(), 1..8),
+        huge in 1_000u32..u32::MAX,
+    ) {
+        let params = dipm_core::FilterParams::new(1 << 10, 4).unwrap();
+        let mut wbf = dipm_core::WeightedBloomFilter::new(params, 7);
+        for &(key, den) in &inserts {
+            wbf.insert(key, Weight::new(1, den).unwrap());
+        }
+        let frame = wire::encode_filter_broadcast(
+            &totals,
+            dipm_core::encode::encode_wbf(&wbf).unwrap(),
+        )
+        .unwrap();
+
+        // The intact frame: both paths accept.
+        prop_assert_eq!(owned_wbf_decode(frame.clone()), Ok(()));
+        prop_assert_eq!(view_wbf_decode(frame.clone()), Ok(()));
+
+        // Every strict prefix: both paths reject, with the same message.
+        for cut in 0..frame.len() {
+            let truncated = frame.slice(0..cut);
+            let owned = owned_wbf_decode(truncated.clone());
+            let view = view_wbf_decode(truncated);
+            prop_assert!(owned.is_err(), "owned path accepted a {cut}-byte prefix");
+            prop_assert_eq!(&view, &owned, "rejection mismatch at cut {}", cut);
+        }
+
+        // Trailing garbage after the filter payload: same rejection.
+        let mut raw = frame.to_vec();
+        raw.extend_from_slice(&garbage);
+        let trailing = Bytes::from(raw);
+        let owned = owned_wbf_decode(trailing.clone());
+        prop_assert!(owned.is_err(), "owned path accepted trailing bytes");
+        prop_assert_eq!(view_wbf_decode(trailing), owned);
+
+        // A hostile declared count with a tiny body: both reject on length
+        // (neither may trust the count into an allocation).
+        let mut raw = huge.to_le_bytes().to_vec();
+        raw.extend_from_slice(&[0u8; 16]);
+        let hostile = Bytes::from(raw);
+        let owned = owned_wbf_decode(hostile.clone());
+        prop_assert!(owned.is_err(), "owned path accepted a hostile count");
+        prop_assert_eq!(view_wbf_decode(hostile), owned);
     }
 }
 

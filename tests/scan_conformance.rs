@@ -19,7 +19,7 @@ use dipm::core::{Weight, WeightSet};
 use dipm::mobilenet::UserId;
 use dipm::prelude::*;
 use dipm::protocol::wire;
-use dipm::protocol::{build_wbf, scan_shard_wbf, BaseStation, BuiltFilter, Shards, WbfSectionView};
+use dipm::protocol::{build_wbf, scan_shard_wbf, BaseStation, BuiltFilter, Shards, WbfScanSection};
 use dipm::timeseries::{AccumulatedPattern, Pattern, SampledPattern};
 
 /// The documented plausibility rule of the station's weight selection: the
@@ -50,7 +50,7 @@ fn reference_select(
 /// Allocation-heavy reference scan: fresh buffers for every row, owned
 /// query results, same `(row, section)` visit order.
 fn reference_scan(
-    sections: &[WbfSectionView<'_>],
+    sections: &[WbfScanSection<'_>],
     shard: &[(UserId, &Pattern)],
     config: &DiMatchingConfig,
 ) -> Vec<(u32, UserId, Weight)> {
@@ -89,7 +89,7 @@ fn scan_shard_wbf_is_bit_for_bit_identical_to_reference() {
                 build_wbf(std::slice::from_ref(&query), &config).expect("filter builds")
             })
             .collect();
-        let sections: Vec<WbfSectionView<'_>> = builds
+        let sections: Vec<WbfScanSection<'_>> = builds
             .iter()
             .enumerate()
             .map(|(i, b)| (i as u32, &b.filter, b.query_totals.as_slice()))
@@ -114,6 +114,72 @@ fn scan_shard_wbf_is_bit_for_bit_identical_to_reference() {
                     "wire bytes must match at seed {seed}"
                 );
                 hits += fast.len();
+            }
+        }
+        assert!(hits > 0, "seed {seed} produced no reports — vacuous pass");
+    }
+}
+
+#[test]
+fn zero_copy_wire_views_scan_bit_for_bit_identical_to_owned_sections() {
+    // A station scanning straight out of received broadcast bytes (the
+    // zero-copy WbfFrameView path) must produce byte-identical report
+    // frames to a scan over the center's owned filters, on every
+    // conformance seed.
+    let config = DiMatchingConfig::default();
+    for seed in conformance::SEEDS {
+        let dataset = conformance::dataset(seed);
+        let builds: Vec<BuiltFilter> = conformance::PROBES
+            .iter()
+            .map(|&probe| {
+                let query = conformance::probe_query(&dataset, probe);
+                build_wbf(std::slice::from_ref(&query), &config).expect("filter builds")
+            })
+            .collect();
+        let owned_sections: Vec<WbfScanSection<'_>> = builds
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i as u32, &b.filter, b.query_totals.as_slice()))
+            .collect();
+        // Re-open every section exactly as a station does: encode the
+        // broadcast frame, then view it in place.
+        let views: Vec<wire::WbfSectionView> = builds
+            .iter()
+            .map(|b| {
+                let frame = wire::encode_filter_broadcast(
+                    &b.query_totals,
+                    dipm::core::encode::encode_wbf(&b.filter).expect("filter encodes"),
+                )
+                .expect("broadcast frames");
+                wire::view_filter_broadcast(frame).expect("broadcast views")
+            })
+            .collect();
+        let view_sections: Vec<WbfScanSection<'_, dipm::core::WbfFrameView>> = views
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, &v.filter, v.query_totals.as_slice()))
+            .collect();
+        let mut hits = 0usize;
+        for &station in dataset.stations() {
+            let locals = dataset.station_locals(station).expect("station has users");
+            let base = BaseStation::from_locals(station, locals, Shards::new(2));
+            for shard_index in 0..base.shard_count() {
+                let shard = base.shard(shard_index);
+                let owned =
+                    scan_shard_wbf(&owned_sections, shard, &config, None).expect("owned scan");
+                let viewed =
+                    scan_shard_wbf(&view_sections, shard, &config, None).expect("view scan");
+                assert_eq!(
+                    owned, viewed,
+                    "seed {seed}, station {station:?}, shard {shard_index}"
+                );
+                let owned_bytes = wire::encode_tagged_weight_reports(&owned).expect("encodes");
+                let viewed_bytes = wire::encode_tagged_weight_reports(&viewed).expect("encodes");
+                assert_eq!(
+                    owned_bytes, viewed_bytes,
+                    "wire bytes must match at seed {seed}"
+                );
+                hits += owned.len();
             }
         }
         assert!(hits > 0, "seed {seed} produced no reports — vacuous pass");

@@ -19,7 +19,7 @@ mod conformance;
 use dipm::prelude::*;
 use dipm::protocol::wire;
 use dipm::protocol::{
-    scan_shard_wbf, scan_shard_wbf_topk, BaseStation, BuiltFilter, WbfSectionView,
+    scan_shard_wbf, scan_shard_wbf_topk, BaseStation, BuiltFilter, WbfScanSection,
 };
 
 /// Top-k cutoffs the kernel sweep exercises: empty, tiny, moderate, and
@@ -54,7 +54,7 @@ fn scan_core_is_bit_identical_across_the_algorithm_ladder() {
                 build_wbf(std::slice::from_ref(&query), &config).expect("filter builds")
             })
             .collect();
-        let sections: Vec<WbfSectionView<'_>> = builds
+        let sections: Vec<WbfScanSection<'_>> = builds
             .iter()
             .enumerate()
             .map(|(i, b)| (i as u32, &b.filter, b.query_totals.as_slice()))
@@ -99,7 +99,7 @@ fn topk_kernel_is_bit_identical_across_the_ladder_for_every_k() {
                 build_wbf(std::slice::from_ref(&query), &config).expect("filter builds")
             })
             .collect();
-        let sections: Vec<WbfSectionView<'_>> = builds
+        let sections: Vec<WbfScanSection<'_>> = builds
             .iter()
             .enumerate()
             .map(|(i, b)| (i as u32, &b.filter, b.query_totals.as_slice()))

@@ -8,7 +8,7 @@
 use dipm::distsim::CostMeter;
 use dipm::mobilenet::UserId;
 use dipm::prelude::*;
-use dipm::protocol::{scan_shard_wbf, scan_shard_wbf_topk, BuiltFilter, WbfSectionView};
+use dipm::protocol::{scan_shard_wbf, scan_shard_wbf_topk, BuiltFilter, WbfScanSection};
 use dipm::timeseries::Pattern;
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -97,7 +97,7 @@ proptest! {
     #[test]
     fn full_scan_ladder_is_result_exact_on_arbitrary_stores(workload in arb_workload()) {
         let (built, store, config) = build(&workload);
-        let sections: Vec<WbfSectionView<'_>> =
+        let sections: Vec<WbfScanSection<'_>> =
             vec![(0, &built.filter, built.query_totals.as_slice())];
         let shard: Vec<(UserId, &Pattern)> = store.iter().map(|&(u, ref p)| (u, p)).collect();
         let reference = scan_shard_wbf(&sections, &shard, &config, None).expect("scan runs");
@@ -115,7 +115,7 @@ proptest! {
     #[test]
     fn topk_ladder_matches_exhaustive_for_arbitrary_k(workload in arb_workload()) {
         let (built, store, config) = build(&workload);
-        let sections: Vec<WbfSectionView<'_>> =
+        let sections: Vec<WbfScanSection<'_>> =
             vec![(0, &built.filter, built.query_totals.as_slice())];
         let shard: Vec<(UserId, &Pattern)> = store.iter().map(|&(u, ref p)| (u, p)).collect();
         let k = workload.k;
@@ -147,7 +147,7 @@ proptest! {
     #[test]
     fn exhaustive_never_touches_the_pruning_meters(workload in arb_workload()) {
         let (built, store, config) = build(&workload);
-        let sections: Vec<WbfSectionView<'_>> =
+        let sections: Vec<WbfScanSection<'_>> =
             vec![(0, &built.filter, built.query_totals.as_slice())];
         let shard: Vec<(UserId, &Pattern)> = store.iter().map(|&(u, ref p)| (u, p)).collect();
         let meter = CostMeter::new();
